@@ -1,0 +1,165 @@
+package svgic_test
+
+// One benchmark per table/figure of the paper's evaluation (Section 6),
+// each regenerating the experiment through the harness in internal/eval,
+// plus micro-benchmarks of the core algorithm phases. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The Fig* benchmarks report ns/op for a full experiment regeneration;
+// EXPERIMENTS.md records the produced tables and compares them to the paper.
+
+import (
+	"testing"
+
+	svgic "github.com/svgic/svgic"
+	"github.com/svgic/svgic/internal/eval"
+)
+
+// runExperiment benchmarks one registry entry. IP-bearing experiments run in
+// Quick mode so a single iteration stays in seconds; the full-scale variants
+// are produced by cmd/experiments.
+func runExperiment(b *testing.B, id string, quick bool) {
+	b.Helper()
+	r, err := eval.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := eval.DefaultConfig()
+	cfg.Quick = quick
+	cfg.Samples = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		tabs, err := r.Fn(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tabs) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkRunningExample(b *testing.B)     { runExperiment(b, "example", false) }
+func BenchmarkFig3UtilityVsN(b *testing.B)     { runExperiment(b, "fig3n", true) }
+func BenchmarkFig3UtilityVsM(b *testing.B)     { runExperiment(b, "fig3m", true) }
+func BenchmarkFig3UtilityVsK(b *testing.B)     { runExperiment(b, "fig3k", false) }
+func BenchmarkFig4Lambda(b *testing.B)         { runExperiment(b, "fig4", true) }
+func BenchmarkFig5LargeN(b *testing.B)         { runExperiment(b, "fig5", true) }
+func BenchmarkFig6Datasets(b *testing.B)       { runExperiment(b, "fig6", true) }
+func BenchmarkFig7InputModels(b *testing.B)    { runExperiment(b, "fig7", true) }
+func BenchmarkFig8Scalability(b *testing.B)    { runExperiment(b, "fig8", true) }
+func BenchmarkFig9aMIPStrategies(b *testing.B) { runExperiment(b, "fig9a", true) }
+func BenchmarkFig9bAblation(b *testing.B)      { runExperiment(b, "fig9b", true) }
+func BenchmarkFig10SubgroupMetrics(b *testing.B) {
+	runExperiment(b, "fig10", true)
+}
+func BenchmarkFig11CaseStudy(b *testing.B)    { runExperiment(b, "fig11", false) }
+func BenchmarkFig12RSensitivity(b *testing.B) { runExperiment(b, "fig12", true) }
+func BenchmarkFig13STViolations(b *testing.B) { runExperiment(b, "fig13", true) }
+func BenchmarkFig14_15STUtility(b *testing.B) { runExperiment(b, "fig14", true) }
+func BenchmarkFig16UserStudy(b *testing.B)    { runExperiment(b, "fig16", false) }
+func BenchmarkTheorem1Gaps(b *testing.B)      { runExperiment(b, "theorem1", false) }
+func BenchmarkLemma3IndependentRounding(b *testing.B) {
+	runExperiment(b, "lemma3", false)
+}
+
+// --- Micro-benchmarks of the algorithm phases -----------------------------
+
+func benchInstance(b *testing.B, n, m, k int) *svgic.Instance {
+	b.Helper()
+	in, err := svgic.GenerateDataset(svgic.Timik, n, m, k, 0.5, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+func BenchmarkAVGPipelineSmall(b *testing.B) {
+	in := benchInstance(b, 16, 60, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := svgic.SolveAVG(in, svgic.AVGOptions{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAVGPipelineMedium(b *testing.B) {
+	in := benchInstance(b, 50, 300, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := svgic.SolveAVG(in, svgic.AVGOptions{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAVGDPipelineSmall(b *testing.B) {
+	in := benchInstance(b, 16, 60, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := svgic.SolveAVGD(in, svgic.AVGDOptions{R: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAVGDPipelineMedium(b *testing.B) {
+	in := benchInstance(b, 50, 300, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := svgic.SolveAVGD(in, svgic.AVGDOptions{R: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	in := benchInstance(b, 50, 300, 10)
+	conf, _, err := svgic.SolveAVGD(in, svgic.AVGDOptions{R: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := svgic.Evaluate(in, conf)
+		if rep.Weighted() <= 0 {
+			b.Fatal("zero objective")
+		}
+	}
+}
+
+func BenchmarkSubgroupMetrics(b *testing.B) {
+	in := benchInstance(b, 50, 300, 10)
+	conf, _, err := svgic.SolveAVGD(in, svgic.AVGDOptions{R: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := svgic.ComputeSubgroupMetrics(in, conf)
+		if m.MeanSubgroupSize <= 0 {
+			b.Fatal("degenerate metrics")
+		}
+	}
+}
+
+func BenchmarkDatasetGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := svgic.GenerateDataset(svgic.Yelp, 50, 300, 10, 0.5, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extension & ablation experiments (Section 5 / Corollaries 4.1-4.2) ---
+
+func BenchmarkExtMVDBeta(b *testing.B)          { runExperiment(b, "extmvd", false) }
+func BenchmarkExtSlotSignificance(b *testing.B) { runExperiment(b, "extslots", false) }
+func BenchmarkExtStability(b *testing.B)        { runExperiment(b, "extstability", false) }
+func BenchmarkExtDynamic(b *testing.B)          { runExperiment(b, "extdynamic", false) }
+func BenchmarkExtCommodity(b *testing.B)        { runExperiment(b, "extcommodity", false) }
+func BenchmarkAblationRepeats(b *testing.B)     { runExperiment(b, "ablation-repeats", false) }
+func BenchmarkAblationLPBudget(b *testing.B)    { runExperiment(b, "ablation-lp", false) }

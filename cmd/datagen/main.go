@@ -1,0 +1,50 @@
+// Command datagen emits synthetic SVGIC instances in the JSON interchange
+// format consumed by cmd/svgic and svgic.UnmarshalInstance, generated from
+// the built-in dataset profiles.
+//
+// Usage:
+//
+//	datagen -dataset yelp -n 50 -m 300 -k 10 -lambda 0.5 -seed 7 > store.json
+//	datagen -dataset timik -n 25 -m 40 -k 5 -o timik25.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	svgic "github.com/svgic/svgic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dataset := flag.String("dataset", "timik", "dataset profile: timik|epinions|yelp")
+	n := flag.Int("n", 25, "number of shoppers")
+	m := flag.Int("m", 100, "number of items")
+	k := flag.Int("k", 5, "number of display slots")
+	lambda := flag.Float64("lambda", 0.5, "social weight λ in [0,1]")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	out := flag.String("o", "-", "output file ('-' = stdout)")
+	flag.Parse()
+
+	in, err := svgic.GenerateDataset(svgic.DatasetName(*dataset), *n, *m, *k, *lambda, *seed)
+	if err != nil {
+		return err
+	}
+	data, err := svgic.MarshalInstance(in)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}

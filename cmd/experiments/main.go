@@ -1,0 +1,97 @@
+// Command experiments reproduces the tables and figures of "Optimizing Item
+// and Subgroup Configurations for Social-Aware VR Shopping" (PVLDB 2020) on
+// the library's synthetic dataset substrates.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments [flags] all
+//	experiments [flags] fig5 fig10 ...
+//
+// Flags:
+//
+//	-list          list the experiment ids and what they reproduce
+//	-quick         shrink every sweep (smoke run)
+//	-seed N        experiment seed (default 1)
+//	-samples N     instances averaged per sweep point (default 3)
+//	-csv DIR       additionally write each table as DIR/<experiment>_<i>.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/svgic/svgic/internal/eval"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	list := flag.Bool("list", false, "list experiments")
+	quick := flag.Bool("quick", false, "shrink every sweep (smoke run)")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	samples := flag.Int("samples", 3, "instances averaged per sweep point")
+	csvDir := flag.String("csv", "", "write tables as CSV into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, r := range eval.Registry() {
+			fmt.Printf("  %-10s %s\n", r.ID, r.Paper)
+		}
+		return nil
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		return fmt.Errorf("no experiments given (try -list or 'all')")
+	}
+	var runners []eval.Runner
+	if len(args) == 1 && args[0] == "all" {
+		runners = eval.Registry()
+	} else {
+		for _, id := range args {
+			r, err := eval.Lookup(id)
+			if err != nil {
+				return err
+			}
+			runners = append(runners, r)
+		}
+	}
+	cfg := eval.DefaultConfig()
+	cfg.Quick = *quick
+	cfg.Seed = *seed
+	cfg.Samples = *samples
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, r := range runners {
+		fmt.Printf("--- %s (%s) ---\n", r.ID, r.Paper)
+		start := time.Now()
+		tabs, err := r.Fn(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		for i, tab := range tabs {
+			tab.Fprint(os.Stdout)
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, fmt.Sprintf("%s_%d.csv", r.ID, i))
+				if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Printf("(%s finished in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	svgic "github.com/svgic/svgic"
+)
+
+const exampleJSON = `{
+  "users": 2, "items": 3, "slots": 2, "lambda": 0.5,
+  "preferences": [[1, 0.5, 0], [0.9, 0.1, 0.2]],
+  "social": [
+    {"from": 0, "to": 1, "tau": [0.4, 0, 0]},
+    {"from": 1, "to": 0, "tau": [0.3, 0, 0]}
+  ]
+}`
+
+func TestBuildInstanceFromJSON(t *testing.T) {
+	var ii inputInstance
+	if err := json.Unmarshal([]byte(exampleJSON), &ii); err != nil {
+		t.Fatal(err)
+	}
+	if ii.Users != 2 || ii.SizeCap != 0 {
+		t.Fatalf("embedded schema mis-parsed: %+v", ii)
+	}
+	in, err := svgic.UnmarshalInstance([]byte(exampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumUsers() != 2 || in.NumItems != 3 || in.K != 2 {
+		t.Fatalf("wrong shape: %d users, %d items, %d slots", in.NumUsers(), in.NumItems, in.K)
+	}
+	if got := in.Tau(0, 1, 0); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("τ(0,1,0) = %v", got)
+	}
+	conf, _, err := svgic.SolveAVGD(in, svgic.AVGDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := svgic.Evaluate(in, conf)
+	// Both users co-display item 0 somewhere in the optimum: its joint value
+	// (1 + 0.9 + 0.7 social) dominates.
+	if !conf.CoDisplayed(0, 1, 0) {
+		t.Errorf("expected co-display of item 0; got %v (value %.3f)", conf.Assign, rep.Scaled())
+	}
+}
+
+func TestBuildInstanceRejectsBadInput(t *testing.T) {
+	bad := []string{
+		`{"users": 0, "items": 3, "slots": 1, "preferences": []}`,
+		`{"users": 1, "items": 2, "slots": 1, "preferences": [[1]]}`,
+		`{"users": 1, "items": 2, "slots": 1, "preferences": [[1, 0], [0, 1]]}`,
+		`{"users": 2, "items": 1, "slots": 2, "preferences": [[1], [1]]}`, // k > m
+	}
+	for i, s := range bad {
+		if _, err := svgic.UnmarshalInstance([]byte(s)); err == nil {
+			t.Errorf("case %d accepted: %s", i, s)
+		}
+	}
+}
+
+func TestPickSolver(t *testing.T) {
+	for _, algo := range []string{"avg", "avgd", "per", "fmg", "sdp", "grf", "ip"} {
+		s, err := pickSolver(algo, 1, 0.25, 0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if s == nil {
+			t.Fatalf("%s: nil solver", algo)
+		}
+	}
+	if _, err := pickSolver("bogus", 1, 0.25, 0, 0); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+}

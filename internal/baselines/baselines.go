@@ -1,0 +1,282 @@
+// Package baselines implements the comparison schemes of the paper's
+// Section 6.1: PER (personalized top-k), FMG (group recommendation with
+// fairness reweighting), SDP (subgroup-by-friendship) and GRF
+// (subgroup-by-preference), plus the prepartitioning wrapper used in the
+// SVGIC-ST experiments. All satisfy core.Solver.
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/graph"
+	"github.com/svgic/svgic/internal/stats"
+)
+
+// PER is the personalized approach: each user independently receives their
+// top-k preferred items, best item at slot 0. It ignores social utility
+// entirely (the λ=0 special case of SVGIC).
+type PER struct{}
+
+// Name implements core.Solver.
+func (PER) Name() string { return "PER" }
+
+// Solve implements core.Solver.
+func (PER) Solve(in *core.Instance) (*core.Configuration, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return core.PersonalizedConfig(in), nil
+}
+
+// FMG is the group approach: one bundled k-itemset for the whole group,
+// chosen greedily by the λ-weighted aggregate score. Fairness > 0 reweights
+// each user's preference contribution by 1/(1+Fairness·sat_u), where sat_u is
+// the preference utility the user has already accumulated — the fairness
+// consideration of the package-to-group recommender the paper compares
+// against. Fairness = 0 reduces to the plain aggregate of the paper's
+// running example.
+type FMG struct {
+	Fairness float64
+}
+
+// Name implements core.Solver.
+func (FMG) Name() string { return "FMG" }
+
+// Solve implements core.Solver.
+func (f FMG) Solve(in *core.Instance) (*core.Configuration, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := in.NumUsers()
+	users := make([]int, n)
+	for i := range users {
+		users[i] = i
+	}
+	items := selectGroupItems(in, users, in.K, f.Fairness, true)
+	conf := core.NewConfiguration(n, in.K)
+	for u := 0; u < n; u++ {
+		copy(conf.Assign[u], items)
+	}
+	return conf, nil
+}
+
+// selectGroupItems greedily picks k distinct items for the given user set by
+// descending λ-weighted aggregate score (preference over the members plus,
+// when withSocial, the within-set social weight), with optional fairness
+// reweighting. The returned order is the slot order (best first).
+func selectGroupItems(in *core.Instance, users []int, k int, fairness float64, withSocial bool) []int {
+	m := in.NumItems
+	inSet := make(map[int]struct{}, len(users))
+	for _, u := range users {
+		inSet[u] = struct{}{}
+	}
+	// Within-set social weight per item, independent of fairness.
+	social := make([]float64, m)
+	if withSocial {
+		for _, p := range in.G.Pairs() {
+			if _, ok := inSet[p[0]]; !ok {
+				continue
+			}
+			if _, ok := inSet[p[1]]; !ok {
+				continue
+			}
+			for c := 0; c < m; c++ {
+				social[c] += in.PairSocial(p[0], p[1], c)
+			}
+		}
+	}
+	sat := make(map[int]float64, len(users))
+	chosen := make([]int, 0, k)
+	used := make([]bool, m)
+	for round := 0; round < k; round++ {
+		bestC, bestScore := -1, math.Inf(-1)
+		for c := 0; c < m; c++ {
+			if used[c] {
+				continue
+			}
+			var score float64
+			for _, u := range users {
+				w := 1.0
+				if fairness > 0 {
+					w = 1 / (1 + fairness*sat[u])
+				}
+				score += w * (1 - in.Lambda) * in.Pref[u][c]
+			}
+			score += in.Lambda * social[c]
+			// Strictly-greater with an epsilon keeps ties on the smaller
+			// item id regardless of summation round-off.
+			if score > bestScore+1e-9 {
+				bestScore, bestC = score, c
+			}
+		}
+		chosen = append(chosen, bestC)
+		used[bestC] = true
+		for _, u := range users {
+			sat[u] += (1 - in.Lambda) * in.Pref[u][bestC]
+		}
+	}
+	return chosen
+}
+
+// SDP is the subgroup-by-friendship approach: partition the social network
+// into dense subgroups, then run the group selection within each subgroup.
+// Groups > 0 forces a balanced partition into that many groups
+// (Kernighan–Lin refinement); Groups = 0 uses greedy-modularity communities.
+type SDP struct {
+	Groups int
+	Seed   uint64
+}
+
+// Name implements core.Solver.
+func (SDP) Name() string { return "SDP" }
+
+// Solve implements core.Solver.
+func (s SDP) Solve(in *core.Instance) (*core.Configuration, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	var assignment []int
+	if s.Groups > 0 {
+		assignment = graph.BalancedPartition(in.G, s.Groups, stats.NewRand(s.Seed+1))
+	} else {
+		assignment = graph.GreedyModularity(in.G)
+	}
+	return solvePerSubgroup(in, graph.GroupsOf(assignment), true), nil
+}
+
+// GRF is the subgroup-by-preference approach: cluster users by preference
+// similarity (average-linkage agglomerative clustering on cosine similarity,
+// ignoring the social topology) and select each cluster's items by aggregate
+// preference only.
+type GRF struct {
+	Groups int // 0 = ceil(n/4) clusters
+}
+
+// Name implements core.Solver.
+func (GRF) Name() string { return "GRF" }
+
+// Solve implements core.Solver.
+func (g GRF) Solve(in *core.Instance) (*core.Configuration, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := in.NumUsers()
+	groups := g.Groups
+	if groups <= 0 {
+		groups = (n + 3) / 4
+	}
+	if groups > n {
+		groups = n
+	}
+	clusters := agglomerativeCosine(in.Pref, groups)
+	return solvePerSubgroup(in, clusters, false), nil
+}
+
+func solvePerSubgroup(in *core.Instance, groups [][]int, withSocial bool) *core.Configuration {
+	conf := core.NewConfiguration(in.NumUsers(), in.K)
+	for _, members := range groups {
+		items := selectGroupItems(in, members, in.K, 0, withSocial)
+		for _, u := range members {
+			copy(conf.Assign[u], items)
+		}
+	}
+	return conf
+}
+
+// agglomerativeCosine merges clusters by maximum average pairwise cosine
+// similarity until `groups` clusters remain. Deterministic; ties broken by
+// smaller cluster indices.
+func agglomerativeCosine(pref [][]float64, groups int) [][]int {
+	n := len(pref)
+	sim := make([][]float64, n)
+	norm := make([]float64, n)
+	for u := range pref {
+		var s float64
+		for _, x := range pref[u] {
+			s += x * x
+		}
+		norm[u] = math.Sqrt(s)
+	}
+	for u := 0; u < n; u++ {
+		sim[u] = make([]float64, n)
+		for v := 0; v < n; v++ {
+			if u == v || norm[u] == 0 || norm[v] == 0 {
+				continue
+			}
+			var dot float64
+			for c := range pref[u] {
+				dot += pref[u][c] * pref[v][c]
+			}
+			sim[u][v] = dot / (norm[u] * norm[v])
+		}
+	}
+	clusters := make([][]int, n)
+	for u := 0; u < n; u++ {
+		clusters[u] = []int{u}
+	}
+	avgSim := func(a, b []int) float64 {
+		var s float64
+		for _, u := range a {
+			for _, v := range b {
+				s += sim[u][v]
+			}
+		}
+		return s / float64(len(a)*len(b))
+	}
+	for len(clusters) > groups {
+		bi, bj, bs := -1, -1, math.Inf(-1)
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if s := avgSim(clusters[i], clusters[j]); s > bs {
+					bi, bj, bs = i, j, s
+				}
+			}
+		}
+		clusters[bi] = append(clusters[bi], clusters[bj]...)
+		sort.Ints(clusters[bi])
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+	}
+	return clusters
+}
+
+// Prepartitioned wraps any solver with the "-P" prepartitioning of the
+// paper's SVGIC-ST experiments: the user set is split into ⌈n/M⌉ balanced
+// groups along the social network, the inner solver runs on each induced
+// subinstance independently, and the per-group configurations are merged.
+type Prepartitioned struct {
+	Inner core.Solver
+	M     int // target maximum group size
+	Seed  uint64
+}
+
+// Name implements core.Solver.
+func (p Prepartitioned) Name() string { return p.Inner.Name() + "-P" }
+
+// Solve implements core.Solver.
+func (p Prepartitioned) Solve(in *core.Instance) (*core.Configuration, error) {
+	if p.M <= 0 {
+		return nil, fmt.Errorf("baselines: prepartition group size M=%d must be positive", p.M)
+	}
+	n := in.NumUsers()
+	numGroups := (n + p.M - 1) / p.M
+	assignment := graph.BalancedPartition(in.G, numGroups, stats.NewRand(p.Seed+7))
+	groups := graph.GroupsOf(assignment)
+	parts := make([]*core.Configuration, 0, len(groups))
+	origs := make([][]int, 0, len(groups))
+	for _, members := range groups {
+		sub, orig, err := core.SubInstance(in, members)
+		if err != nil {
+			return nil, err
+		}
+		conf, err := p.Inner.Solve(sub)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, conf)
+		origs = append(origs, orig)
+	}
+	return core.MergeConfigurations(n, in.K, parts, origs), nil
+}

@@ -1,0 +1,40 @@
+package baselines
+
+import (
+	"time"
+
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/mip"
+)
+
+// IP is the exact integer-programming baseline of the paper (Section 3.3),
+// backed by the branch-and-bound solver. Like the paper's Gurobi runs it is
+// exact when it terminates and anytime under a time limit.
+type IP struct {
+	Strategy  mip.Strategy
+	TimeLimit time.Duration
+	WarmStart bool // seed the incumbent with AVG-D
+	// Result holds the full outcome of the most recent Solve (bound, node
+	// count, status).
+	Result mip.Result
+}
+
+// Name implements core.Solver.
+func (s *IP) Name() string { return "IP" }
+
+// Solve implements core.Solver.
+func (s *IP) Solve(in *core.Instance) (*core.Configuration, error) {
+	opts := mip.Options{Strategy: s.Strategy, TimeLimit: s.TimeLimit}
+	if s.WarmStart {
+		warm, _, err := core.SolveAVGD(in, core.AVGDOptions{})
+		if err == nil {
+			opts.WarmStart = warm
+		}
+	}
+	res, err := mip.Solve(in, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.Result = res
+	return res.Config, nil
+}

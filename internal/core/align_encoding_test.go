@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/svgic/svgic/internal/graph"
+)
+
+func TestAlignSlotsConvertsIndirectToDirect(t *testing.T) {
+	// Two friends hold the same two items at swapped slots: aligning must
+	// recover the full direct social utility.
+	g := graph.New(2)
+	g.AddMutualEdge(0, 1)
+	in := NewInstance(g, 2, 2, 0.5)
+	must(in.SetTau(0, 1, 0, 0.4))
+	must(in.SetTau(1, 0, 0, 0.2))
+	must(in.SetTau(0, 1, 1, 0.3))
+	must(in.SetTau(1, 0, 1, 0.3))
+	conf := configFromRows([][]int{
+		{0, 1},
+		{1, 0},
+	})
+	const dtel = 0.5
+	gain := AlignSlots(in, conf, dtel, 0, 0)
+	if gain <= 0 {
+		t.Fatalf("alignment gained %v, want > 0", gain)
+	}
+	rep := EvaluateST(in, conf, dtel)
+	if rep.SocialIndirect != 0 {
+		t.Errorf("indirect social remains %v after alignment", rep.SocialIndirect)
+	}
+	if math.Abs(rep.Social-1.2) > 1e-12 {
+		t.Errorf("direct social = %v, want 1.2", rep.Social)
+	}
+	if err := conf.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignSlotsNeverDecreases(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		in := randomInstance(uint64(seed), 6, 8, 3, 0.5)
+		conf, _, err := SolveAVG(in, AVGOptions{Seed: uint64(seed)})
+		if err != nil {
+			return false
+		}
+		before := EvaluateST(in, conf, 0.5).Weighted()
+		gain := AlignSlots(in, conf, 0.5, 0, 0)
+		after := EvaluateST(in, conf, 0.5).Weighted()
+		if gain < -1e-9 || math.Abs((after-before)-gain) > 1e-9 {
+			return false
+		}
+		return conf.Validate(in) == nil
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignSlotsRespectsCap(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		const cap = 2
+		in := randomInstance(seed, 6, 8, 3, 0.5)
+		conf, _, err := SolveAVG(in, AVGOptions{Seed: seed, SizeCap: cap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		AlignSlots(in, conf, 0.5, 0, cap)
+		if v := conf.SizeViolations(cap); v != 0 {
+			t.Errorf("seed %d: alignment introduced %d violations", seed, v)
+		}
+	}
+}
+
+func TestAVGDTraceMatchesExampleFive(t *testing.T) {
+	// Example 5's first iteration: f = ALG + r·OPT_LP(S_fut) = 3.35 +
+	// 0.25·6.97 = 5.09 (scaled), selecting the SP camera for everyone at
+	// slot 1. Our trace records g = ALG − r·ΔLP; the paper's f follows as
+	// g + r·OPT_LP(S_cur) with OPT_LP(S_cur) the LP objective itself.
+	in := buildPaperExample(0.5)
+	f := paperTable6Factors(in)
+	var trace []TraceStep
+	conf, _ := RoundAVGD(in, f, AVGDOptions{R: DefaultR, Trace: &trace})
+	if err := conf.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	first := trace[0]
+	if first.Item != 4 || first.Slot != 0 || len(first.Users) != 4 {
+		t.Errorf("first step = %+v, want SP camera to everyone at slot 1", first)
+	}
+	// Weighted f = g + r·OPT_LP; the paper reports 2× (its λ=1/2 scaling).
+	scaledF := 2 * (first.Gain + DefaultR*f.Objective)
+	if math.Abs(scaledF-5.0917) > 5e-3 {
+		t.Errorf("reconstructed f = %.4f, want ≈ 5.09 (Example 5)", scaledF)
+	}
+	// The trace covers every display unit exactly once.
+	units := 0
+	for _, step := range trace {
+		units += len(step.Users)
+	}
+	if units != in.NumUsers()*in.K {
+		t.Errorf("trace covers %d units, want %d", units, in.NumUsers()*in.K)
+	}
+}
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	in := buildPaperExample(0.4)
+	data, err := MarshalInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalInstance(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumUsers() != 4 || back.NumItems != 5 || back.K != 3 || back.Lambda != 0.4 {
+		t.Fatalf("shape lost in round trip: %d/%d/%d/%v", back.NumUsers(), back.NumItems, back.K, back.Lambda)
+	}
+	for u := 0; u < 4; u++ {
+		for c := 0; c < 5; c++ {
+			if back.Pref[u][c] != in.Pref[u][c] {
+				t.Fatalf("p(%d,%d) lost", u, c)
+			}
+		}
+		for _, v := range in.G.Out(u) {
+			for c := 0; c < 5; c++ {
+				if back.Tau(u, v, c) != in.Tau(u, v, c) {
+					t.Fatalf("τ(%d,%d,%d) lost", u, v, c)
+				}
+			}
+		}
+	}
+	// The evaluation of any configuration is identical on both.
+	conf := configFromRows([][]int{{4, 0, 1}, {1, 0, 3}, {4, 2, 3}, {4, 0, 3}})
+	if a, b := Evaluate(in, conf).Weighted(), Evaluate(back, conf).Weighted(); math.Abs(a-b) > 1e-12 {
+		t.Errorf("objective drifted in round trip: %v vs %v", a, b)
+	}
+}
+
+func TestUnmarshalInstanceErrors(t *testing.T) {
+	bad := []string{
+		`{`,
+		`{"users": 0, "items": 1, "slots": 1, "preferences": []}`,
+		`{"users": 1, "items": 2, "slots": 1, "preferences": [[1,2],[3,4]]}`,
+		`{"users": 1, "items": 2, "slots": 1, "preferences": [[1]]}`,
+		`{"users": 2, "items": 2, "slots": 1, "preferences": [[1,0],[0,1]],
+		  "social": [{"from":0,"to":1,"tau":[1,1,1]}]}`,
+		`{"users": 2, "items": 1, "slots": 2, "preferences": [[1],[1]]}`,
+	}
+	for i, s := range bad {
+		if _, err := UnmarshalInstance([]byte(s)); err == nil {
+			t.Errorf("case %d accepted: %s", i, s)
+		}
+	}
+}
+
+func TestConfigurationJSONRoundTrip(t *testing.T) {
+	conf := configFromRows([][]int{{0, 1}, {2, 0}})
+	data, err := MarshalConfiguration(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalConfiguration(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K != 2 || back.Assign[1][0] != 2 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if _, err := UnmarshalConfiguration([]byte(`{"slots":2,"assignment":[[1]]}`)); err == nil {
+		t.Error("ragged assignment accepted")
+	}
+	if _, err := UnmarshalConfiguration([]byte(`{"slots":0,"assignment":[]}`)); err == nil {
+		t.Error("zero slots accepted")
+	}
+}
+
+func TestLocalSearchImprovesAndValid(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		in := randomInstance(seed, 8, 10, 3, 0.5)
+		conf, _, err := SolveAVG(in, AVGOptions{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := Evaluate(in, conf).Weighted()
+		gain := LocalSearch(in, conf, 0, 0)
+		after := Evaluate(in, conf).Weighted()
+		if gain < -1e-9 {
+			t.Errorf("seed %d: negative local-search gain %v", seed, gain)
+		}
+		if math.Abs((after-before)-gain) > 1e-9 {
+			t.Errorf("seed %d: reported gain %v, actual %v", seed, gain, after-before)
+		}
+		if err := conf.Validate(in); err != nil {
+			t.Fatal(err)
+		}
+		// Fixed point: a second pass yields nothing.
+		if again := LocalSearch(in, conf, 1, 0); again > 1e-9 {
+			t.Errorf("seed %d: local search not at a fixed point (%v)", seed, again)
+		}
+	}
+}
+
+func TestBestAlignmentValueHelper(t *testing.T) {
+	if v := bestAlignmentValue([][]float64{{1, 0}, {0, 1}}); v != 2 {
+		t.Errorf("bestAlignmentValue = %v", v)
+	}
+	if v := bestAlignmentValue([][]float64{{1}, {1}}); v != 0 {
+		t.Errorf("infeasible alignment value = %v", v)
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import "math"
+
+// MaxAssignment solves the rectangular assignment problem: given gain[s][c]
+// for k rows (slots) and m ≥ k columns (items), choose a distinct column per
+// row maximizing the total gain. It is the exact single-user best response
+// in SVGIC — with every other user fixed, the best reply of user u assigns
+// items to slots with gain(s,c) = aP(u,c) + Σ_{v: A(v,s)=c} aS(u,v,c) — and
+// is used by the dynamic scenario (Extension F) to admit and rebalance users.
+//
+// Implementation: Jonker–Volgenant-style shortest augmenting path on the
+// cost matrix cost = maxGain − gain, O(k²·m).
+func MaxAssignment(gain [][]float64) ([]int, float64) {
+	k := len(gain)
+	if k == 0 {
+		return nil, 0
+	}
+	m := len(gain[0])
+	if m < k {
+		return nil, math.Inf(-1)
+	}
+	// Convert to a minimization problem with non-negative costs.
+	maxG := math.Inf(-1)
+	for s := range gain {
+		for _, g := range gain[s] {
+			if g > maxG {
+				maxG = g
+			}
+		}
+	}
+	cost := make([][]float64, k)
+	for s := range cost {
+		cost[s] = make([]float64, m)
+		for c := 0; c < m; c++ {
+			cost[s][c] = maxG - gain[s][c]
+		}
+	}
+	// Potentials and matching (1-based sentinel style of the classic JV/
+	// Hungarian shortest-path formulation).
+	u := make([]float64, k+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1) // p[c] = row matched to column c (1-based), 0 = free
+	way := make([]int, m+1)
+	for i := 1; i <= k; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assign := make([]int, k)
+	var total float64
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+			total += gain[p[j]-1][j-1]
+		}
+	}
+	return assign, total
+}
+
+// BestResponse computes user u's exact welfare-optimal reassignment against
+// the rest of conf (items to slots via MaxAssignment) and applies it in
+// place, returning the improvement in the *global* weighted objective.
+//
+// The per-(slot, item) gain uses the full pair weight τ(u,v,·)+τ(v,u,·):
+// moving u in or out of a co-display changes both directions of every pair
+// involving u, while pairs between other users are untouched, so the sum of
+// these gains over u's row is exactly u's contribution to the objective and
+// the move is monotone in total welfare (unlike a selfish reply, which can
+// destroy neighbours' incoming utility). cap > 0 blocks (item, slot) units
+// whose subgroup is already full without u.
+func BestResponse(in *Instance, conf *Configuration, u int, cap int) float64 {
+	k, m := in.K, in.NumItems
+	rowGain := func(c, s int) float64 {
+		g := (1 - in.Lambda) * in.Pref[u][c]
+		for _, v := range in.G.Neighbors(u) {
+			if v != u && conf.Assign[v][s] == c {
+				g += in.Lambda * in.PairSocial(u, v, c)
+			}
+		}
+		return g
+	}
+	var before float64
+	for s, c := range conf.Assign[u] {
+		if c != Unassigned {
+			before += rowGain(c, s)
+		}
+	}
+	gain := make([][]float64, k)
+	for s := 0; s < k; s++ {
+		gain[s] = make([]float64, m)
+		var size map[int]int
+		if cap > 0 {
+			size = make(map[int]int)
+			for v := 0; v < in.NumUsers(); v++ {
+				if v != u && conf.Assign[v][s] != Unassigned {
+					size[conf.Assign[v][s]]++
+				}
+			}
+		}
+		for c := 0; c < m; c++ {
+			if cap > 0 && size[c] >= cap && conf.Assign[u][s] != c {
+				gain[s][c] = capBlocked
+				continue
+			}
+			gain[s][c] = rowGain(c, s)
+		}
+	}
+	assign, after := MaxAssignment(gain)
+	if assign == nil {
+		return 0
+	}
+	for s, c := range assign {
+		if gain[s][c] <= capBlocked/2 {
+			return 0 // no cap-feasible reply exists; keep the incumbent
+		}
+	}
+	if after <= before+1e-12 {
+		return 0 // keep the incumbent on ties and numerical noise
+	}
+	copy(conf.Assign[u], assign)
+	return after - before
+}
+
+// capBlocked is the sentinel gain of a display unit whose subgroup is full;
+// finite so the assignment arithmetic stays NaN-free, yet dominated by any
+// real utility.
+const capBlocked = -1e12

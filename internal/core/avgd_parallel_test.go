@@ -1,0 +1,49 @@
+package core
+
+import "testing"
+
+// TestAVGDParallelEquivalence: the parallel candidate evaluation must be
+// bit-identical to the serial run (entries are pure; scratches are
+// per-worker).
+func TestAVGDParallelEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		in := randomInstance(seed, 10, 40, 4, 0.5)
+		f, err := SolveRelaxation(in, LPStructured, defaultTestLP())
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, _ := RoundAVGD(in, f, AVGDOptions{R: 1})
+		parallel, _ := RoundAVGD(in, f, AVGDOptions{R: 1, Parallel: true})
+		for u := range serial.Assign {
+			for s := range serial.Assign[u] {
+				if serial.Assign[u][s] != parallel.Assign[u][s] {
+					t.Fatalf("seed %d: serial and parallel AVG-D diverge at (%d,%d)", seed, u, s)
+				}
+			}
+		}
+	}
+}
+
+func TestAVGDParallelWithCapAndWeights(t *testing.T) {
+	in := randomInstance(9, 12, 40, 4, 0.5)
+	f, err := SolveRelaxation(in, LPStructured, defaultTestLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := []float64{4, 3, 2, 1}
+	a, _ := RoundAVGD(in, f, AVGDOptions{R: 1, SizeCap: 4, SlotWeights: gamma})
+	b, _ := RoundAVGD(in, f, AVGDOptions{R: 1, SizeCap: 4, SlotWeights: gamma, Parallel: true})
+	if err := b.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if b.SizeViolations(4) != 0 {
+		t.Error("parallel run violated the cap")
+	}
+	for u := range a.Assign {
+		for s := range a.Assign[u] {
+			if a.Assign[u][s] != b.Assign[u][s] {
+				t.Fatalf("capped/weighted parallel run diverges at (%d,%d)", u, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import "fmt"
+
+// Unassigned marks an empty display unit in a partial configuration.
+const Unassigned = -1
+
+// Configuration is an SAVG k-Configuration (Definition 1): Assign[u][s] is
+// the item displayed to user u at slot s, or Unassigned while under
+// construction. A complete valid configuration shows every user exactly one
+// item per slot with no item repeated across a user's slots.
+type Configuration struct {
+	Assign [][]int
+	K      int
+}
+
+// NewConfiguration returns an all-Unassigned configuration for n users and
+// k slots.
+func NewConfiguration(n, k int) *Configuration {
+	a := make([][]int, n)
+	for u := range a {
+		row := make([]int, k)
+		for s := range row {
+			row[s] = Unassigned
+		}
+		a[u] = row
+	}
+	return &Configuration{Assign: a, K: k}
+}
+
+// Clone returns a deep copy.
+func (c *Configuration) Clone() *Configuration {
+	out := &Configuration{Assign: make([][]int, len(c.Assign)), K: c.K}
+	for u := range c.Assign {
+		row := make([]int, len(c.Assign[u]))
+		copy(row, c.Assign[u])
+		out.Assign[u] = row
+	}
+	return out
+}
+
+// NumUsers returns the number of users covered.
+func (c *Configuration) NumUsers() int { return len(c.Assign) }
+
+// Item returns the item displayed to u at slot s.
+func (c *Configuration) Item(u, s int) int { return c.Assign[u][s] }
+
+// Items returns the k items displayed to u (the paper's A(u,:)).
+func (c *Configuration) Items(u int) []int { return c.Assign[u] }
+
+// Complete reports whether every display unit is assigned.
+func (c *Configuration) Complete() bool {
+	for _, row := range c.Assign {
+		for _, it := range row {
+			if it == Unassigned {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks that the configuration is complete, in range for the
+// instance, and respects the no-duplication constraint.
+func (c *Configuration) Validate(in *Instance) error {
+	if len(c.Assign) != in.NumUsers() {
+		return fmt.Errorf("core: configuration covers %d users, instance has %d", len(c.Assign), in.NumUsers())
+	}
+	if c.K != in.K {
+		return fmt.Errorf("core: configuration has k=%d, instance k=%d", c.K, in.K)
+	}
+	for u, row := range c.Assign {
+		if len(row) != in.K {
+			return fmt.Errorf("core: user %d has %d slots, want %d", u, len(row), in.K)
+		}
+		seen := make(map[int]int, in.K)
+		for s, it := range row {
+			if it == Unassigned {
+				return fmt.Errorf("core: user %d slot %d unassigned", u, s)
+			}
+			if it < 0 || it >= in.NumItems {
+				return fmt.Errorf("core: user %d slot %d has item %d out of range [0,%d)", u, s, it, in.NumItems)
+			}
+			if prev, dup := seen[it]; dup {
+				return fmt.Errorf("core: user %d sees item %d at both slots %d and %d (no-duplication violated)", u, it, prev, s)
+			}
+			seen[it] = s
+		}
+	}
+	return nil
+}
+
+// SubgroupsAt returns the implicit partition of users at slot s keyed by the
+// displayed item (Definition 1's V^s). Unassigned units are skipped.
+func (c *Configuration) SubgroupsAt(s int) map[int][]int {
+	groups := make(map[int][]int)
+	for u, row := range c.Assign {
+		if it := row[s]; it != Unassigned {
+			groups[it] = append(groups[it], u)
+		}
+	}
+	return groups
+}
+
+// CoDisplayed reports whether users u and v are directly co-displayed item c
+// at some slot (the paper's u ↔c v).
+func (c *Configuration) CoDisplayed(u, v, item int) bool {
+	for s := 0; s < c.K; s++ {
+		if c.Assign[u][s] == item && c.Assign[v][s] == item {
+			return true
+		}
+	}
+	return false
+}
+
+// IndirectlyCoDisplayed reports whether u and v both see item c but at
+// different slots (Definition 4, u ↔c_ind v). Mutually exclusive with direct
+// co-display under the no-duplication constraint.
+func (c *Configuration) IndirectlyCoDisplayed(u, v, item int) bool {
+	su, sv := -1, -1
+	for s := 0; s < c.K; s++ {
+		if c.Assign[u][s] == item {
+			su = s
+		}
+		if c.Assign[v][s] == item {
+			sv = s
+		}
+	}
+	return su >= 0 && sv >= 0 && su != sv
+}
+
+// MaxSubgroupSize returns the largest subgroup size over all slots, i.e. the
+// quantity bounded by M in SVGIC-ST.
+func (c *Configuration) MaxSubgroupSize() int {
+	best := 0
+	for s := 0; s < c.K; s++ {
+		for _, g := range c.SubgroupsAt(s) {
+			if len(g) > best {
+				best = len(g)
+			}
+		}
+	}
+	return best
+}
+
+// SizeViolations returns the total number of users in excess of the cap M,
+// summed over every oversized subgroup of every slot — the violation count
+// reported in the paper's Figure 13.
+func (c *Configuration) SizeViolations(m int) int {
+	if m <= 0 {
+		return 0
+	}
+	var total int
+	for s := 0; s < c.K; s++ {
+		for _, g := range c.SubgroupsAt(s) {
+			if len(g) > m {
+				total += len(g) - m
+			}
+		}
+	}
+	return total
+}

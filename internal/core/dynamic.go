@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/svgic/svgic/internal/graph"
+)
+
+// DynamicSession supports the dynamic scenario of Extension F: users join
+// and leave a running SAVG configuration without re-solving the whole
+// instance. A joining user is admitted by an exact single-user best response
+// against the standing configuration (the "partial LP + CSF into existing
+// subgroups" step of the paper, realized as an assignment problem), and a
+// bounded number of best-response passes over the affected neighbourhood
+// restores local optimality after each event.
+type DynamicSession struct {
+	in   *Instance
+	conf *Configuration
+	cap  int // SVGIC-ST subgroup size bound; 0 = none
+
+	active []bool
+}
+
+// NewDynamicSession starts a session from a solved configuration.
+func NewDynamicSession(in *Instance, conf *Configuration, cap int) (*DynamicSession, error) {
+	if err := conf.Validate(in); err != nil {
+		return nil, err
+	}
+	active := make([]bool, in.NumUsers())
+	for i := range active {
+		active[i] = true
+	}
+	return &DynamicSession{in: in, conf: conf.Clone(), cap: cap, active: active}, nil
+}
+
+// Instance returns the session's current instance.
+func (ds *DynamicSession) Instance() *Instance { return ds.in }
+
+// Config returns the current configuration (live view, do not modify).
+func (ds *DynamicSession) Config() *Configuration { return ds.conf }
+
+// ActiveUsers returns the ids of users currently in the store.
+func (ds *DynamicSession) ActiveUsers() []int {
+	var out []int
+	for u, a := range ds.active {
+		if a {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Join adds a user with the given preferences and friendships
+// (friend id -> (τ outgoing per item, τ incoming per item)) and admits them
+// with an exact best response. It returns the new user's id.
+func (ds *DynamicSession) Join(pref []float64, friends map[int]struct{ Out, In []float64 }) (int, error) {
+	if len(pref) != ds.in.NumItems {
+		return 0, fmt.Errorf("core: joining user has %d preferences, want %d", len(pref), ds.in.NumItems)
+	}
+	old := ds.in
+	oldN := old.NumUsers()
+	g := graph.New(oldN + 1)
+	for u := 0; u < oldN; u++ {
+		for _, v := range old.G.Out(u) {
+			g.AddEdge(u, v)
+		}
+	}
+	nu := oldN
+	for f := range friends {
+		if f < 0 || f >= oldN {
+			return 0, fmt.Errorf("core: friend id %d out of range", f)
+		}
+		g.AddMutualEdge(nu, f)
+	}
+	in := NewInstance(g, old.NumItems, old.K, old.Lambda)
+	for u := 0; u < oldN; u++ {
+		copy(in.Pref[u], old.Pref[u])
+		for _, v := range old.G.Out(u) {
+			for c := 0; c < old.NumItems; c++ {
+				if t := old.Tau(u, v, c); t != 0 {
+					must(in.SetTau(u, v, c, t))
+				}
+			}
+		}
+	}
+	copy(in.Pref[nu], pref)
+	for f, tv := range friends {
+		for c := 0; c < in.NumItems; c++ {
+			if tv.Out != nil && tv.Out[c] != 0 {
+				must(in.SetTau(nu, f, c, tv.Out[c]))
+			}
+			if tv.In != nil && tv.In[c] != 0 {
+				must(in.SetTau(f, nu, c, tv.In[c]))
+			}
+		}
+	}
+	conf := NewConfiguration(oldN+1, in.K)
+	for u := 0; u < oldN; u++ {
+		copy(conf.Assign[u], ds.conf.Assign[u])
+	}
+	ds.in = in
+	ds.conf = conf
+	ds.active = append(ds.active, true)
+	// Admit: fill the newcomer's slots greedily, then take the exact best
+	// response, then let the direct friends react once.
+	aP, aS := in.PrefCoef(nil), in.PairCoef(nil)
+	counts := ds.countsFor()
+	completeGreedy(in, conf, aP, aS, ds.cap, counts)
+	BestResponse(in, conf, nu, ds.cap)
+	for f := range friends {
+		BestResponse(in, conf, f, ds.cap)
+	}
+	return nu, nil
+}
+
+// Leave removes a user from the session: their row keeps its items (they are
+// gone from the store, so it no longer matters) but they stop contributing
+// utility, and their former friends rebalance with one best-response pass.
+func (ds *DynamicSession) Leave(u int) error {
+	if u < 0 || u >= len(ds.active) || !ds.active[u] {
+		return fmt.Errorf("core: user %d is not active", u)
+	}
+	ds.active[u] = false
+	friends := append([]int(nil), ds.in.G.Neighbors(u)...)
+	// Zero the departed user's utilities so evaluation and best responses
+	// ignore them.
+	for c := 0; c < ds.in.NumItems; c++ {
+		ds.in.Pref[u][c] = 0
+	}
+	for _, v := range friends {
+		for c := 0; c < ds.in.NumItems; c++ {
+			if ds.in.G.HasEdge(u, v) {
+				must(ds.in.SetTau(u, v, c, 0))
+			}
+			if ds.in.G.HasEdge(v, u) {
+				must(ds.in.SetTau(v, u, c, 0))
+			}
+		}
+	}
+	for _, v := range friends {
+		if ds.active[v] {
+			BestResponse(ds.in, ds.conf, v, ds.cap)
+		}
+	}
+	return nil
+}
+
+// Rebalance runs best-response passes over all active users until no user
+// improves or maxPasses is reached, returning the total improvement. This is
+// the local-search step of Extension F.
+func (ds *DynamicSession) Rebalance(maxPasses int) float64 {
+	var total float64
+	for pass := 0; pass < maxPasses; pass++ {
+		var improved float64
+		for u, a := range ds.active {
+			if a {
+				improved += BestResponse(ds.in, ds.conf, u, ds.cap)
+			}
+		}
+		total += improved
+		if improved <= 1e-12 {
+			break
+		}
+	}
+	return total
+}
+
+// Value returns the current weighted SVGIC objective over active users.
+func (ds *DynamicSession) Value() float64 {
+	return Evaluate(ds.in, ds.conf).Weighted()
+}
+
+func (ds *DynamicSession) countsFor() []int {
+	if ds.cap <= 0 {
+		return nil
+	}
+	k := ds.in.K
+	counts := make([]int, ds.in.NumItems*k)
+	for u := range ds.conf.Assign {
+		for s, it := range ds.conf.Assign[u] {
+			if it != Unassigned {
+				counts[it*k+s]++
+			}
+		}
+	}
+	return counts
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/svgic/svgic/internal/graph"
+)
+
+// JSON interchange format for instances and configurations, shared by the
+// svgic CLI, the datagen tool and library users persisting problems.
+//
+//	{
+//	  "users": 4, "items": 5, "slots": 3, "lambda": 0.5,
+//	  "social": [{"from": 0, "to": 1, "tau": [0.2, ...]}, ...],
+//	  "edges":  [{"from": 2, "to": 3}],        // edges with all-zero τ
+//	  "preferences": [[0.8, ...], ...]
+//	}
+
+// EdgeJSON is one directed edge with optional per-item social utilities.
+type EdgeJSON struct {
+	From int       `json:"from"`
+	To   int       `json:"to"`
+	Tau  []float64 `json:"tau,omitempty"`
+}
+
+// InstanceJSON is the interchange form of an Instance.
+type InstanceJSON struct {
+	Users       int         `json:"users"`
+	Items       int         `json:"items"`
+	Slots       int         `json:"slots"`
+	Lambda      float64     `json:"lambda"`
+	Edges       []EdgeJSON  `json:"edges,omitempty"`
+	Social      []EdgeJSON  `json:"social,omitempty"`
+	Preferences [][]float64 `json:"preferences"`
+}
+
+// MarshalInstance encodes an instance as indented JSON.
+func MarshalInstance(in *Instance) ([]byte, error) {
+	ij := InstanceJSON{
+		Users:       in.NumUsers(),
+		Items:       in.NumItems,
+		Slots:       in.K,
+		Lambda:      in.Lambda,
+		Preferences: in.Pref,
+	}
+	for _, e := range in.G.Edges() {
+		u, v := e[0], e[1]
+		tau := make([]float64, in.NumItems)
+		any := false
+		for c := 0; c < in.NumItems; c++ {
+			tau[c] = in.Tau(u, v, c)
+			if tau[c] != 0 {
+				any = true
+			}
+		}
+		if any {
+			ij.Social = append(ij.Social, EdgeJSON{From: u, To: v, Tau: tau})
+		} else {
+			ij.Edges = append(ij.Edges, EdgeJSON{From: u, To: v})
+		}
+	}
+	return json.MarshalIndent(ij, "", "  ")
+}
+
+// UnmarshalInstance decodes an instance from its JSON interchange form,
+// validating it.
+func UnmarshalInstance(data []byte) (*Instance, error) {
+	var ij InstanceJSON
+	if err := json.Unmarshal(data, &ij); err != nil {
+		return nil, fmt.Errorf("core: decoding instance: %w", err)
+	}
+	return InstanceFromJSON(&ij)
+}
+
+// InstanceFromJSON builds a validated instance from the interchange struct.
+func InstanceFromJSON(ij *InstanceJSON) (*Instance, error) {
+	if ij.Users <= 0 || ij.Items <= 0 || ij.Slots <= 0 {
+		return nil, fmt.Errorf("core: users/items/slots must be positive (got %d/%d/%d)",
+			ij.Users, ij.Items, ij.Slots)
+	}
+	g := graph.New(ij.Users)
+	for _, e := range ij.Edges {
+		g.AddEdge(e.From, e.To)
+	}
+	for _, e := range ij.Social {
+		g.AddEdge(e.From, e.To)
+	}
+	in := NewInstance(g, ij.Items, ij.Slots, ij.Lambda)
+	if len(ij.Preferences) != ij.Users {
+		return nil, fmt.Errorf("core: preferences rows = %d, want %d", len(ij.Preferences), ij.Users)
+	}
+	for u, row := range ij.Preferences {
+		if len(row) != ij.Items {
+			return nil, fmt.Errorf("core: preferences[%d] has %d items, want %d", u, len(row), ij.Items)
+		}
+		copy(in.Pref[u], row)
+	}
+	for _, e := range ij.Social {
+		if len(e.Tau) > ij.Items {
+			return nil, fmt.Errorf("core: social τ for (%d,%d) has %d items, want ≤ %d",
+				e.From, e.To, len(e.Tau), ij.Items)
+		}
+		for c, t := range e.Tau {
+			if t == 0 {
+				continue
+			}
+			if err := in.SetTau(e.From, e.To, c, t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// ConfigurationJSON is the interchange form of a configuration.
+type ConfigurationJSON struct {
+	Slots      int     `json:"slots"`
+	Assignment [][]int `json:"assignment"`
+}
+
+// MarshalConfiguration encodes a configuration as indented JSON.
+func MarshalConfiguration(conf *Configuration) ([]byte, error) {
+	return json.MarshalIndent(ConfigurationJSON{Slots: conf.K, Assignment: conf.Assign}, "", "  ")
+}
+
+// UnmarshalConfiguration decodes a configuration (structure only; validate
+// against an instance with Configuration.Validate).
+func UnmarshalConfiguration(data []byte) (*Configuration, error) {
+	var cj ConfigurationJSON
+	if err := json.Unmarshal(data, &cj); err != nil {
+		return nil, fmt.Errorf("core: decoding configuration: %w", err)
+	}
+	if cj.Slots <= 0 {
+		return nil, fmt.Errorf("core: configuration slots = %d", cj.Slots)
+	}
+	for u, row := range cj.Assignment {
+		if len(row) != cj.Slots {
+			return nil, fmt.Errorf("core: assignment row %d has %d slots, want %d", u, len(row), cj.Slots)
+		}
+	}
+	return &Configuration{Assign: cj.Assignment, K: cj.Slots}, nil
+}

@@ -1,0 +1,187 @@
+package core
+
+// Evaluation of SAVG k-Configurations under Definition 3 (SVGIC) and
+// Definition 5 (SVGIC-ST with indirect co-display).
+
+// Report decomposes the value of a configuration.
+//
+// Preference and Social are the raw (unweighted) utility sums; Weighted is
+// the paper's objective Σ_u Σ_c w_A(u,c) = (1−λ)·Preference + λ·Social.
+// The paper's worked examples report 2×Weighted at λ=1/2, which equals
+// Preference + Social — use Scaled for those comparisons.
+type Report struct {
+	Preference     float64 // Σ_u Σ_{c∈A(u,·)} p(u,c)
+	Social         float64 // Σ direct co-display τ over ordered friend pairs
+	SocialIndirect float64 // Σ indirect co-display τ (SVGIC-ST only)
+	Lambda         float64
+	DTel           float64 // teleportation discount used (0 for plain SVGIC)
+}
+
+// Weighted returns the SVGIC objective (1−λ)·Preference + λ·(Social + d_tel·SocialIndirect).
+func (r Report) Weighted() float64 {
+	return (1-r.Lambda)*r.Preference + r.Lambda*(r.Social+r.DTel*r.SocialIndirect)
+}
+
+// Scaled returns 2×Weighted, the scaling used by the paper's running example
+// (λ=1/2 makes it Preference + Social).
+func (r Report) Scaled() float64 { return 2 * r.Weighted() }
+
+// PreferencePct returns the preference share of the weighted objective.
+func (r Report) PreferencePct() float64 {
+	t := r.Weighted()
+	if t == 0 {
+		return 0
+	}
+	return (1 - r.Lambda) * r.Preference / t
+}
+
+// SocialPct returns the social share of the weighted objective.
+func (r Report) SocialPct() float64 {
+	t := r.Weighted()
+	if t == 0 {
+		return 0
+	}
+	return r.Lambda * (r.Social + r.DTel*r.SocialIndirect) / t
+}
+
+// Evaluate scores a configuration under plain SVGIC (direct co-display only).
+// Partial configurations are scored over their assigned units.
+func Evaluate(in *Instance, conf *Configuration) Report {
+	return EvaluateST(in, conf, 0)
+}
+
+// EvaluateST scores a configuration under SVGIC-ST semantics: direct
+// co-display pays τ in full and indirect co-display (same item, different
+// slots) pays d_tel·τ (Definition 5). dtel=0 reduces to plain SVGIC.
+func EvaluateST(in *Instance, conf *Configuration, dtel float64) Report {
+	rep := Report{Lambda: in.Lambda, DTel: dtel}
+	n := in.NumUsers()
+	for u := 0; u < n; u++ {
+		for _, it := range conf.Assign[u] {
+			if it != Unassigned {
+				rep.Preference += in.Pref[u][it]
+			}
+		}
+	}
+	// Social terms per social pair; each direction contributes its own τ.
+	for _, p := range in.G.Pairs() {
+		u, v := p[0], p[1]
+		// Direct: same item at the same slot.
+		for s := 0; s < conf.K; s++ {
+			cu := conf.Assign[u][s]
+			if cu != Unassigned && cu == conf.Assign[v][s] {
+				rep.Social += in.PairSocial(u, v, cu)
+			}
+		}
+		if dtel > 0 {
+			// Indirect: same item at different slots. Items are unique per
+			// user, so scanning u's items suffices.
+			for su := 0; su < conf.K; su++ {
+				cu := conf.Assign[u][su]
+				if cu == Unassigned {
+					continue
+				}
+				for sv := 0; sv < conf.K; sv++ {
+					if sv == su {
+						continue
+					}
+					if conf.Assign[v][sv] == cu {
+						rep.SocialIndirect += in.PairSocial(u, v, cu)
+					}
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// UserUtility returns user u's own SAVG utility Σ_{c∈A(u,·)} w_A(u,c) under
+// Definition 3 (direct co-display, weighted by λ). It is the numerator of the
+// happiness ratio in the paper's regret metric.
+func UserUtility(in *Instance, conf *Configuration, u int) float64 {
+	var pref, soc float64
+	for s, it := range conf.Assign[u] {
+		if it == Unassigned {
+			continue
+		}
+		pref += in.Pref[u][it]
+		for _, v := range in.G.Neighbors(u) {
+			if conf.Assign[v][s] == it {
+				soc += in.Tau(u, v, it)
+			}
+		}
+	}
+	return (1-in.Lambda)*pref + in.Lambda*soc
+}
+
+// UserUtilityUpperBound returns the denominator of the happiness ratio: the
+// best k items under the optimistic utility
+// w̄(u,c) = (1−λ)p(u,c) + λ·Σ_{v:(u,v)∈E} τ(u,v,c), i.e. u's utility if the
+// entire configuration were dictated in u's favour.
+func UserUtilityUpperBound(in *Instance, u int) float64 {
+	scores := make([]float64, in.NumItems)
+	for c := 0; c < in.NumItems; c++ {
+		w := (1 - in.Lambda) * in.Pref[u][c]
+		for _, v := range in.G.Out(u) {
+			w += in.Lambda * in.Tau(u, v, c)
+		}
+		scores[c] = w
+	}
+	return sumTopK(scores, in.K)
+}
+
+// RegretRatios returns reg(u) = 1 − hap(u) for every user (paper §6.5);
+// users with a zero upper bound have zero regret.
+func RegretRatios(in *Instance, conf *Configuration) []float64 {
+	n := in.NumUsers()
+	out := make([]float64, n)
+	for u := 0; u < n; u++ {
+		ub := UserUtilityUpperBound(in, u)
+		if ub <= 0 {
+			continue
+		}
+		r := 1 - UserUtility(in, conf, u)/ub
+		if r < 0 {
+			r = 0
+		}
+		if r > 1 {
+			r = 1
+		}
+		out[u] = r
+	}
+	return out
+}
+
+// sumTopK returns the sum of the k largest values (k ≥ len returns the total).
+func sumTopK(xs []float64, k int) float64 {
+	if k >= len(xs) {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	// Partial selection via a small insertion buffer: k is the slot count,
+	// typically tiny relative to m.
+	top := make([]float64, 0, k)
+	for _, x := range xs {
+		if len(top) < k {
+			top = append(top, x)
+			for i := len(top) - 1; i > 0 && top[i] > top[i-1]; i-- {
+				top[i], top[i-1] = top[i-1], top[i]
+			}
+			continue
+		}
+		if x > top[k-1] {
+			top[k-1] = x
+			for i := k - 1; i > 0 && top[i] > top[i-1]; i-- {
+				top[i], top[i-1] = top[i-1], top[i]
+			}
+		}
+	}
+	var s float64
+	for _, x := range top {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/svgic/svgic/internal/graph"
+)
+
+func TestConfigurationValidate(t *testing.T) {
+	in := buildPaperExample(0.5)
+	conf := NewConfiguration(4, 3)
+	if err := conf.Validate(in); err == nil {
+		t.Error("unassigned configuration validated")
+	}
+	conf = configFromRows([][]int{
+		{0, 1, 2}, {0, 1, 2}, {0, 1, 2}, {0, 1, 2},
+	})
+	if err := conf.Validate(in); err != nil {
+		t.Errorf("valid configuration rejected: %v", err)
+	}
+	dup := configFromRows([][]int{
+		{0, 0, 2}, {0, 1, 2}, {0, 1, 2}, {0, 1, 2},
+	})
+	if err := dup.Validate(in); err == nil {
+		t.Error("duplicate item accepted")
+	}
+	oob := configFromRows([][]int{
+		{0, 1, 9}, {0, 1, 2}, {0, 1, 2}, {0, 1, 2},
+	})
+	if err := oob.Validate(in); err == nil {
+		t.Error("out-of-range item accepted")
+	}
+	short := NewConfiguration(3, 3)
+	if err := short.Validate(in); err == nil {
+		t.Error("wrong user count accepted")
+	}
+}
+
+func TestSubgroupsAtAndCoDisplay(t *testing.T) {
+	conf := configFromRows([][]int{
+		{0, 1},
+		{0, 2},
+		{1, 3},
+	})
+	groups := conf.SubgroupsAt(0)
+	if len(groups[0]) != 2 || len(groups[1]) != 1 {
+		t.Errorf("groups at slot 0 = %v", groups)
+	}
+	if !conf.CoDisplayed(0, 1, 0) {
+		t.Error("users 0,1 share item 0 at slot 0")
+	}
+	if conf.CoDisplayed(0, 2, 1) {
+		t.Error("user 0 sees item 1 at slot 1, user 2 at slot 0: not direct co-display")
+	}
+	if !conf.IndirectlyCoDisplayed(0, 2, 1) {
+		t.Error("users 0,2 both see item 1 at different slots")
+	}
+	if conf.IndirectlyCoDisplayed(0, 2, 0) {
+		t.Error("user 2 never sees item 0")
+	}
+	if conf.MaxSubgroupSize() != 2 {
+		t.Errorf("max subgroup size = %d", conf.MaxSubgroupSize())
+	}
+	if conf.SizeViolations(1) != 1 { // one subgroup of size 2 at cap 1
+		t.Errorf("violations at cap 1 = %d, want 1", conf.SizeViolations(1))
+	}
+	if conf.SizeViolations(0) != 0 {
+		t.Error("cap 0 must disable violation counting")
+	}
+}
+
+func TestEvaluateSTIndirect(t *testing.T) {
+	// Two friends, two items, two slots; they see the same items at swapped
+	// slots: all social utility is indirect.
+	g := graph.New(2)
+	g.AddMutualEdge(0, 1)
+	in := NewInstance(g, 2, 2, 0.5)
+	must(in.SetTau(0, 1, 0, 0.4))
+	must(in.SetTau(1, 0, 0, 0.2))
+	conf := configFromRows([][]int{
+		{0, 1},
+		{1, 0},
+	})
+	plain := Evaluate(in, conf)
+	if plain.Social != 0 {
+		t.Errorf("direct social = %v, want 0", plain.Social)
+	}
+	st := EvaluateST(in, conf, 0.5)
+	if math.Abs(st.SocialIndirect-0.6) > 1e-12 {
+		t.Errorf("indirect social = %v, want 0.6", st.SocialIndirect)
+	}
+	if math.Abs(st.Weighted()-0.5*0.5*0.6) > 1e-12 {
+		t.Errorf("weighted = %v, want λ·d_tel·τ = 0.15", st.Weighted())
+	}
+	// Aligning the slots turns it into direct co-display worth more.
+	aligned := configFromRows([][]int{
+		{0, 1},
+		{0, 1},
+	})
+	stA := EvaluateST(in, aligned, 0.5)
+	if math.Abs(stA.Social-0.6) > 1e-12 || stA.SocialIndirect != 0 {
+		t.Errorf("aligned: direct %v indirect %v", stA.Social, stA.SocialIndirect)
+	}
+	if stA.Weighted() <= st.Weighted() {
+		t.Error("direct co-display should dominate indirect")
+	}
+}
+
+func TestDirectAndIndirectMutuallyExclusive(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		in := randomInstance(uint64(seed), 5, 6, 3, 0.5)
+		conf, _, err := SolveAVG(in, AVGOptions{Seed: uint64(seed)})
+		if err != nil {
+			return false
+		}
+		for _, p := range in.G.Pairs() {
+			for c := 0; c < in.NumItems; c++ {
+				if conf.CoDisplayed(p[0], p[1], c) && conf.IndirectlyCoDisplayed(p[0], p[1], c) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReportShares(t *testing.T) {
+	rep := Report{Preference: 10, Social: 5, Lambda: 0.4}
+	if math.Abs(rep.Weighted()-(0.6*10+0.4*5)) > 1e-12 {
+		t.Errorf("Weighted = %v", rep.Weighted())
+	}
+	if math.Abs(rep.PreferencePct()+rep.SocialPct()-1) > 1e-12 {
+		t.Errorf("shares sum to %v", rep.PreferencePct()+rep.SocialPct())
+	}
+	var zero Report
+	if zero.PreferencePct() != 0 || zero.SocialPct() != 0 {
+		t.Error("zero report shares not zero")
+	}
+}
+
+func TestRegretRatiosBounds(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		in := randomInstance(uint64(seed), 5, 7, 2, 0.5)
+		conf, _, err := SolveAVGD(in, AVGDOptions{})
+		if err != nil {
+			return false
+		}
+		for _, r := range RegretRatios(in, conf) {
+			if r < 0 || r > 1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegretZeroWhenDictated(t *testing.T) {
+	// A lone user always achieves their personal upper bound with top-k.
+	g := graph.Empty(1)
+	in := NewInstance(g, 5, 2, 0.3)
+	for c := 0; c < 5; c++ {
+		in.SetPref(0, c, float64(c))
+	}
+	conf := PersonalizedConfig(in)
+	if r := RegretRatios(in, conf)[0]; r != 0 {
+		t.Errorf("lone user's regret = %v, want 0", r)
+	}
+}
+
+func TestSubgroupMetricsHandComputed(t *testing.T) {
+	// 4 users on a path 0-1-2-3; one slot; {0,1} see item A, {2,3} see B.
+	g := graph.New(4)
+	g.AddMutualEdge(0, 1)
+	g.AddMutualEdge(1, 2)
+	g.AddMutualEdge(2, 3)
+	in := NewInstance(g, 2, 1, 0.5)
+	conf := configFromRows([][]int{{0}, {0}, {1}, {1}})
+	m := ComputeSubgroupMetrics(in, conf)
+	if math.Abs(m.IntraPct-2.0/3) > 1e-12 {
+		t.Errorf("IntraPct = %v, want 2/3", m.IntraPct)
+	}
+	if math.Abs(m.InterPct-1.0/3) > 1e-12 {
+		t.Errorf("InterPct = %v, want 1/3", m.InterPct)
+	}
+	if math.Abs(m.CoDisplayPct-2.0/3) > 1e-12 {
+		t.Errorf("CoDisplayPct = %v, want 2/3", m.CoDisplayPct)
+	}
+	if m.AlonePct != 0 {
+		t.Errorf("AlonePct = %v, want 0", m.AlonePct)
+	}
+	// Subgroup density: each pair-group has density 1; network density = 1/2.
+	if math.Abs(m.NormalizedDensity-2) > 1e-12 {
+		t.Errorf("NormalizedDensity = %v, want 2", m.NormalizedDensity)
+	}
+	if m.MeanSubgroupSize != 2 {
+		t.Errorf("MeanSubgroupSize = %v, want 2", m.MeanSubgroupSize)
+	}
+}
+
+func TestSubgroupEditDistance(t *testing.T) {
+	g := graph.New(3)
+	g.AddMutualEdge(0, 1)
+	g.AddMutualEdge(1, 2)
+	in := NewInstance(g, 4, 2, 0.5)
+	// Slot 0: {0,1} together; slot 1: {1,2} together. Both pairs flip.
+	conf := configFromRows([][]int{
+		{0, 1},
+		{0, 2},
+		{1, 2},
+	})
+	if d := SubgroupEditDistance(in, conf); d != 2 {
+		t.Errorf("edit distance = %d, want 2", d)
+	}
+	// A stable configuration has distance 0.
+	stable := configFromRows([][]int{
+		{0, 1},
+		{0, 1},
+		{2, 3},
+	})
+	if d := SubgroupEditDistance(in, stable); d != 0 {
+		t.Errorf("stable edit distance = %d", d)
+	}
+}
+
+func TestUserUtilityMatchesEvaluate(t *testing.T) {
+	// Summing per-user utilities equals the weighted total (Definition 3
+	// splits the same objective by user).
+	err := quick.Check(func(seed uint16) bool {
+		in := randomInstance(uint64(seed), 6, 7, 2, 0.4)
+		conf, _, err := SolveAVGD(in, AVGDOptions{})
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for u := 0; u < in.NumUsers(); u++ {
+			sum += UserUtility(in, conf, u)
+		}
+		return math.Abs(sum-Evaluate(in, conf).Weighted()) < 1e-9
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumTopK(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := sumTopK(xs, 2); got != 9 {
+		t.Errorf("sumTopK(2) = %v, want 9", got)
+	}
+	if got := sumTopK(xs, 99); got != 14 {
+		t.Errorf("sumTopK(all) = %v, want 14", got)
+	}
+	if got := sumTopK(nil, 3); got != 0 {
+		t.Errorf("sumTopK(nil) = %v", got)
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	g := graph.Empty(2)
+	in := NewInstance(g, 2, 3, 0.5) // k > m
+	if err := in.Validate(); err == nil {
+		t.Error("k > m accepted")
+	}
+	in = NewInstance(g, 3, 2, 1.5)
+	if err := in.Validate(); err == nil {
+		t.Error("λ > 1 accepted")
+	}
+	in = NewInstance(g, 3, 2, 0.5)
+	in.SetPref(0, 0, -1)
+	if err := in.Validate(); err == nil {
+		t.Error("negative preference accepted")
+	}
+	in = NewInstance(g, 3, 0, 0.5)
+	if err := in.Validate(); err == nil {
+		t.Error("k = 0 accepted")
+	}
+}
+
+func TestSetTauRequiresEdge(t *testing.T) {
+	g := graph.Empty(2)
+	in := NewInstance(g, 2, 1, 0.5)
+	if err := in.SetTau(0, 1, 0, 0.5); err == nil {
+		t.Error("τ on a non-edge accepted")
+	}
+	if got := in.Tau(0, 1, 0); got != 0 {
+		t.Errorf("Tau on non-edge = %v", got)
+	}
+}
+
+func TestPairSocialCountsBothDirections(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1) // one direction only
+	in := NewInstance(g, 1, 1, 0.5)
+	must(in.SetTau(0, 1, 0, 0.3))
+	if got := in.PairSocial(0, 1, 0); got != 0.3 {
+		t.Errorf("one-directional PairSocial = %v, want 0.3", got)
+	}
+	g2 := graph.New(2)
+	g2.AddMutualEdge(0, 1)
+	in2 := NewInstance(g2, 1, 1, 0.5)
+	must(in2.SetTau(0, 1, 0, 0.3))
+	must(in2.SetTau(1, 0, 0, 0.2))
+	if got := in2.PairSocial(1, 0, 0); got != 0.5 {
+		t.Errorf("mutual PairSocial = %v, want 0.5", got)
+	}
+}

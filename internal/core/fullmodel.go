@@ -1,0 +1,120 @@
+package core
+
+import "github.com/svgic/svgic/internal/lp"
+
+// FullModel is the explicit per-slot LP/IP model of SVGIC from Section 3.3 of
+// the paper, with the aggregate variables x_u^c and y_e^c substituted out:
+//
+//	maximize  Σ_{u,c,s} aP[u][c]·x[u][c][s] + Σ_{e,c,s} aS[e][c]·y[e][c][s]
+//	s.t.      Σ_c x[u][c][s] = 1            ∀u,s   (one item per slot)
+//	          Σ_s x[u][c][s] ≤ 1            ∀u,c   (no duplication)
+//	          y[e][c][s] ≤ x[u][c][s]       ∀e=(u,v),c,s
+//	          y[e][c][s] ≤ x[v][c][s]       ∀e=(u,v),c,s
+//	          x, y ≥ 0 (binary x in the IP; y is automatically integral)
+//
+// Its LP relaxation is exactly LP_SVGIC; with integral x it is the paper's IP.
+// The MIP branch-and-bound solver branches on the x variables only.
+type FullModel struct {
+	P        *lp.Problem
+	NumUsers int
+	NumItems int
+	K        int
+	numX     int
+}
+
+// XVar returns the column index of x[u][c][s].
+func (fm *FullModel) XVar(u, c, s int) int {
+	return (u*fm.NumItems+c)*fm.K + s
+}
+
+// YVar returns the column index of y[e][c][s].
+func (fm *FullModel) YVar(e, c, s int) int {
+	return fm.numX + (e*fm.NumItems+c)*fm.K + s
+}
+
+// NumXVars returns the number of x variables (the binary block in the IP).
+func (fm *FullModel) NumXVars() int { return fm.numX }
+
+// BuildFullModel materializes the per-slot model for the instance, using the
+// λ-weighted coefficients. Intended for small instances: the variable count
+// is (n + |pairs|)·m·k.
+func BuildFullModel(in *Instance) *FullModel {
+	n, m, k := in.NumUsers(), in.NumItems, in.K
+	pairs := in.G.Pairs()
+	fm := &FullModel{NumUsers: n, NumItems: m, K: k, numX: n * m * k}
+	numY := len(pairs) * m * k
+	p := lp.NewProblem(fm.numX + numY)
+	fm.P = p
+
+	aP := in.PrefCoef(nil)
+	aS := in.PairCoef(nil)
+	for u := 0; u < n; u++ {
+		for c := 0; c < m; c++ {
+			for s := 0; s < k; s++ {
+				p.SetObj(fm.XVar(u, c, s), aP[u][c])
+			}
+		}
+	}
+	for e := range pairs {
+		for c := 0; c < m; c++ {
+			for s := 0; s < k; s++ {
+				p.SetObj(fm.YVar(e, c, s), aS[e][c])
+			}
+		}
+	}
+	// One item per (user, slot).
+	for u := 0; u < n; u++ {
+		for s := 0; s < k; s++ {
+			idx := make([]int, m)
+			coef := make([]float64, m)
+			for c := 0; c < m; c++ {
+				idx[c] = fm.XVar(u, c, s)
+				coef[c] = 1
+			}
+			p.MustAddConstraint(idx, coef, lp.EQ, 1)
+		}
+	}
+	// No duplication per (user, item).
+	for u := 0; u < n; u++ {
+		for c := 0; c < m; c++ {
+			idx := make([]int, k)
+			coef := make([]float64, k)
+			for s := 0; s < k; s++ {
+				idx[s] = fm.XVar(u, c, s)
+				coef[s] = 1
+			}
+			p.MustAddConstraint(idx, coef, lp.LE, 1)
+		}
+	}
+	// Co-display linking.
+	for e, pr := range pairs {
+		for c := 0; c < m; c++ {
+			for s := 0; s < k; s++ {
+				y := fm.YVar(e, c, s)
+				p.MustAddConstraint([]int{y, fm.XVar(pr[0], c, s)}, []float64{1, -1}, lp.LE, 0)
+				p.MustAddConstraint([]int{y, fm.XVar(pr[1], c, s)}, []float64{1, -1}, lp.LE, 0)
+			}
+		}
+	}
+	return fm
+}
+
+// ConfigurationFromX decodes a 0/1 x-vector of the full model into a
+// Configuration (the item with the largest x per (user, slot), which for an
+// integral solution is the assigned item).
+func (fm *FullModel) ConfigurationFromX(x []float64) *Configuration {
+	conf := NewConfiguration(fm.NumUsers, fm.K)
+	for u := 0; u < fm.NumUsers; u++ {
+		for s := 0; s < fm.K; s++ {
+			best, bestV := Unassigned, 0.0
+			for c := 0; c < fm.NumItems; c++ {
+				if v := x[fm.XVar(u, c, s)]; v > bestV {
+					bestV = v
+					best = c
+				}
+			}
+			conf.Assign[u][s] = best
+		}
+	}
+	return conf
+}

@@ -1,0 +1,101 @@
+package core
+
+import "sort"
+
+// Greedy helpers: the exact solution of the λ=0 special case and the
+// marginal-gain completion pass that guards AVG/AVG-D against numerically
+// degenerate fractional solutions and against dead ends introduced by the
+// SVGIC-ST size cap.
+
+// PersonalizedConfig assigns every user their top-k preferred items, best
+// item at slot 0 (ties broken by smaller item id). For λ=0 this is an exact
+// optimum of SVGIC (the paper's "personalized approach" special case).
+func PersonalizedConfig(in *Instance) *Configuration {
+	n := in.NumUsers()
+	conf := NewConfiguration(n, in.K)
+	for u := 0; u < n; u++ {
+		top := TopKByScore(in.Pref[u], in.K)
+		copy(conf.Assign[u], top)
+	}
+	return conf
+}
+
+// TopKByScore returns the indices of the k largest scores in descending
+// score order, ties broken by ascending index.
+func TopKByScore(scores []float64, k int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// completeGreedy fills every unassigned display unit with the feasible item
+// of the largest marginal λ-weighted gain given the current partial
+// configuration. cap > 0 enforces the SVGIC-ST subgroup size limit using
+// counts[c*k+s]; counts is updated in place. It returns the number of units
+// it filled.
+func completeGreedy(in *Instance, conf *Configuration, aP, aS [][]float64, cap int, counts []int) int {
+	n, m, k := in.NumUsers(), in.NumItems, in.K
+	filled := 0
+	hasItem := make([]map[int]struct{}, n)
+	for u := 0; u < n; u++ {
+		hasItem[u] = make(map[int]struct{}, k)
+		for _, it := range conf.Assign[u] {
+			if it != Unassigned {
+				hasItem[u][it] = struct{}{}
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		for s := 0; s < k; s++ {
+			if conf.Assign[u][s] != Unassigned {
+				continue
+			}
+			bestItem, bestGain := -1, -1.0
+			for c := 0; c < m; c++ {
+				if _, dup := hasItem[u][c]; dup {
+					continue
+				}
+				if cap > 0 && counts != nil && counts[c*k+s] >= cap {
+					continue
+				}
+				gain := aP[u][c]
+				for _, e := range in.G.IncidentPairs(u) {
+					a, b := in.G.PairAt(e)
+					v := a
+					if v == u {
+						v = b
+					}
+					if conf.Assign[v][s] == c {
+						gain += aS[e][c]
+					}
+				}
+				if gain > bestGain {
+					bestGain, bestItem = gain, c
+				}
+			}
+			if bestItem < 0 {
+				// Every feasible item is at capacity for this slot; only
+				// possible when n > m·cap, which Validate/STOptions reject.
+				continue
+			}
+			conf.Assign[u][s] = bestItem
+			hasItem[u][bestItem] = struct{}{}
+			if counts != nil {
+				counts[bestItem*k+s]++
+			}
+			filled++
+		}
+	}
+	return filled
+}

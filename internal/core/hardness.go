@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/svgic/svgic/internal/graph"
+)
+
+// Constructions from the paper's theory sections, used as test fixtures and
+// benchmark workloads: the Theorem 1 gap instances separating SVGIC from the
+// personalized and group special cases, the MAX-E3SAT gap reduction of
+// Lemma 2, and the Max-K3P reduction establishing APX-hardness.
+
+// TheoremOneGroupGap builds the instance I_G of Theorem 1: n users with
+// disjoint preferred k-item sets and no social edges, so the group approach
+// (one shared configuration) achieves only a 1/n fraction of the optimum.
+// It returns the instance, its optimum and the group-approach optimum.
+func TheoremOneGroupGap(n, k int, lambda float64) (*Instance, float64, float64) {
+	m := n * k
+	in := NewInstance(graph.Empty(n), m, k, lambda)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			in.SetPref(i, j*n+i, 1)
+		}
+	}
+	opt := float64(n*k) * (1 - lambda)
+	groupOpt := float64(k) * (1 - lambda)
+	return in, opt, groupOpt
+}
+
+// TheoremOnePersonalGap builds the instance I_P of Theorem 1: a complete
+// graph where everyone likes everything almost equally (1 vs 1−eps) and all
+// social utilities are 1. The personalized approach forfeits all social
+// utility; co-displaying any k common items is Ω(n) times better as λ→
+// constant. It returns the instance, a lower bound on the optimum (the
+// all-common-items configuration) and the personalized-approach value.
+func TheoremOnePersonalGap(n, k int, lambda, eps float64) (*Instance, float64, float64) {
+	m := n * k
+	g := graph.Complete(n)
+	in := NewInstance(g, m, k, lambda)
+	for i := 0; i < n; i++ {
+		for c := 0; c < m; c++ {
+			p := 1 - eps
+			// User i's private set C_i = {j*n+i}.
+			if c%n == i {
+				p = 1
+			}
+			in.SetPref(i, c, p)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Out(u) {
+			for c := 0; c < m; c++ {
+				if err := in.SetTau(u, v, c, 1); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	// Co-display user 0's k private items to everyone.
+	common := (1-lambda)*float64(k)*((1-eps)*float64(n)+eps) +
+		lambda*float64(k)*float64(n*(n-1))
+	personal := (1 - lambda) * float64(n*k)
+	return in, common, personal
+}
+
+// Literal is a MAX-E3SAT literal: variable index and polarity.
+type Literal struct {
+	Var     int
+	Negated bool
+}
+
+// Clause is a 3-literal disjunction.
+type Clause [3]Literal
+
+// E3SATReduction is the Lemma 2 gap instance together with the bookkeeping
+// needed to translate truth assignments into configurations.
+type E3SATReduction struct {
+	In      *Instance
+	NumVars int
+	Clauses []Clause
+
+	// Vertex ids.
+	ClauseVertex []int    // u_j, one per clause (V1)
+	LitVertex    [][3]int // v_{j,t} (V2)
+	LitNegVertex [][3]int // v'_{j,t} (V2)
+	VarVertex    []int    // w_i (V3)
+
+	// Item ids.
+	LitItem    [][3]int // c_{j,t}
+	LitNegItem [][3]int // c'_{j,t}
+	VarItem    []int    // c_i
+	VarNegItem []int    // c'_i
+}
+
+// BuildE3SATReduction constructs the SVGIC instance of Lemma 2 for the given
+// formula (k=1, λ=1, all preferences zero, unit social utilities along the
+// reduction edges).
+func BuildE3SATReduction(numVars int, clauses []Clause) (*E3SATReduction, error) {
+	for _, cl := range clauses {
+		for _, l := range cl {
+			if l.Var < 0 || l.Var >= numVars {
+				return nil, fmt.Errorf("core: literal variable %d out of range [0,%d)", l.Var, numVars)
+			}
+		}
+	}
+	mc := len(clauses)
+	n := mc + 6*mc + numVars
+	g := graph.New(n)
+	red := &E3SATReduction{
+		NumVars:      numVars,
+		Clauses:      clauses,
+		ClauseVertex: make([]int, mc),
+		LitVertex:    make([][3]int, mc),
+		LitNegVertex: make([][3]int, mc),
+		VarVertex:    make([]int, numVars),
+		LitItem:      make([][3]int, mc),
+		LitNegItem:   make([][3]int, mc),
+		VarItem:      make([]int, numVars),
+		VarNegItem:   make([]int, numVars),
+	}
+	v := 0
+	for j := 0; j < mc; j++ {
+		red.ClauseVertex[j] = v
+		v++
+	}
+	for j := 0; j < mc; j++ {
+		for t := 0; t < 3; t++ {
+			red.LitVertex[j][t] = v
+			v++
+			red.LitNegVertex[j][t] = v
+			v++
+		}
+	}
+	for i := 0; i < numVars; i++ {
+		red.VarVertex[i] = v
+		v++
+	}
+	item := 0
+	for j := 0; j < mc; j++ {
+		for t := 0; t < 3; t++ {
+			red.LitItem[j][t] = item
+			item++
+			red.LitNegItem[j][t] = item
+			item++
+		}
+	}
+	for i := 0; i < numVars; i++ {
+		red.VarItem[i] = item
+		item++
+		red.VarNegItem[i] = item
+		item++
+	}
+	in := NewInstance(g, item, 1, 1)
+	red.In = in
+
+	link := func(a, b, c int) {
+		g.AddMutualEdge(a, b)
+		must(in.SetTau(a, b, c, 1))
+		must(in.SetTau(b, a, c, 1))
+	}
+	for j, cl := range clauses {
+		for t, lit := range cl {
+			// Edge from the clause vertex to the vertex matching the literal's
+			// TRUE assignment, with the corresponding clause-literal item.
+			if !lit.Negated {
+				link(red.ClauseVertex[j], red.LitVertex[j][t], red.LitItem[j][t])
+			} else {
+				link(red.ClauseVertex[j], red.LitNegVertex[j][t], red.LitNegItem[j][t])
+			}
+			// Variable-gadget edges: w_i to both v_{j,t} and v'_{j,t}.
+			wi := red.VarVertex[lit.Var]
+			link(wi, red.LitVertex[j][t], red.VarItem[lit.Var])
+			link(wi, red.LitNegVertex[j][t], red.VarNegItem[lit.Var])
+		}
+	}
+	return red, nil
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// ConfigFromAssignment builds the feasible configuration of Lemma 2's
+// sufficient direction for a truth assignment; its objective is
+// 2·(satisfied clauses) + 6·(clauses) under the k=1, λ=1 instance.
+func (red *E3SATReduction) ConfigFromAssignment(truth []bool) *Configuration {
+	in := red.In
+	conf := NewConfiguration(in.NumUsers(), 1)
+	satisfied := func(l Literal) bool { return truth[l.Var] != l.Negated }
+	// Variable vertices: w_i shows c'_i when a_i is TRUE, c_i otherwise.
+	for i := range red.VarVertex {
+		if truth[i] {
+			conf.Assign[red.VarVertex[i]][0] = red.VarNegItem[i]
+		} else {
+			conf.Assign[red.VarVertex[i]][0] = red.VarItem[i]
+		}
+	}
+	for j, cl := range red.Clauses {
+		// Clause vertex: the first satisfied literal's item; arbitrary item
+		// (its own first literal item) when unsatisfied.
+		cu := -1
+		for t, lit := range cl {
+			if satisfied(lit) {
+				if !lit.Negated {
+					cu = red.LitItem[j][t]
+				} else {
+					cu = red.LitNegItem[j][t]
+				}
+				break
+			}
+		}
+		if cu < 0 {
+			cu = red.LitItem[j][0]
+		}
+		conf.Assign[red.ClauseVertex[j]][0] = cu
+		for t, lit := range cl {
+			// Literal vertices: a TRUE literal pairs with the clause vertex,
+			// a FALSE literal pairs with its variable vertex.
+			if satisfied(lit) {
+				if !lit.Negated {
+					conf.Assign[red.LitVertex[j][t]][0] = red.LitItem[j][t]
+					conf.Assign[red.LitNegVertex[j][t]][0] = red.VarNegItem[lit.Var]
+				} else {
+					conf.Assign[red.LitNegVertex[j][t]][0] = red.LitNegItem[j][t]
+					conf.Assign[red.LitVertex[j][t]][0] = red.VarItem[lit.Var]
+				}
+			} else {
+				if truth[lit.Var] {
+					// a_i TRUE: w_i shows c'_i, so v' pairs with it.
+					conf.Assign[red.LitNegVertex[j][t]][0] = red.VarNegItem[lit.Var]
+					conf.Assign[red.LitVertex[j][t]][0] = red.LitItem[j][t]
+				} else {
+					conf.Assign[red.LitVertex[j][t]][0] = red.VarItem[lit.Var]
+					conf.Assign[red.LitNegVertex[j][t]][0] = red.LitNegItem[j][t]
+				}
+			}
+		}
+	}
+	return conf
+}
+
+// NumSatisfied counts satisfied clauses under the truth assignment.
+func (red *E3SATReduction) NumSatisfied(truth []bool) int {
+	count := 0
+	for _, cl := range red.Clauses {
+		for _, lit := range cl {
+			if truth[lit.Var] != lit.Negated {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// BuildK3PReduction constructs the APX-hardness instance from a Max-K3P
+// input graph: one item per edge with τ=0.5 on its endpoints, one item per
+// triangle with τ=0.5 on all three sides, k=1, λ=1, zero preferences. It
+// returns the instance, the per-edge items keyed by pair index, and the
+// triangle items with their vertex triples.
+func BuildK3PReduction(gHat *graph.Graph) (*Instance, map[int]int, map[int][3]int) {
+	pairs := gHat.Pairs()
+	var triangles [][3]int
+	for _, p := range pairs {
+		u, v := p[0], p[1]
+		for _, w := range gHat.Neighbors(u) {
+			if w > v && gHat.Connected(v, w) {
+				triangles = append(triangles, [3]int{u, v, w})
+			}
+		}
+	}
+	m := len(pairs) + len(triangles)
+	in := NewInstance(gHat, m, 1, 1)
+	edgeItem := make(map[int]int, len(pairs))
+	triItem := make(map[int][3]int, len(triangles))
+	setPair := func(u, v, c int) {
+		if gHat.HasEdge(u, v) {
+			must(in.SetTau(u, v, c, 0.5))
+		}
+		if gHat.HasEdge(v, u) {
+			must(in.SetTau(v, u, c, 0.5))
+		}
+	}
+	for e, p := range pairs {
+		edgeItem[e] = e
+		setPair(p[0], p[1], e)
+	}
+	for t, tri := range triangles {
+		c := len(pairs) + t
+		triItem[c] = tri
+		setPair(tri[0], tri[1], c)
+		setPair(tri[0], tri[2], c)
+		setPair(tri[1], tri[2], c)
+	}
+	return in, edgeItem, triItem
+}

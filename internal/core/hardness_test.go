@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/svgic/svgic/internal/graph"
+	"github.com/svgic/svgic/internal/stats"
+)
+
+func TestTheoremOneGroupGap(t *testing.T) {
+	for _, n := range []int{3, 6, 10} {
+		in, opt, groupOpt := TheoremOneGroupGap(n, 2, 0.5)
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(opt/groupOpt-float64(n)) > 1e-9 {
+			t.Errorf("n=%d: OPT/OPT_G = %v, want %v", n, opt/groupOpt, n)
+		}
+		// The claimed optimum is achievable: the personalized configuration
+		// hits it exactly (disjoint preferred sets, no social edges).
+		conf := PersonalizedConfig(in)
+		if got := Evaluate(in, conf).Weighted(); math.Abs(got-opt) > 1e-9 {
+			t.Errorf("n=%d: personalized achieves %v, want %v", n, got, opt)
+		}
+	}
+}
+
+func TestTheoremOnePersonalGap(t *testing.T) {
+	const n, k, lambda, eps = 6, 2, 0.5, 0.01
+	in, common, personal := TheoremOnePersonalGap(n, k, lambda, eps)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The all-common configuration achieves the claimed bound: display user
+	// 0's private items (c = j·n) to everyone at slot j.
+	conf := NewConfiguration(n, k)
+	for u := 0; u < n; u++ {
+		for s := 0; s < k; s++ {
+			conf.Assign[u][s] = s * n
+		}
+	}
+	if err := conf.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if got := Evaluate(in, conf).Weighted(); math.Abs(got-common) > 1e-9 {
+		t.Errorf("common config achieves %v, want %v", got, common)
+	}
+	// The personalized approach scores exactly its claimed value.
+	per := PersonalizedConfig(in)
+	if got := Evaluate(in, per).Weighted(); math.Abs(got-personal) > 1e-6 {
+		t.Errorf("personalized achieves %v, want %v", got, personal)
+	}
+	// The gap is Θ(n).
+	if ratio := common / personal; ratio < float64(n-1)/2 {
+		t.Errorf("gap ratio = %v, want ≥ (n-1)/2", ratio)
+	}
+}
+
+func randomFormula(seed uint64, numVars, numClauses int) []Clause {
+	r := stats.NewRand(seed)
+	cls := make([]Clause, numClauses)
+	for i := range cls {
+		for t := 0; t < 3; t++ {
+			cls[i][t] = Literal{Var: r.IntN(numVars), Negated: r.IntN(2) == 1}
+		}
+	}
+	return cls
+}
+
+func TestE3SATReductionObjective(t *testing.T) {
+	// Lemma 2's sufficient direction: for any truth assignment, the
+	// constructed configuration scores exactly 2·satisfied + 6·clauses
+	// (λ=1, so weighted = social).
+	for seed := uint64(1); seed <= 8; seed++ {
+		numVars := 3 + int(seed%3)
+		numClauses := 2 + int(seed%4)
+		red, err := BuildE3SATReduction(numVars, randomFormula(seed, numVars, numClauses))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := red.In.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		wantUsers := numClauses + 6*numClauses + numVars
+		if red.In.NumUsers() != wantUsers {
+			t.Fatalf("users = %d, want %d", red.In.NumUsers(), wantUsers)
+		}
+		// The reduction has 9 edges per clause (paper's construction).
+		if got := red.In.G.NumPairs(); got != 9*numClauses {
+			t.Errorf("pairs = %d, want %d", got, 9*numClauses)
+		}
+		r := stats.NewRand(seed * 31)
+		truth := make([]bool, numVars)
+		for i := range truth {
+			truth[i] = r.IntN(2) == 1
+		}
+		conf := red.ConfigFromAssignment(truth)
+		if err := conf.Validate(red.In); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sat := red.NumSatisfied(truth)
+		want := float64(2*sat + 6*numClauses)
+		if got := Evaluate(red.In, conf).Weighted(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("seed %d: objective %v, want %v (sat=%d, clauses=%d)",
+				seed, got, want, sat, numClauses)
+		}
+	}
+}
+
+func TestE3SATReductionRejectsBadLiterals(t *testing.T) {
+	if _, err := BuildE3SATReduction(2, []Clause{{Literal{Var: 5}, Literal{}, Literal{}}}); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+}
+
+func TestK3PReductionObjective(t *testing.T) {
+	// A triangle plus a pendant edge: packing the triangle (3 edges) is the
+	// optimum; the corresponding SVGIC configuration scores exactly 3.
+	g := graph.New(5)
+	g.AddMutualEdge(0, 1)
+	g.AddMutualEdge(1, 2)
+	g.AddMutualEdge(0, 2)
+	g.AddMutualEdge(3, 4)
+	in, edgeItem, triItem := BuildK3PReduction(g)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(triItem) != 1 {
+		t.Fatalf("triangles found = %d, want 1", len(triItem))
+	}
+	// Configuration: triangle vertices share the triangle item; 3 and 4
+	// share their edge item.
+	var triC int
+	for c := range triItem {
+		triC = c
+	}
+	pairIdx, _ := in.G.PairIndex(3, 4)
+	conf := NewConfiguration(5, 1)
+	conf.Assign[0][0] = triC
+	conf.Assign[1][0] = triC
+	conf.Assign[2][0] = triC
+	conf.Assign[3][0] = edgeItem[pairIdx]
+	conf.Assign[4][0] = edgeItem[pairIdx]
+	if err := conf.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	// λ=1: each packed edge contributes τ(u,v)+τ(v,u) = 1.
+	if got := Evaluate(in, conf).Weighted(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("packing objective = %v, want 4 (3 triangle edges + 1 edge)", got)
+	}
+}
+
+func TestK3PReductionOptimalByBruteForce(t *testing.T) {
+	// On the 4-cycle, the best K3 packing is two disjoint edges (value 2);
+	// AVG-D should reach it, and no configuration can beat it.
+	g := graph.New(4)
+	g.AddMutualEdge(0, 1)
+	g.AddMutualEdge(1, 2)
+	g.AddMutualEdge(2, 3)
+	g.AddMutualEdge(3, 0)
+	in, _, triItem := BuildK3PReduction(g)
+	if len(triItem) != 0 {
+		t.Fatalf("4-cycle has no triangles, got %d", len(triItem))
+	}
+	conf, _, err := SolveAVGD(in, AVGDOptions{R: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Evaluate(in, conf).Weighted()
+	if got > 2+1e-9 {
+		t.Errorf("objective %v exceeds the max matching value 2", got)
+	}
+	if got < 1 {
+		t.Errorf("AVG-D found only %v on the 4-cycle (≥1 expected)", got)
+	}
+}

@@ -1,0 +1,171 @@
+// Package core implements the paper's primary contribution: the SVGIC /
+// SVGIC-ST problems (Social-aware VR Group-Item Configuration), their
+// evaluation semantics, the AVG approximation algorithm (LP relaxation +
+// Co-display Subgroup Formation rounding), its derandomized variant AVG-D,
+// the independent-rounding strawman of Lemma 3, the hardness-construction
+// instances, and the practical extensions of Section 5.
+package core
+
+import (
+	"fmt"
+
+	"github.com/svgic/svgic/internal/graph"
+	"github.com/svgic/svgic/internal/lp"
+)
+
+// Instance is one SVGIC problem instance: a directed social network over n
+// shoppers, m items, k display slots, the preference utilities p(u,c), the
+// per-directed-edge social utilities τ(u,v,c) and the preference/social
+// trade-off weight λ ∈ [0,1].
+type Instance struct {
+	G        *graph.Graph
+	NumItems int
+	K        int
+	Lambda   float64
+	Pref     [][]float64 // [user][item] preference utility p(u,c) ≥ 0
+
+	tau map[int64][]float64 // directed edge (u,v) -> per-item τ(u,v,·)
+}
+
+// NewInstance returns an instance with all-zero utilities.
+// The graph is referenced, not copied.
+func NewInstance(g *graph.Graph, numItems, k int, lambda float64) *Instance {
+	n := g.NumVertices()
+	pref := make([][]float64, n)
+	for u := range pref {
+		pref[u] = make([]float64, numItems)
+	}
+	return &Instance{
+		G:        g,
+		NumItems: numItems,
+		K:        k,
+		Lambda:   lambda,
+		Pref:     pref,
+		tau:      make(map[int64][]float64),
+	}
+}
+
+// NumUsers returns the number of shoppers.
+func (in *Instance) NumUsers() int { return in.G.NumVertices() }
+
+func (in *Instance) edgeKey(u, v int) int64 {
+	return int64(u)*int64(in.NumUsers()) + int64(v)
+}
+
+// SetPref sets the preference utility p(u,c).
+func (in *Instance) SetPref(u, c int, p float64) { in.Pref[u][c] = p }
+
+// SetTau sets the social utility τ(u,v,c) of user u viewing item c together
+// with user v. The directed edge (u,v) must exist in the graph.
+func (in *Instance) SetTau(u, v, c int, t float64) error {
+	if !in.G.HasEdge(u, v) {
+		return fmt.Errorf("core: τ(%d,%d,·) set on a non-edge", u, v)
+	}
+	k := in.edgeKey(u, v)
+	vec, ok := in.tau[k]
+	if !ok {
+		vec = make([]float64, in.NumItems)
+		in.tau[k] = vec
+	}
+	vec[c] = t
+	return nil
+}
+
+// Tau returns the social utility τ(u,v,c); zero when the directed edge (u,v)
+// is absent or no utility was set.
+func (in *Instance) Tau(u, v, c int) float64 {
+	if vec, ok := in.tau[in.edgeKey(u, v)]; ok {
+		return vec[c]
+	}
+	return 0
+}
+
+// PairSocial returns the combined social weight of the social pair {u,v} on
+// item c: τ(u,v,c) + τ(v,u,c) counting only existing directed edges.
+func (in *Instance) PairSocial(u, v, c int) float64 {
+	return in.Tau(u, v, c) + in.Tau(v, u, c)
+}
+
+// Validate checks structural sanity: k ≤ m (otherwise the no-duplication
+// constraint is unsatisfiable), λ in range, non-negative utilities.
+func (in *Instance) Validate() error {
+	if in.K <= 0 {
+		return fmt.Errorf("core: k=%d must be positive", in.K)
+	}
+	if in.K > in.NumItems {
+		return fmt.Errorf("core: k=%d exceeds m=%d; the no-duplication constraint is unsatisfiable", in.K, in.NumItems)
+	}
+	if in.Lambda < 0 || in.Lambda > 1 {
+		return fmt.Errorf("core: λ=%g out of [0,1]", in.Lambda)
+	}
+	for u, row := range in.Pref {
+		if len(row) != in.NumItems {
+			return fmt.Errorf("core: preference row %d has %d items, want %d", u, len(row), in.NumItems)
+		}
+		for c, p := range row {
+			if p < 0 {
+				return fmt.Errorf("core: p(%d,%d)=%g is negative", u, c, p)
+			}
+		}
+	}
+	for key, vec := range in.tau {
+		for c, t := range vec {
+			if t < 0 {
+				n := int64(in.NumUsers())
+				return fmt.Errorf("core: τ(%d,%d,%d)=%g is negative", key/n, key%n, c, t)
+			}
+		}
+	}
+	return nil
+}
+
+// PrefCoef returns the weighted preference coefficients aP[u][c] = (1−λ)·p(u,c)
+// optionally scaled per item by itemWeight (commodity values, Extension A;
+// nil means all ones).
+func (in *Instance) PrefCoef(itemWeight []float64) [][]float64 {
+	n := in.NumUsers()
+	out := make([][]float64, n)
+	w := 1 - in.Lambda
+	for u := 0; u < n; u++ {
+		row := make([]float64, in.NumItems)
+		for c := 0; c < in.NumItems; c++ {
+			row[c] = w * in.Pref[u][c]
+			if itemWeight != nil {
+				row[c] *= itemWeight[c]
+			}
+		}
+		out[u] = row
+	}
+	return out
+}
+
+// PairCoef returns the weighted social coefficients
+// aS[pair][c] = λ·(τ(u,v,c)+τ(v,u,c)), optionally scaled per item.
+func (in *Instance) PairCoef(itemWeight []float64) [][]float64 {
+	pairs := in.G.Pairs()
+	out := make([][]float64, len(pairs))
+	for e, p := range pairs {
+		row := make([]float64, in.NumItems)
+		for c := 0; c < in.NumItems; c++ {
+			row[c] = in.Lambda * in.PairSocial(p[0], p[1], c)
+			if itemWeight != nil {
+				row[c] *= itemWeight[c]
+			}
+		}
+		out[e] = row
+	}
+	return out
+}
+
+// Relaxation builds the condensed LP_SIMP relaxation (Observation 2) of this
+// instance for the lp package.
+func (in *Instance) Relaxation() *lp.Relaxation {
+	return &lp.Relaxation{
+		NumUsers: in.NumUsers(),
+		NumItems: in.NumItems,
+		K:        in.K,
+		Pref:     in.PrefCoef(nil),
+		Pairs:    in.G.Pairs(),
+		PairW:    in.PairCoef(nil),
+	}
+}

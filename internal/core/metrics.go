@@ -1,0 +1,103 @@
+package core
+
+import (
+	"github.com/svgic/svgic/internal/graph"
+)
+
+// Subgroup-level metrics of Section 6.5 of the paper: how a configuration's
+// implicit per-slot partitions relate to the social network.
+
+// SubgroupMetrics aggregates the per-slot partition statistics.
+type SubgroupMetrics struct {
+	IntraPct          float64 // friend pairs co-displayed at a slot / (pairs × slots)
+	InterPct          float64 // complement of IntraPct
+	NormalizedDensity float64 // size-weighted subgroup density / network density
+	CoDisplayPct      float64 // friend pairs directly co-displayed at ≥1 slot
+	AlonePct          float64 // display units shown to a singleton subgroup
+	MeanSubgroupSize  float64 // mean subgroup size over slots
+}
+
+// ComputeSubgroupMetrics derives the Section 6.5 statistics from a
+// configuration. Subgroups of size one are excluded from the density average
+// (a singleton has no internal pairs); if every subgroup is a singleton the
+// normalized density is zero.
+func ComputeSubgroupMetrics(in *Instance, conf *Configuration) SubgroupMetrics {
+	var m SubgroupMetrics
+	n := in.NumUsers()
+	pairs := in.G.Pairs()
+	numPairs := len(pairs)
+	k := conf.K
+
+	var intra int
+	coDisplayed := make([]bool, numPairs)
+	for s := 0; s < k; s++ {
+		for e, p := range pairs {
+			cu := conf.Assign[p[0]][s]
+			if cu != Unassigned && cu == conf.Assign[p[1]][s] {
+				intra++
+				coDisplayed[e] = true
+			}
+		}
+	}
+	if numPairs > 0 && k > 0 {
+		m.IntraPct = float64(intra) / float64(numPairs*k)
+		m.InterPct = 1 - m.IntraPct
+	}
+	var coCount int
+	for _, b := range coDisplayed {
+		if b {
+			coCount++
+		}
+	}
+	if numPairs > 0 {
+		m.CoDisplayPct = float64(coCount) / float64(numPairs)
+	}
+
+	baseDensity := graph.Density(in.G)
+	var densityWeighted, densityWeight float64
+	var aloneUnits, groupCount, groupSizeSum int
+	for s := 0; s < k; s++ {
+		for _, members := range conf.SubgroupsAt(s) {
+			groupCount++
+			groupSizeSum += len(members)
+			if len(members) == 1 {
+				aloneUnits++
+				continue
+			}
+			d := graph.SubsetDensity(in.G, members)
+			densityWeighted += d * float64(len(members))
+			densityWeight += float64(len(members))
+		}
+	}
+	if densityWeight > 0 && baseDensity > 0 {
+		m.NormalizedDensity = (densityWeighted / densityWeight) / baseDensity
+	}
+	if n > 0 && k > 0 {
+		m.AlonePct = float64(aloneUnits) / float64(n*k)
+	}
+	if groupCount > 0 {
+		m.MeanSubgroupSize = float64(groupSizeSum) / float64(groupCount)
+	}
+	return m
+}
+
+// SubgroupEditDistance returns the total edit distance between the partitions
+// at consecutive slots (Extension E): each friend pair co-displayed at slot s
+// but separated at slot s+1 (or vice versa) contributes 1.
+func SubgroupEditDistance(in *Instance, conf *Configuration) int {
+	var total int
+	pairs := in.G.Pairs()
+	same := func(s, e int) bool {
+		p := pairs[e]
+		cu := conf.Assign[p[0]][s]
+		return cu != Unassigned && cu == conf.Assign[p[1]][s]
+	}
+	for s := 0; s+1 < conf.K; s++ {
+		for e := range pairs {
+			if same(s, e) != same(s+1, e) {
+				total++
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,226 @@
+package core
+
+// Golden tests against the paper's worked example, exercising the internal
+// CSF machinery directly (Tables 6–8, Examples 2–5). The external-facing
+// golden tests (baselines, public API) live in their packages and share the
+// fixture via internal/paperex; this file re-builds the fixture locally
+// because package-internal tests cannot import paperex (it imports core).
+
+import (
+	"math"
+	"testing"
+
+	"github.com/svgic/svgic/internal/graph"
+)
+
+// buildPaperExample mirrors internal/paperex.New.
+func buildPaperExample(lambda float64) *Instance {
+	g := graph.New(4)
+	edges := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 0}, {1, 2}, {2, 0}, {2, 1}, {3, 0}}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	in := NewInstance(g, 5, 3, lambda)
+	pref := [][5]float64{
+		{0.8, 0.85, 0.1, 0.05, 1.0},
+		{0.7, 1.0, 0.15, 0.2, 0.1},
+		{0, 0.15, 0.7, 0.6, 0.1},
+		{0.1, 0, 0.3, 1.0, 0.95},
+	}
+	for u, row := range pref {
+		for c, p := range row {
+			in.SetPref(u, c, p)
+		}
+	}
+	tau := map[[2]int][5]float64{
+		{0, 1}: {0.2, 0.05, 0.1, 0, 0.05},
+		{0, 2}: {0, 0.05, 0.1, 0, 0.3},
+		{0, 3}: {0.2, 0.05, 0.1, 0.05, 0.2},
+		{1, 0}: {0.2, 0.05, 0.1, 0.05, 0.05},
+		{1, 2}: {0, 0.05, 0.1, 0.2, 0},
+		{2, 0}: {0, 0.05, 0.1, 0.05, 0.3},
+		{2, 1}: {0.1, 0.05, 0.1, 0.2, 0.05},
+		{3, 0}: {0.3, 0.05, 0.05, 0, 0.25},
+	}
+	for e, row := range tau {
+		for c, t := range row {
+			if err := in.SetTau(e[0], e[1], c, t); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return in
+}
+
+func paperTable6Factors(in *Instance) *Factors {
+	return FactorsFromCondensed(in, [][]float64{
+		{1, 1, 0, 0, 1},
+		{1, 1, 0, 1, 0},
+		{0, 0, 1, 1, 1},
+		{1, 0, 0, 1, 1},
+	})
+}
+
+func configFromRows(rows [][]int) *Configuration {
+	conf := NewConfiguration(len(rows), len(rows[0]))
+	for u, row := range rows {
+		copy(conf.Assign[u], row)
+	}
+	return conf
+}
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPaperExampleOptimalValue(t *testing.T) {
+	in := buildPaperExample(0.5)
+	// Figure 1's SAVG configuration: value 10.35 in the paper's scaling.
+	conf := configFromRows([][]int{
+		{4, 0, 1},
+		{1, 0, 3},
+		{4, 2, 3},
+		{4, 0, 3},
+	})
+	if err := conf.Validate(in); err != nil {
+		t.Fatalf("optimal config invalid: %v", err)
+	}
+	rep := Evaluate(in, conf)
+	if !almostEqual(rep.Scaled(), 10.35, 1e-9) {
+		t.Errorf("scaled objective = %.4f, want 10.35 (pref %.3f social %.3f)",
+			rep.Scaled(), rep.Preference, rep.Social)
+	}
+	if !almostEqual(rep.Preference, 8.0, 1e-9) || !almostEqual(rep.Social, 2.35, 1e-9) {
+		t.Errorf("pref/social = %.3f/%.3f, want 8.0/2.35", rep.Preference, rep.Social)
+	}
+}
+
+func TestPaperExampleDefinition3(t *testing.T) {
+	// Example 2: λ=0.4, w_A(Alice, tripod) = 0.6·0.8 + 0.4·(0.2+0.2) = 0.64.
+	in := buildPaperExample(0.4)
+	conf := configFromRows([][]int{
+		{4, 0, 1},
+		{1, 0, 3},
+		{4, 2, 3},
+		{4, 0, 3},
+	})
+	// Alice's per-item utilities: c5 with Charlie+Dave at slot 0, c1 with
+	// Bob+Dave at slot 1, c2 alone at slot 2.
+	wantC5 := 0.6*1.0 + 0.4*(0.3+0.2)
+	wantC1 := 0.64
+	wantC2 := 0.6 * 0.85
+	got := UserUtility(in, conf, 0)
+	if want := wantC5 + wantC1 + wantC2; !almostEqual(got, want, 1e-9) {
+		t.Errorf("UserUtility(Alice) = %.4f, want %.4f", got, want)
+	}
+}
+
+func TestPaperExampleCSFReplay(t *testing.T) {
+	// Example 4: replaying the sampled focal parameters must reconstruct
+	// Table 7 exactly (total 9.75).
+	in := buildPaperExample(0.5)
+	f := paperTable6Factors(in)
+	rs := newRoundState(in, f, 0)
+	steps := []struct {
+		c, s  int
+		alpha float64
+	}{
+		{0, 2, 0.06}, // tripod at slot 3 -> {Alice, Bob, Dave}
+		{3, 1, 0.22}, // memory card at slot 2 -> {Bob, Charlie, Dave}
+		{2, 0, 0.04}, // PSD at slot 1 -> {Charlie}
+		{4, 2, 0.20}, // SP camera at slot 3 -> {Charlie}
+		{4, 0, 0.31}, // SP camera at slot 1 -> {Alice, Dave}
+		{1, 0, 0.01}, // DSLR at slot 1 -> {Bob}
+		{1, 1, 0.19}, // DSLR at slot 2 -> {Alice}
+	}
+	for i, st := range steps {
+		if made := rs.csf(st.c, st.s, st.alpha); made == 0 {
+			t.Fatalf("step %d made no assignment", i)
+		}
+	}
+	if rs.remaining != 0 {
+		t.Fatalf("configuration incomplete after replay: %d units left", rs.remaining)
+	}
+	want := configFromRows([][]int{
+		{4, 1, 0},
+		{1, 3, 0},
+		{2, 3, 4},
+		{4, 3, 0},
+	})
+	for u := range want.Assign {
+		for s := range want.Assign[u] {
+			if rs.conf.Assign[u][s] != want.Assign[u][s] {
+				t.Errorf("A(%d,%d) = %d, want %d", u, s, rs.conf.Assign[u][s], want.Assign[u][s])
+			}
+		}
+	}
+	rep := Evaluate(in, rs.conf)
+	if !almostEqual(rep.Scaled(), 9.75, 1e-9) {
+		t.Errorf("scaled objective = %.4f, want 9.75", rep.Scaled())
+	}
+}
+
+func TestPaperExampleAVGDFromTable6(t *testing.T) {
+	in := buildPaperExample(0.5)
+	f := paperTable6Factors(in)
+	conf, st := RoundAVGD(in, f, AVGDOptions{R: DefaultR})
+	if err := conf.Validate(in); err != nil {
+		t.Fatalf("AVG-D config invalid: %v", err)
+	}
+	rep := Evaluate(in, conf)
+	t.Logf("AVG-D scaled value = %.4f (paper reports 9.85 for its run)", rep.Scaled())
+	// Deterministic on this fixture; must beat every baseline (≥ 8.7) and
+	// respect the 4-approximation against the LP value actually used.
+	if rep.Scaled() < 8.7 {
+		t.Errorf("AVG-D scaled value %.4f below the best baseline 8.7", rep.Scaled())
+	}
+	if rep.Weighted() < st.LPObjective/4-1e-9 {
+		t.Errorf("AVG-D weighted value %.4f violates LP/4 = %.4f", rep.Weighted(), st.LPObjective/4)
+	}
+	if st.FallbackUnits != 0 {
+		t.Errorf("AVG-D used greedy fallback for %d units", st.FallbackUnits)
+	}
+}
+
+func TestPaperExampleAVGFromTable6(t *testing.T) {
+	in := buildPaperExample(0.5)
+	f := paperTable6Factors(in)
+	for seed := uint64(1); seed <= 10; seed++ {
+		conf, _ := RoundAVG(in, f, AVGOptions{Seed: seed})
+		if err := conf.Validate(in); err != nil {
+			t.Fatalf("seed %d: invalid config: %v", seed, err)
+		}
+		rep := Evaluate(in, conf)
+		// With the optimal LP factors, any CSF outcome keeps each user on
+		// their three LP-support items, so preference utility is fixed at
+		// 7.45..8.0 and the total stays well above the baselines' range.
+		if rep.Scaled() < 8.0 {
+			t.Errorf("seed %d: scaled value %.4f unexpectedly low", seed, rep.Scaled())
+		}
+	}
+}
+
+func TestPaperExampleLPValue(t *testing.T) {
+	// The LP optimum upper-bounds the integral optimum 10.35 (weighted
+	// 5.175), and the Table 6 fractional point is LP-feasible with a
+	// near-optimal objective.
+	in := buildPaperExample(0.5)
+	f := paperTable6Factors(in)
+	if f.Objective < 5.175-1e-9 {
+		t.Logf("Table 6 factors give LP objective %.4f (< integral optimum; the published fractional point need not be LP-optimal for our pair formulation)", f.Objective)
+	}
+	X, obj, err := in.Relaxation().SolveExact()
+	if err != nil {
+		t.Fatalf("exact LP: %v", err)
+	}
+	if obj < 5.175-1e-6 {
+		t.Errorf("exact LP optimum %.4f is below the integral optimum 5.175", obj)
+	}
+	for u, row := range X {
+		var sum float64
+		for _, x := range row {
+			sum += x
+		}
+		if !almostEqual(sum, 3, 1e-6) {
+			t.Errorf("user %d LP mass %.4f, want 3", u, sum)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+// Solver is the common interface of every SVGIC configuration algorithm —
+// AVG, AVG-D, the baselines and the exact IP — as consumed by the experiment
+// harness and the public API.
+type Solver interface {
+	// Name identifies the algorithm in experiment output (e.g. "AVG", "PER").
+	Name() string
+	// Solve produces a complete, valid SAVG k-Configuration.
+	Solve(in *Instance) (*Configuration, error)
+}
+
+// AVGSolver adapts SolveAVG to the Solver interface.
+type AVGSolver struct {
+	Opts AVGOptions
+	// Stats holds the rounding statistics of the most recent Solve.
+	Stats RoundingStats
+}
+
+// Name implements Solver.
+func (s *AVGSolver) Name() string { return "AVG" }
+
+// Solve implements Solver.
+func (s *AVGSolver) Solve(in *Instance) (*Configuration, error) {
+	conf, st, err := SolveAVG(in, s.Opts)
+	s.Stats = st
+	return conf, err
+}
+
+// AVGDSolver adapts SolveAVGD to the Solver interface.
+type AVGDSolver struct {
+	Opts AVGDOptions
+	// Stats holds the rounding statistics of the most recent Solve.
+	Stats RoundingStats
+}
+
+// Name implements Solver.
+func (s *AVGDSolver) Name() string { return "AVG-D" }
+
+// Solve implements Solver.
+func (s *AVGDSolver) Solve(in *Instance) (*Configuration, error) {
+	conf, st, err := SolveAVGD(in, s.Opts)
+	s.Stats = st
+	return conf, err
+}

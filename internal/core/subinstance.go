@@ -1,0 +1,40 @@
+package core
+
+// SubInstance returns the instance induced by the given users (preferences,
+// social edges and τ restricted to the subset; items, k and λ unchanged)
+// together with the original user ids in new-id order. The prepartitioning
+// wrapper for SVGIC-ST builds its per-group subproblems with it.
+func SubInstance(in *Instance, users []int) (*Instance, []int, error) {
+	sub, orig, err := in.G.InducedSubgraph(users)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := NewInstance(sub, in.NumItems, in.K, in.Lambda)
+	for nu, ou := range orig {
+		copy(out.Pref[nu], in.Pref[ou])
+	}
+	for nu, ou := range orig {
+		for _, nv := range sub.Out(nu) {
+			ov := orig[nv]
+			for c := 0; c < in.NumItems; c++ {
+				if t := in.Tau(ou, ov, c); t != 0 {
+					must(out.SetTau(nu, nv, c, t))
+				}
+			}
+		}
+	}
+	return out, orig, nil
+}
+
+// MergeConfigurations embeds per-subset configurations back into a full
+// configuration over n users: for every (subConf, origIDs) pair, user
+// origIDs[i]'s row is taken from subConf row i.
+func MergeConfigurations(n, k int, parts []*Configuration, origs [][]int) *Configuration {
+	out := NewConfiguration(n, k)
+	for pi, part := range parts {
+		for i, row := range part.Assign {
+			copy(out.Assign[origs[pi][i]], row)
+		}
+	}
+	return out
+}

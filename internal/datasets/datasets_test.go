@@ -1,0 +1,96 @@
+package datasets
+
+import (
+	"testing"
+
+	"github.com/svgic/svgic/internal/baselines"
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/utility"
+)
+
+func TestProfilesExist(t *testing.T) {
+	for _, name := range All() {
+		p, err := ProfileOf(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Description == "" || p.Utility.Topics == 0 {
+			t.Errorf("%s: incomplete profile %+v", name, p)
+		}
+	}
+	if _, err := ProfileOf("nope"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	for _, name := range All() {
+		a, err := Generate(name, 20, 30, 4, 0.5, utility.PIERT, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.NumUsers() != 20 || a.NumItems != 30 || a.K != 4 {
+			t.Errorf("%s: wrong shape", name)
+		}
+		b, err := Generate(name, 20, 30, 4, 0.5, utility.PIERT, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := range a.Pref {
+			for c := range a.Pref[u] {
+				if a.Pref[u][c] != b.Pref[u][c] {
+					t.Fatalf("%s: generation is not deterministic", name)
+				}
+			}
+		}
+	}
+	if _, err := Generate("nope", 5, 5, 2, 0.5, utility.PIERT, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+// TestDatasetContrasts checks the qualitative contrasts the paper attributes
+// to the datasets and that the generators are calibrated to reproduce:
+// Yelp's diversified interests give PER (top-k per user) a lower co-display
+// rate than Epinions, whose widely adopted items coincide across users; and
+// Epinions' sparse, weak trust network yields less social utility than Timik
+// under the same solver.
+func TestDatasetContrasts(t *testing.T) {
+	const n, m, k = 40, 120, 5
+	codisplay := map[Name]float64{}
+	social := map[Name]float64{}
+	for _, name := range All() {
+		var co, soc float64
+		const samples = 3
+		for s := uint64(0); s < samples; s++ {
+			in, err := Generate(name, n, m, k, 0.5, utility.PIERT, 100+s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			conf, err := baselines.PER{}.Solve(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			co += core.ComputeSubgroupMetrics(in, conf).CoDisplayPct
+			avgd := &core.AVGDSolver{Opts: core.AVGDOptions{R: 1}}
+			aconf, err := avgd.Solve(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			soc += core.Evaluate(in, aconf).Social
+		}
+		codisplay[name] = co / samples
+		social[name] = soc / samples
+	}
+	if codisplay[Yelp] >= codisplay[Epinions] {
+		t.Errorf("PER co-display: Yelp %.3f should be below Epinions %.3f",
+			codisplay[Yelp], codisplay[Epinions])
+	}
+	if social[Epinions] >= social[Timik] {
+		t.Errorf("social utility: Epinions %.2f should be below Timik %.2f",
+			social[Epinions], social[Timik])
+	}
+}

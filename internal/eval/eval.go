@@ -1,0 +1,181 @@
+// Package eval reproduces every table and figure of the paper's evaluation
+// (Section 6) on the synthetic dataset substrates. Each Fig* runner returns
+// printable tables; cmd/experiments exposes them on the command line and
+// bench_test.go wraps each one in a benchmark.
+//
+// Scales default to laptop-friendly reductions of the paper's server-scale
+// settings (documented per runner and in EXPERIMENTS.md); the sweep shapes,
+// baselines and metrics match the paper.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"github.com/svgic/svgic/internal/baselines"
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/datasets"
+	"github.com/svgic/svgic/internal/lp"
+	"github.com/svgic/svgic/internal/utility"
+)
+
+// Table is a printable result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Addf appends a row of formatted values: strings pass through, float64
+// render with %.4g, ints with %d, durations with %.3gms.
+func (t *Table) Addf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case time.Duration:
+			row[i] = fmt.Sprintf("%.3gms", float64(v.Microseconds())/1000)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Add(row...)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV renders the table as comma-separated values (cells with commas are
+// quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Config holds the experiment-wide knobs. Zero value is unusable; use
+// DefaultConfig.
+type Config struct {
+	Seed    uint64
+	Samples int // instances averaged per sweep point
+	// Quick shrinks every sweep for fast smoke runs (used by `go test -short`
+	// style checks and the benchmark harness warm-up).
+	Quick bool
+}
+
+// DefaultConfig returns the documented default scales.
+func DefaultConfig() Config { return Config{Seed: 1, Samples: 3} }
+
+func (c Config) samples() int {
+	if c.Quick {
+		return 1
+	}
+	if c.Samples <= 0 {
+		return 3
+	}
+	return c.Samples
+}
+
+// defaultLP is the structured-solver configuration used by all experiment
+// runs.
+func defaultLP() lp.RelaxOptions {
+	return lp.RelaxOptions{MaxPasses: 30, PolishIters: 40, Restarts: 1}
+}
+
+// newAVG builds the experiment-default AVG solver.
+func newAVG(seed uint64) *core.AVGSolver {
+	return &core.AVGSolver{Opts: core.AVGOptions{Seed: seed, LP: defaultLP(), Repeats: 3}}
+}
+
+// newAVGD builds the experiment-default AVG-D solver. The balancing ratio
+// follows the paper's §6.7 sensitivity finding: r = 1/4 carries the proven
+// worst-case guarantee but behaves like the group approach, while
+// r ∈ [0.7, 1.0] is near-optimal in practice; the experiments use r = 1.
+// Figure 12's runner sweeps the full range.
+func newAVGD() *core.AVGDSolver {
+	return &core.AVGDSolver{Opts: core.AVGDOptions{R: 1.0, LP: defaultLP()}}
+}
+
+// lineup returns the standard solver comparison set of the paper's figures
+// (AVG, AVG-D, PER, FMG, SDP, GRF), without the IP baseline.
+func lineup(seed uint64) []core.Solver {
+	return []core.Solver{
+		newAVG(seed),
+		newAVGD(),
+		baselines.PER{},
+		baselines.FMG{Fairness: 1},
+		baselines.SDP{Seed: seed},
+		baselines.GRF{},
+	}
+}
+
+// measure runs a solver and returns its configuration, report and wall time.
+func measure(in *core.Instance, s core.Solver) (*core.Configuration, core.Report, time.Duration, error) {
+	start := time.Now()
+	conf, err := s.Solve(in)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, core.Report{}, elapsed, err
+	}
+	return conf, core.Evaluate(in, conf), elapsed, nil
+}
+
+// generate builds a dataset instance with the experiment seed layering.
+func generate(cfg Config, name datasets.Name, n, m, k int, lambda float64, model utility.ModelKind, sample int) (*core.Instance, error) {
+	return datasets.Generate(name, n, m, k, lambda, model, cfg.Seed+uint64(sample)*1000+7)
+}

@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunnersQuick executes every experiment in Quick mode: tables must be
+// produced, non-empty and printable.
+func TestRunnersQuick(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Quick = true
+	for _, r := range Registry() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tabs, err := r.Fn(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if len(tabs) == 0 {
+				t.Fatalf("%s returned no tables", r.ID)
+			}
+			for _, tab := range tabs {
+				if len(tab.Rows) == 0 {
+					t.Errorf("%s table %q has no rows", r.ID, tab.Title)
+				}
+				var sb strings.Builder
+				tab.Fprint(&sb)
+				if !strings.Contains(sb.String(), tab.Title) {
+					t.Errorf("%s: printed output missing title", r.ID)
+				}
+				if csv := tab.CSV(); !strings.Contains(csv, tab.Columns[0]) {
+					t.Errorf("%s: CSV missing header", r.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("fig5"); err != nil {
+		t.Fatalf("Lookup(fig5): %v", err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("Lookup(nope) succeeded, want error")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{Title: "t", Columns: []string{"a", "b"}}
+	tab.Addf("x,y", 1.5)
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Errorf("CSV did not quote comma cell: %q", csv)
+	}
+}
+
+// TestRunningExampleGolden pins the running-example table to the published
+// values (third column carries the paper's numbers).
+func TestRunningExampleGolden(t *testing.T) {
+	tabs, err := RunningExample(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"optimal (Fig 1)":     "10.35",
+		"AVG (Example 4 run)": "9.75",
+		"PER":                 "8.25",
+		"FMG":                 "8.35",
+		"SDP":                 "8.4",
+		"GRF":                 "8.7",
+	}
+	seen := 0
+	for _, row := range tabs[0].Rows {
+		if w, ok := want[row[0]]; ok {
+			if row[1] != w {
+				t.Errorf("%s = %s, want %s", row[0], row[1], w)
+			}
+			seen++
+		}
+	}
+	if seen != len(want) {
+		t.Errorf("only %d of %d golden rows present", seen, len(want))
+	}
+}
+
+func TestRegistryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Registry() {
+		if seen[r.ID] {
+			t.Errorf("duplicate experiment id %q", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Paper == "" || r.Fn == nil {
+			t.Errorf("experiment %q incomplete", r.ID)
+		}
+	}
+	if len(seen) < 25 {
+		t.Errorf("registry has only %d experiments", len(seen))
+	}
+}

@@ -1,0 +1,260 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/datasets"
+	"github.com/svgic/svgic/internal/utility"
+)
+
+// Large-dataset experiments (paper §6.3–6.4, Figures 5–9(b)). Paper defaults
+// are (k, m, n) = (50, 10000, 125); our defaults reduce to (10, 300, ≤125)
+// so the full harness runs in minutes on a laptop while preserving the
+// sweep shapes. See EXPERIMENTS.md for the exact mapping.
+
+// large-default sizes.
+const (
+	largeM = 300
+	largeK = 10
+)
+
+// Fig5LargeN reproduces Figure 5: total SAVG utility versus the user-set
+// size on the Timik profile.
+func Fig5LargeN(cfg Config) ([]*Table, error) {
+	points := []int{25, 50, 75, 100, 125}
+	if cfg.Quick {
+		points = []int{25}
+	}
+	names := solverNames(lineup(cfg.Seed))
+	tab := &Table{
+		Title:   "Fig 5: total SAVG utility vs size of user set (Timik profile)",
+		Columns: append([]string{"n"}, names...),
+	}
+	for _, n := range points {
+		sums := make([]float64, len(names))
+		for sample := 0; sample < cfg.samples(); sample++ {
+			in, err := generate(cfg, datasets.Timik, n, largeM, largeK, 0.5, utility.PIERT, sample)
+			if err != nil {
+				return nil, err
+			}
+			for i, s := range lineup(cfg.Seed + uint64(sample)) {
+				_, rep, _, err := measure(in, s)
+				if err != nil {
+					return nil, fmt.Errorf("%s at n=%d: %w", s.Name(), n, err)
+				}
+				sums[i] += rep.Scaled()
+			}
+		}
+		row := []interface{}{n}
+		for i := range names {
+			row = append(row, sums[i]/float64(cfg.samples()))
+		}
+		tab.Addf(row...)
+	}
+	return []*Table{tab}, nil
+}
+
+// Fig6Datasets reproduces Figure 6: total SAVG utility (split into
+// preference and social shares) on the three dataset profiles.
+func Fig6Datasets(cfg Config) ([]*Table, error) {
+	n := 50
+	if cfg.Quick {
+		n = 20
+	}
+	tab := &Table{
+		Title:   "Fig 6: total SAVG utility across datasets",
+		Columns: []string{"dataset", "scheme", "scaled_total", "preference", "social"},
+	}
+	for _, ds := range datasets.All() {
+		for sample := 0; sample < cfg.samples(); sample++ {
+			in, err := generate(cfg, ds, n, largeM, largeK, 0.5, utility.PIERT, sample)
+			if err != nil {
+				return nil, err
+			}
+			if sample > 0 {
+				continue // table reports the first sample; samples>1 used by Fig5/Fig10 averaging
+			}
+			for _, s := range lineup(cfg.Seed) {
+				_, rep, _, err := measure(in, s)
+				if err != nil {
+					return nil, err
+				}
+				tab.Addf(string(ds), s.Name(), rep.Scaled(), rep.Preference, rep.Social)
+			}
+		}
+	}
+	return []*Table{tab}, nil
+}
+
+// Fig7InputModels reproduces Figure 7: total SAVG utility under the three
+// simulated utility learners (PIERT default, AGREE, GREE) on Timik.
+func Fig7InputModels(cfg Config) ([]*Table, error) {
+	n := 50
+	if cfg.Quick {
+		n = 20
+	}
+	tab := &Table{
+		Title:   "Fig 7: total SAVG utility vs utility-learning model (Timik profile)",
+		Columns: []string{"model", "scheme", "scaled_total", "preference", "social"},
+	}
+	for _, model := range []utility.ModelKind{utility.PIERT, utility.AGREE, utility.GREE} {
+		in, err := generate(cfg, datasets.Timik, n, largeM, largeK, 0.5, model, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range lineup(cfg.Seed) {
+			_, rep, _, err := measure(in, s)
+			if err != nil {
+				return nil, err
+			}
+			tab.Addf(model.String(), s.Name(), rep.Scaled(), rep.Preference, rep.Social)
+		}
+	}
+	return []*Table{tab}, nil
+}
+
+// Fig8Scalability reproduces Figures 8(a)(b): execution time versus n and m
+// on the Yelp profile (IP excluded — the paper reports it cannot finish).
+func Fig8Scalability(cfg Config) ([]*Table, error) {
+	nPoints := []int{25, 50, 75, 100, 125}
+	mPoints := []int{125, 250, 500, 1000}
+	if cfg.Quick {
+		nPoints, mPoints = []int{25}, []int{125}
+	}
+	names := solverNames(lineup(cfg.Seed))
+	tabN := &Table{
+		Title:   "Fig 8(a): execution time vs size of user set (Yelp profile)",
+		Columns: append([]string{"n"}, names...),
+	}
+	for _, n := range nPoints {
+		in, err := generate(cfg, datasets.Yelp, n, largeM, largeK, 0.5, utility.PIERT, 0)
+		if err != nil {
+			return nil, err
+		}
+		row := []interface{}{n}
+		for _, s := range lineup(cfg.Seed) {
+			_, _, elapsed, err := measure(in, s)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, elapsed)
+		}
+		tabN.Addf(row...)
+	}
+	tabM := &Table{
+		Title:   "Fig 8(b): execution time vs size of item set (Yelp profile)",
+		Columns: append([]string{"m"}, names...),
+	}
+	for _, m := range mPoints {
+		in, err := generate(cfg, datasets.Yelp, 50, m, largeK, 0.5, utility.PIERT, 0)
+		if err != nil {
+			return nil, err
+		}
+		row := []interface{}{m}
+		for _, s := range lineup(cfg.Seed) {
+			_, _, elapsed, err := measure(in, s)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, elapsed)
+		}
+		tabM.Addf(row...)
+	}
+	return []*Table{tabN, tabM}, nil
+}
+
+// Fig9bAblation reproduces Figure 9(b): the effect of the two speed-up
+// strategies. "-ALP" replaces the condensed LP_SIMP with the k-times-larger
+// full LP_SVGIC (both solved by the same exact simplex, so the gap is purely
+// Observation 2's transformation); "-AS" disables the advanced focal
+// sampling in AVG and the incremental candidate filtering in AVG-D.
+func Fig9bAblation(cfg Config) ([]*Table, error) {
+	// The simplex-vs-simplex comparison needs a small model; the sampling
+	// ablation shows best at a larger k.
+	inLP, err := generate(cfg, datasets.Timik, 8, 10, 3, 0.5, utility.PIERT, 0)
+	if err != nil {
+		return nil, err
+	}
+	inAS, err := generate(cfg, datasets.Timik, 25, 60, 6, 0.5, utility.PIERT, 0)
+	if err != nil {
+		return nil, err
+	}
+	tab := &Table{
+		Title:   "Fig 9(b): effect of speedup strategies (LP variants time the full pipeline; sampling variants time the rounding phase over 20 repetitions)",
+		Columns: []string{"variant", "instance", "time", "scaled_total"},
+	}
+	// LP-transformation ablation: whole-pipeline time, exact simplex both
+	// sides, so the gap is purely the k-times-larger model of LP_SVGIC.
+	type lpVariant struct {
+		name string
+		run  func(in *core.Instance) (*core.Configuration, error)
+	}
+	lpVariants := []lpVariant{
+		{"AVG (condensed LP_SIMP)", func(in *core.Instance) (*core.Configuration, error) {
+			c, _, err := core.SolveAVG(in, core.AVGOptions{Seed: cfg.Seed, LPMode: core.LPSimplexCondensed})
+			return c, err
+		}},
+		{"AVG-ALP (full LP_SVGIC)", func(in *core.Instance) (*core.Configuration, error) {
+			c, _, err := core.SolveAVG(in, core.AVGOptions{Seed: cfg.Seed, LPMode: core.LPSimplexFull})
+			return c, err
+		}},
+		{"AVG-D (condensed LP_SIMP)", func(in *core.Instance) (*core.Configuration, error) {
+			c, _, err := core.SolveAVGD(in, core.AVGDOptions{LPMode: core.LPSimplexCondensed})
+			return c, err
+		}},
+		{"AVG-D-ALP (full LP_SVGIC)", func(in *core.Instance) (*core.Configuration, error) {
+			c, _, err := core.SolveAVGD(in, core.AVGDOptions{LPMode: core.LPSimplexFull})
+			return c, err
+		}},
+	}
+	for _, v := range lpVariants {
+		start := time.Now()
+		conf, err := v.run(inLP)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v.name, err)
+		}
+		tab.Addf(v.name, "small", elapsed, core.Evaluate(inLP, conf).Scaled())
+	}
+	// Sampling ablation: the LP is shared, only the rounding differs, so the
+	// rounding phase is what gets timed (20 repetitions for stable numbers).
+	f, err := core.SolveRelaxation(inAS, core.LPStructured, defaultLP())
+	if err != nil {
+		return nil, err
+	}
+	const reps = 20
+	type roundVariant struct {
+		name string
+		run  func(rep int) *core.Configuration
+	}
+	roundVariants := []roundVariant{
+		{"AVG rounding (advanced sampling)", func(rep int) *core.Configuration {
+			c, _ := core.RoundAVG(inAS, f, core.AVGOptions{Seed: cfg.Seed + uint64(rep)})
+			return c
+		}},
+		{"AVG-AS rounding (original sampling)", func(rep int) *core.Configuration {
+			c, _ := core.RoundAVG(inAS, f, core.AVGOptions{Seed: cfg.Seed + uint64(rep), Sampling: core.SamplingOriginal})
+			return c
+		}},
+		{"AVG-D rounding (incremental)", func(int) *core.Configuration {
+			c, _ := core.RoundAVGD(inAS, f, core.AVGDOptions{R: 1})
+			return c
+		}},
+		{"AVG-D-AS rounding (full rescan)", func(int) *core.Configuration {
+			c, _ := core.RoundAVGD(inAS, f, core.AVGDOptions{R: 1, FullRescan: true})
+			return c
+		}},
+	}
+	for _, v := range roundVariants {
+		start := time.Now()
+		var conf *core.Configuration
+		for rep := 0; rep < reps; rep++ {
+			conf = v.run(rep)
+		}
+		elapsed := time.Since(start) / reps
+		tab.Addf(v.name, "medium", elapsed, core.Evaluate(inAS, conf).Scaled())
+	}
+	return []*Table{tab}, nil
+}

@@ -1,0 +1,186 @@
+package eval
+
+import (
+	"fmt"
+
+	"github.com/svgic/svgic/internal/baselines"
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/graph"
+	"github.com/svgic/svgic/internal/paperex"
+	"github.com/svgic/svgic/internal/stats"
+	"github.com/svgic/svgic/internal/userstudy"
+)
+
+// RunningExample reproduces the paper's worked example (Tables 7–9,
+// Example 5): all scheme values on the Alice/Bob/Charlie/Dave instance.
+func RunningExample(cfg Config) ([]*Table, error) {
+	in := paperex.New(0.5)
+	tab := &Table{
+		Title:   "Running example (Tables 7-9): scaled SAVG utility per scheme (paper values in parentheses where published)",
+		Columns: []string{"scheme", "scaled_total", "paper"},
+	}
+	tab.Addf("optimal (Fig 1)", core.Evaluate(in, paperex.OptimalConfig()).Scaled(), paperex.OptimalScaled)
+	tab.Addf("AVG (Example 4 run)", core.Evaluate(in, paperex.AVGExampleConfig()).Scaled(), paperex.AVGExampleScaled)
+
+	f := paperex.Table6Factors(in)
+	avgdConf, _ := core.RoundAVGD(in, f, core.AVGDOptions{R: core.DefaultR})
+	tab.Addf("AVG-D (Table 6 factors)", core.Evaluate(in, avgdConf).Scaled(), 9.85)
+
+	for _, s := range []core.Solver{
+		baselines.PER{},
+		baselines.FMG{},
+		baselines.SDP{Groups: 2},
+		baselines.GRF{Groups: 2},
+	} {
+		conf, err := s.Solve(in)
+		if err != nil {
+			return nil, err
+		}
+		var paper float64
+		switch s.Name() {
+		case "PER":
+			paper = paperex.PersonalizedScaled
+		case "FMG":
+			paper = paperex.GroupScaled
+		case "SDP":
+			paper = paperex.SubgroupByFriendshipScaled
+		case "GRF":
+			paper = paperex.SubgroupByPreferenceScaled
+		}
+		tab.Addf(s.Name(), core.Evaluate(in, conf).Scaled(), paper)
+	}
+	return []*Table{tab}, nil
+}
+
+// Theorem1Gaps instantiates the Theorem 1 constructions and verifies the
+// claimed OPT / special-case ratios empirically.
+func Theorem1Gaps(cfg Config) ([]*Table, error) {
+	tab := &Table{
+		Title:   "Theorem 1: gap instances against the group / personalized special cases",
+		Columns: []string{"instance", "n", "opt_or_bound", "special_case_value", "ratio", "claimed"},
+	}
+	for _, n := range []int{4, 8, 16} {
+		inG, opt, groupOpt := core.TheoremOneGroupGap(n, 3, 0.5)
+		if err := inG.Validate(); err != nil {
+			return nil, err
+		}
+		tab.Addf("I_G (vs group)", n, opt, groupOpt, opt/groupOpt, fmt.Sprintf("n=%d", n))
+
+		inP, common, personal := core.TheoremOnePersonalGap(n, 2, 0.5, 0.01)
+		if err := inP.Validate(); err != nil {
+			return nil, err
+		}
+		claimed := 1 + 0.5/(1-0.5)*float64(n-1)/2
+		tab.Addf("I_P (vs personalized)", n, common, personal, common/personal,
+			fmt.Sprintf("≈%.3g", claimed))
+	}
+	return []*Table{tab}, nil
+}
+
+// Lemma3IndependentRounding demonstrates Lemma 3: on the indifferent-
+// preference instance, independent rounding recovers only a Θ(1/m) fraction
+// of the optimum achieved by co-displaying one item to everyone, while CSF
+// recovers it in one shot.
+func Lemma3IndependentRounding(cfg Config) ([]*Table, error) {
+	tab := &Table{
+		Title:   "Lemma 3: independent rounding vs CSF on the indifferent instance (expected ratio ≈ 1/m)",
+		Columns: []string{"m", "independent_ratio", "csf_ratio", "one_over_m"},
+	}
+	for _, m := range []int{5, 10, 20} {
+		in, f, opt := lemma3Instance(8, m, 2)
+		trials := 40
+		var indep float64
+		for t := 0; t < trials; t++ {
+			conf := core.TrivialRounding(in, f, cfg.Seed+uint64(t))
+			indep += core.Evaluate(in, conf).Weighted()
+		}
+		indep /= float64(trials)
+		csfConf, _ := core.RoundAVG(in, f, core.AVGOptions{Seed: cfg.Seed})
+		csf := core.Evaluate(in, csfConf).Weighted()
+		tab.Addf(m, indep/opt, csf/opt, 1/float64(m))
+	}
+	return []*Table{tab}, nil
+}
+
+// lemma3Instance builds the Lemma 3 construction: complete graph, zero
+// preferences, τ = const for every (pair, item); the uniform fractional
+// point x̄ = k/m is LP-optimal. Returns the instance, the uniform factors
+// and the optimum (co-display everyone on k common items).
+func lemma3Instance(n, m, k int) (*core.Instance, *core.Factors, float64) {
+	const tau = 0.5
+	g := graph.Complete(n)
+	in := core.NewInstance(g, m, k, 1)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Out(u) {
+			for c := 0; c < m; c++ {
+				if err := in.SetTau(u, v, c, tau); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	X := make([][]float64, n)
+	for u := range X {
+		X[u] = make([]float64, m)
+		for c := range X[u] {
+			X[u][c] = float64(k) / float64(m)
+		}
+	}
+	f := core.FactorsFromCondensed(in, X)
+	opt := float64(n*(n-1)) * tau * float64(k) // λ=1, all ordered pairs, k slots
+	return in, f, opt
+}
+
+// Fig16UserStudy reproduces Figures 16(a)–(d): the simulated user study.
+func Fig16UserStudy(cfg Config) ([]*Table, error) {
+	study := userstudy.Default()
+	study.Seed = cfg.Seed + 100
+	if cfg.Quick {
+		study.Participants = 12
+	}
+	out, err := userstudy.Run(study)
+	if err != nil {
+		return nil, err
+	}
+	lamTab := &Table{
+		Title:   fmt.Sprintf("Fig 16(a): λ distribution (mean %.3f, range %.2f-%.2f)", stats.Mean(out.Lambdas), minOf(out.Lambdas), maxOf(out.Lambdas)),
+		Columns: []string{"bin", "count"},
+	}
+	for i, c := range out.LambdaHist {
+		lamTab.Addf(fmt.Sprintf("%.1f-%.1f", float64(i)/10, float64(i+1)/10), c)
+	}
+	satTab := &Table{
+		Title:   fmt.Sprintf("Fig 16(b): SAVG utility and user satisfaction (Spearman %.3f, Pearson %.3f, p=%.4f)", out.Spearman, out.Pearson, out.PValue),
+		Columns: []string{"scheme", "mean_scaled_utility", "mean_satisfaction(1-5)"},
+	}
+	metTab := &Table{
+		Title:   "Fig 16(c)(d): subgroup metrics in the user study",
+		Columns: []string{"scheme", "intra_pct", "inter_pct", "norm_density", "codisplay_pct", "alone_pct"},
+	}
+	for _, m := range out.Methods {
+		satTab.Addf(m.Name, m.MeanScaledTotal, m.MeanSatisfaction)
+		metTab.Addf(m.Name, m.Metrics.IntraPct, m.Metrics.InterPct,
+			m.Metrics.NormalizedDensity, m.Metrics.CoDisplayPct, m.Metrics.AlonePct)
+	}
+	return []*Table{lamTab, satTab, metTab}, nil
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

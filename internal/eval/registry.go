@@ -1,0 +1,61 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner is one experiment entry point.
+type Runner struct {
+	ID    string
+	Paper string // which paper table/figure it reproduces
+	Fn    func(Config) ([]*Table, error)
+}
+
+// Registry lists every experiment in the paper's presentation order.
+func Registry() []Runner {
+	return []Runner{
+		{"example", "Tables 7-9 / Example 5", RunningExample},
+		{"fig3n", "Figure 3(a)(b)", Fig3UtilityVsN},
+		{"fig3m", "Figure 3(c)(d)", Fig3UtilityVsM},
+		{"fig3k", "Figure 3(e)(f)", Fig3UtilityVsK},
+		{"fig4", "Figure 4", Fig4Lambda},
+		{"fig5", "Figure 5", Fig5LargeN},
+		{"fig6", "Figure 6", Fig6Datasets},
+		{"fig7", "Figure 7", Fig7InputModels},
+		{"fig8", "Figure 8(a)(b)", Fig8Scalability},
+		{"fig9a", "Figure 9(a)", Fig9aMIPStrategies},
+		{"fig9b", "Figure 9(b)", Fig9bAblation},
+		{"fig10", "Figure 10(a)-(i)", Fig10SubgroupMetrics},
+		{"fig11", "Figure 11", Fig11CaseStudy},
+		{"fig12", "Figure 12(a)-(d)", Fig12RSensitivity},
+		{"fig13", "Figure 13(a)(b)", Fig13STViolations},
+		{"fig14", "Figures 14-15", Fig14_15STUtility},
+		{"fig16", "Figure 16(a)-(d)", Fig16UserStudy},
+		{"theorem1", "Theorem 1", Theorem1Gaps},
+		{"lemma3", "Lemma 3", Lemma3IndependentRounding},
+		{"extmvd", "Extension C (multi-view β sweep)", ExtMVDBeta},
+		{"extslots", "Extension B (slot significance)", ExtSlotSignificance},
+		{"extstability", "Extension E (subgroup smoothing)", ExtStability},
+		{"extdynamic", "Extension F (dynamic join/leave)", ExtDynamic},
+		{"extcommodity", "Extension A (commodity values)", ExtCommodity},
+		{"ablation-repeats", "Corollary 4.1 (best-of-R rounding)", AblationRepeats},
+		{"ablation-lp", "Corollary 4.2 (LP budget vs quality)", AblationLPBudget},
+		{"trace", "AVG-D CSF decision trace", Fig11Trace},
+	}
+}
+
+// Lookup finds a runner by id.
+func Lookup(id string) (Runner, error) {
+	for _, r := range Registry() {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	ids := make([]string, 0, len(Registry()))
+	for _, r := range Registry() {
+		ids = append(ids, r.ID)
+	}
+	sort.Strings(ids)
+	return Runner{}, fmt.Errorf("eval: unknown experiment %q (known: %v)", id, ids)
+}

@@ -1,0 +1,209 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/svgic/svgic/internal/baselines"
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/datasets"
+	"github.com/svgic/svgic/internal/mip"
+	"github.com/svgic/svgic/internal/utility"
+)
+
+// Small-dataset experiments (paper §6.2, Figures 3 and 4, plus the Figure
+// 9(a) MIP-strategy sweep). The paper samples small networks from Timik by
+// random walk and includes the exact IP; our defaults keep the IP tractable
+// for the from-scratch branch and bound (see EXPERIMENTS.md).
+
+const ipTimeout = 20 * time.Second
+
+// smallLineup is the small-data comparison set including the exact IP.
+func smallLineup(seed uint64, withIP bool) []core.Solver {
+	ls := lineup(seed)
+	if withIP {
+		ls = append(ls, &baselines.IP{Strategy: mip.Primal, TimeLimit: ipTimeout, WarmStart: true})
+	}
+	return ls
+}
+
+// sweepUtilityTime runs the comparison lineup over instances produced by
+// gen(point, sample) and emits one utility row and one time row per point.
+func sweepUtilityTime(cfg Config, pointLabel string, points []int,
+	gen func(point, sample int) (*core.Instance, error), withIP bool) (utilTab, timeTab *Table, err error) {
+
+	names := solverNames(smallLineup(cfg.Seed, withIP))
+	utilTab = &Table{Columns: append([]string{pointLabel}, names...)}
+	timeTab = &Table{Columns: append([]string{pointLabel}, names...)}
+	for _, pt := range points {
+		sums := make([]float64, len(names))
+		times := make([]time.Duration, len(names))
+		for sample := 0; sample < cfg.samples(); sample++ {
+			in, err := gen(pt, sample)
+			if err != nil {
+				return nil, nil, err
+			}
+			solvers := smallLineup(cfg.Seed+uint64(sample), withIP)
+			for i, s := range solvers {
+				_, rep, elapsed, err := measure(in, s)
+				if err != nil {
+					return nil, nil, fmt.Errorf("%s on %s=%d: %w", s.Name(), pointLabel, pt, err)
+				}
+				sums[i] += rep.Scaled()
+				times[i] += elapsed
+			}
+		}
+		urow := []interface{}{pt}
+		trow := []interface{}{pt}
+		for i := range names {
+			urow = append(urow, sums[i]/float64(cfg.samples()))
+			trow = append(trow, times[i]/time.Duration(cfg.samples()))
+		}
+		utilTab.Addf(urow...)
+		timeTab.Addf(trow...)
+	}
+	return utilTab, timeTab, nil
+}
+
+func solverNames(ss []core.Solver) []string {
+	names := make([]string, len(ss))
+	for i, s := range ss {
+		names[i] = s.Name()
+	}
+	return names
+}
+
+// Fig3UtilityVsN reproduces Figures 3(a)(b): total SAVG utility and
+// execution time versus the user-set size on small Timik samples, IP
+// included. Paper point values n∈{5..25}; default reduction n∈{4..12},
+// m=12, k=3 keeps the exact IP inside its time limit.
+func Fig3UtilityVsN(cfg Config) ([]*Table, error) {
+	points := []int{4, 6, 8, 10, 12}
+	if cfg.Quick {
+		points = []int{4, 6}
+	}
+	u, tm, err := sweepUtilityTime(cfg, "n", points, func(pt, sample int) (*core.Instance, error) {
+		return generate(cfg, datasets.Timik, pt, 12, 3, 0.5, utility.PIERT, sample)
+	}, true)
+	if err != nil {
+		return nil, err
+	}
+	u.Title = "Fig 3(a): total SAVG utility vs size of user set (small Timik)"
+	tm.Title = "Fig 3(b): execution time vs size of user set (small Timik)"
+	return []*Table{u, tm}, nil
+}
+
+// Fig3UtilityVsM reproduces Figures 3(c)(d): utility and time versus the
+// item-set size (n=8, k=3).
+func Fig3UtilityVsM(cfg Config) ([]*Table, error) {
+	points := []int{6, 12, 24, 48}
+	if cfg.Quick {
+		points = []int{6, 12}
+	}
+	u, tm, err := sweepUtilityTime(cfg, "m", points, func(pt, sample int) (*core.Instance, error) {
+		return generate(cfg, datasets.Timik, 8, pt, 3, 0.5, utility.PIERT, sample)
+	}, !cfg.Quick)
+	if err != nil {
+		return nil, err
+	}
+	u.Title = "Fig 3(c): total SAVG utility vs size of item set (small Timik)"
+	tm.Title = "Fig 3(d): execution time vs size of item set (small Timik)"
+	return []*Table{u, tm}, nil
+}
+
+// Fig3UtilityVsK reproduces Figures 3(e)(f): utility and time versus the
+// number of display slots (n=8, m=24).
+func Fig3UtilityVsK(cfg Config) ([]*Table, error) {
+	points := []int{2, 3, 4, 6}
+	if cfg.Quick {
+		points = []int{2, 3}
+	}
+	u, tm, err := sweepUtilityTime(cfg, "k", points, func(pt, sample int) (*core.Instance, error) {
+		return generate(cfg, datasets.Timik, 8, 24, pt, 0.5, utility.PIERT, sample)
+	}, false)
+	if err != nil {
+		return nil, err
+	}
+	u.Title = "Fig 3(e): total SAVG utility vs number of slots (small Timik)"
+	tm.Title = "Fig 3(f): execution time vs number of slots (small Timik)"
+	return []*Table{u, tm}, nil
+}
+
+// Fig4Lambda reproduces Figure 4: per-scheme SAVG utility normalized by the
+// exact IP optimum, split into preference and social shares, for
+// λ ∈ {1/3, 1/2, 2/3}.
+func Fig4Lambda(cfg Config) ([]*Table, error) {
+	lambdas := []float64{1.0 / 3, 0.5, 2.0 / 3}
+	tab := &Table{
+		Title:   "Fig 4: normalized total SAVG utility (split into Personal%/Social% of total) vs λ",
+		Columns: []string{"lambda", "scheme", "normalized", "personal_pct", "social_pct"},
+	}
+	for _, lambda := range lambdas {
+		in, err := generate(cfg, datasets.Timik, 8, 12, 3, lambda, utility.PIERT, 0)
+		if err != nil {
+			return nil, err
+		}
+		ip := &baselines.IP{Strategy: mip.Primal, TimeLimit: ipTimeout, WarmStart: true}
+		_, ipRep, _, err := measure(in, ip)
+		if err != nil {
+			return nil, err
+		}
+		norm := ipRep.Weighted()
+		solvers := append(lineup(cfg.Seed), ip)
+		for _, s := range solvers {
+			_, rep, _, err := measure(in, s)
+			if err != nil {
+				return nil, err
+			}
+			nv := 0.0
+			if norm > 0 {
+				nv = rep.Weighted() / norm
+			}
+			tab.Addf(fmt.Sprintf("%.2f", lambda), s.Name(), nv, rep.PreferencePct(), rep.SocialPct())
+		}
+	}
+	return []*Table{tab}, nil
+}
+
+// Fig9aMIPStrategies reproduces Figure 9(a): the five MIP strategies are
+// given time budgets of 200×, 1000× and 5000× the AVG-D runtime on the same
+// instance; the objective is reported normalized by AVG-D's (0 = no feasible
+// incumbent found in budget). The instance is sized so the IP does not solve
+// at the root relaxation, reproducing the paper's finding that no strategy
+// reaches AVG-D's quality-per-time.
+func Fig9aMIPStrategies(cfg Config) ([]*Table, error) {
+	in, err := generate(cfg, datasets.Timik, 10, 12, 3, 0.5, utility.PIERT, 0)
+	if err != nil {
+		return nil, err
+	}
+	avgd := newAVGD()
+	_, rep, avgdTime, err := measure(in, avgd)
+	if err != nil {
+		return nil, err
+	}
+	if avgdTime <= 0 {
+		avgdTime = time.Millisecond
+	}
+	budgets := []int{200, 1000, 5000}
+	if cfg.Quick {
+		budgets = []int{200}
+	}
+	tab := &Table{
+		Title:   fmt.Sprintf("Fig 9(a): MIP strategies, objective normalized by AVG-D (AVG-D time %v, value %.4g)", avgdTime, rep.Weighted()),
+		Columns: []string{"strategy", "budget_x_avgd", "normalized_obj", "status", "nodes"},
+	}
+	for _, strat := range []mip.Strategy{mip.Primal, mip.Dual, mip.Concurrent, mip.DetConcurrent, mip.Barrier} {
+		for _, mult := range budgets {
+			res, err := mip.Solve(in, mip.Options{Strategy: strat, TimeLimit: time.Duration(mult) * avgdTime})
+			if err != nil {
+				return nil, err
+			}
+			nv := 0.0
+			if rep.Weighted() > 0 && res.Config != nil {
+				nv = res.Objective / rep.Weighted()
+			}
+			tab.Addf(strat.String(), mult, nv, res.Status.String(), res.Nodes)
+		}
+	}
+	return []*Table{tab}, nil
+}

@@ -1,0 +1,161 @@
+package eval
+
+import (
+	"fmt"
+
+	"github.com/svgic/svgic/internal/baselines"
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/datasets"
+	"github.com/svgic/svgic/internal/utility"
+)
+
+// SVGIC-ST experiments (paper §6.8, Figures 13–15): subgroup size
+// constraint M and the teleportation discount. The baselines do not know
+// about M; the "-P" variants prepartition the user set into ⌈n/M⌉ balanced
+// groups first, which reduces — but does not eliminate — violations.
+
+const stDTel = 0.5
+
+// stAVG builds the AVG solver with the capped CSF.
+func stAVG(seed uint64, m int) core.Solver {
+	return &core.AVGSolver{Opts: core.AVGOptions{Seed: seed, LP: defaultLP(), SizeCap: m, Repeats: 3}}
+}
+
+// stBaselines returns the baseline set, prepartitioned ("-P") or not ("-NP").
+func stBaselines(seed uint64, m int, prepartition bool) []core.Solver {
+	inner := []core.Solver{
+		baselines.PER{},
+		baselines.FMG{Fairness: 1},
+		baselines.SDP{Seed: seed},
+		baselines.GRF{},
+	}
+	if !prepartition {
+		return inner
+	}
+	out := make([]core.Solver, len(inner))
+	for i, s := range inner {
+		out[i] = baselines.Prepartitioned{Inner: s, M: m, Seed: seed}
+	}
+	return out
+}
+
+// Fig13STViolations reproduces Figures 13(a)(b): total subgroup-size
+// violations (in users over the cap, summed over slots and instances) for
+// every method with and without prepartitioning, on Timik (n=25) and
+// Epinions (n=15).
+func Fig13STViolations(cfg Config) ([]*Table, error) {
+	type dsCase struct {
+		name datasets.Name
+		n    int
+	}
+	cases := []dsCase{{datasets.Timik, 25}, {datasets.Epinions, 15}}
+	ms := []int{3, 5, 8}
+	instances := 10
+	if cfg.Quick {
+		instances = 2
+		ms = []int{3}
+	}
+	var tables []*Table
+	for _, dc := range cases {
+		tab := &Table{
+			Title:   fmt.Sprintf("Fig 13: total size-constraint violations (%s, n=%d, %d instances)", dc.name, dc.n, instances),
+			Columns: []string{"M", "method", "violations", "feasible_pct"},
+		}
+		for _, m := range ms {
+			type methodRun struct {
+				name   string
+				solver func(sample int) core.Solver
+			}
+			methods := []methodRun{
+				{"AVG(ST)", func(sample int) core.Solver { return stAVG(cfg.Seed+uint64(sample), m) }},
+			}
+			for _, prep := range []bool{false, true} {
+				prep := prep
+				for bi := range stBaselines(cfg.Seed, m, prep) {
+					bi := bi
+					suffix := "-NP"
+					if prep {
+						suffix = "-P"
+					}
+					base := stBaselines(cfg.Seed, m, prep)[bi]
+					methods = append(methods, methodRun{
+						name: trimSuffixName(base.Name()) + suffix,
+						solver: func(sample int) core.Solver {
+							return stBaselines(cfg.Seed+uint64(sample), m, prep)[bi]
+						},
+					})
+				}
+			}
+			for _, meth := range methods {
+				totalViol, feasible := 0, 0
+				for sample := 0; sample < instances; sample++ {
+					in, err := generate(cfg, dc.name, dc.n, 40, 5, 0.5, utility.PIERT, sample)
+					if err != nil {
+						return nil, err
+					}
+					conf, err := meth.solver(sample).Solve(in)
+					if err != nil {
+						return nil, err
+					}
+					v := conf.SizeViolations(m)
+					totalViol += v
+					if v == 0 {
+						feasible++
+					}
+				}
+				tab.Addf(m, meth.name, totalViol, 100*float64(feasible)/float64(instances))
+			}
+		}
+		tables = append(tables, tab)
+	}
+	return tables, nil
+}
+
+func trimSuffixName(name string) string {
+	for _, suf := range []string{"-P", "-NP"} {
+		if len(name) > len(suf) && name[len(name)-len(suf):] == suf {
+			return name[:len(name)-len(suf)]
+		}
+	}
+	return name
+}
+
+// Fig14_15STUtility reproduces Figures 14 and 15: total SAVG utility (with
+// the teleportation discount d_tel=0.5) under the subgroup size constraint
+// M ∈ {3, 5, 15} on Timik and Epinions with n=15. Following the paper,
+// infeasible solutions score 0, and baselines run with prepartitioning.
+func Fig14_15STUtility(cfg Config) ([]*Table, error) {
+	ms := []int{3, 5, 15}
+	if cfg.Quick {
+		ms = []int{5}
+	}
+	var tables []*Table
+	for _, ds := range []datasets.Name{datasets.Timik, datasets.Epinions} {
+		tab := &Table{
+			Title:   fmt.Sprintf("Fig 14/15: total SAVG utility vs subgroup size constraint (%s, n=15, d_tel=%.1f)", ds, stDTel),
+			Columns: []string{"M", "method", "scaled_total", "preference", "social", "violations"},
+		}
+		for _, m := range ms {
+			in, err := generate(cfg, ds, 15, 40, 5, 0.5, utility.PIERT, 0)
+			if err != nil {
+				return nil, err
+			}
+			methods := append([]core.Solver{stAVG(cfg.Seed, m)}, stBaselines(cfg.Seed, m, true)...)
+			for _, s := range methods {
+				conf, err := s.Solve(in)
+				if err != nil {
+					return nil, err
+				}
+				viol := conf.SizeViolations(m)
+				rep := core.EvaluateST(in, conf, stDTel)
+				total := rep.Scaled()
+				if viol > 0 {
+					total = 0 // infeasible solutions score zero, as in the paper
+				}
+				tab.Addf(m, s.Name(), total, rep.Preference, rep.Social, viol)
+			}
+		}
+		tables = append(tables, tab)
+	}
+	return tables, nil
+}

@@ -1,0 +1,193 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/datasets"
+	"github.com/svgic/svgic/internal/graph"
+	"github.com/svgic/svgic/internal/stats"
+	"github.com/svgic/svgic/internal/utility"
+)
+
+// Subgroup-level experiments (paper §6.5–6.7, Figures 10–12).
+
+// Fig10SubgroupMetrics reproduces Figures 10(a)–(i): inter/intra-subgroup
+// edge ratios, normalized subgroup density, co-display and alone rates, and
+// regret-ratio distribution for every scheme on the three dataset profiles.
+func Fig10SubgroupMetrics(cfg Config) ([]*Table, error) {
+	n := 50
+	if cfg.Quick {
+		n = 20
+	}
+	metricsTab := &Table{
+		Title: "Fig 10(a-f): subgroup structure per dataset and scheme",
+		Columns: []string{"dataset", "scheme", "intra_pct", "inter_pct",
+			"norm_density", "codisplay_pct", "alone_pct"},
+	}
+	regretTab := &Table{
+		Title:   "Fig 10(g-i): regret-ratio distribution (mean and quantiles)",
+		Columns: []string{"dataset", "scheme", "mean", "p25", "p50", "p75", "p95"},
+	}
+	for _, ds := range datasets.All() {
+		in, err := generate(cfg, ds, n, largeM, largeK, 0.5, utility.PIERT, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range lineup(cfg.Seed) {
+			conf, _, _, err := measure(in, s)
+			if err != nil {
+				return nil, err
+			}
+			m := core.ComputeSubgroupMetrics(in, conf)
+			metricsTab.Addf(string(ds), s.Name(), m.IntraPct, m.InterPct,
+				m.NormalizedDensity, m.CoDisplayPct, m.AlonePct)
+			reg := core.RegretRatios(in, conf)
+			cdf := stats.NewCDF(reg)
+			regretTab.Addf(string(ds), s.Name(), stats.Mean(reg),
+				cdf.Quantile(0.25), cdf.Quantile(0.5), cdf.Quantile(0.75), cdf.Quantile(0.95))
+		}
+	}
+	return []*Table{metricsTab, regretTab}, nil
+}
+
+// Fig11CaseStudy reproduces Figure 11: a 2-hop ego network around a user
+// with a preference profile unlike any friend's; the table shows, per
+// scheme, the ego's subgroup at the two slots where the ego's regret is
+// highest, plus the per-scheme ego regret.
+func Fig11CaseStudy(cfg Config) ([]*Table, error) {
+	base, err := generate(cfg, datasets.Yelp, 60, 40, 4, 0.5, utility.PIERT, 0)
+	if err != nil {
+		return nil, err
+	}
+	ego := pickUniqueProfileUser(base)
+	egoG, orig := graph.EgoNetwork(base.G, ego, 2)
+	if egoG.NumVertices() < 4 {
+		return nil, fmt.Errorf("eval: ego network too small (%d users)", egoG.NumVertices())
+	}
+	in, _, err := core.SubInstance(base, orig)
+	if err != nil {
+		return nil, err
+	}
+	tab := &Table{
+		Title: fmt.Sprintf("Fig 11: case study on a 2-hop ego network (%d users, ego=user0)", in.NumUsers()),
+		Columns: []string{"scheme", "ego_regret", "slot", "ego_item",
+			"ego_subgroup_size", "friends_in_subgroup"},
+	}
+	for _, s := range lineup(cfg.Seed) {
+		conf, _, _, err := measure(in, s)
+		if err != nil {
+			return nil, err
+		}
+		reg := core.RegretRatios(in, conf)
+		for slot := 0; slot < min(2, in.K); slot++ {
+			item := conf.Assign[0][slot]
+			group := conf.SubgroupsAt(slot)[item]
+			friendsIn := 0
+			for _, u := range group {
+				if u != 0 && in.G.Connected(0, u) {
+					friendsIn++
+				}
+			}
+			tab.Addf(s.Name(), reg[0], slot+1, item, len(group), friendsIn)
+		}
+	}
+	return []*Table{tab}, nil
+}
+
+// pickUniqueProfileUser returns the user whose preference vector has the
+// lowest maximum cosine similarity to any friend — the "user A" of the
+// paper's case study.
+func pickUniqueProfileUser(in *core.Instance) int {
+	best, bestScore := 0, 2.0
+	for u := 0; u < in.NumUsers(); u++ {
+		nb := in.G.Neighbors(u)
+		if len(nb) < 3 {
+			continue
+		}
+		maxSim := 0.0
+		for _, v := range nb {
+			if s := cosine(in.Pref[u], in.Pref[v]); s > maxSim {
+				maxSim = s
+			}
+		}
+		if maxSim < bestScore {
+			bestScore, best = maxSim, u
+		}
+	}
+	return best
+}
+
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Fig12RSensitivity reproduces Figures 12(a)–(d): AVG-D's utility
+// (normalized by the best value in the sweep), execution time, normalized
+// subgroup density and inter/intra ratio as the balancing ratio r varies.
+// Small r behaves like the group approach (one big subgroup), large r like
+// the personalized approach.
+func Fig12RSensitivity(cfg Config) ([]*Table, error) {
+	rs := []float64{0.05, 0.1, 0.2, 0.25, 0.5, 0.7, 1.0, 1.5, 2.0}
+	if cfg.Quick {
+		rs = []float64{0.1, 0.25, 1.0}
+	}
+	n := 30
+	in, err := generate(cfg, datasets.Timik, n, 60, 5, 0.5, utility.PIERT, 0)
+	if err != nil {
+		return nil, err
+	}
+	type point struct {
+		r    float64
+		rep  core.Report
+		m    core.SubgroupMetrics
+		time string
+	}
+	var pts []point
+	bestVal := 0.0
+	for _, r := range rs {
+		s := &core.AVGDSolver{Opts: core.AVGDOptions{R: r, LP: defaultLP()}}
+		conf, rep, elapsed, err := measure(in, s)
+		if err != nil {
+			return nil, err
+		}
+		m := core.ComputeSubgroupMetrics(in, conf)
+		pts = append(pts, point{r: r, rep: rep, m: m, time: fmt.Sprintf("%.3gms", float64(elapsed.Microseconds())/1000)})
+		if rep.Weighted() > bestVal {
+			bestVal = rep.Weighted()
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].r < pts[j].r })
+	tab := &Table{
+		Title: "Fig 12: AVG-D sensitivity to the balancing ratio r",
+		Columns: []string{"r", "normalized_utility", "time", "norm_density",
+			"intra_pct", "inter_pct", "mean_subgroup_size"},
+	}
+	for _, p := range pts {
+		nv := 0.0
+		if bestVal > 0 {
+			nv = p.rep.Weighted() / bestVal
+		}
+		tab.Addf(fmt.Sprintf("%.2f", p.r), nv, p.time, p.m.NormalizedDensity,
+			p.m.IntraPct, p.m.InterPct, p.m.MeanSubgroupSize)
+	}
+	return []*Table{tab}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,274 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"sort"
+)
+
+// Community detection and balanced partitioning, used by the
+// subgroup-by-friendship baseline (SDP) and by the prepartitioning wrapper
+// for SVGIC-ST.
+
+// LabelPropagation runs asynchronous label propagation on pair adjacency and
+// returns a community label per vertex (labels are compacted to 0..k-1).
+// It is deterministic given r.
+func LabelPropagation(g *Graph, r *rand.Rand, maxRounds int) []int {
+	n := g.NumVertices()
+	label := make([]int, n)
+	for i := range label {
+		label[i] = i
+	}
+	if maxRounds <= 0 {
+		maxRounds = 50
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	counts := make(map[int]int)
+	for round := 0; round < maxRounds; round++ {
+		// Shuffle the update order each round.
+		for i := n - 1; i > 0; i-- {
+			j := r.IntN(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		changed := false
+		for _, u := range order {
+			nb := g.Neighbors(u)
+			if len(nb) == 0 {
+				continue
+			}
+			clear(counts)
+			for _, v := range nb {
+				counts[label[v]]++
+			}
+			maxCount := 0
+			for _, c := range counts {
+				if c > maxCount {
+					maxCount = c
+				}
+			}
+			// Retention variant: keep the current label whenever it is among
+			// the most frequent; otherwise pick uniformly among the argmax
+			// labels (sorted first so the draw is reproducible given r).
+			if counts[label[u]] == maxCount {
+				continue
+			}
+			keys := make([]int, 0, len(counts))
+			for k, c := range counts {
+				if c == maxCount {
+					keys = append(keys, k)
+				}
+			}
+			sort.Ints(keys)
+			label[u] = keys[r.IntN(len(keys))]
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	return compactLabels(label)
+}
+
+func compactLabels(label []int) []int {
+	remap := make(map[int]int)
+	out := make([]int, len(label))
+	for i, l := range label {
+		if _, ok := remap[l]; !ok {
+			remap[l] = len(remap)
+		}
+		out[i] = remap[l]
+	}
+	return out
+}
+
+// Modularity returns the Newman modularity of the given community assignment
+// on pair adjacency.
+func Modularity(g *Graph, community []int) float64 {
+	m := float64(g.NumPairs())
+	if m == 0 {
+		return 0
+	}
+	var q float64
+	deg := make([]float64, g.NumVertices())
+	for u := range deg {
+		deg[u] = float64(len(g.Neighbors(u)))
+	}
+	inside := make(map[int]float64)
+	degSum := make(map[int]float64)
+	for _, p := range g.Pairs() {
+		if community[p[0]] == community[p[1]] {
+			inside[community[p[0]]]++
+		}
+	}
+	for u, c := range community {
+		degSum[c] += deg[u]
+	}
+	for c, in := range inside {
+		q += in / m
+		_ = c
+	}
+	for _, ds := range degSum {
+		q -= (ds / (2 * m)) * (ds / (2 * m))
+	}
+	return q
+}
+
+// GreedyModularity runs agglomerative community merging (CNM-style): start
+// from singletons and repeatedly merge the community pair with the best
+// modularity gain until no merge improves modularity. O(n^2·merges); intended
+// for the group sizes used in SVGIC experiments (n ≤ a few hundred).
+func GreedyModularity(g *Graph) []int {
+	n := g.NumVertices()
+	community := make([]int, n)
+	for i := range community {
+		community[i] = i
+	}
+	for {
+		base := Modularity(g, community)
+		bestGain := 1e-12
+		bestA, bestB := -1, -1
+		// Candidate merges: community pairs connected by at least one edge.
+		tried := make(map[int64]struct{})
+		for _, p := range g.Pairs() {
+			a, b := community[p[0]], community[p[1]]
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			k := int64(a)*int64(n) + int64(b)
+			if _, ok := tried[k]; ok {
+				continue
+			}
+			tried[k] = struct{}{}
+			trial := make([]int, n)
+			copy(trial, community)
+			for i := range trial {
+				if trial[i] == b {
+					trial[i] = a
+				}
+			}
+			if gain := Modularity(g, trial) - base; gain > bestGain {
+				bestGain, bestA, bestB = gain, a, b
+			}
+		}
+		if bestA < 0 {
+			break
+		}
+		for i := range community {
+			if community[i] == bestB {
+				community[i] = bestA
+			}
+		}
+	}
+	return compactLabels(community)
+}
+
+// BalancedPartition splits the vertices into numGroups groups whose sizes
+// differ by at most one, minimizing the number of cut pairs by
+// Kernighan–Lin-style swap refinement from a BFS seeding. Deterministic
+// given r. It returns a group index per vertex.
+func BalancedPartition(g *Graph, numGroups int, r *rand.Rand) []int {
+	n := g.NumVertices()
+	group := make([]int, n)
+	if numGroups <= 1 || n == 0 {
+		return group
+	}
+	if numGroups > n {
+		numGroups = n
+	}
+	// BFS seeding: walk components in BFS order and deal vertices into groups
+	// contiguously so that connected runs land together.
+	order := make([]int, 0, n)
+	for _, comp := range ConnectedComponents(g) {
+		order = append(order, comp...)
+	}
+	size := make([]int, numGroups)
+	target := make([]int, numGroups)
+	for i := 0; i < numGroups; i++ {
+		target[i] = n / numGroups
+		if i < n%numGroups {
+			target[i]++
+		}
+	}
+	gi := 0
+	for _, v := range order {
+		for size[gi] >= target[gi] {
+			gi = (gi + 1) % numGroups
+		}
+		group[v] = gi
+		size[gi]++
+	}
+	// Swap refinement: exchange vertex pairs across groups while the cut
+	// improves. Sizes are preserved by swapping, keeping the partition
+	// balanced.
+	gain := func(u, v int) int {
+		// Cut change when u and v (in different groups) swap groups.
+		gu, gv := group[u], group[v]
+		delta := 0
+		for _, w := range g.Neighbors(u) {
+			if w == v {
+				continue
+			}
+			if group[w] == gu {
+				delta++ // edge becomes cut
+			} else if group[w] == gv {
+				delta-- // edge becomes internal
+			}
+		}
+		for _, w := range g.Neighbors(v) {
+			if w == u {
+				continue
+			}
+			if group[w] == gv {
+				delta++
+			} else if group[w] == gu {
+				delta--
+			}
+		}
+		return delta
+	}
+	for pass := 0; pass < 2*n+10; pass++ {
+		improved := false
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if group[u] == group[v] {
+					continue
+				}
+				if gain(u, v) < 0 {
+					group[u], group[v] = group[v], group[u]
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return group
+}
+
+// GroupsOf converts a per-vertex assignment into explicit vertex lists,
+// ordered by group index with empty groups removed.
+func GroupsOf(assignment []int) [][]int {
+	maxG := -1
+	for _, a := range assignment {
+		if a > maxG {
+			maxG = a
+		}
+	}
+	groups := make([][]int, maxG+1)
+	for v, a := range assignment {
+		groups[a] = append(groups[a], v)
+	}
+	out := groups[:0]
+	for _, grp := range groups {
+		if len(grp) > 0 {
+			out = append(out, grp)
+		}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package graph
+
+import (
+	"math/rand/v2"
+)
+
+// Generators for the synthetic social networks used throughout the
+// experiments. All generators are deterministic given the *rand.Rand stream.
+// Every generated edge is mutual (both directions), matching how the paper's
+// datasets expose friendships, while τ utilities remain per-direction.
+
+// Complete returns the complete graph on n vertices (mutual edges).
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddMutualEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Empty returns the edgeless graph on n vertices.
+func Empty(n int) *Graph { return New(n) }
+
+// ErdosRenyi returns a G(n, p) graph with mutual edges.
+func ErdosRenyi(n int, p float64, r *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				g.AddMutualEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: each new vertex
+// attaches to mAttach existing vertices chosen proportionally to degree.
+// Degree distributions are heavy-tailed, like the Timik VR network.
+func BarabasiAlbert(n, mAttach int, r *rand.Rand) *Graph {
+	return HolmeKim(n, mAttach, 0, r)
+}
+
+// HolmeKim returns a Barabási–Albert graph with triad closure: after each
+// preferential attachment, with probability pTriad the next link closes a
+// triangle through the last target instead. Larger pTriad raises the
+// clustering coefficient, matching location-based networks like Yelp.
+func HolmeKim(n, mAttach int, pTriad float64, r *rand.Rand) *Graph {
+	if mAttach < 1 {
+		mAttach = 1
+	}
+	if mAttach >= n {
+		mAttach = n - 1
+	}
+	g := New(n)
+	// repeated holds one entry per pair-endpoint so that uniform sampling from
+	// it realizes degree-proportional (preferential) attachment.
+	repeated := make([]int, 0, 2*n*mAttach)
+	// Seed clique of mAttach+1 vertices.
+	seed := mAttach + 1
+	for u := 0; u < seed && u < n; u++ {
+		for v := u + 1; v < seed && v < n; v++ {
+			g.AddMutualEdge(u, v)
+			repeated = append(repeated, u, v)
+		}
+	}
+	for u := seed; u < n; u++ {
+		seen := make(map[int]struct{}, mAttach)
+		targets := make([]int, 0, mAttach) // insertion order kept: determinism
+		last := -1
+		for len(targets) < mAttach {
+			var t int
+			if last >= 0 && pTriad > 0 && r.Float64() < pTriad && len(g.Neighbors(last)) > 0 {
+				// Triad closure: connect to a neighbour of the previous target.
+				nb := g.Neighbors(last)
+				t = nb[r.IntN(len(nb))]
+			} else {
+				t = repeated[r.IntN(len(repeated))]
+			}
+			if t == u {
+				continue
+			}
+			if _, ok := seen[t]; ok {
+				continue
+			}
+			seen[t] = struct{}{}
+			targets = append(targets, t)
+			last = t
+		}
+		for _, t := range targets {
+			g.AddMutualEdge(u, t)
+			repeated = append(repeated, u, t)
+		}
+	}
+	return g
+}
+
+// WattsStrogatz returns a small-world ring lattice where each vertex connects
+// to its kNear nearest neighbours on each side and each edge rewires with
+// probability beta.
+func WattsStrogatz(n, kNear int, beta float64, r *rand.Rand) *Graph {
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	if kNear < 1 {
+		kNear = 1
+	}
+	for u := 0; u < n; u++ {
+		for d := 1; d <= kNear; d++ {
+			v := (u + d) % n
+			if beta > 0 && r.Float64() < beta {
+				// Rewire to a uniform non-neighbour.
+				for tries := 0; tries < 2*n; tries++ {
+					w := r.IntN(n)
+					if w != u && !g.Connected(u, w) {
+						v = w
+						break
+					}
+				}
+			}
+			g.AddMutualEdge(u, v)
+		}
+	}
+	return g
+}
+
+// RandomWalkSample samples size distinct vertices by a random walk with
+// restart (restart probability 0.15, following the sampling setting cited in
+// the paper's small-dataset experiments) and returns the induced subgraph
+// and the sampled original vertex ids. When the walk saturates (e.g. a small
+// component), unvisited vertices are added uniformly at random.
+func RandomWalkSample(g *Graph, size int, r *rand.Rand) (*Graph, []int) {
+	n := g.NumVertices()
+	if size >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		sub, _, _ := g.InducedSubgraph(all)
+		return sub, all
+	}
+	const restart = 0.15
+	start := r.IntN(n)
+	cur := start
+	visited := make(map[int]struct{}, size)
+	order := make([]int, 0, size)
+	add := func(v int) {
+		if _, ok := visited[v]; !ok {
+			visited[v] = struct{}{}
+			order = append(order, v)
+		}
+	}
+	add(start)
+	for steps := 0; len(order) < size && steps < 200*size; steps++ {
+		nb := g.Neighbors(cur)
+		if len(nb) == 0 || r.Float64() < restart {
+			cur = start
+			continue
+		}
+		cur = nb[r.IntN(len(nb))]
+		add(cur)
+	}
+	for len(order) < size {
+		add(r.IntN(n))
+	}
+	sub, orig, _ := g.InducedSubgraph(order)
+	return sub, orig
+}
+
+// EgoNetwork returns the induced subgraph of all vertices within the given
+// number of hops of center (following pair adjacency), together with the
+// original ids; center maps to new id 0.
+func EgoNetwork(g *Graph, center, hops int) (*Graph, []int) {
+	dist := map[int]int{center: 0}
+	frontier := []int{center}
+	order := []int{center}
+	for h := 0; h < hops; h++ {
+		var next []int
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(u) {
+				if _, ok := dist[v]; !ok {
+					dist[v] = h + 1
+					next = append(next, v)
+					order = append(order, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	sub, orig, _ := g.InducedSubgraph(order)
+	return sub, orig
+}

@@ -1,0 +1,193 @@
+// Package graph implements the directed social-network substrate used by the
+// SVGIC library: storage, synthetic generators matching the characteristics
+// of the paper's datasets, sub-network sampling, structural metrics and the
+// community-detection routines needed by the subgroup-based baselines.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple directed graph over vertices 0..n-1 with no self loops
+// and no parallel edges. In SVGIC the vertices are shoppers and a directed
+// edge (u,v) means u receives social utility from discussing items with v.
+//
+// Besides the directed view the graph maintains its "social pairs": the
+// unordered pairs {u,v} connected in at least one direction. Co-display is a
+// symmetric event, so the core algorithms and metrics are defined over pairs
+// while the per-direction τ utilities stay directional.
+type Graph struct {
+	n        int
+	out      [][]int
+	in       [][]int
+	edgeSet  map[int64]struct{}
+	pairs    [][2]int      // unique unordered pairs, u < v
+	pairIdx  map[int64]int // key(u,v) with u < v -> index into pairs
+	adjPairs [][]int       // per vertex: indices of incident pairs
+	und      [][]int       // per vertex: unordered-pair neighbours
+}
+
+// New returns an empty directed graph with n vertices.
+func New(n int) *Graph {
+	return &Graph{
+		n:        n,
+		out:      make([][]int, n),
+		in:       make([][]int, n),
+		edgeSet:  make(map[int64]struct{}),
+		pairIdx:  make(map[int64]int),
+		adjPairs: make([][]int, n),
+		und:      make([][]int, n),
+	}
+}
+
+func (g *Graph) key(u, v int) int64 { return int64(u)*int64(g.n) + int64(v) }
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return len(g.edgeSet) }
+
+// NumPairs returns the number of social pairs (unordered connected pairs).
+func (g *Graph) NumPairs() int { return len(g.pairs) }
+
+// AddEdge inserts the directed edge (u,v). Self loops and duplicates are
+// ignored. It returns true when a new edge was inserted.
+func (g *Graph) AddEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return false
+	}
+	k := g.key(u, v)
+	if _, ok := g.edgeSet[k]; ok {
+		return false
+	}
+	g.edgeSet[k] = struct{}{}
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	a, b := u, v
+	if a > b {
+		a, b = b, a
+	}
+	pk := g.key(a, b)
+	if _, ok := g.pairIdx[pk]; !ok {
+		idx := len(g.pairs)
+		g.pairIdx[pk] = idx
+		g.pairs = append(g.pairs, [2]int{a, b})
+		g.adjPairs[a] = append(g.adjPairs[a], idx)
+		g.adjPairs[b] = append(g.adjPairs[b], idx)
+		g.und[a] = append(g.und[a], b)
+		g.und[b] = append(g.und[b], a)
+	}
+	return true
+}
+
+// AddMutualEdge inserts both (u,v) and (v,u).
+func (g *Graph) AddMutualEdge(u, v int) {
+	g.AddEdge(u, v)
+	g.AddEdge(v, u)
+}
+
+// HasEdge reports whether the directed edge (u,v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return false
+	}
+	_, ok := g.edgeSet[g.key(u, v)]
+	return ok
+}
+
+// Connected reports whether u and v form a social pair (either direction).
+func (g *Graph) Connected(u, v int) bool {
+	return g.HasEdge(u, v) || g.HasEdge(v, u)
+}
+
+// Out returns the out-neighbours of u. The slice must not be modified.
+func (g *Graph) Out(u int) []int { return g.out[u] }
+
+// In returns the in-neighbours of u. The slice must not be modified.
+func (g *Graph) In(u int) []int { return g.in[u] }
+
+// Neighbors returns the social-pair neighbours of u (unordered adjacency).
+// The slice must not be modified.
+func (g *Graph) Neighbors(u int) []int { return g.und[u] }
+
+// Pairs returns all social pairs as (u,v) with u < v.
+// The slice must not be modified.
+func (g *Graph) Pairs() [][2]int { return g.pairs }
+
+// PairAt returns the i-th social pair.
+func (g *Graph) PairAt(i int) (u, v int) { p := g.pairs[i]; return p[0], p[1] }
+
+// PairIndex returns the index of the social pair {u,v} and whether it exists.
+func (g *Graph) PairIndex(u, v int) (int, bool) {
+	if u > v {
+		u, v = v, u
+	}
+	idx, ok := g.pairIdx[g.key(u, v)]
+	return idx, ok
+}
+
+// IncidentPairs returns the indices of the social pairs incident to u.
+// The slice must not be modified.
+func (g *Graph) IncidentPairs(u int) []int { return g.adjPairs[u] }
+
+// Edges returns all directed edges sorted lexicographically.
+func (g *Graph) Edges() [][2]int {
+	es := make([][2]int, 0, len(g.edgeSet))
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.out[u] {
+			es = append(es, [2]int{u, v})
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	return es
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices together
+// with the mapping from new vertex ids to the original ids. Vertex order is
+// preserved; duplicate vertices are an error.
+func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int, error) {
+	remap := make(map[int]int, len(vertices))
+	orig := make([]int, len(vertices))
+	for i, v := range vertices {
+		if v < 0 || v >= g.n {
+			return nil, nil, fmt.Errorf("graph: vertex %d out of range [0,%d)", v, g.n)
+		}
+		if _, dup := remap[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d in induced subgraph", v)
+		}
+		remap[v] = i
+		orig[i] = v
+	}
+	sub := New(len(vertices))
+	for i, v := range vertices {
+		for _, w := range g.out[v] {
+			if j, ok := remap[w]; ok {
+				sub.AddEdge(i, j)
+			}
+		}
+	}
+	return sub, orig, nil
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.out[u] {
+			c.AddEdge(u, v)
+		}
+	}
+	return c
+}
+
+// String returns a short description like "Graph(n=4, edges=8, pairs=4)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(n=%d, edges=%d, pairs=%d)", g.n, g.NumEdges(), g.NumPairs())
+}

@@ -1,0 +1,134 @@
+package graph
+
+// Structural metrics used to calibrate the synthetic datasets and to report
+// the subgroup statistics of Section 6.5 of the paper.
+
+// Density returns the pair density: |pairs| / C(n,2).
+func Density(g *Graph) float64 {
+	n := g.NumVertices()
+	if n < 2 {
+		return 0
+	}
+	return float64(g.NumPairs()) / (float64(n) * float64(n-1) / 2)
+}
+
+// SubsetDensity returns the pair density of the subgraph induced by the
+// given vertex set (pairs entirely inside the set).
+func SubsetDensity(g *Graph, vertices []int) float64 {
+	if len(vertices) < 2 {
+		return 0
+	}
+	in := make(map[int]struct{}, len(vertices))
+	for _, v := range vertices {
+		in[v] = struct{}{}
+	}
+	var count int
+	for _, v := range vertices {
+		for _, w := range g.Neighbors(v) {
+			if w > v {
+				if _, ok := in[w]; ok {
+					count++
+				}
+			}
+		}
+	}
+	k := float64(len(vertices))
+	return float64(count) / (k * (k - 1) / 2)
+}
+
+// AverageClustering returns the mean local clustering coefficient over all
+// vertices (vertices of degree < 2 contribute 0), on pair adjacency.
+func AverageClustering(g *Graph) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	var total float64
+	for u := 0; u < n; u++ {
+		nb := g.Neighbors(u)
+		d := len(nb)
+		if d < 2 {
+			continue
+		}
+		var tri int
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if g.Connected(nb[i], nb[j]) {
+					tri++
+				}
+			}
+		}
+		total += 2 * float64(tri) / (float64(d) * float64(d-1))
+	}
+	return total / float64(n)
+}
+
+// DegreeStats returns the min, mean and max pair degree.
+func DegreeStats(g *Graph) (min int, mean float64, max int) {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	min = g.n
+	var sum int
+	for u := 0; u < n; u++ {
+		d := len(g.Neighbors(u))
+		sum += d
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return min, float64(sum) / float64(n), max
+}
+
+// ConnectedComponents returns the vertex sets of the pair-connectivity
+// components, largest first.
+func ConnectedComponents(g *Graph) [][]int {
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	var comps [][]int
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, v := range g.Neighbors(u) {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	// Largest first (stable enough for tests: sort by size then first vertex).
+	for i := 0; i < len(comps); i++ {
+		for j := i + 1; j < len(comps); j++ {
+			if len(comps[j]) > len(comps[i]) ||
+				(len(comps[j]) == len(comps[i]) && comps[j][0] < comps[i][0]) {
+				comps[i], comps[j] = comps[j], comps[i]
+			}
+		}
+	}
+	return comps
+}
+
+// CutSize returns the number of pairs crossing the given 0/1 assignment.
+func CutSize(g *Graph, side []bool) int {
+	var cut int
+	for _, p := range g.Pairs() {
+		if side[p[0]] != side[p[1]] {
+			cut++
+		}
+	}
+	return cut
+}

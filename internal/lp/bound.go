@@ -1,0 +1,48 @@
+package lp
+
+import "sort"
+
+// UpperBound returns a cheap valid upper bound on the LP_SIMP optimum:
+// since y[e][c] ≤ (x[u][c] + x[v][c]) / 2 for every pair, the objective is
+// dominated by the separable program
+//
+//	Σ_u max{ Σ_c (Pref[u][c] + ½·Σ_{e∋u} PairW[e][c])·x : x ∈ capped simplex }
+//
+// whose per-user optimum is the sum of the K largest combined coefficients.
+// Together with the structured solver's feasible objective this sandwiches
+// the true LP optimum, giving the β of Corollary 4.2 a computable certificate
+// without running the exact simplex.
+func (rx *Relaxation) UpperBound() float64 {
+	rx.buildAdj()
+	var total float64
+	scores := make([]float64, rx.NumItems)
+	for u := 0; u < rx.NumUsers; u++ {
+		copy(scores, rx.Pref[u])
+		for _, pr := range rx.adj[u] {
+			we := rx.PairW[pr.pair]
+			for c := 0; c < rx.NumItems; c++ {
+				scores[c] += we[c] / 2
+			}
+		}
+		total += topKSum(scores, rx.K)
+	}
+	return total
+}
+
+func topKSum(xs []float64, k int) float64 {
+	if k >= len(xs) {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	var s float64
+	for i := len(tmp) - k; i < len(tmp); i++ {
+		s += tmp[i]
+	}
+	return s
+}

@@ -1,0 +1,389 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/svgic/svgic/internal/stats"
+)
+
+func solveOrDie(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	sol, err := SolveSimplex(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func TestSimplexBasicLE(t *testing.T) {
+	// max 3x + 2y st x+y ≤ 4, x ≤ 2 → x=2, y=2, obj=10.
+	p := NewProblem(2)
+	p.SetObj(0, 3)
+	p.SetObj(1, 2)
+	p.MustAddConstraint([]int{0, 1}, []float64{1, 1}, LE, 4)
+	p.MustAddConstraint([]int{0}, []float64{1}, LE, 2)
+	sol := solveOrDie(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-10) > 1e-9 {
+		t.Fatalf("sol = %+v, want obj 10", sol)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-9 || math.Abs(sol.X[1]-2) > 1e-9 {
+		t.Errorf("x = %v, want (2,2)", sol.X)
+	}
+}
+
+func TestSimplexEquality(t *testing.T) {
+	// max x + y st x + 2y = 4, x ≤ 3 → x=3, y=0.5, obj=3.5.
+	p := NewProblem(2)
+	p.SetObj(0, 1)
+	p.SetObj(1, 1)
+	p.MustAddConstraint([]int{0, 1}, []float64{1, 2}, EQ, 4)
+	p.MustAddConstraint([]int{0}, []float64{1}, LE, 3)
+	sol := solveOrDie(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-3.5) > 1e-9 {
+		t.Fatalf("sol = %+v, want obj 3.5", sol)
+	}
+}
+
+func TestSimplexGE(t *testing.T) {
+	// max -x st x ≥ 2 → x=2, obj=-2 (phase 1 must find feasibility).
+	p := NewProblem(1)
+	p.SetObj(0, -1)
+	p.MustAddConstraint([]int{0}, []float64{1}, GE, 2)
+	sol := solveOrDie(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective+2) > 1e-9 {
+		t.Fatalf("sol = %+v, want obj -2", sol)
+	}
+}
+
+func TestSimplexNegativeRHS(t *testing.T) {
+	// max x st -x ≤ -1 (i.e. x ≥ 1), x ≤ 5 → obj 5.
+	p := NewProblem(1)
+	p.SetObj(0, 1)
+	p.MustAddConstraint([]int{0}, []float64{-1}, LE, -1)
+	p.MustAddConstraint([]int{0}, []float64{1}, LE, 5)
+	sol := solveOrDie(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-5) > 1e-9 {
+		t.Fatalf("sol = %+v, want 5", sol)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObj(0, 1)
+	p.MustAddConstraint([]int{0}, []float64{1}, LE, 1)
+	p.MustAddConstraint([]int{0}, []float64{1}, GE, 2)
+	sol := solveOrDie(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObj(0, 1)
+	sol := solveOrDie(t, p)
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// A classic degenerate model; must terminate (anti-cycling fallback).
+	p := NewProblem(3)
+	p.SetObj(0, 10)
+	p.SetObj(1, -57)
+	p.SetObj(2, -9)
+	p.MustAddConstraint([]int{0, 1, 2}, []float64{0.5, -5.5, -2.5}, LE, 0)
+	p.MustAddConstraint([]int{0, 1, 2}, []float64{0.5, -1.5, -0.5}, LE, 0)
+	p.MustAddConstraint([]int{0}, []float64{1}, LE, 1)
+	sol := solveOrDie(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if sol.Objective < 1-1e-9 {
+		t.Errorf("objective = %v, want ≥ 1", sol.Objective)
+	}
+}
+
+func TestAddConstraintValidation(t *testing.T) {
+	p := NewProblem(2)
+	if err := p.AddConstraint([]int{0}, []float64{1, 2}, LE, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := p.AddConstraint([]int{5}, []float64{1}, LE, 1); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+}
+
+func TestProjectCappedSimplexProperties(t *testing.T) {
+	err := quick.Check(func(raw []float64, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			v[i] = math.Mod(x, 10)
+		}
+		k := float64(int(kRaw)%len(v) + 1)
+		if k > float64(len(v)) {
+			k = float64(len(v))
+		}
+		out := ProjectCappedSimplex(v, k)
+		var sum float64
+		for _, x := range out {
+			if x < -1e-9 || x > 1+1e-9 {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-k) < 1e-6
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectCappedSimplexFixedPoints(t *testing.T) {
+	v := []float64{1, 0, 1, 0}
+	out := ProjectCappedSimplex(append([]float64(nil), v...), 2)
+	for i := range v {
+		if math.Abs(out[i]-v[i]) > 1e-9 {
+			t.Errorf("feasible point moved: %v -> %v", v, out)
+			break
+		}
+	}
+	// k out of range clamps to the boundary.
+	z := ProjectCappedSimplex([]float64{0.5, 0.7}, 0)
+	if z[0] != 0 || z[1] != 0 {
+		t.Errorf("k=0 projection = %v", z)
+	}
+	o := ProjectCappedSimplex([]float64{0.5, 0.7}, 5)
+	if o[0] != 1 || o[1] != 1 {
+		t.Errorf("k≥n projection = %v", o)
+	}
+}
+
+func TestProjectMinimizesDistance(t *testing.T) {
+	// The projection must be at least as close as random feasible points.
+	r := stats.NewRand(11)
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + r.IntN(4)
+		k := 1 + r.IntN(n-1)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = 3*r.Float64() - 1
+		}
+		proj := ProjectCappedSimplex(append([]float64(nil), v...), float64(k))
+		dProj := dist2(v, proj)
+		// Random feasible comparison point: project a random vector.
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = r.Float64()
+		}
+		feas := ProjectCappedSimplex(w, float64(k))
+		if dist2(v, feas) < dProj-1e-9 {
+			t.Fatalf("found a closer feasible point: %v vs projection %v of %v", feas, proj, v)
+		}
+	}
+}
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// randomRelaxation builds a small random LP_SIMP instance.
+func randomRelaxation(seed uint64, n, m, k, pairs int) *Relaxation {
+	r := stats.NewRand(seed)
+	rx := &Relaxation{NumUsers: n, NumItems: m, K: k}
+	rx.Pref = make([][]float64, n)
+	for u := range rx.Pref {
+		rx.Pref[u] = make([]float64, m)
+		for c := range rx.Pref[u] {
+			rx.Pref[u][c] = r.Float64()
+		}
+	}
+	seen := map[[2]int]bool{}
+	for len(rx.Pairs) < pairs {
+		a, b := r.IntN(n), r.IntN(n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			continue
+		}
+		seen[[2]int{a, b}] = true
+		rx.Pairs = append(rx.Pairs, [2]int{a, b})
+		row := make([]float64, m)
+		for c := range row {
+			row[c] = 0.8 * r.Float64()
+		}
+		rx.PairW = append(rx.PairW, row)
+	}
+	return rx
+}
+
+func TestStructuredSolverNearExact(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		rx := randomRelaxation(seed, 4, 5, 2, 4)
+		_, exact, err := rx.SolveExact()
+		if err != nil {
+			t.Fatalf("seed %d: exact: %v", seed, err)
+		}
+		X, obj := rx.Solve(RelaxOptions{Seed: seed, MaxPasses: 60, PolishIters: 150, Restarts: 2})
+		if obj > exact+1e-6 {
+			t.Errorf("seed %d: structured %.6f exceeds exact optimum %.6f", seed, obj, exact)
+		}
+		if obj < 0.95*exact {
+			t.Errorf("seed %d: structured %.6f below 95%% of exact %.6f", seed, obj, exact)
+		}
+		// Feasibility of the returned point.
+		for u, row := range X {
+			var sum float64
+			for _, x := range row {
+				if x < -1e-9 || x > 1+1e-9 {
+					t.Fatalf("seed %d: X[%d] out of box: %v", seed, u, row)
+				}
+				sum += x
+			}
+			if math.Abs(sum-float64(rx.K)) > 1e-6 {
+				t.Fatalf("seed %d: user %d mass %.9f, want %d", seed, u, sum, rx.K)
+			}
+		}
+		// Reported objective matches recomputation.
+		if math.Abs(rx.Objective(X)-obj) > 1e-9 {
+			t.Errorf("seed %d: reported objective %.9f != recomputed %.9f", seed, obj, rx.Objective(X))
+		}
+	}
+}
+
+func TestStructuredSolverIndifferentInstance(t *testing.T) {
+	// Lemma 3's instance: all preferences zero, all pair weights equal.
+	// Any point with x[u] identical across users is optimal; the solver must
+	// reach objective = pairs · k · w.
+	const n, m, k = 5, 6, 2
+	rx := &Relaxation{NumUsers: n, NumItems: m, K: k}
+	rx.Pref = make([][]float64, n)
+	for u := range rx.Pref {
+		rx.Pref[u] = make([]float64, m)
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			rx.Pairs = append(rx.Pairs, [2]int{a, b})
+			row := make([]float64, m)
+			for c := range row {
+				row[c] = 1
+			}
+			rx.PairW = append(rx.PairW, row)
+		}
+	}
+	_, obj := rx.Solve(RelaxOptions{Seed: 3})
+	want := float64(len(rx.Pairs) * k)
+	if math.Abs(obj-want) > 1e-6 {
+		t.Errorf("objective = %v, want %v", obj, want)
+	}
+}
+
+func TestSolveSimplexIterLimit(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObj(0, 1)
+	p.SetObj(1, 1)
+	p.MustAddConstraint([]int{0, 1}, []float64{1, 1}, LE, 1)
+	if _, err := SolveSimplexIter(p, 1); err == nil {
+		// A 1-iteration budget may or may not suffice; just ensure no panic
+		// and that a generous budget works.
+		t.Log("tiny budget happened to suffice")
+	}
+	sol, err := SolveSimplexIter(p, 1000)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("generous budget failed: %v %v", sol.Status, err)
+	}
+}
+
+func TestUpperBoundSandwichesOptimum(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rx := randomRelaxation(seed, 5, 6, 2, 6)
+		_, exact, err := rx.SolveExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub := rx.UpperBound()
+		if ub < exact-1e-6 {
+			t.Errorf("seed %d: upper bound %.6f below LP optimum %.6f", seed, ub, exact)
+		}
+		_, feasible := rx.Solve(RelaxOptions{Seed: seed})
+		if feasible > ub+1e-6 {
+			t.Errorf("seed %d: feasible objective %.6f exceeds upper bound %.6f", seed, feasible, ub)
+		}
+	}
+}
+
+func TestUpperBoundTightOnIndependentUsers(t *testing.T) {
+	// Without pairs the bound is exactly the optimum: per-user top-K.
+	rx := randomRelaxation(3, 4, 6, 2, 0)
+	_, exact, err := rx.SolveExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub := rx.UpperBound(); math.Abs(ub-exact) > 1e-6 {
+		t.Errorf("pairless bound %.6f != optimum %.6f", ub, exact)
+	}
+}
+
+func TestSmoothedSolverNearExact(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		rx := randomRelaxation(seed, 4, 5, 2, 4)
+		_, exact, err := rx.SolveExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		X, obj := rx.Solve(RelaxOptions{Seed: seed, Method: MethodSmoothed, MaxPasses: 40, PolishIters: 120})
+		if obj > exact+1e-6 {
+			t.Errorf("seed %d: smoothed %.6f exceeds exact %.6f", seed, obj, exact)
+		}
+		if obj < 0.93*exact {
+			t.Errorf("seed %d: smoothed %.6f below 93%% of exact %.6f", seed, obj, exact)
+		}
+		for u, row := range X {
+			var sum float64
+			for _, x := range row {
+				sum += x
+			}
+			if math.Abs(sum-float64(rx.K)) > 1e-6 {
+				t.Fatalf("seed %d: user %d mass %.9f", seed, u, sum)
+			}
+		}
+	}
+}
+
+func TestMethodsAgreeOnEasyInstance(t *testing.T) {
+	// Pairless instance: both methods must hit the separable optimum.
+	rx := randomRelaxation(9, 5, 6, 2, 0)
+	_, exact, err := rx.SolveExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bcd := rx.Solve(RelaxOptions{Seed: 1})
+	_, sm := rx.Solve(RelaxOptions{Seed: 1, Method: MethodSmoothed})
+	if math.Abs(bcd-exact) > 1e-6 {
+		t.Errorf("block-coordinate %.6f != exact %.6f", bcd, exact)
+	}
+	if sm < exact-1e-3 {
+		t.Errorf("smoothed %.6f below exact %.6f", sm, exact)
+	}
+	if MethodSmoothed.String() != "smoothed" || MethodBlockCoordinate.String() != "block-coordinate" {
+		t.Error("Method.String misbehaves")
+	}
+}

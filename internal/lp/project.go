@@ -1,0 +1,89 @@
+package lp
+
+// ProjectCappedSimplex computes the Euclidean projection of v onto the
+// capped simplex {x : 0 ≤ x_i ≤ 1, Σ x_i = k} in place, returning the result.
+//
+// The projection has the water-filling form x_i = clamp(v_i − θ, 0, 1) where
+// θ is chosen so the coordinates sum to k; Σ clamp(v_i − θ) is continuous and
+// non-increasing in θ, so θ is found by bisection to machine precision. The
+// structured LP solver uses this in its supergradient polish phase.
+//
+// k must satisfy 0 ≤ k ≤ len(v); out of that range the nearest feasible
+// boundary (all zeros / all ones) is returned.
+func ProjectCappedSimplex(v []float64, k float64) []float64 {
+	n := len(v)
+	if n == 0 {
+		return v
+	}
+	if k <= 0 {
+		for i := range v {
+			v[i] = 0
+		}
+		return v
+	}
+	if k >= float64(n) {
+		for i := range v {
+			v[i] = 1
+		}
+		return v
+	}
+	lo, hi := v[0]-1, v[0]
+	for _, x := range v {
+		if x-1 < lo {
+			lo = x - 1
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	sum := func(theta float64) float64 {
+		var s float64
+		for _, x := range v {
+			y := x - theta
+			if y > 1 {
+				y = 1
+			} else if y < 0 {
+				y = 0
+			}
+			s += y
+		}
+		return s
+	}
+	for iter := 0; iter < 100; iter++ {
+		mid := (lo + hi) / 2
+		if sum(mid) > k {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	theta := (lo + hi) / 2
+	for i, x := range v {
+		y := x - theta
+		if y > 1 {
+			y = 1
+		} else if y < 0 {
+			y = 0
+		}
+		v[i] = y
+	}
+	// Distribute the residual round-off over interior coordinates so the sum
+	// is k to high precision.
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	resid := k - s
+	if resid != 0 {
+		for i := range v {
+			if v[i] > 1e-12 && v[i] < 1-1e-12 {
+				nv := v[i] + resid
+				if nv >= 0 && nv <= 1 {
+					v[i] = nv
+					break
+				}
+			}
+		}
+	}
+	return v
+}

@@ -1,0 +1,275 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense two-phase primal simplex. This plays the role of the commercial LP
+// solver in the paper's pipeline for exact solves of small models (the IP
+// baseline's node relaxations and the cross-validation of the structured
+// solver). It uses Bland's rule, which guarantees termination at the cost of
+// speed; intended model sizes are up to a few thousand tableau cells.
+
+const simplexEps = 1e-9
+
+type simplex struct {
+	t        [][]float64 // tableau: rows = constraints, last col = rhs
+	basis    []int       // basic variable per row
+	nStruct  int         // structural variables
+	nTotal   int         // structural + slack/surplus + artificial
+	artStart int         // first artificial column
+	maxIter  int
+}
+
+// SolveSimplex solves p exactly with the two-phase simplex method.
+func SolveSimplex(p *Problem) (Solution, error) {
+	return SolveSimplexIter(p, 0)
+}
+
+// SolveSimplexIter is SolveSimplex with an iteration cap per phase
+// (0 means an automatic cap based on model size).
+func SolveSimplexIter(p *Problem, maxIter int) (Solution, error) {
+	m := len(p.Rows)
+	n := p.NumVars
+	if maxIter <= 0 {
+		maxIter = 200 * (m + n + 10)
+	}
+
+	// Count auxiliary columns. Every row gets either a slack (LE), a surplus
+	// plus artificial (GE) or an artificial (EQ), after normalizing rhs ≥ 0.
+	type rowKind int
+	const (
+		kindLE rowKind = iota
+		kindGE
+		kindEQ
+	)
+	kinds := make([]rowKind, m)
+	numSlack, numArt := 0, 0
+	for i, r := range p.Rows {
+		op, rhs := r.Op, r.RHS
+		if rhs < 0 {
+			// Flip the row so rhs ≥ 0.
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		switch op {
+		case LE:
+			kinds[i] = kindLE
+			numSlack++
+		case GE:
+			kinds[i] = kindGE
+			numSlack++
+			numArt++
+		case EQ:
+			kinds[i] = kindEQ
+			numArt++
+		}
+	}
+	s := &simplex{
+		nStruct:  n,
+		nTotal:   n + numSlack + numArt,
+		artStart: n + numSlack,
+		maxIter:  maxIter,
+	}
+	s.t = make([][]float64, m)
+	s.basis = make([]int, m)
+	slackCol := n
+	artCol := s.artStart
+	for i, r := range p.Rows {
+		row := make([]float64, s.nTotal+1)
+		sign := 1.0
+		if r.RHS < 0 {
+			sign = -1.0
+		}
+		for j, idx := range r.Idx {
+			row[idx] += sign * r.Coef[j]
+		}
+		row[s.nTotal] = sign * r.RHS
+		switch kinds[i] {
+		case kindLE:
+			row[slackCol] = 1
+			s.basis[i] = slackCol
+			slackCol++
+		case kindGE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			s.basis[i] = artCol
+			artCol++
+		case kindEQ:
+			row[artCol] = 1
+			s.basis[i] = artCol
+			artCol++
+		}
+		s.t[i] = row
+	}
+
+	// Phase 1: maximize -Σ artificials.
+	if numArt > 0 {
+		obj := make([]float64, s.nTotal)
+		for j := s.artStart; j < s.nTotal; j++ {
+			obj[j] = -1
+		}
+		val, ok := s.run(obj, s.nTotal)
+		if !ok {
+			return Solution{Status: IterationLimit}, fmt.Errorf("lp: phase-1 iteration limit")
+		}
+		if val < -1e-7 {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Pivot any artificial still in the basis out (degenerate rows).
+		for i, b := range s.basis {
+			if b < s.artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < s.artStart; j++ {
+				if math.Abs(s.t[i][j]) > simplexEps {
+					s.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: zero it so it can never pivot again.
+				for j := range s.t[i] {
+					s.t[i][j] = 0
+				}
+			}
+		}
+	}
+
+	// Phase 2: original objective over structural + slack columns only.
+	obj := make([]float64, s.nTotal)
+	copy(obj, p.Objective)
+	val, ok := s.run(obj, s.artStart)
+	if !ok {
+		return Solution{Status: IterationLimit}, fmt.Errorf("lp: phase-2 iteration limit")
+	}
+	if math.IsInf(val, 1) {
+		return Solution{Status: Unbounded}, nil
+	}
+	x := make([]float64, n)
+	for i, b := range s.basis {
+		if b < n {
+			x[b] = s.t[i][s.nTotal]
+		}
+	}
+	var objective float64
+	for j := 0; j < n; j++ {
+		objective += p.Objective[j] * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Objective: objective}, nil
+}
+
+// run maximizes obj over the current tableau restricted to columns < colLimit,
+// returning the objective value (or +Inf if unbounded) and whether it finished
+// within the iteration budget.
+//
+// An explicit reduced-cost row is carried through the pivots, so pricing is
+// O(cols) per iteration. Pricing is Dantzig's rule (most positive reduced
+// cost); after a long run of degenerate pivots it falls back to Bland's rule,
+// which guarantees termination.
+func (s *simplex) run(obj []float64, colLimit int) (float64, bool) {
+	m := len(s.t)
+	rhs := s.nTotal
+	// rc[j] = c_j − Σ_i c_{basis[i]}·t[i][j]; rc[rhs] tracks −objective.
+	rc := make([]float64, s.nTotal+1)
+	copy(rc, obj)
+	for i := 0; i < m; i++ {
+		cb := obj[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := s.t[i]
+		for j := range rc {
+			rc[j] -= cb * row[j]
+		}
+	}
+	objective := func() float64 { return -rc[rhs] }
+
+	stall := 0
+	lastObj := objective()
+	blandLimit := 4 * (m + s.nTotal + 10)
+	for iter := 0; iter < s.maxIter; iter++ {
+		bland := stall > blandLimit
+		enter := -1
+		best := simplexEps
+		for j := 0; j < colLimit; j++ {
+			if rc[j] > best {
+				enter = j
+				if bland {
+					break // Bland: first improving column
+				}
+				best = rc[j]
+			}
+		}
+		if enter < 0 {
+			return objective(), true
+		}
+		// Ratio test (smallest basis index among ties, needed for Bland).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := s.t[i][enter]
+			if a > simplexEps {
+				ratio := s.t[i][rhs] / a
+				if ratio < bestRatio-simplexEps ||
+					(ratio < bestRatio+simplexEps && (leave < 0 || s.basis[i] < s.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return math.Inf(1), true // unbounded
+		}
+		s.pivot(leave, enter)
+		// Update the reduced-cost row with the (normalized) pivot row.
+		f := rc[enter]
+		if f != 0 {
+			prow := s.t[leave]
+			for j := range rc {
+				rc[j] -= f * prow[j]
+			}
+			rc[enter] = 0
+		}
+		if cur := objective(); cur > lastObj+simplexEps {
+			lastObj = cur
+			stall = 0
+		} else {
+			stall++
+		}
+	}
+	return 0, false
+}
+
+func (s *simplex) pivot(row, col int) {
+	t := s.t
+	p := t[row][col]
+	inv := 1 / p
+	for j := range t[row] {
+		t[row][j] *= inv
+	}
+	t[row][col] = 1 // kill round-off
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		rowv := t[row]
+		for j := range t[i] {
+			t[i][j] -= f * rowv[j]
+		}
+		t[i][col] = 0
+	}
+	s.basis[row] = col
+}

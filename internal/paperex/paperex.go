@@ -1,0 +1,135 @@
+// Package paperex builds the paper's running example (Examples 1–5,
+// Tables 1 and 6–9): Alice, Bob, Charlie and Dave shopping for digital
+// photography gear across three display slots. It is shared by the golden
+// tests, the quickstart example and the benchmark suite.
+package paperex
+
+import (
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/graph"
+)
+
+// User and item ids of the example.
+const (
+	Alice = iota
+	Bob
+	Charlie
+	Dave
+)
+
+// Items (paper ids c1..c5 map to 0..4).
+const (
+	Tripod = iota
+	DSLR
+	PSD
+	MemoryCard
+	SPCamera
+)
+
+// UserNames and ItemNames label the example's ids for display.
+var (
+	UserNames = []string{"Alice", "Bob", "Charlie", "Dave"}
+	ItemNames = []string{"Tripod", "DSLR Camera", "PSD", "Memory Card", "SP Camera"}
+)
+
+// Expected objective values (Example 5, scaled: preference + social at λ=1/2).
+const (
+	OptimalScaled              = 10.35
+	AVGExampleScaled           = 9.75 // Table 7, Example 4's sampled run
+	PersonalizedScaled         = 8.25
+	GroupScaled                = 8.35
+	SubgroupByFriendshipScaled = 8.4
+	SubgroupByPreferenceScaled = 8.7
+)
+
+// New returns the example instance with the given λ (the paper uses 0.4 in
+// Example 2 and 0.5 in Examples 4–5).
+func New(lambda float64) *core.Instance {
+	g := graph.New(4)
+	// Directed friendships of Figure 1's social network (exactly the τ
+	// columns present in Table 1).
+	edges := [][2]int{
+		{Alice, Bob}, {Alice, Charlie}, {Alice, Dave},
+		{Bob, Alice}, {Bob, Charlie},
+		{Charlie, Alice}, {Charlie, Bob},
+		{Dave, Alice},
+	}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	in := core.NewInstance(g, 5, 3, lambda)
+
+	// Table 1, preference utilities p(u, c); rows are items c1..c5.
+	pref := map[int][5]float64{
+		Alice:   {0.8, 0.85, 0.1, 0.05, 1.0},
+		Bob:     {0.7, 1.0, 0.15, 0.2, 0.1},
+		Charlie: {0, 0.15, 0.7, 0.6, 0.1},
+		Dave:    {0.1, 0, 0.3, 1.0, 0.95},
+	}
+	for u, row := range pref {
+		for c, p := range row {
+			in.SetPref(u, c, p)
+		}
+	}
+	// Table 1, social utilities τ(u, v, c); rows are items c1..c5.
+	tau := map[[2]int][5]float64{
+		{Alice, Bob}:     {0.2, 0.05, 0.1, 0, 0.05},
+		{Alice, Charlie}: {0, 0.05, 0.1, 0, 0.3},
+		{Alice, Dave}:    {0.2, 0.05, 0.1, 0.05, 0.2},
+		{Bob, Alice}:     {0.2, 0.05, 0.1, 0.05, 0.05},
+		{Bob, Charlie}:   {0, 0.05, 0.1, 0.2, 0},
+		{Charlie, Alice}: {0, 0.05, 0.1, 0.05, 0.3},
+		{Charlie, Bob}:   {0.1, 0.05, 0.1, 0.2, 0.05},
+		{Dave, Alice}:    {0.3, 0.05, 0.05, 0, 0.25},
+	}
+	for e, row := range tau {
+		for c, t := range row {
+			if err := in.SetTau(e[0], e[1], c, t); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return in
+}
+
+// OptimalConfig is the SAVG 3-configuration of Figure 1 (scaled value 10.35).
+func OptimalConfig() *core.Configuration {
+	return configOf([][]int{
+		{SPCamera, Tripod, DSLR},       // Alice ⟨c5, c1, c2⟩
+		{DSLR, Tripod, MemoryCard},     // Bob ⟨c2, c1, c4⟩
+		{SPCamera, PSD, MemoryCard},    // Charlie ⟨c5, c3, c4⟩
+		{SPCamera, Tripod, MemoryCard}, // Dave ⟨c5, c1, c4⟩
+	})
+}
+
+// AVGExampleConfig is the configuration AVG constructs in Example 4
+// (Table 7, scaled value 9.75).
+func AVGExampleConfig() *core.Configuration {
+	return configOf([][]int{
+		{SPCamera, DSLR, Tripod},
+		{DSLR, MemoryCard, Tripod},
+		{PSD, MemoryCard, SPCamera},
+		{SPCamera, MemoryCard, Tripod},
+	})
+}
+
+// Table6Factors is the optimal fractional LP solution of Example 3 in
+// condensed form: x̄[u][c] = k · x*[u][c][s] (each user spreads unit factors
+// of 1/3 over exactly three items at every slot).
+func Table6Factors(in *core.Instance) *core.Factors {
+	x := [][]float64{
+		{1, 1, 0, 0, 1}, // Alice: c1, c2, c5
+		{1, 1, 0, 1, 0}, // Bob: c1, c2, c4
+		{0, 0, 1, 1, 1}, // Charlie: c3, c4, c5
+		{1, 0, 0, 1, 1}, // Dave: c1, c4, c5
+	}
+	return core.FactorsFromCondensed(in, x)
+}
+
+func configOf(rows [][]int) *core.Configuration {
+	conf := core.NewConfiguration(len(rows), len(rows[0]))
+	for u, row := range rows {
+		copy(conf.Assign[u], row)
+	}
+	return conf
+}

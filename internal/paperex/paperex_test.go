@@ -1,0 +1,70 @@
+package paperex
+
+import (
+	"math"
+	"testing"
+
+	"github.com/svgic/svgic/internal/core"
+)
+
+func TestFixtureMatchesPublishedValues(t *testing.T) {
+	in := New(0.5)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.NumUsers() != 4 || in.NumItems != 5 || in.K != 3 {
+		t.Fatalf("wrong shape")
+	}
+	if in.G.NumEdges() != 8 || in.G.NumPairs() != 4 {
+		t.Fatalf("graph: %d edges, %d pairs", in.G.NumEdges(), in.G.NumPairs())
+	}
+	cases := []struct {
+		conf *core.Configuration
+		want float64
+	}{
+		{OptimalConfig(), OptimalScaled},
+		{AVGExampleConfig(), AVGExampleScaled},
+	}
+	for _, tc := range cases {
+		if err := tc.conf.Validate(in); err != nil {
+			t.Fatal(err)
+		}
+		if got := core.Evaluate(in, tc.conf).Scaled(); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("config value = %.4f, want %.4f", got, tc.want)
+		}
+	}
+}
+
+func TestTable6FactorsFeasible(t *testing.T) {
+	in := New(0.5)
+	f := Table6Factors(in)
+	for u := 0; u < 4; u++ {
+		var sum float64
+		for c := 0; c < 5; c++ {
+			x := f.X[u][c]
+			if x != 0 && x != 1 {
+				t.Fatalf("Table 6 factors should be 0/1 in condensed form, got %v", x)
+			}
+			sum += x
+		}
+		if sum != 3 {
+			t.Fatalf("user %d mass %v, want k=3", u, sum)
+		}
+	}
+	// Per-slot factor is 1/3 on support (Table 6's 0.33 entries).
+	if got := f.Factor(Alice, Tripod); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("Factor(Alice, tripod) = %v", got)
+	}
+	if f.Objective <= 0 {
+		t.Error("factors carry no LP objective")
+	}
+}
+
+func TestNamesCoverIDs(t *testing.T) {
+	if len(UserNames) != 4 || len(ItemNames) != 5 {
+		t.Fatal("name tables out of sync with ids")
+	}
+	if UserNames[Dave] != "Dave" || ItemNames[SPCamera] != "SP Camera" {
+		t.Error("name mapping broken")
+	}
+}

@@ -1,0 +1,79 @@
+package stats
+
+import "sort"
+
+// CDF is an empirical cumulative distribution over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the sample xs (which it copies).
+func NewCDF(xs []float64) *CDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// At returns the fraction of sample points ≤ x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) of the sample.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	pos := q * float64(len(c.sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(c.sorted) {
+		return c.sorted[lo]
+	}
+	return c.sorted[lo]*(1-frac) + c.sorted[lo+1]*frac
+}
+
+// Points returns (x, F(x)) pairs sampled at the given x grid, suitable for
+// plotting a CDF curve like the regret-ratio figures of the paper.
+func (c *CDF) Points(grid []float64) [][2]float64 {
+	out := make([][2]float64, len(grid))
+	for i, x := range grid {
+		out[i] = [2]float64{x, c.At(x)}
+	}
+	return out
+}
+
+// Histogram counts the sample points of xs falling into nbins equal-width
+// bins over [lo, hi]; values outside the range are clamped to the end bins.
+func Histogram(xs []float64, lo, hi float64, nbins int) []int {
+	counts := make([]int, nbins)
+	if nbins == 0 || hi <= lo {
+		return counts
+	}
+	w := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return counts
+}

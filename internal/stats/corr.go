@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// It returns 0 when either series is constant or the lengths differ.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Ranks returns the fractional ranks of xs (average rank for ties),
+// with rank 1 for the smallest value.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie block [i, j].
+		avg := float64(i+j)/2 + 1
+		for t := i; t <= j; t++ {
+			ranks[idx[t]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns the Spearman rank correlation between xs and ys.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	return Pearson(Ranks(xs), Ranks(ys))
+}
+
+// TwoSampleTPValue returns an approximate two-sided p-value for the
+// difference in means of two samples using Welch's t statistic with a normal
+// tail approximation. The user-study analysis (paper §6.9) only needs the
+// "p ≤ 0.05" significance call, for which this approximation is adequate.
+func TwoSampleTPValue(xs, ys []float64) float64 {
+	nx, ny := float64(len(xs)), float64(len(ys))
+	if nx < 2 || ny < 2 {
+		return 1
+	}
+	mx, my := Mean(xs), Mean(ys)
+	return twoSidedNormalP(welchT(xs, ys, mx, my, nx, ny))
+}
+
+func welchT(xs, ys []float64, mx, my, nx, ny float64) float64 {
+	var vx, vy float64
+	for _, x := range xs {
+		d := x - mx
+		vx += d * d
+	}
+	for _, y := range ys {
+		d := y - my
+		vy += d * d
+	}
+	vx /= nx - 1
+	vy /= ny - 1
+	se := math.Sqrt(vx/nx + vy/ny)
+	if se == 0 {
+		return 0
+	}
+	return (mx - my) / se
+}
+
+func twoSidedNormalP(t float64) float64 {
+	// 2 * (1 - Phi(|t|)) via the complementary error function.
+	return math.Erfc(math.Abs(t) / math.Sqrt2)
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Gamma draws from a Gamma(shape, 1) distribution using the
+// Marsaglia–Tsang squeeze method (with the shape<1 boost).
+func Gamma(r *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) · U^(1/a).
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return Gamma(r, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet draws a probability vector from Dirichlet(alpha, ..., alpha) of
+// the given dimension. Small alpha concentrates the mass on few coordinates.
+func Dirichlet(r *rand.Rand, dim int, alpha float64) []float64 {
+	v := make([]float64, dim)
+	var sum float64
+	for i := range v {
+		v[i] = Gamma(r, alpha)
+		sum += v[i]
+	}
+	if sum == 0 {
+		// Degenerate draw (possible for very small alpha in float64):
+		// fall back to a single spike.
+		v[r.IntN(dim)] = 1
+		return v
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+	return v
+}
+
+// ZipfWeights returns n weights w_i ∝ 1/(i+1)^s normalized to sum to n
+// (so a weight of 1 is "average popularity"). s=0 gives uniform weights.
+func ZipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] = w[i] / sum * float64(n)
+	}
+	return w
+}
+
+// Beta draws from a Beta(a, b) distribution.
+func Beta(r *rand.Rand, a, b float64) float64 {
+	x := Gamma(r, a)
+	y := Gamma(r, b)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// Clamp bounds x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

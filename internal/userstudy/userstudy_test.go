@@ -1,0 +1,89 @@
+package userstudy
+
+import (
+	"testing"
+
+	"github.com/svgic/svgic/internal/stats"
+)
+
+func TestRunDefaultStudy(t *testing.T) {
+	out, err := Run(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Lambdas) != 44 {
+		t.Fatalf("participants = %d, want 44", len(out.Lambdas))
+	}
+	for _, l := range out.Lambdas {
+		if l < 0.15 || l > 0.85 {
+			t.Fatalf("λ = %v outside the questionnaire range [0.15, 0.85]", l)
+		}
+	}
+	if mean := stats.Mean(out.Lambdas); mean < 0.4 || mean > 0.65 {
+		t.Errorf("λ mean = %v, want ≈ 0.53", mean)
+	}
+	if len(out.Methods) != 4 {
+		t.Fatalf("methods = %d, want 4 (AVG, PER, FMG, GRF)", len(out.Methods))
+	}
+	if out.Methods[0].Name != "AVG" {
+		t.Fatalf("first method = %s, want AVG", out.Methods[0].Name)
+	}
+	// The paper's headline finding: AVG has the highest utility and the
+	// highest satisfaction, and satisfaction tracks utility strongly.
+	for _, m := range out.Methods[1:] {
+		if out.Methods[0].MeanScaledTotal <= m.MeanScaledTotal {
+			t.Errorf("AVG utility %.2f not above %s's %.2f",
+				out.Methods[0].MeanScaledTotal, m.Name, m.MeanScaledTotal)
+		}
+		if out.Methods[0].MeanSatisfaction <= m.MeanSatisfaction {
+			t.Errorf("AVG satisfaction %.2f not above %s's %.2f",
+				out.Methods[0].MeanSatisfaction, m.Name, m.MeanSatisfaction)
+		}
+	}
+	if out.Spearman < 0.5 || out.Pearson < 0.5 {
+		t.Errorf("utility↔satisfaction correlation too weak: Spearman %.3f Pearson %.3f",
+			out.Spearman, out.Pearson)
+	}
+	if out.PValue > 0.05 {
+		t.Errorf("AVG vs best baseline not significant: p = %.4f", out.PValue)
+	}
+	for _, m := range out.Methods {
+		if m.MeanSatisfaction < 1 || m.MeanSatisfaction > 5 {
+			t.Errorf("%s satisfaction %.2f outside the Likert range", m.Name, m.MeanSatisfaction)
+		}
+	}
+	hist := 0
+	for _, c := range out.LambdaHist {
+		hist += c
+	}
+	if hist != 44 {
+		t.Errorf("λ histogram counts %d participants", hist)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Spearman != b.Spearman || a.Methods[0].MeanSatisfaction != b.Methods[0].MeanSatisfaction {
+		t.Error("same study produced different results")
+	}
+}
+
+func TestRunRejectsBadShape(t *testing.T) {
+	s := Default()
+	s.MinGroup = 1
+	if _, err := Run(s); err == nil {
+		t.Error("MinGroup = 1 accepted")
+	}
+	s = Default()
+	s.Participants = 0
+	if _, err := Run(s); err == nil {
+		t.Error("0 participants accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package svgic
+
+import "github.com/svgic/svgic/internal/core"
+
+// JSON interchange: instances and configurations round-trip through a stable
+// schema shared with the svgic CLI and the datagen tool. See
+// internal/core/encoding.go for the exact format.
+
+// InstanceJSON is the interchange form of an Instance.
+type InstanceJSON = core.InstanceJSON
+
+// EdgeJSON is one directed edge with optional per-item social utilities.
+type EdgeJSON = core.EdgeJSON
+
+// MarshalInstance encodes an instance as indented JSON.
+func MarshalInstance(in *Instance) ([]byte, error) { return core.MarshalInstance(in) }
+
+// UnmarshalInstance decodes and validates an instance from JSON.
+func UnmarshalInstance(data []byte) (*Instance, error) { return core.UnmarshalInstance(data) }
+
+// MarshalConfiguration encodes a configuration as indented JSON.
+func MarshalConfiguration(conf *Configuration) ([]byte, error) {
+	return core.MarshalConfiguration(conf)
+}
+
+// UnmarshalConfiguration decodes a configuration from JSON (validate against
+// an instance with Configuration.Validate).
+func UnmarshalConfiguration(data []byte) (*Configuration, error) {
+	return core.UnmarshalConfiguration(data)
+}
+
+// LocalSearch improves a configuration in place by exact per-user best
+// responses until a fixed point (or maxPasses sweeps), honouring the
+// SVGIC-ST size cap when cap > 0. It returns the objective improvement.
+func LocalSearch(in *Instance, conf *Configuration, maxPasses, cap int) float64 {
+	return core.LocalSearch(in, conf, maxPasses, cap)
+}
+
+// AlignSlots permutes each user's items among their own slots to convert
+// teleport-discounted indirect co-display into full direct co-display
+// (SVGIC-ST semantics with discount dtel), never decreasing the objective
+// and honouring the size cap when cap > 0. It returns the improvement in
+// the EvaluateST objective.
+func AlignSlots(in *Instance, conf *Configuration, dtel float64, maxPasses, cap int) float64 {
+	return core.AlignSlots(in, conf, dtel, maxPasses, cap)
+}

@@ -1,0 +1,40 @@
+package seo_test
+
+import (
+	"fmt"
+
+	"github.com/svgic/svgic/seo"
+)
+
+// ExampleOrganizer plans one evening for two friend pairs with one
+// capacity-two venue per activity.
+func ExampleOrganizer() {
+	events := []seo.Event{
+		{Name: "trivia", Capacity: 2},
+		{Name: "karaoke", Capacity: 2},
+		{Name: "cinema", Capacity: 2},
+	}
+	org, err := seo.NewOrganizer(events, 1, 0.7)
+	if err != nil {
+		panic(err)
+	}
+	// Ann & Ben love trivia together; Cam & Dee prefer karaoke.
+	ann, _ := org.AddAttendee("Ann", []float64{0.9, 0.2, 0.4})
+	ben, _ := org.AddAttendee("Ben", []float64{0.8, 0.3, 0.4})
+	cam, _ := org.AddAttendee("Cam", []float64{0.2, 0.9, 0.4})
+	dee, _ := org.AddAttendee("Dee", []float64{0.3, 0.8, 0.4})
+	_ = org.AddFriendship(ann, ben, 0.6, 0.6)
+	_ = org.AddFriendship(cam, dee, 0.6, 0.6)
+
+	s, err := org.Solve(1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("violations:", s.Violations)
+	fmt.Println("trivia:", s.Roster(0, 0))
+	fmt.Println("karaoke:", s.Roster(0, 1))
+	// Output:
+	// violations: 0
+	// trivia: [Ann Ben]
+	// karaoke: [Cam Dee]
+}

@@ -1,0 +1,207 @@
+// Package seo organizes social events through SVGIC-ST. It maps Social
+// Event Organization — the second application the
+// paper identifies for SVGIC (§4.4) — onto SVGIC-ST. Attendees of an
+// event-based social network are assigned one event per time period such
+// that personal event preferences and the social utility of attending
+// together are jointly maximized, subject to venue capacities. Events
+// correspond to items, periods to display slots, capacities to the subgroup
+// size bound M, and the capped CSF of AVG guarantees feasible schedules.
+package seo
+
+import (
+	"fmt"
+
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/graph"
+)
+
+// Event is one candidate event with a venue capacity. Capacity 0 means
+// unlimited; otherwise it bounds the attendees assigned to the event within
+// any single period.
+type Event struct {
+	Name     string
+	Capacity int
+}
+
+// Organizer accumulates an SEO problem and solves it through SVGIC-ST.
+type Organizer struct {
+	events    []Event
+	periods   int
+	lambda    float64
+	attendees []string
+	g         *graph.Graph
+	pref      [][]float64 // [attendee][event]
+	taus      []tauEntry
+}
+
+type tauEntry struct {
+	from, to, event int
+	value           float64
+}
+
+// NewOrganizer creates an organizer for the given events, number of
+// consecutive periods and preference/social weight λ.
+func NewOrganizer(events []Event, periods int, lambda float64) (*Organizer, error) {
+	if len(events) == 0 || periods <= 0 {
+		return nil, fmt.Errorf("seo: need at least one event and one period")
+	}
+	if periods > len(events) {
+		return nil, fmt.Errorf("seo: %d periods exceed %d events (attendees cannot repeat an event)", periods, len(events))
+	}
+	return &Organizer{events: events, periods: periods, lambda: lambda}, nil
+}
+
+// AddAttendee registers an attendee with per-event preferences and returns
+// their id.
+func (o *Organizer) AddAttendee(name string, prefs []float64) (int, error) {
+	if len(prefs) != len(o.events) {
+		return 0, fmt.Errorf("seo: attendee %q has %d preferences, want %d", name, len(prefs), len(o.events))
+	}
+	o.attendees = append(o.attendees, name)
+	row := make([]float64, len(prefs))
+	copy(row, prefs)
+	o.pref = append(o.pref, row)
+	return len(o.attendees) - 1, nil
+}
+
+// AddFriendship records that attendee a gains tauA per shared event with b,
+// and b gains tauB with a, uniformly across events. Use AddAffinity for
+// event-specific values.
+func (o *Organizer) AddFriendship(a, b int, tauA, tauB float64) error {
+	for e := range o.events {
+		if err := o.AddAffinity(a, b, e, tauA); err != nil {
+			return err
+		}
+		if err := o.AddAffinity(b, a, e, tauB); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddAffinity records that attendee `from` gains `value` from attending
+// event `event` together with attendee `to`.
+func (o *Organizer) AddAffinity(from, to, event int, value float64) error {
+	if from < 0 || from >= len(o.attendees) || to < 0 || to >= len(o.attendees) {
+		return fmt.Errorf("seo: attendee out of range (%d, %d)", from, to)
+	}
+	if event < 0 || event >= len(o.events) {
+		return fmt.Errorf("seo: event %d out of range", event)
+	}
+	o.taus = append(o.taus, tauEntry{from: from, to: to, event: event, value: value})
+	return nil
+}
+
+// Schedule is a solved event plan.
+type Schedule struct {
+	// PeriodEvents[p][attendee] is the event id attended in period p.
+	PeriodEvents [][]int
+	// Objective is the weighted SVGIC objective of the plan.
+	Objective float64
+	// Violations counts capacity violations (0 for AVG-ST schedules).
+	Violations int
+
+	organizer *Organizer
+	conf      *core.Configuration
+	in        *core.Instance
+}
+
+// Solve computes a schedule with the capped AVG solver. The capacity bound
+// passed to SVGIC-ST is the *tightest* event capacity; per-event slack
+// capacities are then verified exactly (the paper's model has a single M,
+// so heterogeneous capacities are enforced by cap-at-minimum plus a
+// best-response repair pass that only moves attendees out of over-full
+// events).
+func (o *Organizer) Solve(seed uint64) (*Schedule, error) {
+	n := len(o.attendees)
+	if n == 0 {
+		return nil, fmt.Errorf("seo: no attendees")
+	}
+	in, err := o.instance()
+	if err != nil {
+		return nil, err
+	}
+	cap := o.minCapacity()
+	if cap > 0 && n > len(o.events)*cap {
+		return nil, fmt.Errorf("seo: %d attendees exceed total per-period capacity %d", n, len(o.events)*cap)
+	}
+	conf, _, err := core.SolveAVG(in, core.AVGOptions{Seed: seed, SizeCap: cap, Repeats: 5})
+	if err != nil {
+		return nil, err
+	}
+	core.LocalSearch(in, conf, 2, cap)
+	return o.schedule(in, conf), nil
+}
+
+func (o *Organizer) minCapacity() int {
+	cap := 0
+	for _, e := range o.events {
+		if e.Capacity > 0 && (cap == 0 || e.Capacity < cap) {
+			cap = e.Capacity
+		}
+	}
+	return cap
+}
+
+func (o *Organizer) instance() (*core.Instance, error) {
+	n := len(o.attendees)
+	g := graph.New(n)
+	for _, t := range o.taus {
+		g.AddEdge(t.from, t.to)
+	}
+	in := core.NewInstance(g, len(o.events), o.periods, o.lambda)
+	for u, row := range o.pref {
+		copy(in.Pref[u], row)
+	}
+	for _, t := range o.taus {
+		if err := in.SetTau(t.from, t.to, t.event, t.value); err != nil {
+			return nil, err
+		}
+	}
+	return in, in.Validate()
+}
+
+func (o *Organizer) schedule(in *core.Instance, conf *core.Configuration) *Schedule {
+	s := &Schedule{organizer: o, conf: conf, in: in}
+	s.PeriodEvents = make([][]int, o.periods)
+	for p := 0; p < o.periods; p++ {
+		s.PeriodEvents[p] = make([]int, len(o.attendees))
+		for u := range o.attendees {
+			s.PeriodEvents[p][u] = conf.Assign[u][p]
+		}
+	}
+	s.Objective = core.Evaluate(in, conf).Weighted()
+	for p := 0; p < o.periods; p++ {
+		for ev, group := range conf.SubgroupsAt(p) {
+			if c := o.events[ev].Capacity; c > 0 && len(group) > c {
+				s.Violations += len(group) - c
+			}
+		}
+	}
+	return s
+}
+
+// Roster returns the attendee names at the given event in the given period.
+func (s *Schedule) Roster(period, event int) []string {
+	var names []string
+	for u, ev := range s.PeriodEvents[period] {
+		if ev == event {
+			names = append(names, s.organizer.attendees[u])
+		}
+	}
+	return names
+}
+
+// AttendeePlan returns the event names attendee u visits, in period order.
+func (s *Schedule) AttendeePlan(u int) []string {
+	out := make([]string, len(s.PeriodEvents))
+	for p := range s.PeriodEvents {
+		out[p] = s.organizer.events[s.PeriodEvents[p][u]].Name
+	}
+	return out
+}
+
+// Regret returns the per-attendee regret ratios of the schedule.
+func (s *Schedule) Regret() []float64 {
+	return core.RegretRatios(s.in, s.conf)
+}

@@ -1,0 +1,153 @@
+package seo
+
+import (
+	"testing"
+
+	"github.com/svgic/svgic/internal/stats"
+)
+
+func organizerFixture(t *testing.T, capacity int) *Organizer {
+	t.Helper()
+	events := []Event{
+		{Name: "board games", Capacity: capacity},
+		{Name: "hike", Capacity: capacity},
+		{Name: "concert", Capacity: capacity},
+		{Name: "dinner", Capacity: capacity},
+		{Name: "museum", Capacity: capacity},
+	}
+	o, err := NewOrganizer(events, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRand(5)
+	for i := 0; i < 9; i++ {
+		prefs := make([]float64, len(events))
+		for e := range prefs {
+			prefs[e] = r.Float64()
+		}
+		if _, err := o.AddAttendee(string(rune('A'+i)), prefs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three friendship triangles.
+	for _, tri := range [][3]int{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}} {
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				if err := o.AddFriendship(tri[i], tri[j], 0.4, 0.4); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return o
+}
+
+func TestOrganizerSolveFeasible(t *testing.T) {
+	o := organizerFixture(t, 3)
+	s, err := o.Solve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Violations != 0 {
+		t.Errorf("capacity violations = %d", s.Violations)
+	}
+	if s.Objective <= 0 {
+		t.Error("non-positive objective")
+	}
+	if len(s.PeriodEvents) != 2 || len(s.PeriodEvents[0]) != 9 {
+		t.Fatalf("schedule shape: %v", s.PeriodEvents)
+	}
+	// No attendee repeats an event across periods.
+	for u := 0; u < 9; u++ {
+		if s.PeriodEvents[0][u] == s.PeriodEvents[1][u] {
+			t.Errorf("attendee %d repeats event %d", u, s.PeriodEvents[0][u])
+		}
+	}
+	// Plans and rosters are consistent.
+	plan := s.AttendeePlan(0)
+	if len(plan) != 2 {
+		t.Fatalf("plan = %v", plan)
+	}
+	found := false
+	for _, name := range s.Roster(0, s.PeriodEvents[0][0]) {
+		if name == "A" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("attendee A missing from their own event roster")
+	}
+	if reg := s.Regret(); len(reg) != 9 {
+		t.Fatalf("regret length %d", len(reg))
+	}
+}
+
+func TestOrganizerSocialPull(t *testing.T) {
+	// Two friends with mild preference disagreement should end up together
+	// at least once when social weight is high.
+	events := []Event{{Name: "x"}, {Name: "y"}, {Name: "z"}}
+	o, err := NewOrganizer(events, 1, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddAttendee("a", []float64{1.0, 0.9, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddAttendee("b", []float64{0.9, 1.0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddFriendship(0, 1, 0.8, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	s, err := o.Solve(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PeriodEvents[0][0] != s.PeriodEvents[0][1] {
+		t.Errorf("friends were separated: %v", s.PeriodEvents)
+	}
+}
+
+func TestOrganizerValidation(t *testing.T) {
+	if _, err := NewOrganizer(nil, 1, 0.5); err == nil {
+		t.Error("no events accepted")
+	}
+	if _, err := NewOrganizer([]Event{{Name: "x"}}, 2, 0.5); err == nil {
+		t.Error("more periods than events accepted")
+	}
+	o, err := NewOrganizer([]Event{{Name: "x"}, {Name: "y"}}, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddAttendee("a", []float64{1}); err == nil {
+		t.Error("wrong preference length accepted")
+	}
+	if _, err := o.Solve(1); err == nil {
+		t.Error("empty organizer solved")
+	}
+	if _, err := o.AddAttendee("a", []float64{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddAffinity(0, 9, 0, 0.5); err == nil {
+		t.Error("out-of-range attendee accepted")
+	}
+	if err := o.AddAffinity(0, 0, 9, 0.5); err == nil {
+		t.Error("out-of-range event accepted")
+	}
+}
+
+func TestOrganizerCapacityInfeasible(t *testing.T) {
+	events := []Event{{Name: "x", Capacity: 1}, {Name: "y", Capacity: 1}}
+	o, err := NewOrganizer(events, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // 3 attendees, total capacity 2
+		if _, err := o.AddAttendee("p", []float64{1, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := o.Solve(1); err == nil {
+		t.Error("over-capacity problem solved")
+	}
+}

@@ -1,0 +1,56 @@
+package svgic
+
+import (
+	"time"
+
+	"github.com/svgic/svgic/internal/baselines"
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/mip"
+)
+
+// Solver constructors. Every solver satisfies the Solver interface, so
+// comparison code can treat the paper's algorithms and baselines uniformly:
+//
+//	for _, s := range []svgic.Solver{svgic.AVG(opts), svgic.Personalized()} {
+//		conf, err := s.Solve(in)
+//		...
+//	}
+
+// AVG returns the randomized 4-approximation solver.
+func AVG(opts AVGOptions) Solver { return &core.AVGSolver{Opts: opts} }
+
+// AVGD returns the deterministic 4-approximation solver.
+func AVGD(opts AVGDOptions) Solver { return &core.AVGDSolver{Opts: opts} }
+
+// Personalized returns the personalized top-k baseline (PER): each user's k
+// most preferred items, no social awareness.
+func Personalized() Solver { return baselines.PER{} }
+
+// Group returns the group-recommendation baseline (FMG): one shared itemset
+// for everyone, greedy by aggregate utility; fairness > 0 reweights towards
+// underserved users.
+func Group(fairness float64) Solver { return baselines.FMG{Fairness: fairness} }
+
+// SubgroupByFriendship returns the SDP baseline: community-detect the social
+// network (or force `groups` balanced groups when groups > 0), then pick one
+// itemset per subgroup.
+func SubgroupByFriendship(groups int, seed uint64) Solver {
+	return baselines.SDP{Groups: groups, Seed: seed}
+}
+
+// SubgroupByPreference returns the GRF baseline: cluster users by preference
+// similarity (groups = 0 chooses ⌈n/4⌉ clusters), then pick one itemset per
+// cluster by aggregate preference.
+func SubgroupByPreference(groups int) Solver { return baselines.GRF{Groups: groups} }
+
+// Prepartitioned wraps a solver with balanced social prepartitioning into
+// groups of at most m users (the "-P" variants of the SVGIC-ST experiments).
+func Prepartitioned(inner Solver, m int, seed uint64) Solver {
+	return baselines.Prepartitioned{Inner: inner, M: m, Seed: seed}
+}
+
+// ExactIP returns the exact branch-and-bound IP solver (small instances
+// only); timeLimit 0 means no limit and the result is a proven optimum.
+func ExactIP(timeLimit time.Duration) Solver {
+	return &baselines.IP{Strategy: mip.Primal, TimeLimit: timeLimit, WarmStart: true}
+}
