@@ -1,0 +1,34 @@
+# Local targets mirroring .github/workflows/ci.yml, so a green `make check`
+# predicts a green CI run.
+
+GO ?= go
+
+.PHONY: build test test-short bench fmt fmt-check vet check
+
+build:
+	$(GO) build ./...
+
+# Full suite — the non-short CI lane (includes the ~7s experiment sweep).
+test:
+	$(GO) test ./...
+
+# Fast racy lane — what the CI `check` job runs.
+test-short:
+	$(GO) test -race -short ./...
+
+# Benchmark smoke: one iteration of every benchmark, no tests.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+check: fmt-check vet build test-short

@@ -10,9 +10,12 @@ package svgic_test
 // EXPERIMENTS.md records the produced tables and compares them to the paper.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	svgic "github.com/svgic/svgic"
+	"github.com/svgic/svgic/internal/datasets"
 	"github.com/svgic/svgic/internal/eval"
 )
 
@@ -149,6 +152,78 @@ func BenchmarkSubgroupMetrics(b *testing.B) {
 func BenchmarkDatasetGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := svgic.GenerateDataset(svgic.Yelp, 50, 300, 10, 0.5, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Batch engine ---------------------------------------------------------
+
+// engineBenchInstance folds `blocks` independent social groups of blockN
+// users into one instance — the multi-component shape the engine decomposes.
+func engineBenchInstance(seed uint64, blocks, blockN, m, k int) *svgic.Instance {
+	return datasets.MultiGroup(seed, blocks, blockN, m, k, 0.5)
+}
+
+// BenchmarkEngineBatch measures batch throughput at increasing worker
+// counts on multi-component instances (8 instances × 6 components each).
+// The cache is disabled so every iteration pays full solve cost; ns/op is
+// the wall time of one whole batch.
+func BenchmarkEngineBatch(b *testing.B) {
+	batch := make([]*svgic.Instance, 8)
+	for i := range batch {
+		batch[i] = engineBenchInstance(uint64(i+1), 6, 8, 40, 4)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng := svgic.NewEngine(svgic.EngineOptions{Workers: w, CacheSize: -1})
+			defer eng.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.SolveBatch(ctx, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineComponentScaling holds the total user count fixed and
+// varies how it splits into components, isolating the decomposition win:
+// per-component LP/rounding state is smaller, so more components means less
+// work even before any parallelism.
+func BenchmarkEngineComponentScaling(b *testing.B) {
+	const users = 48
+	for _, blocks := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("components=%d", blocks), func(b *testing.B) {
+			in := engineBenchInstance(7, blocks, users/blocks, 40, 4)
+			eng := svgic.NewEngine(svgic.EngineOptions{Workers: 4, CacheSize: -1})
+			defer eng.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Solve(ctx, in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineCacheHit measures the memoized path: every solve after the
+// first is answered from the fingerprint LRU.
+func BenchmarkEngineCacheHit(b *testing.B) {
+	in := engineBenchInstance(3, 6, 8, 40, 4)
+	eng := svgic.NewEngine(svgic.EngineOptions{Workers: 2})
+	defer eng.Close()
+	ctx := context.Background()
+	if _, err := eng.Solve(ctx, in); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Solve(ctx, in); err != nil {
 			b.Fatal(err)
 		}
 	}

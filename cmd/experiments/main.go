@@ -15,6 +15,8 @@
 //	-seed N        experiment seed (default 1)
 //	-samples N     instances averaged per sweep point (default 3)
 //	-csv DIR       additionally write each table as DIR/<experiment>_<i>.csv
+//	-engine        run the concurrent batch-engine demo instead of experiments
+//	-workers N     engine demo: pool size to sweep up to (default GOMAXPROCS)
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"github.com/svgic/svgic/internal/eval"
@@ -40,8 +43,13 @@ func run() error {
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	samples := flag.Int("samples", 3, "instances averaged per sweep point")
 	csvDir := flag.String("csv", "", "write tables as CSV into this directory")
+	useEngine := flag.Bool("engine", false, "run the concurrent batch-engine demo")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "engine demo: pool size to sweep up to")
 	flag.Parse()
 
+	if *useEngine {
+		return engineDemo(*workers, *quick, *seed)
+	}
 	if *list {
 		for _, r := range eval.Registry() {
 			fmt.Printf("  %-10s %s\n", r.ID, r.Paper)

@@ -1,0 +1,63 @@
+package svgic
+
+import (
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/engine"
+)
+
+// Engine is the concurrent batch solver: a fixed worker pool that splits each
+// instance into the connected components of its social network, solves the
+// components in parallel (the SAVG objective couples users only across
+// social edges, so the merge is objective-preserving), and memoizes
+// whole-instance results behind a fingerprint-keyed LRU cache.
+//
+//	eng := svgic.NewEngine(svgic.EngineOptions{Workers: 8})
+//	defer eng.Close()
+//	conf, err := eng.Solve(ctx, in)            // one group
+//	confs, err := eng.SolveBatch(ctx, batch)   // many groups, shared pool
+//	fmt.Println(eng.Stats())                   // throughput / latency / cache
+//
+// With the default deterministic AVG-D solver the engine returns exactly the
+// configuration SolveAVGD returns — decomposition and concurrency change the
+// wall time, never the answer.
+type Engine = engine.Engine
+
+// EngineOptions configures NewEngine: worker count, per-worker solver
+// factory, result-cache size and the decomposition switch.
+type EngineOptions = engine.Options
+
+// EngineStats is a snapshot of an Engine's throughput, latency and cache
+// counters.
+type EngineStats = engine.Stats
+
+// ErrEngineClosed is returned by Engine calls after Close.
+var ErrEngineClosed = engine.ErrClosed
+
+// DefaultEngineCacheSize is the result-cache capacity used when
+// EngineOptions.CacheSize is zero.
+const DefaultEngineCacheSize = engine.DefaultCacheSize
+
+// NewEngine starts an engine with its worker pool running. Release it with
+// Close.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// FingerprintInstance returns the 64-bit FNV-1a hash of everything that
+// determines a solver's output on the instance (users, items, k, λ,
+// preferences, edges and τ). The engine's cache keys on it; it is exported
+// for callers building their own memoization or request-coalescing layers.
+func FingerprintInstance(in *Instance) uint64 { return core.Fingerprint(in) }
+
+// DecomposeInstance splits an instance into the sub-instances induced by the
+// connected components of its social network, together with the original
+// user ids of each part (MergeInstanceConfigurations consumes the same
+// mapping). Connected instances come back as a one-element identity split.
+func DecomposeInstance(in *Instance) ([]*Instance, [][]int) {
+	return core.ComponentDecompose(in)
+}
+
+// MergeInstanceConfigurations embeds per-part configurations back into a full
+// n-user configuration; origs maps each part's rows to original user ids, as
+// returned by DecomposeInstance.
+func MergeInstanceConfigurations(n, k int, parts []*Configuration, origs [][]int) *Configuration {
+	return core.MergeConfigurations(n, k, parts, origs)
+}

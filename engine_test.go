@@ -1,0 +1,98 @@
+package svgic_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	svgic "github.com/svgic/svgic"
+)
+
+// engineTestInstance: two independent friend triangles sharing an item
+// catalogue — the smallest genuinely multi-component batch shape.
+func engineTestInstance(bump float64) *svgic.Instance {
+	g := svgic.NewGraph(6)
+	for _, tri := range [][3]int{{0, 1, 2}, {3, 4, 5}} {
+		g.AddMutualEdge(tri[0], tri[1])
+		g.AddMutualEdge(tri[1], tri[2])
+		g.AddMutualEdge(tri[0], tri[2])
+	}
+	in := svgic.NewInstance(g, 6, 2, 0.5)
+	for u := 0; u < 6; u++ {
+		for c := 0; c < 6; c++ {
+			in.SetPref(u, c, float64((u+c)%5)/5+bump)
+		}
+	}
+	for _, e := range g.Edges() {
+		for c := 0; c < 6; c++ {
+			if err := in.SetTau(e[0], e[1], c, float64((e[0]+c)%4)/6); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return in
+}
+
+func TestPublicEngineAPI(t *testing.T) {
+	in := engineTestInstance(0)
+
+	subs, origs := svgic.DecomposeInstance(in)
+	if len(subs) != 2 {
+		t.Fatalf("DecomposeInstance: %d parts, want 2", len(subs))
+	}
+	if svgic.FingerprintInstance(in) != svgic.FingerprintInstance(engineTestInstance(0)) {
+		t.Error("equal instances fingerprint differently")
+	}
+	if svgic.FingerprintInstance(in) == svgic.FingerprintInstance(engineTestInstance(0.1)) {
+		t.Error("different instances share a fingerprint")
+	}
+
+	eng := svgic.NewEngine(svgic.EngineOptions{Workers: 2})
+	defer eng.Close()
+	conf, err := eng.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := svgic.SolveAVGD(in, svgic.AVGDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := svgic.Evaluate(in, conf).Weighted() - svgic.Evaluate(in, want).Weighted(); math.Abs(d) > 1e-12 {
+		t.Errorf("engine objective differs from SolveAVGD by %g", d)
+	}
+
+	// Manual decompose + per-part solve + merge lands on the same objective.
+	parts := make([]*svgic.Configuration, len(subs))
+	for i, sub := range subs {
+		parts[i], _, err = svgic.SolveAVGD(sub, svgic.AVGDOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := svgic.MergeInstanceConfigurations(in.NumUsers(), in.K, parts, origs)
+	if err := merged.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if d := svgic.Evaluate(in, merged).Weighted() - svgic.Evaluate(in, want).Weighted(); math.Abs(d) > 1e-12 {
+		t.Errorf("manual decompose/merge differs from SolveAVGD by %g", d)
+	}
+
+	st := eng.Stats()
+	if st.Solves != 1 || st.ComponentsSolved != 2 || st.Workers != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if _, err := eng.SolveBatch(context.Background(), []*svgic.Instance{in, in}); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.CacheHits == 0 {
+		t.Error("repeat batch of one instance produced no cache hits")
+	}
+}
+
+func TestPublicEngineClosed(t *testing.T) {
+	eng := svgic.NewEngine(svgic.EngineOptions{Workers: 1})
+	eng.Close()
+	if _, err := eng.Solve(context.Background(), engineTestInstance(0)); err != svgic.ErrEngineClosed {
+		t.Fatalf("err = %v, want ErrEngineClosed", err)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/svgic/svgic
+
+go 1.22

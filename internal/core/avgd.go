@@ -57,6 +57,16 @@ const DefaultR = 0.25
 // SolveAVGD runs the full deterministic pipeline: LP relaxation, then
 // derandomized CSF selection (Algorithm 3 with the dirty row/column caching
 // described in DESIGN.md).
+//
+// Uncapped instances whose social network is disconnected are first split
+// with ComponentDecompose and solved per component: the SAVG objective
+// couples users only across social pairs, so the merge loses nothing — and
+// the threshold-prefix candidates of CSF, which on a whole instance must be
+// prefixes of a single factor order mixing all components, can cut at a
+// different threshold in every component. Per-component solving therefore
+// never hurts the objective and is also what the batch engine parallelizes;
+// doing it here keeps the serial and concurrent paths bit-identical.
+// Capped (SVGIC-ST) instances are solved whole — see the SizeCap note below.
 func SolveAVGD(in *Instance, opts AVGDOptions) (*Configuration, RoundingStats, error) {
 	if err := in.Validate(); err != nil {
 		return nil, RoundingStats{}, err
@@ -67,12 +77,57 @@ func SolveAVGD(in *Instance, opts AVGDOptions) (*Configuration, RoundingStats, e
 	if in.Lambda == 0 && opts.SizeCap == 0 {
 		return PersonalizedConfig(in), RoundingStats{}, nil
 	}
+	// The SVGIC-ST subgroup size cap binds across components: users from
+	// different components shown the same item at the same slot share one
+	// subgroup, so capped instances must be solved whole.
+	if opts.SizeCap == 0 {
+		if subs, origs := ComponentDecompose(in); len(subs) > 1 {
+			return solveAVGDComponents(in, subs, origs, opts)
+		}
+	}
 	f, err := SolveRelaxation(in, opts.LPMode, opts.LP)
 	if err != nil {
 		return nil, RoundingStats{}, err
 	}
 	conf, st := RoundAVGD(in, f, opts)
 	return conf, st, nil
+}
+
+// solveAVGDComponents solves every component sub-instance with the direct
+// pipeline and merges configurations, stats (summed) and traces (per-user ids
+// mapped back to the whole instance, components in canonical order).
+func solveAVGDComponents(in *Instance, subs []*Instance, origs [][]int, opts AVGDOptions) (*Configuration, RoundingStats, error) {
+	var total RoundingStats
+	parts := make([]*Configuration, len(subs))
+	for i, sub := range subs {
+		subOpts := opts
+		var trace []TraceStep
+		if opts.Trace != nil {
+			subOpts.Trace = &trace
+		}
+		f, err := SolveRelaxation(sub, subOpts.LPMode, subOpts.LP)
+		if err != nil {
+			return nil, RoundingStats{}, err
+		}
+		conf, st := RoundAVGD(sub, f, subOpts)
+		parts[i] = conf
+		total.Iterations += st.Iterations
+		total.Rejections += st.Rejections
+		total.Idle += st.Idle
+		total.FallbackUnits += st.FallbackUnits
+		total.LPObjective += st.LPObjective
+		if opts.Trace != nil {
+			for _, step := range trace {
+				users := make([]int, len(step.Users))
+				for j, u := range step.Users {
+					users[j] = origs[i][u]
+				}
+				step.Users = users
+				*opts.Trace = append(*opts.Trace, step)
+			}
+		}
+	}
+	return MergeConfigurations(in.NumUsers(), in.K, parts, origs), total, nil
 }
 
 // avgdEntry caches the best candidate Star for one (item, slot):

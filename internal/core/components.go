@@ -1,0 +1,46 @@
+package core
+
+import "github.com/svgic/svgic/internal/graph"
+
+// Component decomposition of SVGIC instances.
+//
+// The SAVG objective (Definition 3) couples users only across social pairs,
+// so the connected components of the social network are independent
+// subproblems: a configuration for the whole instance restricted to a
+// component scores exactly what the same rows score on the component's
+// induced sub-instance, and the whole-instance objective is the sum of the
+// per-component objectives. The batch engine exploits this to solve
+// components concurrently and merge the results with MergeConfigurations.
+
+// ComponentDecompose splits an instance into the sub-instances induced by
+// the connected components of its social network, in the canonical order of
+// graph.ComponentDecompose (components by smallest user, users ascending).
+// The second result maps each sub-instance's rows back to original user ids,
+// in the form MergeConfigurations expects.
+//
+// A connected instance (or one with no users) is returned as-is in a
+// one-element slice with an identity mapping, with no copying.
+func ComponentDecompose(in *Instance) ([]*Instance, [][]int) {
+	comps := graph.ComponentDecompose(in.G)
+	if len(comps) <= 1 {
+		n := in.NumUsers()
+		ident := make([]int, n)
+		for u := range ident {
+			ident[u] = u
+		}
+		return []*Instance{in}, [][]int{ident}
+	}
+	subs := make([]*Instance, len(comps))
+	origs := make([][]int, len(comps))
+	for i, comp := range comps {
+		sub, orig, err := SubInstance(in, comp)
+		if err != nil {
+			// comp comes straight from the instance's own graph: in-range,
+			// duplicate-free by construction.
+			panic("core: ComponentDecompose: " + err.Error())
+		}
+		subs[i] = sub
+		origs[i] = orig
+	}
+	return subs, origs
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/svgic/svgic/internal/graph"
+	"github.com/svgic/svgic/internal/stats"
+)
+
+// multiComponentInstance builds a deterministic random instance whose social
+// network is a disjoint union of `blocks` dense Erdős–Rényi blocks of
+// blockN users each.
+func multiComponentInstance(seed uint64, blocks, blockN, m, k int, lambda float64) *Instance {
+	r := stats.NewRand(seed)
+	n := blocks * blockN
+	g := graph.New(n)
+	for b := 0; b < blocks; b++ {
+		off := b * blockN
+		for i := 0; i < blockN; i++ {
+			for j := i + 1; j < blockN; j++ {
+				if r.Float64() < 0.6 {
+					g.AddMutualEdge(off+i, off+j)
+				}
+			}
+		}
+	}
+	in := NewInstance(g, m, k, lambda)
+	for u := 0; u < n; u++ {
+		for c := 0; c < m; c++ {
+			in.SetPref(u, c, r.Float64())
+		}
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Out(u) {
+			for c := 0; c < m; c++ {
+				if r.Float64() < 0.5 {
+					must(in.SetTau(u, v, c, 0.6*r.Float64()))
+				}
+			}
+		}
+	}
+	return in
+}
+
+func TestComponentDecomposeConnectedIsIdentity(t *testing.T) {
+	in := randomInstance(3, 6, 10, 3, 0.5)
+	if len(graph.ComponentDecompose(in.G)) > 1 {
+		t.Skip("random instance happened to be disconnected")
+	}
+	subs, origs := ComponentDecompose(in)
+	if len(subs) != 1 || subs[0] != in {
+		t.Fatalf("connected instance not returned as-is: %d subs", len(subs))
+	}
+	for u, o := range origs[0] {
+		if u != o {
+			t.Fatalf("identity mapping broken at %d -> %d", u, o)
+		}
+	}
+}
+
+func TestComponentDecomposePartitionsUsers(t *testing.T) {
+	in := multiComponentInstance(7, 5, 4, 12, 3, 0.5)
+	subs, origs := ComponentDecompose(in)
+	if len(subs) < 5 {
+		t.Fatalf("got %d components, want ≥ 5 (blocks may split further)", len(subs))
+	}
+	seen := make([]bool, in.NumUsers())
+	prevMin := -1
+	for i, orig := range origs {
+		if len(orig) != subs[i].NumUsers() {
+			t.Fatalf("component %d: %d ids for %d users", i, len(orig), subs[i].NumUsers())
+		}
+		for j, o := range orig {
+			if seen[o] {
+				t.Fatalf("user %d in two components", o)
+			}
+			seen[o] = true
+			if j > 0 && orig[j-1] >= o {
+				t.Fatalf("component %d ids not ascending", i)
+			}
+		}
+		if orig[0] <= prevMin {
+			t.Fatalf("components not ordered by smallest user")
+		}
+		prevMin = orig[0]
+		// Sub-instance carries the right utilities back.
+		for j, o := range orig {
+			for c := 0; c < in.NumItems; c++ {
+				if subs[i].Pref[j][c] != in.Pref[o][c] {
+					t.Fatalf("component %d: pref mismatch for user %d", i, o)
+				}
+			}
+		}
+	}
+	for u, ok := range seen {
+		if !ok {
+			t.Fatalf("user %d missing from decomposition", u)
+		}
+	}
+}
+
+// TestObjectiveAdditiveAcrossComponents is the correctness core of the batch
+// engine: for ANY configuration, the whole-instance objective equals the sum
+// of the per-component objectives of its restrictions, because social pairs
+// never cross components.
+func TestObjectiveAdditiveAcrossComponents(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		in := multiComponentInstance(seed, 4, 5, 15, 3, 0.45)
+		r := stats.NewRand(seed * 101)
+		conf := NewConfiguration(in.NumUsers(), in.K)
+		for u := 0; u < in.NumUsers(); u++ {
+			perm := r.Perm(in.NumItems)
+			copy(conf.Assign[u], perm[:in.K])
+		}
+		subs, origs := ComponentDecompose(in)
+		var sum float64
+		for i, sub := range subs {
+			part := NewConfiguration(sub.NumUsers(), sub.K)
+			for j, o := range origs[i] {
+				copy(part.Assign[j], conf.Assign[o])
+			}
+			sum += Evaluate(sub, part).Weighted()
+		}
+		whole := Evaluate(in, conf).Weighted()
+		if math.Abs(whole-sum) > 1e-9 {
+			t.Errorf("seed %d: whole=%.12f Σ components=%.12f", seed, whole, sum)
+		}
+	}
+}
+
+// TestSolveAVGDComponentEquivalence: SolveAVGD on a disconnected instance is
+// bit-identical to solving each component and merging — the property the
+// concurrent engine relies on.
+func TestSolveAVGDComponentEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		in := multiComponentInstance(seed, 4, 6, 20, 3, 0.5)
+		whole, _, err := SolveAVGD(in, AVGDOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs, origs := ComponentDecompose(in)
+		parts := make([]*Configuration, len(subs))
+		for i, sub := range subs {
+			c, _, err := SolveAVGD(sub, AVGDOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts[i] = c
+		}
+		merged := MergeConfigurations(in.NumUsers(), in.K, parts, origs)
+		for u := range whole.Assign {
+			for s := range whole.Assign[u] {
+				if whole.Assign[u][s] != merged.Assign[u][s] {
+					t.Fatalf("seed %d: configurations diverge at (%d,%d)", seed, u, s)
+				}
+			}
+		}
+		ow, om := Evaluate(in, whole).Weighted(), Evaluate(in, merged).Weighted()
+		if math.Abs(ow-om) > 1e-12 {
+			t.Errorf("seed %d: objective diverges: %.12f vs %.12f", seed, ow, om)
+		}
+	}
+}
+
+// TestSolveAVGDCappedSolvesWhole: the ST size cap couples components (users
+// of different components seeing the same item at the same slot share one
+// subgroup), so capped instances must respect the cap globally.
+func TestSolveAVGDCappedSolvesWhole(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		in := multiComponentInstance(seed, 3, 4, 14, 2, 0.5)
+		cap := 2
+		conf, _, err := SolveAVGD(in, AVGDOptions{SizeCap: cap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := conf.SizeViolations(cap); v != 0 {
+			t.Errorf("seed %d: %d size violations at cap %d", seed, v, cap)
+		}
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := func() *Instance { return multiComponentInstance(11, 3, 4, 8, 2, 0.5) }
+	in := base()
+	if Fingerprint(in) != Fingerprint(base()) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	mut := base()
+	mut.SetPref(0, 0, mut.Pref[0][0]+0.25)
+	if Fingerprint(mut) == Fingerprint(in) {
+		t.Error("preference change not reflected")
+	}
+	mut = base()
+	mut.Lambda += 0.1
+	if Fingerprint(mut) == Fingerprint(in) {
+		t.Error("λ change not reflected")
+	}
+	mut = base()
+	mut.K--
+	if Fingerprint(mut) == Fingerprint(in) {
+		t.Error("k change not reflected")
+	}
+	mut = base()
+	var edge [2]int
+	for _, e := range mut.G.Edges() {
+		edge = e
+		break
+	}
+	must(mut.SetTau(edge[0], edge[1], 0, mut.Tau(edge[0], edge[1], 0)+0.5))
+	if Fingerprint(mut) == Fingerprint(in) {
+		t.Error("τ change not reflected")
+	}
+	mut = base()
+	mut.G.AddMutualEdge(0, mut.NumUsers()-1)
+	if Fingerprint(mut) == Fingerprint(in) {
+		t.Error("edge change not reflected")
+	}
+}

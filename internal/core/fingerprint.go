@@ -1,0 +1,43 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint returns a 64-bit FNV-1a hash over everything that determines a
+// solver's output on an instance: user/item/slot counts, λ, the full
+// preference matrix and every directed edge with its τ vector (in the
+// deterministic order of Graph.Edges). Two instances with equal fingerprints
+// are, up to hash collision, the same problem — the engine's memoization
+// cache keys on it.
+func Fingerprint(in *Instance) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wInt := func(x int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	wFloat := func(x float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		h.Write(buf[:])
+	}
+	wInt(in.NumUsers())
+	wInt(in.NumItems)
+	wInt(in.K)
+	wFloat(in.Lambda)
+	for _, row := range in.Pref {
+		for _, p := range row {
+			wFloat(p)
+		}
+	}
+	for _, e := range in.G.Edges() {
+		wInt(e[0])
+		wInt(e[1])
+		for c := 0; c < in.NumItems; c++ {
+			wFloat(in.Tau(e[0], e[1], c))
+		}
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,30 @@
+package datasets
+
+import (
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/graph"
+	"github.com/svgic/svgic/internal/stats"
+	"github.com/svgic/svgic/internal/utility"
+)
+
+// MultiGroup folds `blocks` independent shopping groups of blockN users each
+// into one instance: disjoint Watts–Strogatz social rings (so every block is
+// one connected component) with synthetic PIERT utilities over a shared item
+// catalogue. This is the canonical multi-component shape used by the batch
+// engine's demo and benchmarks — the workload ComponentDecompose splits back
+// into its blocks.
+func MultiGroup(seed uint64, blocks, blockN, m, k int, lambda float64) *core.Instance {
+	r := stats.NewRand(seed)
+	n := blocks * blockN
+	g := graph.New(n)
+	for b := 0; b < blocks; b++ {
+		off := b * blockN
+		block := graph.WattsStrogatz(blockN, 2, 0.2, r)
+		for _, e := range block.Edges() {
+			g.AddEdge(off+e[0], off+e[1])
+		}
+	}
+	in := core.NewInstance(g, m, k, lambda)
+	utility.Populate(in, utility.Defaults(), seed)
+	return in
+}

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/svgic/svgic/internal/core"
+)
+
+// lruCache memoizes solved configurations keyed by instance fingerprint
+// (core.Fingerprint). It owns private deep copies on both sides: put stores a
+// clone and get returns a clone, so cached entries can never be mutated
+// through a caller's configuration or vice versa.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	byKey map[uint64]*list.Element
+}
+
+type cacheEntry struct {
+	key  uint64
+	conf *core.Configuration
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[uint64]*list.Element, capacity),
+	}
+}
+
+func (c *lruCache) get(key uint64) (*core.Configuration, bool) {
+	c.mu.Lock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	conf := el.Value.(*cacheEntry).conf
+	c.mu.Unlock()
+	// Clone outside the lock: cached configurations are immutable (put swaps
+	// the pointer, never mutates in place), so concurrent hits only contend
+	// for the pointer grab, not the O(n·k) copy.
+	return conf.Clone(), true
+}
+
+func (c *lruCache) put(key uint64, conf *core.Configuration) {
+	clone := conf.Clone()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).conf = clone
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, conf: clone})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

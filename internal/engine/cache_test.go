@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/svgic/svgic/internal/core"
+)
+
+func confOf(item int) *core.Configuration {
+	c := core.NewConfiguration(1, 1)
+	c.Assign[0][0] = item
+	return c
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.put(1, confOf(1))
+	c.put(2, confOf(2))
+	if _, ok := c.get(1); !ok { // promotes 1 over 2
+		t.Fatal("entry 1 missing")
+	}
+	c.put(3, confOf(3)) // evicts 2, the least recently used
+	if _, ok := c.get(2); ok {
+		t.Fatal("entry 2 not evicted")
+	}
+	for _, k := range []uint64{1, 3} {
+		got, ok := c.get(k)
+		if !ok {
+			t.Fatalf("entry %d missing", k)
+		}
+		if got.Assign[0][0] != int(k) {
+			t.Fatalf("entry %d carries item %d", k, got.Assign[0][0])
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestLRUCacheUpdateExisting(t *testing.T) {
+	c := newLRUCache(2)
+	c.put(7, confOf(1))
+	c.put(7, confOf(2))
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	got, _ := c.get(7)
+	if got.Assign[0][0] != 2 {
+		t.Fatalf("stale value %d after update", got.Assign[0][0])
+	}
+}
+
+func TestLRUCacheIsolation(t *testing.T) {
+	c := newLRUCache(2)
+	orig := confOf(5)
+	c.put(9, orig)
+	orig.Assign[0][0] = -1 // caller mutates after put
+	a, _ := c.get(9)
+	if a.Assign[0][0] != 5 {
+		t.Fatal("put did not copy")
+	}
+	a.Assign[0][0] = -2 // caller mutates a get result
+	b, _ := c.get(9)
+	if b.Assign[0][0] != 5 {
+		t.Fatal("get did not copy")
+	}
+}

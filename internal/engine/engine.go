@@ -1,0 +1,342 @@
+// Package engine provides the concurrent batch-solving layer over the SVGIC
+// solvers: a fixed worker pool that splits every incoming instance into the
+// connected components of its social network, solves the components in
+// parallel with per-worker solver instances, merges the per-component
+// configurations back (objective-preserving, see core.ComponentDecompose) and
+// memoizes whole-instance results behind a fingerprint-keyed LRU cache.
+//
+// The engine is the serving-path counterpart of the one-shot library calls:
+// where SolveAVGD answers one group on one goroutine, an Engine answers many
+// groups at once on a bounded number of goroutines, under context
+// cancellation and deadlines, with throughput and latency counters.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/svgic/svgic/internal/core"
+)
+
+// DefaultCacheSize is the LRU capacity used when Options.CacheSize is zero.
+const DefaultCacheSize = 256
+
+// ErrClosed is returned by Solve and SolveBatch after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the number of solver goroutines in the pool.
+	// Zero means GOMAXPROCS.
+	Workers int
+	// NewSolver returns a fresh solver for one worker. Solvers carry mutable
+	// per-solve state (e.g. RoundingStats on the AVG/AVG-D adapters), so every
+	// worker owns a private instance. Nil means deterministic AVG-D with
+	// default options.
+	NewSolver func() core.Solver
+	// CacheSize bounds the fingerprint-keyed result cache: zero means
+	// DefaultCacheSize, negative disables caching. Cached configurations are
+	// returned as deep copies, so callers may mutate results freely.
+	CacheSize int
+	// NoDecompose solves every instance whole instead of per connected
+	// component. Required when the configured solver couples components
+	// beyond the SAVG objective — e.g. an SVGIC-ST subgroup size cap, which
+	// binds across components because subgroups are keyed by (item, slot)
+	// over all users. New forces it automatically for AVG/AVG-D solvers
+	// configured with a size cap; custom capped solvers must set it.
+	NoDecompose bool
+}
+
+// Stats is a snapshot of an Engine's counters.
+type Stats struct {
+	Solves           uint64        // completed Solve calls (including cache hits)
+	Batches          uint64        // completed SolveBatch calls
+	ComponentsSolved uint64        // component subproblems run through the pool
+	CacheHits        uint64        // Solve calls answered from the cache
+	CacheMisses      uint64        // Solve calls that had to solve
+	Canceled         uint64        // Solve calls aborted by their context
+	TotalLatency     time.Duration // summed wall time of Solve calls that actually solved (cache hits excluded)
+	Workers          int
+}
+
+// solved returns the number of Solve calls that ran the solver (cache hits
+// and cancellations excluded) — the denominator of the latency metrics.
+func (s Stats) solved() uint64 {
+	return s.Solves - s.Canceled - s.CacheHits
+}
+
+// AvgLatency returns the mean wall time of a Solve that actually solved;
+// cache hits are excluded so a warm cache does not flatter the solver. Zero
+// when nothing solved yet.
+func (s Stats) AvgLatency() time.Duration {
+	done := s.solved()
+	if done == 0 {
+		return 0
+	}
+	return s.TotalLatency / time.Duration(done)
+}
+
+// Throughput returns solver-executed Solve calls per second of summed solve
+// latency — the per-worker service rate of the uncached path; multiply by
+// Workers for the pool ceiling. Cache hits are excluded (they are ~free and
+// would inflate the rate arbitrarily).
+func (s Stats) Throughput() float64 {
+	if s.TotalLatency <= 0 {
+		return 0
+	}
+	return float64(s.solved()) / s.TotalLatency.Seconds()
+}
+
+// task is one component subproblem handed to the pool.
+type task struct {
+	ctx  context.Context
+	in   *core.Instance
+	done func(*core.Configuration, error)
+}
+
+// Engine is a concurrent batch solver. Create with New, release with Close.
+// All methods are safe for concurrent use; Solve and SolveBatch may be called
+// from any number of goroutines and share the worker pool fairly at component
+// granularity. A Solve racing Close returns ErrClosed (or a partial
+// "component" error) — it never panics.
+type Engine struct {
+	workers     int
+	noDecompose bool
+	tasks       chan task
+	done        chan struct{} // closed by Close; unblocks submitters and workers
+	wg          sync.WaitGroup
+	cache       *lruCache
+	closeOnce   sync.Once
+	closed      atomic.Bool
+
+	solves      atomic.Uint64
+	batches     atomic.Uint64
+	components  atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	canceled    atomic.Uint64
+	latencyNS   atomic.Int64
+}
+
+// New starts an Engine with its worker pool running.
+func New(opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	newSolver := opts.NewSolver
+	if newSolver == nil {
+		newSolver = func() core.Solver { return &core.AVGDSolver{} }
+	}
+	noDecompose := opts.NoDecompose
+	solvers := make([]core.Solver, workers)
+	for w := range solvers {
+		solvers[w] = newSolver()
+	}
+	// An SVGIC-ST subgroup size cap binds across components (subgroups are
+	// keyed by item and slot over ALL users), so decomposing would merge
+	// per-component subgroups into oversized ones. Force whole-instance
+	// solving for the solver types whose cap the engine can see; solvers the
+	// engine cannot introspect must set NoDecompose themselves.
+	if !noDecompose {
+		switch s := solvers[0].(type) {
+		case *core.AVGDSolver:
+			noDecompose = s.Opts.SizeCap != 0
+		case *core.AVGSolver:
+			noDecompose = s.Opts.SizeCap != 0
+		}
+	}
+	e := &Engine{
+		workers:     workers,
+		noDecompose: noDecompose,
+		tasks:       make(chan task),
+		done:        make(chan struct{}),
+	}
+	switch {
+	case opts.CacheSize == 0:
+		e.cache = newLRUCache(DefaultCacheSize)
+	case opts.CacheSize > 0:
+		e.cache = newLRUCache(opts.CacheSize)
+	}
+	e.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go e.worker(solvers[w])
+	}
+	return e
+}
+
+// worker drains the task channel with a private solver until Close.
+func (e *Engine) worker(solver core.Solver) {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.done:
+			return
+		case t := <-e.tasks:
+			if err := t.ctx.Err(); err != nil {
+				t.done(nil, err)
+				continue
+			}
+			conf, err := solver.Solve(t.in)
+			t.done(conf, err)
+		}
+	}
+}
+
+// Close shuts the worker pool down: components already on a worker run to
+// completion, unsubmitted ones fail their Solve with ErrClosed, and later
+// Solve/SolveBatch calls return ErrClosed. Close is idempotent and safe to
+// race with in-flight calls.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		e.closed.Store(true)
+		close(e.done)
+		e.wg.Wait()
+	})
+}
+
+// Stats returns a point-in-time snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Solves:           e.solves.Load(),
+		Batches:          e.batches.Load(),
+		ComponentsSolved: e.components.Load(),
+		CacheHits:        e.cacheHits.Load(),
+		CacheMisses:      e.cacheMisses.Load(),
+		Canceled:         e.canceled.Load(),
+		TotalLatency:     time.Duration(e.latencyNS.Load()),
+		Workers:          e.workers,
+	}
+}
+
+// Solve answers one instance: cache lookup, component decomposition,
+// concurrent component solves on the pool, merge, cache fill. The context
+// bounds the call — cancellation abandons components that have not started
+// (a component already on a worker runs to completion but its result is
+// discarded).
+func (e *Engine) Solve(ctx context.Context, in *core.Instance) (*core.Configuration, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	// Dead-on-arrival requests: don't pay the O(n·m + |E|·m) fingerprint or
+	// touch the cache counters for a call that cannot run.
+	if err := ctx.Err(); err != nil {
+		e.canceled.Add(1)
+		e.solves.Add(1)
+		return nil, err
+	}
+	start := time.Now()
+	var fp uint64
+	if e.cache != nil {
+		fp = core.Fingerprint(in)
+		if conf, ok := e.cache.get(fp); ok {
+			e.cacheHits.Add(1)
+			e.solves.Add(1) // counted as served, but not in the latency metrics
+			return conf, nil
+		}
+		e.cacheMisses.Add(1)
+	}
+
+	subs := []*core.Instance{in}
+	var origs [][]int
+	if !e.noDecompose {
+		subs, origs = core.ComponentDecompose(in)
+	}
+	parts := make([]*core.Configuration, len(subs))
+	errs := make([]error, len(subs))
+	var wg sync.WaitGroup
+	for i, sub := range subs {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
+		i := i
+		wg.Add(1)
+		t := task{ctx: ctx, in: sub, done: func(c *core.Configuration, err error) {
+			parts[i], errs[i] = c, err
+			wg.Done()
+		}}
+		select {
+		case e.tasks <- t:
+		case <-ctx.Done():
+			wg.Done()
+			errs[i] = ctx.Err()
+		case <-e.done:
+			wg.Done()
+			errs[i] = ErrClosed
+		}
+	}
+	wg.Wait()
+	// Real solver errors win over concurrent cancellation/shutdown: a caller
+	// retrying a context error must not be hiding a deterministic failure.
+	var ctxErr, closedErr error
+	for i, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			ctxErr = err
+		case errors.Is(err, ErrClosed):
+			closedErr = err
+		default:
+			return nil, fmt.Errorf("engine: component %d: %w", i, err)
+		}
+	}
+	if ctxErr != nil {
+		e.canceled.Add(1)
+		e.solves.Add(1)
+		return nil, ctxErr
+	}
+	if closedErr != nil {
+		return nil, ErrClosed
+	}
+	e.components.Add(uint64(len(subs)))
+
+	conf := parts[0]
+	if len(subs) > 1 {
+		conf = core.MergeConfigurations(in.NumUsers(), in.K, parts, origs)
+	}
+	if e.cache != nil {
+		e.cache.put(fp, conf)
+	}
+	e.finish(start)
+	return conf, nil
+}
+
+// finish records a Solve that ran the solver to completion.
+func (e *Engine) finish(start time.Time) {
+	e.solves.Add(1)
+	e.latencyNS.Add(int64(time.Since(start)))
+}
+
+// SolveBatch answers a batch of instances concurrently, sharing the worker
+// pool at component granularity, and returns one configuration per instance
+// in input order. On error the slice still carries every configuration that
+// completed (nil for the failures) and the error joins the per-instance
+// failures.
+func (e *Engine) SolveBatch(ctx context.Context, ins []*core.Instance) ([]*core.Configuration, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	confs := make([]*core.Configuration, len(ins))
+	errs := make([]error, len(ins))
+	var wg sync.WaitGroup
+	for i, in := range ins {
+		i, in := i, in
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			confs[i], errs[i] = e.Solve(ctx, in)
+		}()
+	}
+	wg.Wait()
+	e.batches.Add(1)
+	return confs, errors.Join(errs...)
+}

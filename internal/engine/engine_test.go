@@ -1,0 +1,322 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/datasets"
+	"github.com/svgic/svgic/internal/graph"
+)
+
+// multiComponentInstance builds the canonical multi-component workload
+// (disjoint social rings with synthetic utilities) shared with the engine
+// demo and benchmarks.
+func multiComponentInstance(seed uint64, blocks, blockN, m, k int, lambda float64) *core.Instance {
+	return datasets.MultiGroup(seed, blocks, blockN, m, k, lambda)
+}
+
+// TestEngineMatchesWholeInstanceSolve is the ISSUE's acceptance property: on
+// ≥ 20 random multi-component instances the engine (component-decomposed,
+// solved concurrently, merged) returns the same Evaluate objective — in fact
+// the same configuration — as a direct whole-instance SolveAVGD.
+func TestEngineMatchesWholeInstanceSolve(t *testing.T) {
+	e := New(Options{Workers: 4, CacheSize: -1})
+	defer e.Close()
+	ctx := context.Background()
+	for seed := uint64(1); seed <= 20; seed++ {
+		in := multiComponentInstance(seed, 4, 6, 20, 3, 0.5)
+		want, _, err := core.SolveAVGD(in, core.AVGDOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Solve(ctx, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(in); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for u := range want.Assign {
+			for s := range want.Assign[u] {
+				if want.Assign[u][s] != got.Assign[u][s] {
+					t.Fatalf("seed %d: engine diverges from SolveAVGD at (%d,%d)", seed, u, s)
+				}
+			}
+		}
+		ow := core.Evaluate(in, want).Weighted()
+		og := core.Evaluate(in, got).Weighted()
+		if math.Abs(ow-og) > 1e-12 {
+			t.Errorf("seed %d: objective %.12f != %.12f", seed, og, ow)
+		}
+	}
+	st := e.Stats()
+	if st.Solves != 20 {
+		t.Errorf("Solves = %d, want 20", st.Solves)
+	}
+	if st.ComponentsSolved < 20*2 {
+		t.Errorf("ComponentsSolved = %d, want ≥ 40 (multi-component inputs)", st.ComponentsSolved)
+	}
+	if st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Errorf("cache counters moved with caching disabled: %+v", st)
+	}
+}
+
+func TestEngineCacheHitMiss(t *testing.T) {
+	e := New(Options{Workers: 2, CacheSize: 8})
+	defer e.Close()
+	ctx := context.Background()
+	in := multiComponentInstance(3, 3, 5, 12, 2, 0.5)
+	first, err := e.Solve(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.CacheMisses != 1 || st.CacheHits != 0 {
+		t.Fatalf("after first solve: %+v", st)
+	}
+	// Poisoning guard: mutating a returned configuration must not reach the
+	// cached copy.
+	first.Assign[0][0] = -7
+	second, err := e.Solve(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("after second solve: %+v", st)
+	}
+	if second.Assign[0][0] == -7 {
+		t.Fatal("cache returned the caller's mutated configuration")
+	}
+	if err := second.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	// An equal-but-distinct instance hits too (fingerprint keyed, not pointer
+	// keyed); a perturbed one misses.
+	if _, err := e.Solve(ctx, multiComponentInstance(3, 3, 5, 12, 2, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.CacheHits != 2 {
+		t.Fatalf("value-identical instance missed the cache: %+v", st)
+	}
+	perturbed := multiComponentInstance(3, 3, 5, 12, 2, 0.5)
+	perturbed.SetPref(0, 0, perturbed.Pref[0][0]+1)
+	if _, err := e.Solve(ctx, perturbed); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.CacheMisses != 2 {
+		t.Fatalf("perturbed instance hit the cache: %+v", st)
+	}
+}
+
+func TestEngineContextCancellation(t *testing.T) {
+	e := New(Options{Workers: 1, CacheSize: -1})
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := multiComponentInstance(5, 3, 5, 12, 2, 0.5)
+	if _, err := e.Solve(ctx, in); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Solve on canceled context: err = %v", err)
+	}
+	if st := e.Stats(); st.Canceled != 1 {
+		t.Errorf("Canceled = %d, want 1", st.Canceled)
+	}
+	// A deadline in the past behaves the same through SolveBatch.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	confs, err := e.SolveBatch(dctx, []*core.Instance{in, in})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SolveBatch past deadline: err = %v", err)
+	}
+	for i, c := range confs {
+		if c != nil {
+			t.Errorf("conf[%d] non-nil after deadline", i)
+		}
+	}
+}
+
+func TestEngineSolveBatch(t *testing.T) {
+	e := New(Options{Workers: 4})
+	defer e.Close()
+	ins := make([]*core.Instance, 12)
+	for i := range ins {
+		ins[i] = multiComponentInstance(uint64(100+i), 3, 5, 15, 3, 0.5)
+	}
+	confs, err := e.SolveBatch(context.Background(), ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(confs) != len(ins) {
+		t.Fatalf("got %d configurations, want %d", len(confs), len(ins))
+	}
+	for i, conf := range confs {
+		if err := conf.Validate(ins[i]); err != nil {
+			t.Errorf("instance %d: %v", i, err)
+		}
+		// Order preserved: the batch result must score what a direct solve of
+		// the same input scores.
+		want, _, err := core.SolveAVGD(ins[i], core.AVGDOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w, g := core.Evaluate(ins[i], want).Weighted(), core.Evaluate(ins[i], conf).Weighted(); math.Abs(w-g) > 1e-12 {
+			t.Errorf("instance %d: objective %.12f, want %.12f", i, g, w)
+		}
+	}
+	if st := e.Stats(); st.Batches != 1 || st.Solves != uint64(len(ins)) {
+		t.Errorf("stats after batch: %+v", st)
+	}
+}
+
+func TestEngineBatchPartialFailure(t *testing.T) {
+	e := New(Options{Workers: 2, CacheSize: -1})
+	defer e.Close()
+	good := multiComponentInstance(9, 2, 4, 10, 2, 0.5)
+	bad := core.NewInstance(graph.New(2), 1, 3, 0.5) // k > m: invalid
+	confs, err := e.SolveBatch(context.Background(), []*core.Instance{good, bad})
+	if err == nil {
+		t.Fatal("invalid instance did not fail the batch")
+	}
+	if confs[0] == nil {
+		t.Error("valid instance result dropped")
+	}
+	if confs[1] != nil {
+		t.Error("invalid instance produced a configuration")
+	}
+}
+
+func TestEngineConcurrentSolvesRaceClean(t *testing.T) {
+	e := New(Options{Workers: 4, CacheSize: 4})
+	defer e.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				in := multiComponentInstance(uint64(1+(w+i)%3), 3, 4, 10, 2, 0.5)
+				conf, err := e.Solve(context.Background(), in)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := conf.Validate(in); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := e.Stats(); st.Solves != 32 {
+		t.Errorf("Solves = %d, want 32", st.Solves)
+	}
+}
+
+func TestEngineClosed(t *testing.T) {
+	e := New(Options{Workers: 1})
+	e.Close()
+	e.Close() // idempotent
+	if _, err := e.Solve(context.Background(), multiComponentInstance(1, 2, 3, 8, 2, 0.5)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Solve after Close: err = %v", err)
+	}
+	if _, err := e.SolveBatch(context.Background(), nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SolveBatch after Close: err = %v", err)
+	}
+}
+
+func TestEngineNoDecompose(t *testing.T) {
+	e := New(Options{Workers: 2, CacheSize: -1, NoDecompose: true})
+	defer e.Close()
+	in := multiComponentInstance(4, 3, 5, 12, 2, 0.5)
+	conf, err := e.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conf.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.ComponentsSolved != 1 {
+		t.Errorf("ComponentsSolved = %d, want 1 under NoDecompose", st.ComponentsSolved)
+	}
+}
+
+// TestEngineCappedSolverNoDecompose: an ST-capped solver must run whole-
+// instance; the result then respects the cap globally.
+func TestEngineCappedSolverNoDecompose(t *testing.T) {
+	const cap = 2
+	e := New(Options{
+		Workers:     2,
+		CacheSize:   -1,
+		NoDecompose: true,
+		NewSolver:   func() core.Solver { return &core.AVGDSolver{Opts: core.AVGDOptions{SizeCap: cap}} },
+	})
+	defer e.Close()
+	in := multiComponentInstance(6, 3, 4, 14, 2, 0.5)
+	conf, err := e.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := conf.SizeViolations(cap); v != 0 {
+		t.Errorf("%d size violations at cap %d", v, cap)
+	}
+}
+
+// TestEngineCappedSolverAutoNoDecompose: New detects a size cap on the
+// AVG/AVG-D adapters and forces whole-instance solving even when the caller
+// forgot NoDecompose — otherwise merged per-component subgroups could exceed
+// the cap silently.
+func TestEngineCappedSolverAutoNoDecompose(t *testing.T) {
+	const cap = 2
+	e := New(Options{
+		Workers:   2,
+		CacheSize: -1,
+		NewSolver: func() core.Solver { return &core.AVGDSolver{Opts: core.AVGDOptions{SizeCap: cap}} },
+	})
+	defer e.Close()
+	in := multiComponentInstance(6, 3, 4, 14, 2, 0.5)
+	conf, err := e.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := conf.SizeViolations(cap); v != 0 {
+		t.Errorf("%d size violations at cap %d", v, cap)
+	}
+	if st := e.Stats(); st.ComponentsSolved != 1 {
+		t.Errorf("ComponentsSolved = %d, want 1 (auto NoDecompose)", st.ComponentsSolved)
+	}
+}
+
+// TestEngineCloseRacesSolve: Close concurrent with in-flight Solves must
+// never panic; each Solve either completes or returns ErrClosed.
+func TestEngineCloseRacesSolve(t *testing.T) {
+	e := New(Options{Workers: 2, CacheSize: -1})
+	ins := make([]*core.Instance, 16)
+	for i := range ins {
+		ins[i] = multiComponentInstance(uint64(50+i), 3, 4, 10, 2, 0.5)
+	}
+	var wg sync.WaitGroup
+	for _, in := range ins {
+		in := in
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conf, err := e.Solve(context.Background(), in)
+			if err != nil && !errors.Is(err, ErrClosed) {
+				t.Errorf("unexpected error: %v", err)
+				return
+			}
+			if err == nil {
+				if verr := conf.Validate(in); verr != nil {
+					t.Error(verr)
+				}
+			}
+		}()
+	}
+	e.Close() // races the Solves above
+	wg.Wait()
+}

@@ -5,6 +5,18 @@ import (
 	"testing"
 )
 
+// shortRunners is the representative subset of the registry exercised under
+// -short: one table experiment, one sweep, one hardness check and one
+// extension, each sub-second even with -race (fig3n is ~5s under the race
+// detector, so sweeps are represented by the cheaper fig13). The full sweep
+// (~7s) runs in the non-short CI lane and locally via `make test`.
+var shortRunners = map[string]bool{
+	"example":      true,
+	"fig13":        true,
+	"lemma3":       true,
+	"extstability": true,
+}
+
 // TestRunnersQuick executes every experiment in Quick mode: tables must be
 // produced, non-empty and printable.
 func TestRunnersQuick(t *testing.T) {
@@ -13,6 +25,9 @@ func TestRunnersQuick(t *testing.T) {
 	for _, r := range Registry() {
 		r := r
 		t.Run(r.ID, func(t *testing.T) {
+			if testing.Short() && !shortRunners[r.ID] {
+				t.Skip("full registry sweep runs in the non-short lane")
+			}
 			tabs, err := r.Fn(cfg)
 			if err != nil {
 				t.Fatalf("%s: %v", r.ID, err)

@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/svgic/svgic/internal/stats"
+)
+
+func TestComponentDecomposeCanonicalOrder(t *testing.T) {
+	g := New(9)
+	// Components: {0,4,8}, {1,7}, {2}, {3,5,6}. Edges added out of order.
+	g.AddMutualEdge(8, 4)
+	g.AddMutualEdge(4, 0)
+	g.AddMutualEdge(7, 1)
+	g.AddMutualEdge(5, 3)
+	g.AddMutualEdge(6, 5)
+	comps := ComponentDecompose(g)
+	want := [][]int{{0, 4, 8}, {1, 7}, {2}, {3, 5, 6}}
+	if len(comps) != len(want) {
+		t.Fatalf("got %d components, want %d", len(comps), len(want))
+	}
+	for i, w := range want {
+		if len(comps[i]) != len(w) {
+			t.Fatalf("component %d = %v, want %v", i, comps[i], w)
+		}
+		for j := range w {
+			if comps[i][j] != w[j] {
+				t.Fatalf("component %d = %v, want %v", i, comps[i], w)
+			}
+		}
+	}
+}
+
+func TestComponentLabelsMatchDecompose(t *testing.T) {
+	g := ErdosRenyi(40, 0.05, stats.NewRand(42))
+	labels, count := ComponentLabels(g)
+	comps := ComponentDecompose(g)
+	if count != len(comps) {
+		t.Fatalf("label count %d != %d components", count, len(comps))
+	}
+	for i, comp := range comps {
+		for _, v := range comp {
+			if labels[v] != i {
+				t.Fatalf("vertex %d labelled %d, listed in component %d", v, labels[v], i)
+			}
+		}
+	}
+	// Labels must agree with pair connectivity.
+	for _, p := range g.Pairs() {
+		if labels[p[0]] != labels[p[1]] {
+			t.Fatalf("connected pair %v straddles components", p)
+		}
+	}
+}
+
+func TestComponentDecomposeEmptyAndSingletons(t *testing.T) {
+	if got := ComponentDecompose(New(0)); got != nil {
+		t.Fatalf("empty graph: got %v, want nil", got)
+	}
+	comps := ComponentDecompose(New(3))
+	if len(comps) != 3 {
+		t.Fatalf("edgeless graph: %d components, want 3", len(comps))
+	}
+	for i, c := range comps {
+		if len(c) != 1 || c[0] != i {
+			t.Fatalf("component %d = %v, want [%d]", i, c, i)
+		}
+	}
+}

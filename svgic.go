@@ -34,8 +34,16 @@
 //	if err != nil { ... }
 //	rep := svgic.Evaluate(in, conf)
 //
+// # Serving many groups
+//
+// Engine is the concurrent batch-solving layer: it splits instances into the
+// connected components of their social networks, solves components in
+// parallel on a worker pool under context cancellation, merges the parts
+// back (objective-preserving) and memoizes repeated instances behind a
+// fingerprint-keyed LRU cache. See NewEngine.
+//
 // See examples/ for complete programs and EXPERIMENTS.md for the
-// reproduction of the paper's evaluation.
+// reproduction of the paper's evaluation, the engine demo and the CI lanes.
 package svgic
 
 import (
