@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench fmt fmt-check vet check
+.PHONY: build test test-short bench fmt fmt-check vet check serve-smoke
 
 build:
 	$(GO) build ./...
@@ -30,5 +30,12 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# Serving smoke: build svgicd and fire a few hundred mixed-duplicate requests
+# at an in-process server. The loadgen exits non-zero on any response status
+# other than 200/429, and its stats line shows the cache + coalesce hit rates.
+serve-smoke:
+	$(GO) build -o bin/svgicd ./cmd/svgicd
+	./bin/svgicd -loadgen -requests 300 -dup-frac 0.5 -conc 8 -workers 2 -max-inflight 16
 
 check: fmt-check vet build test-short

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -68,11 +69,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Strict decode: an unknown field is a hard error, not a silent drop — a
+	// typo like "preference" must not run the solver on zero utilities.
 	var ii inputInstance
-	if err := json.Unmarshal(raw, &ii); err != nil {
+	if err := svgic.DecodeStrict(bytes.NewReader(raw), &ii); err != nil {
 		return fmt.Errorf("parsing input: %w", err)
 	}
-	in, err := svgic.UnmarshalInstance(raw)
+	in, err := svgic.InstanceFromJSON(&ii.InstanceJSON)
 	if err != nil {
 		return err
 	}

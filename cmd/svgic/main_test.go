@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 
 	svgic "github.com/svgic/svgic"
@@ -58,6 +59,36 @@ func TestBuildInstanceRejectsBadInput(t *testing.T) {
 		if _, err := svgic.UnmarshalInstance([]byte(s)); err == nil {
 			t.Errorf("case %d accepted: %s", i, s)
 		}
+	}
+}
+
+// TestStrictDecodeRejectsMisspelledField: the CLI ingestion path must reject
+// unknown fields — a tolerant json.Unmarshal silently dropped a typo like
+// "preference" and solved a zero-utility instance.
+func TestStrictDecodeRejectsMisspelledField(t *testing.T) {
+	typo := `{
+	  "users": 2, "items": 3, "slots": 2, "lambda": 0.5,
+	  "preference": [[1, 0.5, 0], [0.9, 0.1, 0.2]]
+	}`
+	var ii inputInstance
+	if err := svgic.DecodeStrict(strings.NewReader(typo), &ii); err == nil {
+		t.Fatal(`misspelled "preference" accepted by the CLI decode path`)
+	} else if !strings.Contains(err.Error(), "preference") {
+		t.Errorf("error %q does not name the unknown field", err)
+	}
+	// The CLI's schema extensions (sizeCap, dtel) remain legal fields.
+	ok := `{
+	  "users": 1, "items": 2, "slots": 1, "lambda": 0,
+	  "preferences": [[1, 0]], "sizeCap": 2, "dtel": 0.5
+	}`
+	if err := svgic.DecodeStrict(strings.NewReader(ok), &ii); err != nil {
+		t.Fatalf("canonical input with CLI extensions rejected: %v", err)
+	}
+	if ii.SizeCap != 2 || ii.DTel != 0.5 {
+		t.Fatalf("extensions mis-decoded: %+v", ii)
+	}
+	if _, err := svgic.InstanceFromJSON(&ii.InstanceJSON); err != nil {
+		t.Fatalf("InstanceFromJSON on decoded input: %v", err)
 	}
 }
 

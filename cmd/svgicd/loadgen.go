@@ -1,0 +1,269 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	svgic "github.com/svgic/svgic"
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/datasets"
+	"github.com/svgic/svgic/internal/server"
+)
+
+// The load generator drives /v1/solve with a mix of one "hot" instance
+// (repeated with probability dup-frac — the flash-crowd shape that exercises
+// coalescing and the result cache) and a pool of distinct instances (fresh
+// solver work), then probes /v1/solve/batch, /v1/evaluate and /healthz once
+// each. It reports throughput, latency percentiles and the cache/coalesce
+// counters from /v1/stats, and fails on any response status other than 200
+// or 429 — 429 is the admission controller doing its job, anything else is
+// a serving bug.
+
+// loadgenPoolSize is the number of distinct (non-hot) instances cycled by
+// the generator.
+const loadgenPoolSize = 16
+
+type shot struct {
+	status  int
+	latency time.Duration
+	err     error
+}
+
+func runLoadgen(cfg config) error {
+	base := cfg.target
+	if base == "" {
+		eng, app, err := newApp(cfg)
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: app}
+		go func() { _ = httpSrv.Serve(ln) }()
+		defer httpSrv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "loadgen: in-process server on %s\n", base)
+	}
+
+	// One hot instance plus a pool of distinct ones, marshalled once. The
+	// canonical multi-component serving workload: disjoint social rings with
+	// synthetic utilities (see internal/datasets.MultiGroup).
+	hot, err := core.MarshalInstance(datasets.MultiGroup(42, 3, 4, 12, 2, 0.5))
+	if err != nil {
+		return err
+	}
+	pool := make([][]byte, loadgenPoolSize)
+	for i := range pool {
+		if pool[i], err = core.MarshalInstance(datasets.MultiGroup(uint64(100+i), 3, 4, 12, 2, 0.5)); err != nil {
+			return err
+		}
+	}
+
+	client := &http.Client{Timeout: 2 * cfg.maxTimeout}
+	indices := make(chan int)
+	results := make(chan []shot, cfg.conc)
+	var ticks <-chan time.Time
+	if cfg.rps > 0 {
+		t := time.NewTicker(time.Second / time.Duration(cfg.rps))
+		defer t.Stop()
+		ticks = t.C
+	}
+
+	start := time.Now()
+	for w := 0; w < cfg.conc; w++ {
+		go func() {
+			var mine []shot
+			for i := range indices {
+				if ticks != nil {
+					<-ticks
+				}
+				body := hot
+				// Deterministic duplicate mix: request i repeats the hot
+				// instance iff its residue falls under dup-frac.
+				if float64(i%100) >= cfg.dupFrac*100 {
+					body = pool[i%len(pool)]
+				}
+				mine = append(mine, post(client, base+"/v1/solve", body))
+			}
+			results <- mine
+		}()
+	}
+	for i := 0; i < cfg.requests; i++ {
+		indices <- i
+	}
+	close(indices)
+	var shots []shot
+	for w := 0; w < cfg.conc; w++ {
+		shots = append(shots, <-results...)
+	}
+	wall := time.Since(start)
+
+	// Single probes of the remaining surface: a batch with an internal
+	// duplicate, an evaluate round-trip, and liveness.
+	probeErr := probeOnce(client, base, hot, pool[0])
+
+	// Report.
+	statuses := make(map[int]int)
+	var lats []time.Duration
+	bad := 0
+	for _, sh := range shots {
+		if sh.err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: transport error: %v\n", sh.err)
+			bad++
+			continue
+		}
+		statuses[sh.status]++
+		if sh.status == http.StatusOK {
+			lats = append(lats, sh.latency)
+		}
+		if sh.status != http.StatusOK && sh.status != http.StatusTooManyRequests {
+			bad++
+		}
+	}
+	fmt.Printf("loadgen: %d requests in %v (%.1f req/s), conc=%d dup-frac=%.2f rps-cap=%d\n",
+		cfg.requests, wall.Round(time.Millisecond), float64(cfg.requests)/wall.Seconds(), cfg.conc, cfg.dupFrac, cfg.rps)
+	fmt.Printf("status:")
+	for _, code := range sortedKeys(statuses) {
+		fmt.Printf(" %d×%d", code, statuses[code])
+	}
+	fmt.Println()
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
+			pct(lats, 50), pct(lats, 90), pct(lats, 99), lats[len(lats)-1].Round(10*time.Microsecond))
+	}
+	if err := printServerStats(client, base); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: stats fetch failed: %v\n", err)
+		bad++
+	}
+
+	if probeErr != nil {
+		return fmt.Errorf("endpoint probe failed: %w", probeErr)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d requests failed with a status other than 200/429", bad)
+	}
+	return nil
+}
+
+// post sends one JSON document and drains the response.
+func post(client *http.Client, url string, body []byte) shot {
+	t0 := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return shot{err: err}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return shot{status: resp.StatusCode, latency: time.Since(t0)}
+}
+
+// probeOnce exercises the endpoints the solve storm does not touch.
+func probeOnce(client *http.Client, base string, hot, other []byte) error {
+	// Batch with an internal duplicate: [hot, hot, other].
+	var hj, oj core.InstanceJSON
+	if err := json.Unmarshal(hot, &hj); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(other, &oj); err != nil {
+		return err
+	}
+	batch, err := json.Marshal([]core.InstanceJSON{hj, hj, oj})
+	if err != nil {
+		return err
+	}
+	if sh := post(client, base+"/v1/solve/batch", batch); sh.err != nil || sh.status != http.StatusOK {
+		return fmt.Errorf("batch probe: status %d, err %v", sh.status, sh.err)
+	}
+
+	// Evaluate a solved configuration for the hot instance.
+	in, err := svgic.UnmarshalInstanceStrict(hot)
+	if err != nil {
+		return err
+	}
+	conf, _, err := svgic.SolveAVGD(in, svgic.AVGDOptions{})
+	if err != nil {
+		return err
+	}
+	evalReq, err := json.Marshal(server.EvaluateRequest{
+		Instance:      hj,
+		Configuration: server.ConfigurationJSON{Slots: conf.K, Assignment: conf.Assign},
+	})
+	if err != nil {
+		return err
+	}
+	if sh := post(client, base+"/v1/evaluate", evalReq); sh.err != nil || sh.status != http.StatusOK {
+		return fmt.Errorf("evaluate probe: status %d, err %v", sh.status, sh.err)
+	}
+
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz probe: %w", err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz probe: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// printServerStats fetches /v1/stats and summarizes the serving-path
+// counters the loadgen exists to demonstrate.
+func printServerStats(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var st server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	e := st.Engine
+	lookups := e.CacheHits + e.CacheMisses
+	hitRate := 0.0
+	if lookups > 0 {
+		hitRate = 100 * float64(e.CacheHits) / float64(lookups)
+	}
+	fmt.Printf("engine: solves=%d solved=%d cacheHits=%d cacheMisses=%d hitRate=%.1f%% avgSolve=%.2fms workers=%d\n",
+		e.Solves, e.Solved, e.CacheHits, e.CacheMisses, hitRate, e.AvgLatencyMS, e.Workers)
+	c := st.Coalesce
+	collapsed := 0.0
+	if c.Leads+c.Joins > 0 {
+		collapsed = 100 * float64(c.Joins) / float64(c.Leads+c.Joins)
+	}
+	fmt.Printf("coalesce: enabled=%v leads=%d joins=%d (%.1f%% of coalesced traffic collapsed)\n",
+		c.Enabled, c.Leads, c.Joins, collapsed)
+	s := st.Server
+	fmt.Printf("admission: admitted=%d shed=%d timeouts=%d clientClosed=%d badRequests=%d maxInFlight=%d\n",
+		s.Admitted, s.Shed, s.Timeouts, s.ClientClosed, s.BadRequests, s.MaxInFlight)
+	return nil
+}
+
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)-1)*p + 50
+	return sorted[idx/100].Round(10 * time.Microsecond)
+}
+
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

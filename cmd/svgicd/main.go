@@ -1,0 +1,179 @@
+// Command svgicd serves SVGIC solves over HTTP: the network front door of
+// the batch engine, with bounded-in-flight admission control (429 +
+// Retry-After under overload), per-request deadlines, fingerprint-keyed
+// request coalescing and graceful drain on SIGINT/SIGTERM.
+//
+// Serve:
+//
+//	svgicd -addr :8080 -workers 8 -cache 512 -algo avgd
+//	curl -s localhost:8080/healthz
+//	curl -s -XPOST localhost:8080/v1/solve?timeout=500ms -d @store.json
+//	curl -s -XPOST localhost:8080/v1/solve/batch -d @stores.json
+//	curl -s localhost:8080/v1/stats
+//
+// Load-generate (reports throughput, latency percentiles, cache/coalesce
+// hit rates; exits non-zero on any status other than 200/429):
+//
+//	svgicd -loadgen -requests 300 -dup-frac 0.5 -conc 8
+//	svgicd -loadgen -target http://localhost:8080 -rps 200 -requests 1000
+//
+// The API speaks the core.InstanceJSON interchange schema (see the svgic
+// CLI and EXPERIMENTS.md); request bodies are decoded strictly — unknown
+// fields are a 400, never a silent drop.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	svgic "github.com/svgic/svgic"
+	"github.com/svgic/svgic/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "svgicd:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr        string
+	workers     int
+	cache       int
+	algo        string
+	seed        uint64
+	sizeCap     int
+	timeout     time.Duration
+	maxTimeout  time.Duration
+	maxInFlight int
+	maxBatch    int
+	noCoalesce  bool
+
+	loadgen  bool
+	target   string
+	requests int
+	rps      int
+	dupFrac  float64
+	conc     int
+}
+
+func run() error {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&cfg.workers, "workers", 0, "solver workers (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.cache, "cache", svgic.DefaultEngineCacheSize, "result cache size (negative disables)")
+	flag.StringVar(&cfg.algo, "algo", "avgd", "solver: avg|avgd")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "random seed (avg)")
+	flag.IntVar(&cfg.sizeCap, "size-cap", 0, "SVGIC-ST subgroup size cap M (0 = uncapped)")
+	flag.DurationVar(&cfg.timeout, "timeout", server.DefaultTimeout, "default per-request solve deadline")
+	flag.DurationVar(&cfg.maxTimeout, "max-timeout", server.DefaultMaxTimeout, "cap on client-requested timeouts")
+	flag.IntVar(&cfg.maxInFlight, "max-inflight", 0, "admission limit (0 = 4×workers); excess load is shed with 429")
+	flag.IntVar(&cfg.maxBatch, "max-batch", server.DefaultMaxBatch, "max instances per batch request")
+	flag.BoolVar(&cfg.noCoalesce, "no-coalesce", false, "disable request coalescing")
+
+	flag.BoolVar(&cfg.loadgen, "loadgen", false, "run the load generator instead of serving")
+	flag.StringVar(&cfg.target, "target", "", "loadgen target base URL (empty = spin up an in-process server)")
+	flag.IntVar(&cfg.requests, "requests", 300, "loadgen: total requests")
+	flag.IntVar(&cfg.rps, "rps", 0, "loadgen: request rate (0 = unthrottled)")
+	flag.Float64Var(&cfg.dupFrac, "dup-frac", 0.5, "loadgen: fraction of requests that repeat the hot instance")
+	flag.IntVar(&cfg.conc, "conc", 8, "loadgen: concurrent clients")
+	flag.Parse()
+
+	if cfg.loadgen {
+		return runLoadgen(cfg)
+	}
+	return serve(cfg)
+}
+
+// newApp builds the engine + server pair from flags. The caller shuts the
+// server down before closing the engine.
+func newApp(cfg config) (*svgic.Engine, *server.Server, error) {
+	solver, algoName, err := pickSolver(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng := svgic.NewEngine(svgic.EngineOptions{
+		Workers:   cfg.workers,
+		CacheSize: cfg.cache,
+		NewSolver: solver,
+	})
+	srv, err := server.New(server.Options{
+		Engine:         eng,
+		AlgoName:       algoName,
+		MaxInFlight:    cfg.maxInFlight,
+		DefaultTimeout: cfg.timeout,
+		MaxTimeout:     cfg.maxTimeout,
+		MaxBatch:       cfg.maxBatch,
+		NoCoalesce:     cfg.noCoalesce,
+	})
+	if err != nil {
+		eng.Close()
+		return nil, nil, err
+	}
+	return eng, srv, nil
+}
+
+func pickSolver(cfg config) (func() svgic.Solver, string, error) {
+	switch cfg.algo {
+	case "avgd":
+		return func() svgic.Solver {
+			return svgic.AVGD(svgic.AVGDOptions{SizeCap: cfg.sizeCap})
+		}, "AVG-D", nil
+	case "avg":
+		return func() svgic.Solver {
+			return svgic.AVG(svgic.AVGOptions{Seed: cfg.seed, SizeCap: cfg.sizeCap, Repeats: 3})
+		}, "AVG", nil
+	}
+	return nil, "", fmt.Errorf("unknown algorithm %q (want avg or avgd)", cfg.algo)
+}
+
+func serve(cfg config) error {
+	eng, app, err := newApp(cfg)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	httpSrv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           app,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "svgicd: serving on %s (workers=%d cache=%d algo=%s max-inflight=%d)\n",
+		cfg.addr, eng.Stats().Workers, cfg.cache, cfg.algo, app.StatsSnapshot().Server.MaxInFlight)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting, drain in-flight solves, then (via
+	// the deferred Close) release the engine's worker pool.
+	fmt.Fprintln(os.Stderr, "svgicd: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := app.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "svgicd: drained cleanly")
+	return nil
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 
 	"github.com/svgic/svgic/internal/graph"
 )
@@ -64,13 +66,62 @@ func MarshalInstance(in *Instance) ([]byte, error) {
 }
 
 // UnmarshalInstance decodes an instance from its JSON interchange form,
-// validating it.
+// validating it. Unknown fields are tolerated — use UnmarshalInstanceStrict
+// on untrusted input, where a misspelled field must not be silently dropped.
 func UnmarshalInstance(data []byte) (*Instance, error) {
 	var ij InstanceJSON
 	if err := json.Unmarshal(data, &ij); err != nil {
 		return nil, fmt.Errorf("core: decoding instance: %w", err)
 	}
 	return InstanceFromJSON(&ij)
+}
+
+// UnmarshalInstanceStrict decodes and validates an instance, rejecting
+// unknown JSON fields. A tolerant decode silently drops a typo like
+// "preference" (for "preferences") and hands the solver a zero-utility
+// instance; ingestion paths fed by users — the CLI and the svgicd HTTP
+// server — must use the strict form.
+func UnmarshalInstanceStrict(data []byte) (*Instance, error) {
+	ij, err := DecodeInstanceJSONStrict(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	return InstanceFromJSON(ij)
+}
+
+// DecodeInstanceJSONStrict reads one InstanceJSON document from r, rejecting
+// unknown fields and trailing garbage. The caller finishes with
+// InstanceFromJSON (which validates); it is split out so ingestion paths
+// that extend the schema (e.g. the CLI's sizeCap/dtel envelope) can reuse
+// the strictness rules on their own wrapper types via StrictDecoder.
+func DecodeInstanceJSONStrict(r io.Reader) (*InstanceJSON, error) {
+	var ij InstanceJSON
+	if err := DecodeStrict(r, &ij); err != nil {
+		return nil, fmt.Errorf("core: decoding instance: %w", err)
+	}
+	return &ij, nil
+}
+
+// DecodeStrict decodes exactly one JSON document from r into v with unknown
+// fields disallowed, and rejects trailing non-whitespace content.
+func DecodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// A second document (or stray token) after the first is an error: the
+	// serving path must not half-read a malformed request body. A genuine
+	// read failure (dropped connection, body-size limit) is reported as
+	// itself, not mislabeled as trailing content.
+	switch tok, err := dec.Token(); {
+	case err == io.EOF:
+		return nil
+	case err != nil:
+		return fmt.Errorf("reading past JSON document: %w", err)
+	default:
+		return fmt.Errorf("unexpected content after JSON document: %v", tok)
+	}
 }
 
 // InstanceFromJSON builds a validated instance from the interchange struct.

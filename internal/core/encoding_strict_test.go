@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+const strictExample = `{
+  "users": 2, "items": 3, "slots": 2, "lambda": 0.5,
+  "preferences": [[1, 0.5, 0], [0.9, 0.1, 0.2]],
+  "social": [{"from": 0, "to": 1, "tau": [0.4, 0, 0]}]
+}`
+
+func TestUnmarshalInstanceStrictAcceptsCanonicalSchema(t *testing.T) {
+	in, err := UnmarshalInstanceStrict([]byte(strictExample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumUsers() != 2 || in.NumItems != 3 || in.K != 2 {
+		t.Fatalf("wrong shape: %d users, %d items, %d slots", in.NumUsers(), in.NumItems, in.K)
+	}
+	// Round-trip: MarshalInstance emits only canonical fields, so its output
+	// must always strict-decode.
+	data, err := MarshalInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalInstanceStrict(data); err != nil {
+		t.Fatalf("canonical marshal output rejected by strict decode: %v", err)
+	}
+}
+
+// TestUnmarshalInstanceStrictRejectsUnknownFields is the regression test for
+// the silent-typo bug: a tolerant json.Unmarshal drops "preference" (missing
+// the final s) and the solver runs on a zero-utility instance.
+func TestUnmarshalInstanceStrictRejectsUnknownFields(t *testing.T) {
+	typo := `{
+	  "users": 2, "items": 3, "slots": 2, "lambda": 0.5,
+	  "preference": [[1, 0.5, 0], [0.9, 0.1, 0.2]]
+	}`
+	_, err := UnmarshalInstanceStrict([]byte(typo))
+	if err == nil {
+		t.Fatal("misspelled \"preference\" accepted by strict decode")
+	}
+	if !strings.Contains(err.Error(), "preference") {
+		t.Errorf("error %q does not name the unknown field", err)
+	}
+
+	// A misspelled "social" is nastier: the tolerant decode accepts it and
+	// silently zeroes every τ; the strict decode refuses.
+	socialTypo := `{
+	  "users": 2, "items": 3, "slots": 2, "lambda": 0.5,
+	  "preferences": [[1, 0.5, 0], [0.9, 0.1, 0.2]],
+	  "socials": [{"from": 0, "to": 1, "tau": [0.4, 0, 0]}]
+	}`
+	if in, terr := UnmarshalInstance([]byte(socialTypo)); terr != nil {
+		t.Fatalf("tolerant decode unexpectedly failed: %v", terr)
+	} else if in.Tau(0, 1, 0) != 0 {
+		t.Fatal("tolerant decode kept τ — test premise broken")
+	}
+	if _, err := UnmarshalInstanceStrict([]byte(socialTypo)); err == nil {
+		t.Fatal("misspelled \"social\" accepted by strict decode")
+	}
+}
+
+func TestUnmarshalInstanceStrictRejectsTrailingGarbage(t *testing.T) {
+	if _, err := UnmarshalInstanceStrict([]byte(strictExample + `{"users": 1}`)); err == nil {
+		t.Fatal("trailing second document accepted")
+	}
+	if _, err := UnmarshalInstanceStrict([]byte(strictExample + " \n\t ")); err != nil {
+		t.Fatalf("trailing whitespace rejected: %v", err)
+	}
+}
+
+func TestDecodeStrictArbitraryWrapper(t *testing.T) {
+	type wrapper struct {
+		InstanceJSON
+		SizeCap int `json:"sizeCap"`
+	}
+	var w wrapper
+	if err := DecodeStrict(strings.NewReader(`{"users":1,"items":2,"slots":1,"preferences":[[1,0]],"sizeCap":3}`), &w); err != nil {
+		t.Fatal(err)
+	}
+	if w.SizeCap != 3 || w.Users != 1 {
+		t.Fatalf("wrapper mis-decoded: %+v", w)
+	}
+	if err := DecodeStrict(strings.NewReader(`{"users":1,"sizecapp":3}`), &w); err == nil {
+		t.Fatal("unknown wrapper field accepted")
+	}
+}

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/svgic/svgic/internal/graph"
 	"github.com/svgic/svgic/internal/lp"
@@ -87,13 +88,22 @@ func (in *Instance) PairSocial(u, v, c int) float64 {
 }
 
 // Validate checks structural sanity: k ≤ m (otherwise the no-duplication
-// constraint is unsatisfiable), λ in range, non-negative utilities.
+// constraint is unsatisfiable), λ in range, non-negative finite utilities.
+//
+// Every numeric check rejects NaN and ±Inf explicitly: range comparisons are
+// false for NaN, so without the finiteness guards a NaN λ, preference or τ
+// would slip through and silently poison the LP coefficients, the CSF scores
+// and the instance fingerprint. This is the trust boundary for untrusted
+// JSON entering through the CLI and the svgicd serving path.
 func (in *Instance) Validate() error {
 	if in.K <= 0 {
 		return fmt.Errorf("core: k=%d must be positive", in.K)
 	}
 	if in.K > in.NumItems {
 		return fmt.Errorf("core: k=%d exceeds m=%d; the no-duplication constraint is unsatisfiable", in.K, in.NumItems)
+	}
+	if !isFinite(in.Lambda) {
+		return fmt.Errorf("core: λ=%v is not finite", in.Lambda)
 	}
 	if in.Lambda < 0 || in.Lambda > 1 {
 		return fmt.Errorf("core: λ=%g out of [0,1]", in.Lambda)
@@ -103,20 +113,31 @@ func (in *Instance) Validate() error {
 			return fmt.Errorf("core: preference row %d has %d items, want %d", u, len(row), in.NumItems)
 		}
 		for c, p := range row {
+			if !isFinite(p) {
+				return fmt.Errorf("core: p(%d,%d)=%v is not finite", u, c, p)
+			}
 			if p < 0 {
 				return fmt.Errorf("core: p(%d,%d)=%g is negative", u, c, p)
 			}
 		}
 	}
 	for key, vec := range in.tau {
+		n := int64(in.NumUsers())
 		for c, t := range vec {
+			if !isFinite(t) {
+				return fmt.Errorf("core: τ(%d,%d,%d)=%v is not finite", key/n, key%n, c, t)
+			}
 			if t < 0 {
-				n := int64(in.NumUsers())
 				return fmt.Errorf("core: τ(%d,%d,%d)=%g is negative", key/n, key%n, c, t)
 			}
 		}
 	}
 	return nil
+}
+
+// isFinite reports whether x is neither NaN nor ±Inf.
+func isFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
 }
 
 // PrefCoef returns the weighted preference coefficients aP[u][c] = (1−λ)·p(u,c)

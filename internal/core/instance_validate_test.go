@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/svgic/svgic/internal/graph"
+)
+
+// validInstance builds a small instance that passes Validate, for the
+// perturbation tests below to break one field at a time.
+func validInstance(t *testing.T) *Instance {
+	t.Helper()
+	g := graph.New(3)
+	g.AddMutualEdge(0, 1)
+	g.AddMutualEdge(1, 2)
+	in := NewInstance(g, 4, 2, 0.5)
+	in.SetPref(0, 0, 1)
+	in.SetPref(1, 1, 0.5)
+	if err := in.SetTau(0, 1, 0, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatalf("baseline instance invalid: %v", err)
+	}
+	return in
+}
+
+// TestValidateRejectsNonFinite is the regression test for the NaN/Inf hole:
+// every numeric Validate check used to be a `< 0` or range comparison, which
+// is false for NaN, so non-finite λ, preferences and τ all passed and
+// silently poisoned the LP, the CSF scores and the fingerprint.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	posInf := math.Inf(1)
+	negInf := math.Inf(-1)
+
+	cases := []struct {
+		name    string
+		mutate  func(in *Instance)
+		errWant string
+	}{
+		{"lambda NaN", func(in *Instance) { in.Lambda = nan }, "λ"},
+		{"lambda +Inf", func(in *Instance) { in.Lambda = posInf }, "λ"},
+		{"lambda -Inf", func(in *Instance) { in.Lambda = negInf }, "λ"},
+		{"pref NaN", func(in *Instance) { in.Pref[1][2] = nan }, "p(1,2)"},
+		{"pref +Inf", func(in *Instance) { in.Pref[0][0] = posInf }, "p(0,0)"},
+		{"pref -Inf", func(in *Instance) { in.Pref[2][3] = negInf }, "p(2,3)"},
+		{"tau NaN", func(in *Instance) {
+			if err := in.SetTau(0, 1, 1, nan); err != nil {
+				t.Fatal(err)
+			}
+		}, "τ(0,1,1)"},
+		{"tau +Inf", func(in *Instance) {
+			if err := in.SetTau(1, 0, 2, posInf); err != nil {
+				t.Fatal(err)
+			}
+		}, "τ(1,0,2)"},
+		{"tau -Inf", func(in *Instance) {
+			if err := in.SetTau(1, 2, 0, negInf); err != nil {
+				t.Fatal(err)
+			}
+		}, "τ(1,2,0)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := validInstance(t)
+			tc.mutate(in)
+			err := in.Validate()
+			if err == nil {
+				t.Fatalf("%s passed Validate", tc.name)
+			}
+			if !strings.Contains(err.Error(), "not finite") {
+				t.Errorf("error %q does not name non-finiteness", err)
+			}
+			if !strings.Contains(err.Error(), tc.errWant) {
+				t.Errorf("error %q does not locate the bad value (want %q)", err, tc.errWant)
+			}
+		})
+	}
+}
+
+// TestValidateStillRejectsNegatives: the finiteness guards must not mask the
+// pre-existing sign and range checks.
+func TestValidateStillRejectsNegatives(t *testing.T) {
+	in := validInstance(t)
+	in.Pref[0][1] = -0.5
+	if err := in.Validate(); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Errorf("negative preference: err = %v", err)
+	}
+
+	in = validInstance(t)
+	if err := in.SetTau(0, 1, 3, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Errorf("negative τ: err = %v", err)
+	}
+
+	in = validInstance(t)
+	in.Lambda = 1.5
+	if err := in.Validate(); err == nil || !strings.Contains(err.Error(), "out of [0,1]") {
+		t.Errorf("λ out of range: err = %v", err)
+	}
+}
+
+// TestInstanceFromJSONRejectsNonFinite: callers constructing the interchange
+// struct programmatically (the server's batch path does) bypass the JSON
+// decoder, so InstanceFromJSON itself must end at Validate and reject
+// non-finite values.
+func TestInstanceFromJSONRejectsNonFinite(t *testing.T) {
+	ij := &InstanceJSON{
+		Users:       2,
+		Items:       2,
+		Slots:       1,
+		Lambda:      0.5,
+		Preferences: [][]float64{{1, math.NaN()}, {0, 0}},
+	}
+	if _, err := InstanceFromJSON(ij); err == nil {
+		t.Fatal("NaN preference passed InstanceFromJSON")
+	}
+	ij.Preferences = [][]float64{{1, 0}, {0, 0}}
+	ij.Lambda = math.Inf(1)
+	if _, err := InstanceFromJSON(ij); err == nil {
+		t.Fatal("+Inf λ passed InstanceFromJSON")
+	}
+}

@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"github.com/svgic/svgic/internal/core"
+)
+
+// Coalescer collapses concurrent identical Solve calls into one solver
+// execution (singleflight keyed on core.Fingerprint). The LRU cache only
+// helps *after* the first solve of an instance completes; under a flash
+// crowd — N identical requests arriving inside one solve's latency — all N
+// would miss the cache and run the solver N times. The coalescer makes the
+// first arrival the leader, parks the rest on its in-flight call, and fans
+// the leader's result out as deep copies, so every caller may mutate its
+// configuration freely.
+//
+// Followers share the leader's results but not its context: if the leader's
+// own deadline expires or its client disconnects mid-solve, a parked
+// follower whose context is still live retries — leading a fresh flight or
+// joining a newer one — instead of failing with an error that was never its
+// own. A follower's context also bounds its wait, so it can give up early
+// without affecting the leader.
+type Coalescer struct {
+	e *Engine
+
+	mu       sync.Mutex
+	inflight map[uint64]*call
+
+	leads atomic.Uint64
+	joins atomic.Uint64
+}
+
+// call is one in-flight solve other requests can park on.
+type call struct {
+	done    chan struct{}
+	joiners int
+	conf    *core.Configuration // set before done closes iff joiners > 0; never mutated after
+	err     error
+}
+
+// CoalesceStats is a snapshot of a Coalescer's counters.
+type CoalesceStats struct {
+	Leads uint64 // calls that ran the engine (first arrival for their fingerprint)
+	Joins uint64 // calls answered by parking on another call's in-flight solve
+}
+
+// NewCoalescer wraps an engine with request coalescing. The engine may be
+// shared with direct callers; only calls routed through the coalescer are
+// collapsed.
+func NewCoalescer(e *Engine) *Coalescer {
+	return &Coalescer{e: e, inflight: make(map[uint64]*call)}
+}
+
+// Stats returns a point-in-time snapshot of the coalescing counters.
+func (c *Coalescer) Stats() CoalesceStats {
+	return CoalesceStats{Leads: c.leads.Load(), Joins: c.joins.Load()}
+}
+
+// Solve answers one instance, collapsing it into an identical in-flight call
+// when one exists. The returned configuration is always private to the
+// caller (the leader gets the engine's copy, followers get deep copies of
+// the leader's result). Validation is the engine's: the fingerprint key is
+// total on any input, and an invalid leader fails fast in Engine.Solve with
+// the same error a direct call would see.
+func (c *Coalescer) Solve(ctx context.Context, in *core.Instance) (*core.Configuration, error) {
+	key := core.Fingerprint(in)
+	for {
+		c.mu.Lock()
+		if cl, ok := c.inflight[key]; ok {
+			cl.joiners++
+			c.mu.Unlock()
+			c.joins.Add(1)
+			select {
+			case <-cl.done:
+				if cl.err != nil {
+					// The leader's context failure is the leader's, not ours:
+					// with a still-live context, go around — lead a fresh
+					// flight or join a newer one. One dead client must not
+					// fail the whole crowd.
+					if isContextErr(cl.err) && ctx.Err() == nil {
+						continue
+					}
+					return nil, cl.err
+				}
+				// cl.conf is immutable once done is closed; every follower
+				// clones it so results stay independently mutable.
+				return cl.conf.Clone(), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		cl := &call{done: make(chan struct{})}
+		c.inflight[key] = cl
+		c.mu.Unlock()
+		c.leads.Add(1)
+
+		conf, err := c.e.Solve(ctx, in)
+
+		// Unregister first: arrivals from here on start a fresh flight (and
+		// hit the engine's result cache if this one succeeded). The joiner
+		// count is frozen by the same lock, so cloning only when someone
+		// actually waits is race-free.
+		c.mu.Lock()
+		delete(c.inflight, key)
+		joiners := cl.joiners
+		c.mu.Unlock()
+
+		cl.err = err
+		if err == nil && joiners > 0 {
+			cl.conf = conf.Clone()
+		}
+		close(cl.done)
+		return conf, err
+	}
+}
+
+// isContextErr reports whether err is a context cancellation or deadline
+// failure (possibly wrapped).
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// SolveBatch answers a batch through the coalescing path: each instance is
+// solved concurrently via Solve, so duplicates inside the batch — and across
+// concurrent batches — collapse too. Results are positional; the error joins
+// the per-instance failures like Engine.SolveBatch.
+func (c *Coalescer) SolveBatch(ctx context.Context, ins []*core.Instance) ([]*core.Configuration, error) {
+	confs := make([]*core.Configuration, len(ins))
+	errs := make([]error, len(ins))
+	var wg sync.WaitGroup
+	for i, in := range ins {
+		i, in := i, in
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			confs[i], errs[i] = c.Solve(ctx, in)
+		}()
+	}
+	wg.Wait()
+	return confs, errors.Join(errs...)
+}

@@ -53,32 +53,36 @@ type Options struct {
 }
 
 // Stats is a snapshot of an Engine's counters.
+//
+// Every Solve call that passes validation ends in exactly one of four
+// buckets, so the identity
+//
+//	Solves == CacheHits + Solved + Canceled + Errors
+//
+// holds at any quiescent point (asserted under -race by the engine stress
+// test). Calls rejected before admission — validation failures and calls on
+// an already-closed engine — touch no counters at all.
 type Stats struct {
-	Solves           uint64        // completed Solve calls (including cache hits)
+	Solves           uint64        // terminated Solve calls (sum of the four buckets below)
 	Batches          uint64        // completed SolveBatch calls
 	ComponentsSolved uint64        // component subproblems run through the pool
 	CacheHits        uint64        // Solve calls answered from the cache
-	CacheMisses      uint64        // Solve calls that had to solve
+	CacheMisses      uint64        // Solve calls that missed the cache (retries of errored solves miss again)
+	Solved           uint64        // Solve calls that ran the solver to completion
 	Canceled         uint64        // Solve calls aborted by their context
-	TotalLatency     time.Duration // summed wall time of Solve calls that actually solved (cache hits excluded)
+	Errors           uint64        // Solve calls failed by a component solver or mid-flight Close
+	TotalLatency     time.Duration // summed wall time of the Solved bucket (cache hits excluded)
 	Workers          int
-}
-
-// solved returns the number of Solve calls that ran the solver (cache hits
-// and cancellations excluded) — the denominator of the latency metrics.
-func (s Stats) solved() uint64 {
-	return s.Solves - s.Canceled - s.CacheHits
 }
 
 // AvgLatency returns the mean wall time of a Solve that actually solved;
 // cache hits are excluded so a warm cache does not flatter the solver. Zero
 // when nothing solved yet.
 func (s Stats) AvgLatency() time.Duration {
-	done := s.solved()
-	if done == 0 {
+	if s.Solved == 0 {
 		return 0
 	}
-	return s.TotalLatency / time.Duration(done)
+	return s.TotalLatency / time.Duration(s.Solved)
 }
 
 // Throughput returns solver-executed Solve calls per second of summed solve
@@ -89,7 +93,7 @@ func (s Stats) Throughput() float64 {
 	if s.TotalLatency <= 0 {
 		return 0
 	}
-	return float64(s.solved()) / s.TotalLatency.Seconds()
+	return float64(s.Solved) / s.TotalLatency.Seconds()
 }
 
 // task is one component subproblem handed to the pool.
@@ -119,7 +123,9 @@ type Engine struct {
 	components  atomic.Uint64
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
+	solved      atomic.Uint64
 	canceled    atomic.Uint64
+	errored     atomic.Uint64
 	latencyNS   atomic.Int64
 }
 
@@ -208,7 +214,9 @@ func (e *Engine) Stats() Stats {
 		ComponentsSolved: e.components.Load(),
 		CacheHits:        e.cacheHits.Load(),
 		CacheMisses:      e.cacheMisses.Load(),
+		Solved:           e.solved.Load(),
 		Canceled:         e.canceled.Load(),
+		Errors:           e.errored.Load(),
 		TotalLatency:     time.Duration(e.latencyNS.Load()),
 		Workers:          e.workers,
 	}
@@ -277,6 +285,10 @@ func (e *Engine) Solve(ctx context.Context, in *core.Instance) (*core.Configurat
 	wg.Wait()
 	// Real solver errors win over concurrent cancellation/shutdown: a caller
 	// retrying a context error must not be hiding a deterministic failure.
+	// Every terminal path below lands the call in exactly one Stats bucket
+	// (Errors / Canceled / Solved), keeping the counter identity intact — an
+	// errored solve used to vanish from Solves entirely while its cache miss
+	// had already been counted.
 	var ctxErr, closedErr error
 	for i, err := range errs {
 		switch {
@@ -286,6 +298,8 @@ func (e *Engine) Solve(ctx context.Context, in *core.Instance) (*core.Configurat
 		case errors.Is(err, ErrClosed):
 			closedErr = err
 		default:
+			e.errored.Add(1)
+			e.solves.Add(1)
 			return nil, fmt.Errorf("engine: component %d: %w", i, err)
 		}
 	}
@@ -295,6 +309,8 @@ func (e *Engine) Solve(ctx context.Context, in *core.Instance) (*core.Configurat
 		return nil, ctxErr
 	}
 	if closedErr != nil {
+		e.errored.Add(1)
+		e.solves.Add(1)
 		return nil, ErrClosed
 	}
 	e.components.Add(uint64(len(subs)))
@@ -313,6 +329,7 @@ func (e *Engine) Solve(ctx context.Context, in *core.Instance) (*core.Configurat
 // finish records a Solve that ran the solver to completion.
 func (e *Engine) finish(start time.Time) {
 	e.solves.Add(1)
+	e.solved.Add(1)
 	e.latencyNS.Add(int64(time.Since(start)))
 }
 

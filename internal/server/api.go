@@ -1,0 +1,106 @@
+package server
+
+import "github.com/svgic/svgic/internal/core"
+
+// Wire types of the svgicd JSON API. Instances travel as core.InstanceJSON
+// (the interchange schema shared with the CLI and datagen); everything here
+// is the server's side of the conversation. The loadgen and the e2e tests
+// decode into these same types, so schema drift breaks the build, not the
+// wire.
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// SolveResponse answers POST /v1/solve: the SAVG k-Configuration plus its
+// utility report under plain SVGIC semantics.
+type SolveResponse struct {
+	Algorithm  string  `json:"algorithm"`
+	Slots      int     `json:"slots"`
+	Assignment [][]int `json:"assignment"`
+	Preference float64 `json:"preference"`
+	Social     float64 `json:"social"`
+	Weighted   float64 `json:"weighted"`
+	Scaled     float64 `json:"scaled"`
+	ElapsedMS  float64 `json:"elapsedMs,omitempty"`
+}
+
+// BatchResponse answers POST /v1/solve/batch; Results is positional with the
+// request's instance array.
+type BatchResponse struct {
+	Results   []SolveResponse `json:"results"`
+	ElapsedMS float64         `json:"elapsedMs"`
+}
+
+// EvaluateRequest is the body of POST /v1/evaluate: score a configuration
+// against an instance under SVGIC-ST semantics (dtel = 0 gives plain SVGIC).
+type EvaluateRequest struct {
+	Instance      core.InstanceJSON `json:"instance"`
+	Configuration ConfigurationJSON `json:"configuration"`
+	DTel          float64           `json:"dtel,omitempty"`
+}
+
+// ConfigurationJSON mirrors core.ConfigurationJSON on the wire.
+type ConfigurationJSON struct {
+	Slots      int     `json:"slots"`
+	Assignment [][]int `json:"assignment"`
+}
+
+// EvaluateResponse answers POST /v1/evaluate.
+type EvaluateResponse struct {
+	Preference float64 `json:"preference"`
+	Social     float64 `json:"social"`
+	Weighted   float64 `json:"weighted"`
+	Scaled     float64 `json:"scaled"`
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Workers int    `json:"workers,omitempty"`
+}
+
+// ServerStats is the admission-control slice of GET /v1/stats.
+type ServerStats struct {
+	Admitted     uint64 `json:"admitted"`
+	Shed         uint64 `json:"shed"`
+	BadRequests  uint64 `json:"badRequests"`
+	Timeouts     uint64 `json:"timeouts"`
+	ClientClosed uint64 `json:"clientClosed"`
+	InFlight     int    `json:"inFlight"`
+	MaxInFlight  int    `json:"maxInFlight"`
+	Draining     bool   `json:"draining"`
+}
+
+// EngineStats is the engine-counter slice of GET /v1/stats. The identity
+// Solves == CacheHits + Solved + Canceled + Errors holds at any quiescent
+// point.
+type EngineStats struct {
+	Solves           uint64  `json:"solves"`
+	Batches          uint64  `json:"batches"`
+	ComponentsSolved uint64  `json:"componentsSolved"`
+	CacheHits        uint64  `json:"cacheHits"`
+	CacheMisses      uint64  `json:"cacheMisses"`
+	Solved           uint64  `json:"solved"`
+	Canceled         uint64  `json:"canceled"`
+	Errors           uint64  `json:"errors"`
+	AvgLatencyMS     float64 `json:"avgLatencyMs"`
+	Workers          int     `json:"workers"`
+}
+
+// CoalesceStats is the request-coalescing slice of GET /v1/stats: Leads
+// counts flights that ran the engine, Joins counts requests answered by
+// parking on an identical in-flight solve.
+type CoalesceStats struct {
+	Enabled bool   `json:"enabled"`
+	Leads   uint64 `json:"leads"`
+	Joins   uint64 `json:"joins"`
+}
+
+// StatsResponse answers GET /v1/stats.
+type StatsResponse struct {
+	Server   ServerStats   `json:"server"`
+	Engine   EngineStats   `json:"engine"`
+	Coalesce CoalesceStats `json:"coalesce"`
+}

@@ -1,0 +1,481 @@
+// Package server implements svgicd's HTTP serving layer over the engine: the
+// JSON API (core.InstanceJSON in, configurations and utility reports out)
+// plus the serving-path machinery a network front door needs —
+//
+//   - admission control: a bounded in-flight limit that sheds excess load
+//     with 429 + Retry-After instead of queueing unboundedly;
+//   - per-request deadlines: a `timeout` query parameter (capped by the
+//     server maximum) wired into the context the engine already honours,
+//     mapped to 504 on expiry and 499 when the client goes away;
+//   - request coalescing: concurrent identical instances (by
+//     core.Fingerprint) run the solver once and fan the result out as deep
+//     copies — the flash-crowd case the result cache cannot help with,
+//     because nothing is cached until the first solve completes;
+//   - graceful shutdown: Shutdown stops admitting, drains every in-flight
+//     solve, and only then lets the caller close the engine.
+//
+// Endpoints:
+//
+//	POST /v1/solve        one core.InstanceJSON  -> SolveResponse
+//	POST /v1/solve/batch  [core.InstanceJSON...] -> BatchResponse
+//	POST /v1/evaluate     EvaluateRequest        -> EvaluateResponse
+//	GET  /healthz         liveness + drain state
+//	GET  /v1/stats        StatsResponse (engine + admission + coalescing)
+//
+// All request bodies are decoded strictly: unknown fields and trailing
+// content are rejected with 400, so a misspelled field fails loudly instead
+// of solving a silently-zeroed instance.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/engine"
+)
+
+// StatusClientClosedRequest is the non-standard 499 status (nginx
+// convention) reported when the client abandoned the request before the
+// solve finished.
+const StatusClientClosedRequest = 499
+
+// Defaults for Options zero values.
+const (
+	DefaultTimeout      = 10 * time.Second
+	DefaultMaxTimeout   = 2 * time.Minute
+	DefaultMaxBodyBytes = 8 << 20
+	DefaultMaxBatch     = 64
+	DefaultRetryAfter   = time.Second
+)
+
+// Options configures a Server.
+type Options struct {
+	// Engine executes the solves. Required; the server does not own it —
+	// call Engine.Close after Shutdown.
+	Engine *engine.Engine
+	// AlgoName labels solve responses (e.g. "AVG-D"). Defaults to "AVG-D".
+	AlgoName string
+	// MaxInFlight bounds concurrently admitted requests; excess load is shed
+	// with 429. Zero means 4 × engine workers.
+	MaxInFlight int
+	// DefaultTimeout bounds a request that sends no `timeout` parameter.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the client-requested `timeout` parameter.
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps request body size. Zero means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// MaxBatch caps instances per batch request. Zero means DefaultMaxBatch.
+	MaxBatch int
+	// RetryAfter is the hint sent with 429 responses.
+	RetryAfter time.Duration
+	// NoCoalesce disables request coalescing (solves go straight to the
+	// engine). For measurement and tests; production serving wants it on.
+	NoCoalesce bool
+}
+
+// Server is the svgicd HTTP handler. Create with New, stop with Shutdown.
+type Server struct {
+	eng  *engine.Engine
+	coal *engine.Coalescer
+	opts Options
+	mux  *http.ServeMux
+
+	// sem holds one token per admitted request; Shutdown drains the server
+	// by acquiring every token after flipping draining, so "all tokens held
+	// by Shutdown" == "no request in flight".
+	sem      chan struct{}
+	draining atomic.Bool
+
+	admitted     atomic.Uint64
+	shed         atomic.Uint64
+	badRequests  atomic.Uint64
+	timeouts     atomic.Uint64
+	clientClosed atomic.Uint64
+}
+
+// New builds a Server over an engine.
+func New(opts Options) (*Server, error) {
+	if opts.Engine == nil {
+		return nil, errors.New("server: Options.Engine is required")
+	}
+	if opts.AlgoName == "" {
+		opts.AlgoName = "AVG-D"
+	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 4 * opts.Engine.Stats().Workers
+	}
+	if opts.DefaultTimeout <= 0 {
+		opts.DefaultTimeout = DefaultTimeout
+	}
+	if opts.MaxTimeout <= 0 {
+		opts.MaxTimeout = DefaultMaxTimeout
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = DefaultRetryAfter
+	}
+	s := &Server{
+		eng:  opts.Engine,
+		opts: opts,
+		sem:  make(chan struct{}, opts.MaxInFlight),
+	}
+	if !opts.NoCoalesce {
+		s.coal = engine.NewCoalescer(opts.Engine)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/solve/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown drains the server: new requests are refused with 503, in-flight
+// solves run to completion, and once every admission token is reclaimed the
+// call returns — after which it is safe to Engine.Close. The context bounds
+// the wait; on expiry the server stays draining but some requests may still
+// be in flight.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	for i := 0; i < cap(s.sem); i++ {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain interrupted with requests in flight: %w", ctx.Err())
+		}
+	}
+	return nil
+}
+
+// Draining reports whether Shutdown has started.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// admit reserves an in-flight slot, writing the refusal response itself when
+// the server is draining (503) or saturated (429). The caller must release()
+// iff admit returns true.
+func (s *Server) admit(w http.ResponseWriter) bool {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return false
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
+		writeError(w, http.StatusTooManyRequests, "server at max in-flight capacity")
+		return false
+	}
+	// Re-check after acquiring: Shutdown may have flipped draining between
+	// the check above and the acquire; it is now collecting every token, so
+	// hand this one back instead of racing the drain.
+	if s.draining.Load() {
+		<-s.sem
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return false
+	}
+	s.admitted.Add(1)
+	return true
+}
+
+func (s *Server) release() { <-s.sem }
+
+// requestTimeout resolves the per-request deadline from the `timeout` query
+// parameter, clamped to the server maximum.
+func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("timeout")
+	if raw == "" {
+		return s.opts.DefaultTimeout, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, fmt.Errorf("invalid timeout %q: %v", raw, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("timeout %q must be positive", raw)
+	}
+	if d > s.opts.MaxTimeout {
+		d = s.opts.MaxTimeout
+	}
+	return d, nil
+}
+
+// solve routes one instance through the coalescer (or straight to the engine
+// when coalescing is off).
+func (s *Server) solve(ctx context.Context, in *core.Instance) (*core.Configuration, error) {
+	if s.coal != nil {
+		return s.coal.Solve(ctx, in)
+	}
+	return s.eng.Solve(ctx, in)
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	timeout, err := s.requestTimeout(r)
+	if err != nil {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var ij core.InstanceJSON
+	if err := core.DecodeStrict(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes), &ij); err != nil {
+		s.writeDecodeError(w, "decoding instance", err)
+		return
+	}
+	in, err := core.InstanceFromJSON(&ij)
+	if err != nil {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	start := time.Now()
+	conf, err := s.solve(ctx, in)
+	if err != nil {
+		s.writeSolveError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.solveResponse(in, conf, time.Since(start)))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	timeout, err := s.requestTimeout(r)
+	if err != nil {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var ijs []core.InstanceJSON
+	if err := core.DecodeStrict(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes), &ijs); err != nil {
+		s.writeDecodeError(w, "decoding batch", err)
+		return
+	}
+	if len(ijs) == 0 {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(ijs) > s.opts.MaxBatch {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(ijs), s.opts.MaxBatch))
+		return
+	}
+	ins := make([]*core.Instance, len(ijs))
+	for i := range ijs {
+		in, err := core.InstanceFromJSON(&ijs[i])
+		if err != nil {
+			s.badRequests.Add(1)
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("instance %d: %v", i, err))
+			return
+		}
+		ins[i] = in
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	start := time.Now()
+	var confs []*core.Configuration
+	var solveErr error
+	if s.coal != nil {
+		confs, solveErr = s.coal.SolveBatch(ctx, ins)
+	} else {
+		confs, solveErr = s.eng.SolveBatch(ctx, ins)
+	}
+	elapsed := time.Since(start)
+	// The batch shares one deadline, so a context failure is the whole
+	// request's failure; any other per-item error is an internal fault.
+	if solveErr != nil {
+		if errors.Is(solveErr, context.DeadlineExceeded) || errors.Is(solveErr, context.Canceled) {
+			s.writeSolveError(w, solveErr)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, solveErr.Error())
+		return
+	}
+	resp := BatchResponse{Results: make([]SolveResponse, len(confs)), ElapsedMS: ms(elapsed)}
+	for i, conf := range confs {
+		resp.Results[i] = s.solveResponse(ins[i], conf, 0)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	var req EvaluateRequest
+	if err := core.DecodeStrict(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes), &req); err != nil {
+		s.writeDecodeError(w, "decoding evaluate request", err)
+		return
+	}
+	in, err := core.InstanceFromJSON(&req.Instance)
+	if err != nil {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	conf := &core.Configuration{Assign: req.Configuration.Assignment, K: req.Configuration.Slots}
+	if err := conf.Validate(in); err != nil {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rep := core.EvaluateST(in, conf, req.DTel)
+	writeJSON(w, http.StatusOK, EvaluateResponse{
+		Preference: rep.Preference,
+		Social:     rep.Social,
+		Weighted:   rep.Weighted(),
+		Scaled:     rep.Scaled(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Workers: s.eng.Stats().Workers})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+// StatsSnapshot assembles the /v1/stats payload: engine counters, admission
+// counters and coalescing counters.
+func (s *Server) StatsSnapshot() StatsResponse {
+	est := s.eng.Stats()
+	resp := StatsResponse{
+		Server: ServerStats{
+			Admitted:     s.admitted.Load(),
+			Shed:         s.shed.Load(),
+			BadRequests:  s.badRequests.Load(),
+			Timeouts:     s.timeouts.Load(),
+			ClientClosed: s.clientClosed.Load(),
+			InFlight:     len(s.sem),
+			MaxInFlight:  cap(s.sem),
+			Draining:     s.draining.Load(),
+		},
+		Engine: EngineStats{
+			Solves:           est.Solves,
+			Batches:          est.Batches,
+			ComponentsSolved: est.ComponentsSolved,
+			CacheHits:        est.CacheHits,
+			CacheMisses:      est.CacheMisses,
+			Solved:           est.Solved,
+			Canceled:         est.Canceled,
+			Errors:           est.Errors,
+			AvgLatencyMS:     ms(est.AvgLatency()),
+			Workers:          est.Workers,
+		},
+	}
+	if s.coal != nil {
+		cst := s.coal.Stats()
+		resp.Coalesce = CoalesceStats{Enabled: true, Leads: cst.Leads, Joins: cst.Joins}
+	}
+	return resp
+}
+
+// writeDecodeError maps a request-body decode failure: an oversized body is
+// 413 (the client should not blindly retry a "malformed" 400), everything
+// else — malformed JSON, unknown fields, trailing content — is 400.
+func (s *Server) writeDecodeError(w http.ResponseWriter, what string, err error) {
+	s.badRequests.Add(1)
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("%s: request body exceeds %d bytes", what, mbe.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, what+": "+err.Error())
+}
+
+// writeSolveError maps a solve failure to its HTTP status: deadline → 504,
+// client gone → 499, engine closed → 503, anything else → 500.
+func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "solve deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		s.clientClosed.Add(1)
+		writeError(w, StatusClientClosedRequest, "client closed request")
+	case errors.Is(err, engine.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "engine is shut down")
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// solveResponse assembles the response for one solved instance, scoring the
+// configuration so clients get the utility report alongside the assignment.
+func (s *Server) solveResponse(in *core.Instance, conf *core.Configuration, elapsed time.Duration) SolveResponse {
+	rep := core.Evaluate(in, conf)
+	return SolveResponse{
+		Algorithm:  s.opts.AlgoName,
+		Slots:      conf.K,
+		Assignment: conf.Assign,
+		Preference: rep.Preference,
+		Social:     rep.Social,
+		Weighted:   rep.Weighted(),
+		Scaled:     rep.Scaled(),
+		ElapsedMS:  ms(elapsed),
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}

@@ -1,6 +1,10 @@
 package svgic
 
-import "github.com/svgic/svgic/internal/core"
+import (
+	"io"
+
+	"github.com/svgic/svgic/internal/core"
+)
 
 // JSON interchange: instances and configurations round-trip through a stable
 // schema shared with the svgic CLI and the datagen tool. See
@@ -15,8 +19,28 @@ type EdgeJSON = core.EdgeJSON
 // MarshalInstance encodes an instance as indented JSON.
 func MarshalInstance(in *Instance) ([]byte, error) { return core.MarshalInstance(in) }
 
-// UnmarshalInstance decodes and validates an instance from JSON.
+// UnmarshalInstance decodes and validates an instance from JSON, tolerating
+// unknown fields. Untrusted input should go through UnmarshalInstanceStrict.
 func UnmarshalInstance(data []byte) (*Instance, error) { return core.UnmarshalInstance(data) }
+
+// UnmarshalInstanceStrict decodes and validates an instance from JSON,
+// rejecting unknown fields and trailing content — a misspelled field (e.g.
+// "preference" for "preferences") fails loudly instead of silently handing
+// the solver a zero-utility instance. The svgic CLI and the svgicd server
+// ingest through this path.
+func UnmarshalInstanceStrict(data []byte) (*Instance, error) {
+	return core.UnmarshalInstanceStrict(data)
+}
+
+// InstanceFromJSON builds a validated instance from the interchange struct,
+// for callers that decode the JSON envelope themselves (the CLI wraps
+// InstanceJSON with solve parameters; the server decodes batches).
+func InstanceFromJSON(ij *InstanceJSON) (*Instance, error) { return core.InstanceFromJSON(ij) }
+
+// DecodeStrict decodes exactly one JSON document into v with unknown fields
+// disallowed and trailing content rejected — the decoding discipline of every
+// user-facing ingestion path.
+func DecodeStrict(r io.Reader, v any) error { return core.DecodeStrict(r, v) }
 
 // MarshalConfiguration encodes a configuration as indented JSON.
 func MarshalConfiguration(conf *Configuration) ([]byte, error) {

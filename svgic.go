@@ -42,8 +42,21 @@
 // back (objective-preserving) and memoizes repeated instances behind a
 // fingerprint-keyed LRU cache. See NewEngine.
 //
+// # Serving over the network
+//
+// Command svgicd (cmd/svgicd, backed by internal/server) puts the engine
+// behind HTTP: POST /v1/solve, /v1/solve/batch and /v1/evaluate speak the
+// InstanceJSON interchange schema with strict decoding (unknown fields are
+// rejected, never dropped), bounded in-flight admission control (429 +
+// Retry-After under overload), per-request deadlines (?timeout=...),
+// fingerprint-keyed request coalescing for flash crowds of identical
+// instances, and graceful drain on shutdown. GET /healthz and /v1/stats
+// expose liveness and the engine/admission/coalescing counters. The same
+// binary is its own load generator (svgicd -loadgen).
+//
 // See examples/ for complete programs and EXPERIMENTS.md for the
-// reproduction of the paper's evaluation, the engine demo and the CI lanes.
+// reproduction of the paper's evaluation, the engine demo, the serving
+// layer and the CI lanes.
 package svgic
 
 import (
