@@ -82,8 +82,9 @@ func benchInstance(b *testing.B, n, m, k int) *svgic.Instance {
 func BenchmarkAVGPipelineSmall(b *testing.B) {
 	in := benchInstance(b, 16, 60, 4)
 	b.ResetTimer()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := svgic.SolveAVG(in, svgic.AVGOptions{Seed: uint64(i)}); err != nil {
+		if _, err := svgic.AVG(svgic.AVGOptions{Seed: uint64(i)}).Solve(ctx, in); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -92,8 +93,9 @@ func BenchmarkAVGPipelineSmall(b *testing.B) {
 func BenchmarkAVGPipelineMedium(b *testing.B) {
 	in := benchInstance(b, 50, 300, 10)
 	b.ResetTimer()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := svgic.SolveAVG(in, svgic.AVGOptions{Seed: uint64(i)}); err != nil {
+		if _, err := svgic.AVG(svgic.AVGOptions{Seed: uint64(i)}).Solve(ctx, in); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -101,9 +103,11 @@ func BenchmarkAVGPipelineMedium(b *testing.B) {
 
 func BenchmarkAVGDPipelineSmall(b *testing.B) {
 	in := benchInstance(b, 16, 60, 4)
+	avgd := svgic.AVGD(svgic.AVGDOptions{R: 1})
 	b.ResetTimer()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := svgic.SolveAVGD(in, svgic.AVGDOptions{R: 1}); err != nil {
+		if _, err := avgd.Solve(ctx, in); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -111,9 +115,11 @@ func BenchmarkAVGDPipelineSmall(b *testing.B) {
 
 func BenchmarkAVGDPipelineMedium(b *testing.B) {
 	in := benchInstance(b, 50, 300, 10)
+	avgd := svgic.AVGD(svgic.AVGDOptions{R: 1})
 	b.ResetTimer()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := svgic.SolveAVGD(in, svgic.AVGDOptions{R: 1}); err != nil {
+		if _, err := avgd.Solve(ctx, in); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -121,10 +127,11 @@ func BenchmarkAVGDPipelineMedium(b *testing.B) {
 
 func BenchmarkEvaluate(b *testing.B) {
 	in := benchInstance(b, 50, 300, 10)
-	conf, _, err := svgic.SolveAVGD(in, svgic.AVGDOptions{R: 1})
+	sol, err := svgic.AVGD(svgic.AVGDOptions{R: 1}).Solve(context.Background(), in)
 	if err != nil {
 		b.Fatal(err)
 	}
+	conf := sol.Config
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep := svgic.Evaluate(in, conf)
@@ -136,10 +143,11 @@ func BenchmarkEvaluate(b *testing.B) {
 
 func BenchmarkSubgroupMetrics(b *testing.B) {
 	in := benchInstance(b, 50, 300, 10)
-	conf, _, err := svgic.SolveAVGD(in, svgic.AVGDOptions{R: 1})
+	sol, err := svgic.AVGD(svgic.AVGDOptions{R: 1}).Solve(context.Background(), in)
 	if err != nil {
 		b.Fatal(err)
 	}
+	conf := sol.Config
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := svgic.ComputeSubgroupMetrics(in, conf)

@@ -50,14 +50,14 @@ func engineDemo(workers int, quick bool, seed uint64) error {
 	for _, w := range workerSweep(workers) {
 		e := engine.New(engine.Options{Workers: w, CacheSize: -1})
 		start := time.Now()
-		confs, err := e.SolveBatch(ctx, ins)
+		sols, err := e.SolveBatch(ctx, ins)
 		wall := time.Since(start)
 		if err != nil {
 			e.Close()
 			return err
 		}
-		for i, conf := range confs {
-			got := core.Evaluate(ins[i], conf).Weighted()
+		for i, sol := range sols {
+			got := sol.Report.Weighted()
 			if math.Abs(got-want[i]) > 1e-9 {
 				e.Close()
 				return fmt.Errorf("engine diverged from SolveAVGD on instance %d: %.12f vs %.12f", i, got, want[i])

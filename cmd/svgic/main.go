@@ -1,5 +1,9 @@
 // Command svgic solves a single SVGIC instance read as JSON and prints the
-// resulting SAVG k-Configuration with its utility report.
+// resulting SAVG k-Configuration with its utility report. The -algo flag
+// accepts any solver registered in the svgic solver registry (avg, avgd,
+// per, fmg, sdp, grf, ip, plus anything added via svgic.RegisterSolver);
+// flags map onto the registry's parameter schema, so new solvers are
+// reachable without touching this file.
 //
 // Usage:
 //
@@ -20,11 +24,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	svgic "github.com/svgic/svgic"
@@ -57,9 +63,9 @@ func main() {
 }
 
 func run() error {
-	algo := flag.String("algo", "avgd", "algorithm: avg|avgd|per|fmg|sdp|grf|ip")
+	algo := flag.String("algo", "avgd", "algorithm: "+strings.Join(svgic.SolverNames(), "|"))
 	input := flag.String("input", "-", "input JSON file ('-' = stdin)")
-	seed := flag.Uint64("seed", 1, "random seed (avg)")
+	seed := flag.Uint64("seed", 1, "random seed (solvers with a seed parameter)")
 	r := flag.Float64("r", svgic.DefaultR, "balancing ratio (avgd)")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of text")
 	ipTimeout := flag.Duration("ip-timeout", 30*time.Second, "time limit for -algo ip")
@@ -83,21 +89,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	start := time.Now()
-	conf, err := solver.Solve(in)
-	elapsed := time.Since(start)
+	sol, err := solver.Solve(context.Background(), in)
 	if err != nil {
 		return err
 	}
+	conf := sol.Config
 	rep := svgic.EvaluateST(in, conf, ii.DTel)
 	out := output{
-		Algorithm:  solver.Name(),
+		Algorithm:  sol.Algorithm,
 		Assignment: conf.Assign,
 		Preference: rep.Preference,
 		Social:     rep.Social,
 		Weighted:   rep.Weighted(),
 		Scaled:     rep.Scaled(),
-		ElapsedMS:  float64(elapsed.Microseconds()) / 1000,
+		ElapsedMS:  float64(sol.Wall.Microseconds()) / 1000,
 	}
 	if ii.SizeCap > 0 {
 		out.Violations = conf.SizeViolations(ii.SizeCap)
@@ -130,22 +135,30 @@ func readInput(path string) ([]byte, error) {
 	return os.ReadFile(path)
 }
 
+// pickSolver resolves the algorithm from the solver registry, mapping the
+// CLI flags onto whichever parameters the chosen solver's schema declares —
+// so a flag like -seed applies to every seeded solver and is ignored (not an
+// error) for deterministic-by-construction ones.
 func pickSolver(algo string, seed uint64, r float64, sizeCap int, ipTimeout time.Duration) (svgic.Solver, error) {
-	switch algo {
-	case "avg":
-		return svgic.AVG(svgic.AVGOptions{Seed: seed, SizeCap: sizeCap, Repeats: 3}), nil
-	case "avgd":
-		return svgic.AVGD(svgic.AVGDOptions{R: r, SizeCap: sizeCap}), nil
-	case "per":
-		return svgic.Personalized(), nil
-	case "fmg":
-		return svgic.Group(1), nil
-	case "sdp":
-		return svgic.SubgroupByFriendship(0, seed), nil
-	case "grf":
-		return svgic.SubgroupByPreference(0), nil
-	case "ip":
-		return svgic.ExactIP(ipTimeout), nil
+	spec, ok := svgic.LookupSolver(algo)
+	if !ok {
+		return nil, fmt.Errorf("unknown algorithm %q (want one of: %s)",
+			algo, strings.Join(svgic.SolverNames(), ", "))
 	}
-	return nil, fmt.Errorf("unknown algorithm %q", algo)
+	params := svgic.Params{}
+	for _, p := range spec.Params {
+		switch p.Name {
+		case "seed":
+			params["seed"] = seed
+		case "r":
+			params["r"] = r
+		case "sizeCap":
+			if sizeCap > 0 {
+				params["sizeCap"] = sizeCap
+			}
+		case "timeLimit":
+			params["timeLimit"] = ipTimeout
+		}
+	}
+	return svgic.NewSolver(spec.Name, params)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"strings"
@@ -36,11 +37,12 @@ func TestBuildInstanceFromJSON(t *testing.T) {
 	if got := in.Tau(0, 1, 0); math.Abs(got-0.4) > 1e-12 {
 		t.Errorf("τ(0,1,0) = %v", got)
 	}
-	conf, _, err := svgic.SolveAVGD(in, svgic.AVGDOptions{})
+	sol, err := svgic.AVGD(svgic.AVGDOptions{}).Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := svgic.Evaluate(in, conf)
+	conf := sol.Config
+	rep := sol.Report
 	// Both users co-display item 0 somewhere in the optimum: its joint value
 	// (1 + 0.9 + 0.7 social) dominates.
 	if !conf.CoDisplayed(0, 1, 0) {

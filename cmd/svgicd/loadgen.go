@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	svgic "github.com/svgic/svgic"
@@ -20,9 +22,12 @@ import (
 // The load generator drives /v1/solve with a mix of one "hot" instance
 // (repeated with probability dup-frac — the flash-crowd shape that exercises
 // coalescing and the result cache) and a pool of distinct instances (fresh
-// solver work), then probes /v1/solve/batch, /v1/evaluate and /healthz once
-// each. It reports throughput, latency percentiles and the cache/coalesce
-// counters from /v1/stats, and fails on any response status other than 200
+// solver work), then probes /v1/solve/batch, /v1/evaluate, /v1/algorithms
+// and /healthz once each. -algo may name several solvers (comma-separated);
+// requests cycle through them with an explicit "algo" field, exercising the
+// per-algorithm cache/coalescing keys. It reports throughput, latency
+// percentiles and the cache/coalesce counters from /v1/stats (split per
+// algorithm when mixing), and fails on any response status other than 200
 // or 429 — 429 is the admission controller doing its job, anything else is
 // a serving bug.
 
@@ -36,7 +41,24 @@ type shot struct {
 	err     error
 }
 
+// wrapAlgo rewraps a marshalled instance as a SolveRequest selecting the
+// given algorithm.
+func wrapAlgo(instance []byte, algo string) ([]byte, error) {
+	var sr server.SolveRequest
+	if err := json.Unmarshal(instance, &sr.InstanceJSON); err != nil {
+		return nil, err
+	}
+	sr.Algo = algo
+	return json.Marshal(sr)
+}
+
 func runLoadgen(cfg config) error {
+	algos := strings.Split(cfg.algo, ",")
+	for _, a := range algos {
+		if _, ok := svgic.LookupSolver(a); !ok {
+			return fmt.Errorf("unknown algorithm %q (want one of: %s)", a, strings.Join(svgic.SolverNames(), ", "))
+		}
+	}
 	base := cfg.target
 	if base == "" {
 		eng, app, err := newApp(cfg)
@@ -55,16 +77,29 @@ func runLoadgen(cfg config) error {
 		fmt.Fprintf(os.Stderr, "loadgen: in-process server on %s\n", base)
 	}
 
-	// One hot instance plus a pool of distinct ones, marshalled once. The
-	// canonical multi-component serving workload: disjoint social rings with
-	// synthetic utilities (see internal/datasets.MultiGroup).
-	hot, err := core.MarshalInstance(datasets.MultiGroup(42, 3, 4, 12, 2, 0.5))
+	// One hot instance plus a pool of distinct ones, marshalled once per
+	// algorithm in the mix (each request names its algorithm explicitly, so
+	// the servers' cache and coalescing keys are exercised per algorithm).
+	// The canonical multi-component serving workload: disjoint social rings
+	// with synthetic utilities (see internal/datasets.MultiGroup).
+	rawHot, err := core.MarshalInstance(datasets.MultiGroup(42, 3, 4, 12, 2, 0.5))
 	if err != nil {
 		return err
 	}
+	hotBy := make([][]byte, len(algos))
+	for a, algo := range algos {
+		if hotBy[a], err = wrapAlgo(rawHot, algo); err != nil {
+			return err
+		}
+	}
+	hot := hotBy[0]
 	pool := make([][]byte, loadgenPoolSize)
 	for i := range pool {
-		if pool[i], err = core.MarshalInstance(datasets.MultiGroup(uint64(100+i), 3, 4, 12, 2, 0.5)); err != nil {
+		raw, err := core.MarshalInstance(datasets.MultiGroup(uint64(100+i), 3, 4, 12, 2, 0.5))
+		if err != nil {
+			return err
+		}
+		if pool[i], err = wrapAlgo(raw, algos[i%len(algos)]); err != nil {
 			return err
 		}
 	}
@@ -87,9 +122,10 @@ func runLoadgen(cfg config) error {
 				if ticks != nil {
 					<-ticks
 				}
-				body := hot
 				// Deterministic duplicate mix: request i repeats the hot
-				// instance iff its residue falls under dup-frac.
+				// instance (cycling the algorithm mix) iff its residue falls
+				// under dup-frac.
+				body := hotBy[i%len(hotBy)]
 				if float64(i%100) >= cfg.dupFrac*100 {
 					body = pool[i%len(pool)]
 				}
@@ -109,8 +145,8 @@ func runLoadgen(cfg config) error {
 	wall := time.Since(start)
 
 	// Single probes of the remaining surface: a batch with an internal
-	// duplicate, an evaluate round-trip, and liveness.
-	probeErr := probeOnce(client, base, hot, pool[0])
+	// duplicate, an evaluate round-trip, algorithm discovery, and liveness.
+	probeErr := probeOnce(client, base, rawHot, hot, pool[0])
 
 	// Report.
 	statuses := make(map[int]int)
@@ -130,8 +166,9 @@ func runLoadgen(cfg config) error {
 			bad++
 		}
 	}
-	fmt.Printf("loadgen: %d requests in %v (%.1f req/s), conc=%d dup-frac=%.2f rps-cap=%d\n",
-		cfg.requests, wall.Round(time.Millisecond), float64(cfg.requests)/wall.Seconds(), cfg.conc, cfg.dupFrac, cfg.rps)
+	fmt.Printf("loadgen: %d requests in %v (%.1f req/s), conc=%d dup-frac=%.2f rps-cap=%d algos=%s\n",
+		cfg.requests, wall.Round(time.Millisecond), float64(cfg.requests)/wall.Seconds(), cfg.conc, cfg.dupFrac, cfg.rps,
+		strings.Join(algos, ","))
 	fmt.Printf("status:")
 	for _, code := range sortedKeys(statuses) {
 		fmt.Printf(" %d×%d", code, statuses[code])
@@ -168,17 +205,20 @@ func post(client *http.Client, url string, body []byte) shot {
 	return shot{status: resp.StatusCode, latency: time.Since(t0)}
 }
 
-// probeOnce exercises the endpoints the solve storm does not touch.
-func probeOnce(client *http.Client, base string, hot, other []byte) error {
-	// Batch with an internal duplicate: [hot, hot, other].
-	var hj, oj core.InstanceJSON
+// probeOnce exercises the endpoints the solve storm does not touch. rawHot
+// is the bare instance document; hot and other are SolveRequest bodies
+// (possibly carrying "algo" fields).
+func probeOnce(client *http.Client, base string, rawHot, hot, other []byte) error {
+	// Batch with an internal duplicate: [hot, hot, other], preserving each
+	// item's algorithm selection.
+	var hj, oj server.SolveRequest
 	if err := json.Unmarshal(hot, &hj); err != nil {
 		return err
 	}
 	if err := json.Unmarshal(other, &oj); err != nil {
 		return err
 	}
-	batch, err := json.Marshal([]core.InstanceJSON{hj, hj, oj})
+	batch, err := json.Marshal([]server.SolveRequest{hj, hj, oj})
 	if err != nil {
 		return err
 	}
@@ -187,17 +227,21 @@ func probeOnce(client *http.Client, base string, hot, other []byte) error {
 	}
 
 	// Evaluate a solved configuration for the hot instance.
-	in, err := svgic.UnmarshalInstanceStrict(hot)
+	in, err := svgic.UnmarshalInstanceStrict(rawHot)
 	if err != nil {
 		return err
 	}
-	conf, _, err := svgic.SolveAVGD(in, svgic.AVGDOptions{})
+	avgd, err := svgic.NewSolver("avgd", nil)
+	if err != nil {
+		return err
+	}
+	sol, err := avgd.Solve(context.Background(), in)
 	if err != nil {
 		return err
 	}
 	evalReq, err := json.Marshal(server.EvaluateRequest{
-		Instance:      hj,
-		Configuration: server.ConfigurationJSON{Slots: conf.K, Assignment: conf.Assign},
+		Instance:      hj.InstanceJSON,
+		Configuration: server.ConfigurationJSON{Slots: sol.Config.K, Assignment: sol.Config.Assign},
 	})
 	if err != nil {
 		return err
@@ -206,7 +250,19 @@ func probeOnce(client *http.Client, base string, hot, other []byte) error {
 		return fmt.Errorf("evaluate probe: status %d, err %v", sh.status, sh.err)
 	}
 
-	resp, err := client.Get(base + "/healthz")
+	// Algorithm discovery must list at least the registry's built-ins.
+	resp, err := client.Get(base + "/v1/algorithms")
+	if err != nil {
+		return fmt.Errorf("algorithms probe: %w", err)
+	}
+	var ar server.AlgorithmsResponse
+	err = json.NewDecoder(resp.Body).Decode(&ar)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || len(ar.Algorithms) < 7 {
+		return fmt.Errorf("algorithms probe: status %d, %d algorithms, err %v", resp.StatusCode, len(ar.Algorithms), err)
+	}
+
+	resp, err = client.Get(base + "/healthz")
 	if err != nil {
 		return fmt.Errorf("healthz probe: %w", err)
 	}
@@ -238,6 +294,18 @@ func printServerStats(client *http.Client, base string) error {
 	}
 	fmt.Printf("engine: solves=%d solved=%d cacheHits=%d cacheMisses=%d hitRate=%.1f%% avgSolve=%.2fms workers=%d\n",
 		e.Solves, e.Solved, e.CacheHits, e.CacheMisses, hitRate, e.AvgLatencyMS, e.Workers)
+	if len(e.PerAlgorithm) > 0 {
+		names := make([]string, 0, len(e.PerAlgorithm))
+		for name := range e.PerAlgorithm {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			a := e.PerAlgorithm[name]
+			fmt.Printf("engine[%s]: solves=%d solved=%d cacheHits=%d avgSolve=%.2fms\n",
+				name, a.Solves, a.Solved, a.CacheHits, a.AvgLatencyMS)
+		}
+	}
 	c := st.Coalesce
 	collapsed := 0.0
 	if c.Leads+c.Joins > 0 {

@@ -1,20 +1,27 @@
 // Command svgicd serves SVGIC solves over HTTP: the network front door of
 // the batch engine, with bounded-in-flight admission control (429 +
-// Retry-After under overload), per-request deadlines, fingerprint-keyed
-// request coalescing and graceful drain on SIGINT/SIGTERM.
+// Retry-After under overload), per-request deadlines, per-request algorithm
+// selection from the solver registry ("algo"/"params" request fields, GET
+// /v1/algorithms for discovery), request coalescing keyed on (instance,
+// solver) and graceful drain on SIGINT/SIGTERM.
 //
 // Serve:
 //
 //	svgicd -addr :8080 -workers 8 -cache 512 -algo avgd
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/v1/algorithms
 //	curl -s -XPOST localhost:8080/v1/solve?timeout=500ms -d @store.json
+//	curl -s -XPOST localhost:8080/v1/solve -d '{"algo":"per", ...instance...}'
 //	curl -s -XPOST localhost:8080/v1/solve/batch -d @stores.json
 //	curl -s localhost:8080/v1/stats
 //
 // Load-generate (reports throughput, latency percentiles, cache/coalesce
-// hit rates; exits non-zero on any status other than 200/429):
+// hit rates; exits non-zero on any status other than 200/429). In loadgen
+// mode -algo accepts a comma-separated list and the generated requests cycle
+// through it, exercising the per-algorithm serving path:
 //
 //	svgicd -loadgen -requests 300 -dup-frac 0.5 -conc 8
+//	svgicd -loadgen -algo avgd,per,avg -requests 600
 //	svgicd -loadgen -target http://localhost:8080 -rps 200 -requests 1000
 //
 // The API speaks the core.InstanceJSON interchange schema (see the svgic
@@ -30,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -70,8 +78,9 @@ func run() error {
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.IntVar(&cfg.workers, "workers", 0, "solver workers (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.cache, "cache", svgic.DefaultEngineCacheSize, "result cache size (negative disables)")
-	flag.StringVar(&cfg.algo, "algo", "avgd", "solver: avg|avgd")
-	flag.Uint64Var(&cfg.seed, "seed", 1, "random seed (avg)")
+	flag.StringVar(&cfg.algo, "algo", "avgd",
+		"default solver: "+strings.Join(svgic.SolverNames(), "|")+" (loadgen: comma-separated list to mix)")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "random seed (solvers with a seed parameter)")
 	flag.IntVar(&cfg.sizeCap, "size-cap", 0, "SVGIC-ST subgroup size cap M (0 = uncapped)")
 	flag.DurationVar(&cfg.timeout, "timeout", server.DefaultTimeout, "default per-request solve deadline")
 	flag.DurationVar(&cfg.maxTimeout, "max-timeout", server.DefaultMaxTimeout, "cap on client-requested timeouts")
@@ -96,18 +105,26 @@ func run() error {
 // newApp builds the engine + server pair from flags. The caller shuts the
 // server down before closing the engine.
 func newApp(cfg config) (*svgic.Engine, *server.Server, error) {
-	solver, algoName, err := pickSolver(cfg)
+	algo := cfg.algo
+	if i := strings.IndexByte(algo, ','); i >= 0 {
+		algo = algo[:i] // loadgen mixes; the in-process server defaults to the first
+	}
+	newSolver, params, err := pickSolver(algo, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	eng := svgic.NewEngine(svgic.EngineOptions{
 		Workers:   cfg.workers,
 		CacheSize: cfg.cache,
-		NewSolver: solver,
+		NewSolver: newSolver,
 	})
 	srv, err := server.New(server.Options{
-		Engine:         eng,
-		AlgoName:       algoName,
+		Engine: eng,
+		// Same name AND same flag-derived params as the engine default, so a
+		// request saying {"algo": "<default>"} resolves the identical solver
+		// (and shares cache entries with bare requests).
+		DefaultAlgo:    algo,
+		DefaultParams:  params,
 		MaxInFlight:    cfg.maxInFlight,
 		DefaultTimeout: cfg.timeout,
 		MaxTimeout:     cfg.maxTimeout,
@@ -121,21 +138,47 @@ func newApp(cfg config) (*svgic.Engine, *server.Server, error) {
 	return eng, srv, nil
 }
 
-func pickSolver(cfg config) (func() svgic.Solver, string, error) {
-	switch cfg.algo {
-	case "avgd":
-		return func() svgic.Solver {
-			return svgic.AVGD(svgic.AVGDOptions{SizeCap: cfg.sizeCap})
-		}, "AVG-D", nil
-	case "avg":
-		return func() svgic.Solver {
-			return svgic.AVG(svgic.AVGOptions{Seed: cfg.seed, SizeCap: cfg.sizeCap, Repeats: 3})
-		}, "AVG", nil
+// pickSolver resolves the default solver from the registry, mapping the
+// daemon's flags onto whichever parameters the solver's schema declares,
+// and returns the parameters too (the server needs them so explicit
+// {"algo": default} requests resolve identically). The flag help and the
+// unknown-algorithm error are both derived from the registry, so a newly
+// registered solver is reachable without touching this file.
+func pickSolver(algo string, cfg config) (func() svgic.Solver, svgic.Params, error) {
+	spec, ok := svgic.LookupSolver(algo)
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown algorithm %q (want one of: %s)",
+			algo, strings.Join(svgic.SolverNames(), ", "))
 	}
-	return nil, "", fmt.Errorf("unknown algorithm %q (want avg or avgd)", cfg.algo)
+	params := svgic.Params{}
+	for _, p := range spec.Params {
+		switch p.Name {
+		case "seed":
+			params["seed"] = cfg.seed
+		case "sizeCap":
+			if cfg.sizeCap > 0 {
+				params["sizeCap"] = cfg.sizeCap
+			}
+		}
+	}
+	// Validate once up front so a bad flag combination fails at startup, not
+	// on the first request.
+	if _, err := svgic.NewSolver(spec.Name, params); err != nil {
+		return nil, nil, err
+	}
+	return func() svgic.Solver {
+		s, err := svgic.NewSolver(spec.Name, params)
+		if err != nil {
+			panic(err) // validated above; cannot fail
+		}
+		return s
+	}, params, nil
 }
 
 func serve(cfg config) error {
+	if strings.ContainsRune(cfg.algo, ',') {
+		return fmt.Errorf("-algo %q: comma-separated lists are loadgen-only; serve mode takes one default algorithm", cfg.algo)
+	}
 	eng, app, err := newApp(cfg)
 	if err != nil {
 		return err

@@ -6,20 +6,27 @@ import (
 )
 
 // Engine is the concurrent batch solver: a fixed worker pool that splits each
-// instance into the connected components of its social network, solves the
-// components in parallel (the SAVG objective couples users only across
-// social edges, so the merge is objective-preserving), and memoizes
-// whole-instance results behind a fingerprint-keyed LRU cache.
+// instance into the connected components of its social network (when the
+// solver declares decomposition safe), solves the components in parallel
+// (the SAVG objective couples users only across social edges, so the merge
+// is objective-preserving), and memoizes whole-instance Solutions behind an
+// LRU cache keyed by (instance fingerprint, solver identity) — so two
+// algorithms, or one algorithm under two parameterizations, never alias.
 //
 //	eng := svgic.NewEngine(svgic.EngineOptions{Workers: 8})
 //	defer eng.Close()
-//	conf, err := eng.Solve(ctx, in)            // one group
-//	confs, err := eng.SolveBatch(ctx, batch)   // many groups, shared pool
-//	fmt.Println(eng.Stats())                   // throughput / latency / cache
+//	sol, err := eng.Solve(ctx, in)             // one group, default solver
+//	conf := sol.Config                         // rich Solution envelope
+//	sol, err = eng.SolveWith(ctx, in, s)       // any registered solver
+//	sols, err := eng.SolveBatch(ctx, batch)    // many groups, shared pool
+//	fmt.Println(eng.Stats())                   // global + per-algorithm counters
 //
-// With the default deterministic AVG-D solver the engine returns exactly the
-// configuration SolveAVGD returns — decomposition and concurrency change the
-// wall time, never the answer.
+// Per-request solvers are typically registry-built (NewSolver); a solver
+// without a parameter-precise cache identity (core.CacheKeyer) bypasses the
+// result cache and request coalescing rather than risk aliasing. With the
+// default deterministic AVG-D solver the engine returns exactly the
+// configuration a direct AVG-D solve returns — decomposition and concurrency
+// change the wall time, never the answer.
 type Engine = engine.Engine
 
 // EngineOptions configures NewEngine: worker count, per-worker solver

@@ -49,32 +49,37 @@ func TestPublicEngineAPI(t *testing.T) {
 
 	eng := svgic.NewEngine(svgic.EngineOptions{Workers: 2})
 	defer eng.Close()
-	conf, err := eng.Solve(context.Background(), in)
+	sol, err := eng.Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := svgic.SolveAVGD(in, svgic.AVGDOptions{})
+	if sol.Algorithm != "AVG-D" || sol.Components != 2 {
+		t.Errorf("solution provenance = %q/%d components, want AVG-D/2", sol.Algorithm, sol.Components)
+	}
+	wantSol, err := svgic.AVGD(svgic.AVGDOptions{}).Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d := svgic.Evaluate(in, conf).Weighted() - svgic.Evaluate(in, want).Weighted(); math.Abs(d) > 1e-12 {
-		t.Errorf("engine objective differs from SolveAVGD by %g", d)
+	want := wantSol.Config
+	if d := sol.Report.Weighted() - wantSol.Report.Weighted(); math.Abs(d) > 1e-12 {
+		t.Errorf("engine objective differs from AVG-D by %g", d)
 	}
 
 	// Manual decompose + per-part solve + merge lands on the same objective.
 	parts := make([]*svgic.Configuration, len(subs))
 	for i, sub := range subs {
-		parts[i], _, err = svgic.SolveAVGD(sub, svgic.AVGDOptions{})
+		partSol, err := svgic.AVGD(svgic.AVGDOptions{}).Solve(context.Background(), sub)
 		if err != nil {
 			t.Fatal(err)
 		}
+		parts[i] = partSol.Config
 	}
 	merged := svgic.MergeInstanceConfigurations(in.NumUsers(), in.K, parts, origs)
 	if err := merged.Validate(in); err != nil {
 		t.Fatal(err)
 	}
 	if d := svgic.Evaluate(in, merged).Weighted() - svgic.Evaluate(in, want).Weighted(); math.Abs(d) > 1e-12 {
-		t.Errorf("manual decompose/merge differs from SolveAVGD by %g", d)
+		t.Errorf("manual decompose/merge differs from AVG-D by %g", d)
 	}
 
 	st := eng.Stats()

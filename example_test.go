@@ -1,12 +1,14 @@
 package svgic_test
 
 import (
+	"context"
 	"fmt"
 
 	svgic "github.com/svgic/svgic"
 )
 
-// ExampleSolveAVGD solves a two-friend store with the deterministic solver.
+// ExampleSolveAVGD solves a two-friend store with the deprecated one-shot
+// wrapper (kept working; new code uses NewSolver/Solve(ctx)).
 func ExampleSolveAVGD() {
 	g := svgic.NewGraph(2)
 	g.AddMutualEdge(0, 1)
@@ -20,6 +22,7 @@ func ExampleSolveAVGD() {
 	_ = in.SetTau(0, 1, 0, 0.5)
 	_ = in.SetTau(1, 0, 0, 0.5)
 
+	//lint:ignore SA1019 the deprecated wrapper is exercised deliberately
 	conf, _, err := svgic.SolveAVGD(in, svgic.AVGDOptions{})
 	if err != nil {
 		panic(err)
@@ -65,17 +68,37 @@ func ExampleSolver() {
 	best := ""
 	bestVal := -1.0
 	for _, s := range solvers {
-		conf, err := s.Solve(in)
+		sol, err := s.Solve(context.Background(), in)
 		if err != nil {
 			panic(err)
 		}
-		if v := svgic.Evaluate(in, conf).Weighted(); v > bestVal {
-			bestVal, best = v, s.Name()
+		if v := sol.Report.Weighted(); v > bestVal {
+			bestVal, best = v, sol.Algorithm
 		}
 	}
 	fmt.Println("winner:", best)
 	// Output:
 	// winner: AVG-D
+}
+
+// ExampleNewSolver resolves a solver from the registry by name — the same
+// names the CLIs and the HTTP API accept.
+func ExampleNewSolver() {
+	in, err := svgic.GenerateDataset(svgic.Timik, 12, 20, 3, 0.5, 42)
+	if err != nil {
+		panic(err)
+	}
+	s, err := svgic.NewSolver("avgd", svgic.Params{"r": 1.0})
+	if err != nil {
+		panic(err)
+	}
+	sol, err := s.Solve(context.Background(), in)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sol.Algorithm, "components:", sol.Components)
+	// Output:
+	// AVG-D components: 1
 }
 
 // ExampleMarshalInstance round-trips an instance through JSON.

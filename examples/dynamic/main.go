@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,10 +27,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	conf, _, err := svgic.SolveAVGD(in, svgic.AVGDOptions{})
+	sol, err := svgic.AVGD(svgic.AVGDOptions{}).Solve(context.Background(), in)
 	if err != nil {
 		log.Fatal(err)
 	}
+	conf := sol.Config
 	session, err := svgic.NewDynamicSession(in, conf, 0)
 	if err != nil {
 		log.Fatal(err)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -106,7 +107,8 @@ func main() {
 	// The same plan through the generic API, for comparison: a capacity-
 	// oblivious personalized plan violates venue limits.
 	in, _ := svgic.GenerateDataset(svgic.Yelp, attendees, len(events), periods, lambda, 3)
-	per, _ := svgic.Personalized().Solve(in)
+	perSol, _ := svgic.Personalized().Solve(context.Background(), in)
+	per := perSol.Config
 	fmt.Printf("\n(for contrast, a personalized plan on a comparable instance has %d violations at capacity 6)\n",
 		per.SizeViolations(6))
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -67,7 +68,10 @@ func main() {
 	fmt.Println("=== SVGIC quickstart: the paper's running example ===")
 	fmt.Println()
 
-	// Every algorithm implements svgic.Solver, so comparison is uniform.
+	// Every algorithm implements svgic.Solver, so comparison is uniform —
+	// here via the typed constructors; svgic.NewSolver(name, params) resolves
+	// the same solvers from the registry by name.
+	ctx := context.Background()
 	solvers := []svgic.Solver{
 		svgic.AVGD(svgic.AVGDOptions{}),
 		svgic.AVG(svgic.AVGOptions{Seed: 42, Repeats: 5}),
@@ -79,15 +83,15 @@ func main() {
 	var best *svgic.Configuration
 	bestVal := -1.0
 	for _, s := range solvers {
-		conf, err := s.Solve(in)
+		sol, err := s.Solve(ctx, in)
 		if err != nil {
 			log.Fatalf("%s: %v", s.Name(), err)
 		}
-		rep := svgic.Evaluate(in, conf)
+		rep := sol.Report
 		fmt.Printf("%-6s total SAVG utility %.2f (preference %.2f + social %.2f)\n",
-			s.Name(), rep.Scaled(), rep.Preference, rep.Social)
+			sol.Algorithm, rep.Scaled(), rep.Preference, rep.Social)
 		if rep.Scaled() > bestVal {
-			bestVal, best = rep.Scaled(), conf
+			bestVal, best = rep.Scaled(), sol.Config
 		}
 	}
 

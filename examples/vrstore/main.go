@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -28,32 +29,44 @@ func main() {
 	}
 	fmt.Printf("=== Social VR store: %d shoppers, %d items, %d slots ===\n\n", n, m, k)
 
-	solvers := []svgic.Solver{
-		// r = 1 is the empirically near-optimal balancing ratio (paper §6.7);
-		// the default r = 1/4 carries the worst-case proof but leans towards
-		// one big group.
-		svgic.AVGD(svgic.AVGDOptions{R: 1}),
-		svgic.AVG(svgic.AVGOptions{Seed: 7, Repeats: 3}),
-		svgic.Personalized(),
-		svgic.Group(1),
-		svgic.SubgroupByFriendship(0, 7),
-		svgic.SubgroupByPreference(0),
+	// The full lineup, resolved from the solver registry by name — the same
+	// names svgicd's "algo" request field and the svgic CLI accept. r = 1 is
+	// the empirically near-optimal balancing ratio (paper §6.7); the default
+	// r = 1/4 carries the worst-case proof but leans towards one big group.
+	ctx := context.Background()
+	var solvers []svgic.Solver
+	for _, pick := range []struct {
+		algo   string
+		params svgic.Params
+	}{
+		{"avgd", svgic.Params{"r": 1.0}},
+		{"avg", svgic.Params{"seed": 7}},
+		{"per", nil},
+		{"fmg", nil},
+		{"sdp", svgic.Params{"seed": 7}},
+		{"grf", nil},
+	} {
+		s, err := svgic.NewSolver(pick.algo, pick.params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		solvers = append(solvers, s)
 	}
 	fmt.Printf("%-6s  %9s  %9s  %9s  %10s  %7s\n",
 		"scheme", "total", "pref", "social", "codisplay%", "alone%")
 	var avgdConf *svgic.Configuration
 	for _, s := range solvers {
-		conf, err := s.Solve(in)
+		sol, err := s.Solve(ctx, in)
 		if err != nil {
 			log.Fatalf("%s: %v", s.Name(), err)
 		}
-		rep := svgic.Evaluate(in, conf)
-		met := svgic.ComputeSubgroupMetrics(in, conf)
+		rep := sol.Report
+		met := svgic.ComputeSubgroupMetrics(in, sol.Config)
 		fmt.Printf("%-6s  %9.2f  %9.2f  %9.2f  %9.1f%%  %6.1f%%\n",
-			s.Name(), rep.Scaled(), rep.Preference, rep.Social,
+			sol.Algorithm, rep.Scaled(), rep.Preference, rep.Social,
 			100*met.CoDisplayPct, 100*met.AlonePct)
-		if s.Name() == "AVG-D" {
-			avgdConf = conf
+		if sol.Algorithm == "AVG-D" {
+			avgdConf = sol.Config
 		}
 	}
 
@@ -65,11 +78,11 @@ func main() {
 		prices[c] = 0.5 + 1.5*math.Abs(math.Sin(float64(c)*0.73))
 	}
 	weighted := svgic.WeightedInstance(in, prices)
-	profConf, _, err := svgic.SolveAVGD(weighted, svgic.AVGDOptions{R: 1})
+	profSol, err := svgic.AVGD(svgic.AVGDOptions{R: 1}).Solve(ctx, weighted)
 	if err != nil {
 		log.Fatal(err)
 	}
-	profit := svgic.Evaluate(weighted, profConf)
+	profit := profSol.Report
 	baseline := svgic.Evaluate(weighted, avgdConf)
 	fmt.Printf("\nExtension A (commodity values): profit-weighted objective %.2f vs %.2f when optimizing utility only (+%.1f%%)\n",
 		profit.Scaled(), baseline.Scaled(), 100*(profit.Scaled()/baseline.Scaled()-1))

@@ -6,9 +6,11 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"github.com/svgic/svgic/internal/core"
 	"github.com/svgic/svgic/internal/graph"
@@ -24,12 +26,20 @@ type PER struct{}
 func (PER) Name() string { return "PER" }
 
 // Solve implements core.Solver.
-func (PER) Solve(in *core.Instance) (*core.Configuration, error) {
+func (PER) Solve(ctx context.Context, in *core.Instance) (*core.Solution, error) {
+	start := time.Now()
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	return core.PersonalizedConfig(in), nil
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return core.NewSolution("PER", in, core.PersonalizedConfig(in), start), nil
 }
+
+// DecomposeSafe implements core.ComponentSafe: per-user top-k selection is
+// independent across users, so component decomposition preserves it exactly.
+func (PER) DecomposeSafe() bool { return true }
 
 // FMG is the group approach: one bundled k-itemset for the whole group,
 // chosen greedily by the λ-weighted aggregate score. Fairness > 0 reweights
@@ -45,9 +55,15 @@ type FMG struct {
 // Name implements core.Solver.
 func (FMG) Name() string { return "FMG" }
 
-// Solve implements core.Solver.
-func (f FMG) Solve(in *core.Instance) (*core.Configuration, error) {
+// Solve implements core.Solver. FMG picks one itemset for the whole group,
+// so it is NOT component-decomposition safe: per-component itemsets would be
+// a different (usually better) algorithm.
+func (f FMG) Solve(ctx context.Context, in *core.Instance) (*core.Solution, error) {
+	start := time.Now()
 	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	n := in.NumUsers()
@@ -60,7 +76,7 @@ func (f FMG) Solve(in *core.Instance) (*core.Configuration, error) {
 	for u := 0; u < n; u++ {
 		copy(conf.Assign[u], items)
 	}
-	return conf, nil
+	return core.NewSolution("FMG", in, conf, start), nil
 }
 
 // selectGroupItems greedily picks k distinct items for the given user set by
@@ -133,9 +149,14 @@ type SDP struct {
 // Name implements core.Solver.
 func (SDP) Name() string { return "SDP" }
 
-// Solve implements core.Solver.
-func (s SDP) Solve(in *core.Instance) (*core.Configuration, error) {
+// Solve implements core.Solver. The community detection is global, so SDP is
+// not component-decomposition safe (a balanced partition mixes components).
+func (s SDP) Solve(ctx context.Context, in *core.Instance) (*core.Solution, error) {
+	start := time.Now()
 	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	var assignment []int
@@ -144,7 +165,11 @@ func (s SDP) Solve(in *core.Instance) (*core.Configuration, error) {
 	} else {
 		assignment = graph.GreedyModularity(in.G)
 	}
-	return solvePerSubgroup(in, graph.GroupsOf(assignment), true), nil
+	conf, err := solvePerSubgroup(ctx, in, graph.GroupsOf(assignment), true)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSolution("SDP", in, conf, start), nil
 }
 
 // GRF is the subgroup-by-preference approach: cluster users by preference
@@ -158,9 +183,14 @@ type GRF struct {
 // Name implements core.Solver.
 func (GRF) Name() string { return "GRF" }
 
-// Solve implements core.Solver.
-func (g GRF) Solve(in *core.Instance) (*core.Configuration, error) {
+// Solve implements core.Solver. Preference clustering is global, so GRF is
+// not component-decomposition safe.
+func (g GRF) Solve(ctx context.Context, in *core.Instance) (*core.Solution, error) {
+	start := time.Now()
 	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	n := in.NumUsers()
@@ -172,18 +202,27 @@ func (g GRF) Solve(in *core.Instance) (*core.Configuration, error) {
 		groups = n
 	}
 	clusters := agglomerativeCosine(in.Pref, groups)
-	return solvePerSubgroup(in, clusters, false), nil
+	conf, err := solvePerSubgroup(ctx, in, clusters, false)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSolution("GRF", in, conf, start), nil
 }
 
-func solvePerSubgroup(in *core.Instance, groups [][]int, withSocial bool) *core.Configuration {
+// solvePerSubgroup runs the greedy itemset selection inside every subgroup,
+// polling the context between subgroups.
+func solvePerSubgroup(ctx context.Context, in *core.Instance, groups [][]int, withSocial bool) (*core.Configuration, error) {
 	conf := core.NewConfiguration(in.NumUsers(), in.K)
 	for _, members := range groups {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		items := selectGroupItems(in, members, in.K, 0, withSocial)
 		for _, u := range members {
 			copy(conf.Assign[u], items)
 		}
 	}
-	return conf
+	return conf, nil
 }
 
 // agglomerativeCosine merges clusters by maximum average pairwise cosine
@@ -255,28 +294,41 @@ type Prepartitioned struct {
 // Name implements core.Solver.
 func (p Prepartitioned) Name() string { return p.Inner.Name() + "-P" }
 
-// Solve implements core.Solver.
-func (p Prepartitioned) Solve(in *core.Instance) (*core.Configuration, error) {
+// Solve implements core.Solver, polling the context between per-group
+// sub-solves (each of which honours the context itself). The returned
+// Solution reports one Component per prepartition group.
+func (p Prepartitioned) Solve(ctx context.Context, in *core.Instance) (*core.Solution, error) {
+	start := time.Now()
 	if p.M <= 0 {
 		return nil, fmt.Errorf("baselines: prepartition group size M=%d must be positive", p.M)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	n := in.NumUsers()
 	numGroups := (n + p.M - 1) / p.M
 	assignment := graph.BalancedPartition(in.G, numGroups, stats.NewRand(p.Seed+7))
 	groups := graph.GroupsOf(assignment)
-	parts := make([]*core.Configuration, 0, len(groups))
+	parts := make([]*core.Solution, 0, len(groups))
 	origs := make([][]int, 0, len(groups))
 	for _, members := range groups {
 		sub, orig, err := core.SubInstance(in, members)
 		if err != nil {
 			return nil, err
 		}
-		conf, err := p.Inner.Solve(sub)
+		part, err := p.Inner.Solve(ctx, sub)
 		if err != nil {
 			return nil, err
 		}
-		parts = append(parts, conf)
+		parts = append(parts, part)
 		origs = append(origs, orig)
 	}
-	return core.MergeConfigurations(n, in.K, parts, origs), nil
+	sol := core.MergeSolutions(in, parts, origs)
+	sol.Algorithm = p.Name()
+	sol.Exact = false // per-group optimality does not certify the whole
+	sol.Wall = time.Since(start)
+	return sol, nil
 }

@@ -1,6 +1,7 @@
 package baselines_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -18,14 +19,17 @@ import (
 
 func scaledValue(t *testing.T, in *core.Instance, s core.Solver) float64 {
 	t.Helper()
-	conf, err := s.Solve(in)
+	sol, err := s.Solve(context.Background(), in)
 	if err != nil {
 		t.Fatalf("%s: %v", s.Name(), err)
 	}
-	if err := conf.Validate(in); err != nil {
+	if err := sol.Config.Validate(in); err != nil {
 		t.Fatalf("%s produced invalid config: %v", s.Name(), err)
 	}
-	return core.Evaluate(in, conf).Scaled()
+	if sol.Algorithm != s.Name() {
+		t.Fatalf("solution algorithm %q != solver name %q", sol.Algorithm, s.Name())
+	}
+	return sol.Report.Scaled()
 }
 
 func TestPaperExampleBaselines(t *testing.T) {
@@ -50,10 +54,11 @@ func TestPaperExamplePERConfig(t *testing.T) {
 	// Table 9's personalized rows: Alice ⟨c5,c2,c1⟩, Bob ⟨c2,c1,c4⟩,
 	// Charlie ⟨c3,c4,c2⟩, Dave ⟨c4,c5,c3⟩.
 	in := paperex.New(0.5)
-	conf, err := baselines.PER{}.Solve(in)
+	sol, err := baselines.PER{}.Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
+	conf := sol.Config
 	want := [][]int{
 		{paperex.SPCamera, paperex.DSLR, paperex.Tripod},
 		{paperex.DSLR, paperex.Tripod, paperex.MemoryCard},
@@ -74,10 +79,11 @@ func TestPaperExamplePERConfig(t *testing.T) {
 func TestPaperExampleFMGConfig(t *testing.T) {
 	// Table 9's group row: everyone sees ⟨c5, c1, c2⟩.
 	in := paperex.New(0.5)
-	conf, err := baselines.FMG{}.Solve(in)
+	sol, err := baselines.FMG{}.Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
+	conf := sol.Config
 	want := []int{paperex.SPCamera, paperex.Tripod, paperex.DSLR}
 	for u := 0; u < 4; u++ {
 		for s, it := range want {
@@ -92,19 +98,21 @@ func TestPaperExampleSubgroupPartitions(t *testing.T) {
 	in := paperex.New(0.5)
 	// Friendship split must be {Alice, Dave} vs {Bob, Charlie} (minimum
 	// balanced cut); preference split must be {Alice, Bob} vs {Charlie, Dave}.
-	sdpConf, err := baselines.SDP{Groups: 2}.Solve(in)
+	sdpSol, err := baselines.SDP{Groups: 2}.Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
+	sdpConf := sdpSol.Config
 	if sdpConf.Assign[paperex.Alice][0] != sdpConf.Assign[paperex.Dave][0] ||
 		sdpConf.Assign[paperex.Bob][0] != sdpConf.Assign[paperex.Charlie][0] ||
 		sdpConf.Assign[paperex.Alice][0] == sdpConf.Assign[paperex.Bob][0] {
 		t.Errorf("SDP did not split {Alice,Dave} | {Bob,Charlie}: %v", sdpConf.Assign)
 	}
-	grfConf, err := baselines.GRF{Groups: 2}.Solve(in)
+	grfSol, err := baselines.GRF{Groups: 2}.Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
+	grfConf := grfSol.Config
 	if grfConf.Assign[paperex.Alice][0] != grfConf.Assign[paperex.Bob][0] ||
 		grfConf.Assign[paperex.Charlie][0] != grfConf.Assign[paperex.Dave][0] ||
 		grfConf.Assign[paperex.Alice][0] == grfConf.Assign[paperex.Charlie][0] {
@@ -121,14 +129,16 @@ func TestFMGFairnessSpreadsPreference(t *testing.T) {
 	in.SetPref(0, 0, 1.0)
 	in.SetPref(0, 1, 0.9)
 	in.SetPref(1, 2, 0.8)
-	plain, err := baselines.FMG{}.Solve(in)
+	plainSol, err := baselines.FMG{}.Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fair, err := baselines.FMG{Fairness: 10}.Solve(in)
+	plain := plainSol.Config
+	fairSol, err := baselines.FMG{Fairness: 10}.Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
+	fair := fairSol.Config
 	if plain.Assign[0][1] != 1 {
 		t.Errorf("plain FMG second pick = %d, want 1 (aggregate order)", plain.Assign[0][1])
 	}
@@ -143,15 +153,19 @@ func TestPrepartitionedRespectsGroups(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := baselines.Prepartitioned{Inner: baselines.FMG{}, M: 5, Seed: 3}
-	conf, err := p.Solve(in)
+	sol, err := p.Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
+	conf := sol.Config
 	if err := conf.Validate(in); err != nil {
 		t.Fatalf("merged config invalid: %v", err)
 	}
 	if p.Name() != "FMG-P" {
 		t.Errorf("Name() = %q, want FMG-P", p.Name())
+	}
+	if sol.Algorithm != "FMG-P" || sol.Components != 5 {
+		t.Errorf("solution provenance = %q/%d components, want FMG-P/5", sol.Algorithm, sol.Components)
 	}
 	// FMG shows one itemset per prepartitioned group, so the number of
 	// distinct user rows is at most the number of groups (⌈24/5⌉ = 5). Note

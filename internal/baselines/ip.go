@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"context"
+	"errors"
 	"time"
 
 	"github.com/svgic/svgic/internal/core"
@@ -9,32 +11,52 @@ import (
 
 // IP is the exact integer-programming baseline of the paper (Section 3.3),
 // backed by the branch-and-bound solver. Like the paper's Gurobi runs it is
-// exact when it terminates and anytime under a time limit.
+// exact when it terminates and anytime under a time limit. Stateless: the
+// bound, node count and optimality certificate travel in the Solution.
 type IP struct {
 	Strategy  mip.Strategy
 	TimeLimit time.Duration
+	NodeLimit int
 	WarmStart bool // seed the incumbent with AVG-D
-	// Result holds the full outcome of the most recent Solve (bound, node
-	// count, status).
-	Result mip.Result
 }
 
 // Name implements core.Solver.
-func (s *IP) Name() string { return "IP" }
+func (IP) Name() string { return "IP" }
 
-// Solve implements core.Solver.
-func (s *IP) Solve(in *core.Instance) (*core.Configuration, error) {
-	opts := mip.Options{Strategy: s.Strategy, TimeLimit: s.TimeLimit}
+// Solve implements core.Solver. The branch and bound polls the context
+// between nodes, so cancellation stops the search at node granularity rather
+// than waiting out the wall-clock limit.
+func (s IP) Solve(ctx context.Context, in *core.Instance) (*core.Solution, error) {
+	start := time.Now()
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opts := mip.Options{Strategy: s.Strategy, TimeLimit: s.TimeLimit, NodeLimit: s.NodeLimit}
 	if s.WarmStart {
-		warm, _, err := core.SolveAVGD(in, core.AVGDOptions{})
-		if err == nil {
-			opts.WarmStart = warm
+		if warm, err := (&core.AVGDSolver{}).Solve(ctx, in); err == nil {
+			opts.WarmStart = warm.Config
+		} else if ctx.Err() != nil {
+			return nil, ctx.Err()
 		}
 	}
-	res, err := mip.Solve(in, opts)
+	res, err := mip.SolveCtx(ctx, in, opts)
 	if err != nil {
 		return nil, err
 	}
-	s.Result = res
-	return res.Config, nil
+	if res.Config == nil {
+		return nil, errors.New("baselines: IP found no feasible configuration")
+	}
+	sol := core.NewSolution("IP", in, res.Config, start)
+	sol.Nodes = res.Nodes
+	sol.Bound = res.Bound
+	sol.Exact = res.Status == mip.Optimal
+	return sol, nil
 }
+
+// DecomposeSafe implements core.ComponentSafe: the exact optimum is additive
+// across connected components, so per-component exact solves merge into the
+// whole-instance optimum.
+func (IP) DecomposeSafe() bool { return true }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -52,10 +53,20 @@ type RoundingStats struct {
 // then round with Co-display Subgroup Formation. λ=0 degenerates to the exact
 // personalized optimum (the paper's trivial special case).
 func SolveAVG(in *Instance, opts AVGOptions) (*Configuration, RoundingStats, error) {
+	return solveAVG(context.Background(), in, opts)
+}
+
+// solveAVG is the context-aware pipeline behind SolveAVG and AVGSolver: the
+// context is checked before the LP relaxation, between the LP and rounding
+// phases, and between rounding repeats.
+func solveAVG(ctx context.Context, in *Instance, opts AVGOptions) (*Configuration, RoundingStats, error) {
 	if err := in.Validate(); err != nil {
 		return nil, RoundingStats{}, err
 	}
 	if err := validateCap(in, opts.SizeCap); err != nil {
+		return nil, RoundingStats{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, RoundingStats{}, err
 	}
 	if in.Lambda == 0 && opts.SizeCap == 0 {
@@ -65,8 +76,10 @@ func SolveAVG(in *Instance, opts AVGOptions) (*Configuration, RoundingStats, err
 	if err != nil {
 		return nil, RoundingStats{}, err
 	}
-	conf, st := RoundAVG(in, f, opts)
-	return conf, st, nil
+	if err := ctx.Err(); err != nil {
+		return nil, RoundingStats{}, err
+	}
+	return roundAVG(ctx, in, f, opts)
 }
 
 // RoundAVG rounds a given fractional solution into an SAVG k-Configuration
@@ -74,6 +87,12 @@ func SolveAVG(in *Instance, opts AVGOptions) (*Configuration, RoundingStats, err
 // and the best configuration under the weighted objective is returned
 // (Corollary 4.1).
 func RoundAVG(in *Instance, f *Factors, opts AVGOptions) (*Configuration, RoundingStats) {
+	conf, st, _ := roundAVG(context.Background(), in, f, opts)
+	return conf, st
+}
+
+// roundAVG is RoundAVG with a context check between repeats.
+func roundAVG(ctx context.Context, in *Instance, f *Factors, opts AVGOptions) (*Configuration, RoundingStats, error) {
 	repeats := opts.Repeats
 	if repeats < 1 {
 		repeats = 1
@@ -82,6 +101,9 @@ func RoundAVG(in *Instance, f *Factors, opts AVGOptions) (*Configuration, Roundi
 	var bestStats RoundingStats
 	bestVal := -1.0
 	for rep := 0; rep < repeats; rep++ {
+		if err := ctx.Err(); err != nil {
+			return nil, RoundingStats{}, err
+		}
 		o := opts
 		o.Seed = opts.Seed + uint64(rep)*0x9e37
 		conf, st := roundOnce(in, f, o)
@@ -89,7 +111,7 @@ func RoundAVG(in *Instance, f *Factors, opts AVGOptions) (*Configuration, Roundi
 			bestVal, bestConf, bestStats = v, conf, st
 		}
 	}
-	return bestConf, bestStats
+	return bestConf, bestStats, nil
 }
 
 func validateCap(in *Instance, cap int) error {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -68,38 +69,58 @@ const DefaultR = 0.25
 // doing it here keeps the serial and concurrent paths bit-identical.
 // Capped (SVGIC-ST) instances are solved whole — see the SizeCap note below.
 func SolveAVGD(in *Instance, opts AVGDOptions) (*Configuration, RoundingStats, error) {
+	conf, st, _, err := solveAVGD(context.Background(), in, opts)
+	return conf, st, err
+}
+
+// solveAVGD is the context-aware pipeline behind SolveAVGD and AVGDSolver:
+// the context is checked before the LP relaxation, between the LP and
+// rounding phases, and between component sub-solves. The returned count is
+// the number of independently solved components (1 = solved whole), so the
+// Solution envelope can report the internal decomposition honestly.
+func solveAVGD(ctx context.Context, in *Instance, opts AVGDOptions) (*Configuration, RoundingStats, int, error) {
 	if err := in.Validate(); err != nil {
-		return nil, RoundingStats{}, err
+		return nil, RoundingStats{}, 0, err
 	}
 	if err := validateCap(in, opts.SizeCap); err != nil {
-		return nil, RoundingStats{}, err
+		return nil, RoundingStats{}, 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, RoundingStats{}, 0, err
 	}
 	if in.Lambda == 0 && opts.SizeCap == 0 {
-		return PersonalizedConfig(in), RoundingStats{}, nil
+		return PersonalizedConfig(in), RoundingStats{}, 1, nil
 	}
 	// The SVGIC-ST subgroup size cap binds across components: users from
 	// different components shown the same item at the same slot share one
 	// subgroup, so capped instances must be solved whole.
 	if opts.SizeCap == 0 {
 		if subs, origs := ComponentDecompose(in); len(subs) > 1 {
-			return solveAVGDComponents(in, subs, origs, opts)
+			conf, st, err := solveAVGDComponents(ctx, in, subs, origs, opts)
+			return conf, st, len(subs), err
 		}
 	}
 	f, err := SolveRelaxation(in, opts.LPMode, opts.LP)
 	if err != nil {
-		return nil, RoundingStats{}, err
+		return nil, RoundingStats{}, 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, RoundingStats{}, 0, err
 	}
 	conf, st := RoundAVGD(in, f, opts)
-	return conf, st, nil
+	return conf, st, 1, nil
 }
 
 // solveAVGDComponents solves every component sub-instance with the direct
 // pipeline and merges configurations, stats (summed) and traces (per-user ids
 // mapped back to the whole instance, components in canonical order).
-func solveAVGDComponents(in *Instance, subs []*Instance, origs [][]int, opts AVGDOptions) (*Configuration, RoundingStats, error) {
+func solveAVGDComponents(ctx context.Context, in *Instance, subs []*Instance, origs [][]int, opts AVGDOptions) (*Configuration, RoundingStats, error) {
 	var total RoundingStats
 	parts := make([]*Configuration, len(subs))
 	for i, sub := range subs {
+		if err := ctx.Err(); err != nil {
+			return nil, RoundingStats{}, err
+		}
 		subOpts := opts
 		var trace []TraceStep
 		if opts.Trace != nil {

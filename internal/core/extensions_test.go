@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -359,26 +361,40 @@ func TestSubInstanceRoundTrip(t *testing.T) {
 
 func TestSolverAdapters(t *testing.T) {
 	in := buildPaperExample(0.5)
+	ctx := context.Background()
 	avg := &AVGSolver{Opts: AVGOptions{Seed: 1}}
 	if avg.Name() != "AVG" {
 		t.Error("AVG name")
 	}
-	if _, err := avg.Solve(in); err != nil {
+	avgSol, err := avg.Solve(ctx, in)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if avg.Stats.LPObjective <= 0 {
-		t.Error("AVG stats not captured")
+	if avgSol.Rounding == nil || avgSol.Rounding.LPObjective <= 0 {
+		t.Error("AVG solution carries no LP/rounding stats")
+	}
+	if avgSol.Algorithm != "AVG" || avgSol.Wall <= 0 || avgSol.Components != 1 {
+		t.Errorf("AVG solution provenance = %+v", avgSol)
 	}
 	avgd := &AVGDSolver{}
 	if avgd.Name() != "AVG-D" {
 		t.Error("AVG-D name")
 	}
-	conf, err := avgd.Solve(in)
+	sol, err := avgd.Solve(ctx, in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := conf.Validate(in); err != nil {
+	if err := sol.Config.Validate(in); err != nil {
 		t.Fatal(err)
+	}
+	if got, want := sol.Report.Weighted(), Evaluate(in, sol.Config).Weighted(); got != want {
+		t.Errorf("solution report %.12f != fresh evaluation %.12f", got, want)
+	}
+	// Pre-canceled context: prompt ctx.Err() without touching the pipeline.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := avgd.Solve(canceled, in); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-canceled Solve: err = %v, want context.Canceled", err)
 	}
 }
 

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"time"
+)
+
+// Solution is the rich result of one Solver run: the configuration together
+// with its utility report and the provenance a serving or comparison layer
+// needs — which algorithm produced it, what the LP/rounding phase did, how
+// many independent sub-instances were solved, how long it took, and (for the
+// exact IP) the branch-and-bound certificate.
+//
+// A Solution is immutable by convention: layers that share one (result
+// caches, request coalescers) hand out copies via Clone rather than aliasing
+// Config.
+type Solution struct {
+	// Algorithm is the display name of the solver that produced the result
+	// (e.g. "AVG-D", "PER", "IP").
+	Algorithm string
+	// Config is the SAVG k-Configuration.
+	Config *Configuration
+	// Report scores Config under plain SVGIC semantics (Definition 3).
+	Report Report
+	// Rounding carries the LP objective and CSF rounding counters for the
+	// AVG/AVG-D pipelines; nil for solvers without a relaxation phase.
+	Rounding *RoundingStats
+	// Components is the number of independently solved sub-instances merged
+	// into Config: connected components for the engine's decomposition, social
+	// prepartition groups for the "-P" baselines, 1 for a whole-instance run.
+	Components int
+	// Nodes is the number of branch-and-bound nodes explored (IP solver only).
+	Nodes int
+	// Bound is the best remaining upper bound on the optimum (IP solver
+	// only); with Exact it certifies optimality.
+	Bound float64
+	// Exact reports that Config is a proven optimum (IP that ran to
+	// completion).
+	Exact bool
+	// Wall is the solver's wall time for this run. Results served from a
+	// cache keep the original solve's wall time.
+	Wall time.Duration
+}
+
+// NewSolution assembles the standard Solution envelope for a freshly
+// computed configuration: the report is evaluated under plain SVGIC and the
+// wall time measured from start. Callers fill algorithm-specific provenance
+// (Rounding, Nodes, ...) afterwards.
+func NewSolution(algorithm string, in *Instance, conf *Configuration, start time.Time) *Solution {
+	return &Solution{
+		Algorithm:  algorithm,
+		Config:     conf,
+		Report:     Evaluate(in, conf),
+		Components: 1,
+		Wall:       time.Since(start),
+	}
+}
+
+// Clone returns a deep copy: the configuration and rounding stats are
+// private to the copy, so caches and coalescers can fan one solution out to
+// many callers that each may mutate their result freely.
+func (s *Solution) Clone() *Solution {
+	c := *s
+	c.Config = s.Config.Clone()
+	if s.Rounding != nil {
+		r := *s.Rounding
+		c.Rounding = &r
+	}
+	return &c
+}
+
+// MergeSolutions embeds per-part solutions into one whole-instance solution:
+// configurations merge via MergeConfigurations, the report is re-evaluated on
+// the merged configuration, rounding stats sum when every part has them,
+// branch-and-bound provenance sums (the SAVG objective is additive across
+// independent parts, so summed bounds stay valid and the merge is exact iff
+// every part is). The merged wall time is the caller's to set — parts may
+// have run concurrently, so summing part walls would lie.
+func MergeSolutions(in *Instance, parts []*Solution, origs [][]int) *Solution {
+	confs := make([]*Configuration, len(parts))
+	for i, p := range parts {
+		confs[i] = p.Config
+	}
+	conf := MergeConfigurations(in.NumUsers(), in.K, confs, origs)
+	sol := &Solution{
+		Algorithm:  parts[0].Algorithm,
+		Config:     conf,
+		Report:     Evaluate(in, conf),
+		Components: len(parts),
+		Exact:      true,
+	}
+	var rounding RoundingStats
+	haveRounding := true
+	for _, p := range parts {
+		if p.Rounding == nil {
+			haveRounding = false
+		} else {
+			rounding.Iterations += p.Rounding.Iterations
+			rounding.Rejections += p.Rounding.Rejections
+			rounding.Idle += p.Rounding.Idle
+			rounding.FallbackUnits += p.Rounding.FallbackUnits
+			rounding.LPObjective += p.Rounding.LPObjective
+		}
+		sol.Nodes += p.Nodes
+		sol.Bound += p.Bound
+		sol.Exact = sol.Exact && p.Exact
+	}
+	if haveRounding {
+		sol.Rounding = &rounding
+	}
+	return sol
+}

@@ -1,45 +1,98 @@
 package core
 
+import (
+	"context"
+	"time"
+)
+
 // Solver is the common interface of every SVGIC configuration algorithm —
-// AVG, AVG-D, the baselines and the exact IP — as consumed by the experiment
-// harness and the public API.
+// AVG, AVG-D, the baselines and the exact IP — as consumed by the engine,
+// the HTTP server, the experiment harness and the public API.
+//
+// Solve must honour the context: on a context that is already done it
+// returns ctx.Err() promptly without touching the instance, and long-running
+// solvers poll the context at phase boundaries (the IP branch-and-bound polls
+// between nodes). Implementations must be safe for concurrent use — the
+// engine shares one solver instance across its worker pool; all per-run
+// state and statistics travel in the returned Solution, never on the solver.
 type Solver interface {
-	// Name identifies the algorithm in experiment output (e.g. "AVG", "PER").
+	// Name identifies the algorithm in experiment and serving output
+	// (e.g. "AVG", "PER").
 	Name() string
-	// Solve produces a complete, valid SAVG k-Configuration.
-	Solve(in *Instance) (*Configuration, error)
+	// Solve produces a complete, valid SAVG k-Configuration wrapped in its
+	// Solution envelope.
+	Solve(ctx context.Context, in *Instance) (*Solution, error)
 }
 
-// AVGSolver adapts SolveAVG to the Solver interface.
+// CacheKeyer is optionally implemented by solvers whose caching identity is
+// finer than their Name — e.g. the same algorithm under different parameters.
+// Result caches and request coalescers use CacheKey (falling back to Name) to
+// keep results of distinct solver configurations from aliasing.
+type CacheKeyer interface {
+	// CacheKey returns a stable string identifying the algorithm AND its
+	// parameters.
+	CacheKey() string
+}
+
+// ComponentSafe is optionally implemented by solvers whose results are
+// preserved under connected-component decomposition: solving each component
+// of the social network independently and merging loses nothing. Solvers
+// that couple users beyond social edges (whole-group itemsets, global
+// clustering, SVGIC-ST size caps) must not report true. Solvers without the
+// method are treated as unsafe and solved whole.
+type ComponentSafe interface {
+	DecomposeSafe() bool
+}
+
+// AVGSolver adapts the randomized AVG pipeline to the Solver interface.
+// Stateless: safe for concurrent use.
 type AVGSolver struct {
 	Opts AVGOptions
-	// Stats holds the rounding statistics of the most recent Solve.
-	Stats RoundingStats
 }
 
 // Name implements Solver.
 func (s *AVGSolver) Name() string { return "AVG" }
 
 // Solve implements Solver.
-func (s *AVGSolver) Solve(in *Instance) (*Configuration, error) {
-	conf, st, err := SolveAVG(in, s.Opts)
-	s.Stats = st
-	return conf, err
+func (s *AVGSolver) Solve(ctx context.Context, in *Instance) (*Solution, error) {
+	start := time.Now()
+	conf, st, err := solveAVG(ctx, in, s.Opts)
+	if err != nil {
+		return nil, err
+	}
+	sol := NewSolution(s.Name(), in, conf, start)
+	sol.Rounding = &st
+	return sol, nil
 }
 
-// AVGDSolver adapts SolveAVGD to the Solver interface.
+// DecomposeSafe implements ComponentSafe: the SAVG objective couples users
+// only across social edges, but an SVGIC-ST size cap binds subgroups across
+// components (they are keyed by item and slot over all users).
+func (s *AVGSolver) DecomposeSafe() bool { return s.Opts.SizeCap == 0 }
+
+// AVGDSolver adapts the deterministic AVG-D pipeline to the Solver
+// interface. Stateless: safe for concurrent use.
 type AVGDSolver struct {
 	Opts AVGDOptions
-	// Stats holds the rounding statistics of the most recent Solve.
-	Stats RoundingStats
 }
 
 // Name implements Solver.
 func (s *AVGDSolver) Name() string { return "AVG-D" }
 
 // Solve implements Solver.
-func (s *AVGDSolver) Solve(in *Instance) (*Configuration, error) {
-	conf, st, err := SolveAVGD(in, s.Opts)
-	s.Stats = st
-	return conf, err
+func (s *AVGDSolver) Solve(ctx context.Context, in *Instance) (*Solution, error) {
+	start := time.Now()
+	conf, st, components, err := solveAVGD(ctx, in, s.Opts)
+	if err != nil {
+		return nil, err
+	}
+	sol := NewSolution(s.Name(), in, conf, start)
+	sol.Rounding = &st
+	// Uncapped disconnected instances are decomposed inside the pipeline;
+	// report the honest component count.
+	sol.Components = components
+	return sol, nil
 }
+
+// DecomposeSafe implements ComponentSafe (see AVGSolver.DecomposeSafe).
+func (s *AVGDSolver) DecomposeSafe() bool { return s.Opts.SizeCap == 0 }

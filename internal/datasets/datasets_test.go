@@ -1,6 +1,7 @@
 package datasets
 
 import (
+	"context"
 	"testing"
 
 	"github.com/svgic/svgic/internal/baselines"
@@ -70,17 +71,17 @@ func TestDatasetContrasts(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			conf, err := baselines.PER{}.Solve(in)
+			perSol, err := baselines.PER{}.Solve(context.Background(), in)
 			if err != nil {
 				t.Fatal(err)
 			}
-			co += core.ComputeSubgroupMetrics(in, conf).CoDisplayPct
+			co += core.ComputeSubgroupMetrics(in, perSol.Config).CoDisplayPct
 			avgd := &core.AVGDSolver{Opts: core.AVGDOptions{R: 1}}
-			aconf, err := avgd.Solve(in)
+			aSol, err := avgd.Solve(context.Background(), in)
 			if err != nil {
 				t.Fatal(err)
 			}
-			soc += core.Evaluate(in, aconf).Social
+			soc += aSol.Report.Social
 		}
 		codisplay[name] = co / samples
 		social[name] = soc / samples

@@ -7,31 +7,39 @@ import (
 	"github.com/svgic/svgic/internal/core"
 )
 
-// lruCache memoizes solved configurations keyed by instance fingerprint
-// (core.Fingerprint). It owns private deep copies on both sides: put stores a
-// clone and get returns a clone, so cached entries can never be mutated
-// through a caller's configuration or vice versa.
+// cacheKey identifies one cache entry: the instance fingerprint
+// (core.Fingerprint) paired with the solver identity (SolverKey), so two
+// algorithms — or one algorithm under two parameterizations — never alias
+// each other's results.
+type cacheKey struct {
+	fp     uint64
+	solver string
+}
+
+// lruCache memoizes solved solutions. It owns private deep copies on both
+// sides: put stores a clone and get returns a clone, so cached entries can
+// never be mutated through a caller's solution or vice versa.
 type lruCache struct {
 	mu    sync.Mutex
 	cap   int
 	order *list.List // front = most recently used; values are *cacheEntry
-	byKey map[uint64]*list.Element
+	byKey map[cacheKey]*list.Element
 }
 
 type cacheEntry struct {
-	key  uint64
-	conf *core.Configuration
+	key cacheKey
+	sol *core.Solution
 }
 
 func newLRUCache(capacity int) *lruCache {
 	return &lruCache{
 		cap:   capacity,
 		order: list.New(),
-		byKey: make(map[uint64]*list.Element, capacity),
+		byKey: make(map[cacheKey]*list.Element, capacity),
 	}
 }
 
-func (c *lruCache) get(key uint64) (*core.Configuration, bool) {
+func (c *lruCache) get(key cacheKey) (*core.Solution, bool) {
 	c.mu.Lock()
 	el, ok := c.byKey[key]
 	if !ok {
@@ -39,24 +47,24 @@ func (c *lruCache) get(key uint64) (*core.Configuration, bool) {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	conf := el.Value.(*cacheEntry).conf
+	sol := el.Value.(*cacheEntry).sol
 	c.mu.Unlock()
-	// Clone outside the lock: cached configurations are immutable (put swaps
-	// the pointer, never mutates in place), so concurrent hits only contend
-	// for the pointer grab, not the O(n·k) copy.
-	return conf.Clone(), true
+	// Clone outside the lock: cached solutions are immutable (put swaps the
+	// pointer, never mutates in place), so concurrent hits only contend for
+	// the pointer grab, not the O(n·k) copy.
+	return sol.Clone(), true
 }
 
-func (c *lruCache) put(key uint64, conf *core.Configuration) {
-	clone := conf.Clone()
+func (c *lruCache) put(key cacheKey, sol *core.Solution) {
+	clone := sol.Clone()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*cacheEntry).conf = clone
+		el.Value.(*cacheEntry).sol = clone
 		c.order.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, conf: clone})
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, sol: clone})
 	for c.order.Len() > c.cap {
 		last := c.order.Back()
 		c.order.Remove(last)

@@ -6,30 +6,32 @@ import (
 	"github.com/svgic/svgic/internal/core"
 )
 
-func confOf(item int) *core.Configuration {
+func solOf(item int) *core.Solution {
 	c := core.NewConfiguration(1, 1)
 	c.Assign[0][0] = item
-	return c
+	return &core.Solution{Algorithm: "test", Config: c, Components: 1}
 }
+
+func ck(fp uint64) cacheKey { return cacheKey{fp: fp, solver: "test"} }
 
 func TestLRUCacheEviction(t *testing.T) {
 	c := newLRUCache(2)
-	c.put(1, confOf(1))
-	c.put(2, confOf(2))
-	if _, ok := c.get(1); !ok { // promotes 1 over 2
+	c.put(ck(1), solOf(1))
+	c.put(ck(2), solOf(2))
+	if _, ok := c.get(ck(1)); !ok { // promotes 1 over 2
 		t.Fatal("entry 1 missing")
 	}
-	c.put(3, confOf(3)) // evicts 2, the least recently used
-	if _, ok := c.get(2); ok {
+	c.put(ck(3), solOf(3)) // evicts 2, the least recently used
+	if _, ok := c.get(ck(2)); ok {
 		t.Fatal("entry 2 not evicted")
 	}
 	for _, k := range []uint64{1, 3} {
-		got, ok := c.get(k)
+		got, ok := c.get(ck(k))
 		if !ok {
 			t.Fatalf("entry %d missing", k)
 		}
-		if got.Assign[0][0] != int(k) {
-			t.Fatalf("entry %d carries item %d", k, got.Assign[0][0])
+		if got.Config.Assign[0][0] != int(k) {
+			t.Fatalf("entry %d carries item %d", k, got.Config.Assign[0][0])
 		}
 	}
 	if c.len() != 2 {
@@ -37,31 +39,51 @@ func TestLRUCacheEviction(t *testing.T) {
 	}
 }
 
+// TestLRUCacheSolverKeyed: one fingerprint under two solver identities is
+// two independent entries — the non-aliasing property the serving layer
+// depends on.
+func TestLRUCacheSolverKeyed(t *testing.T) {
+	c := newLRUCache(4)
+	c.put(cacheKey{fp: 1, solver: "avg{seed=1}"}, solOf(10))
+	c.put(cacheKey{fp: 1, solver: "avgd{r=0.25}"}, solOf(20))
+	a, ok := c.get(cacheKey{fp: 1, solver: "avg{seed=1}"})
+	if !ok || a.Config.Assign[0][0] != 10 {
+		t.Fatalf("avg entry = %+v, %v", a, ok)
+	}
+	b, ok := c.get(cacheKey{fp: 1, solver: "avgd{r=0.25}"})
+	if !ok || b.Config.Assign[0][0] != 20 {
+		t.Fatalf("avgd entry = %+v, %v", b, ok)
+	}
+	if _, ok := c.get(cacheKey{fp: 1, solver: "per{}"}); ok {
+		t.Fatal("unknown solver key unexpectedly hit")
+	}
+}
+
 func TestLRUCacheUpdateExisting(t *testing.T) {
 	c := newLRUCache(2)
-	c.put(7, confOf(1))
-	c.put(7, confOf(2))
+	c.put(ck(7), solOf(1))
+	c.put(ck(7), solOf(2))
 	if c.len() != 1 {
 		t.Fatalf("len = %d, want 1", c.len())
 	}
-	got, _ := c.get(7)
-	if got.Assign[0][0] != 2 {
-		t.Fatalf("stale value %d after update", got.Assign[0][0])
+	got, _ := c.get(ck(7))
+	if got.Config.Assign[0][0] != 2 {
+		t.Fatalf("stale value %d after update", got.Config.Assign[0][0])
 	}
 }
 
 func TestLRUCacheIsolation(t *testing.T) {
 	c := newLRUCache(2)
-	orig := confOf(5)
-	c.put(9, orig)
-	orig.Assign[0][0] = -1 // caller mutates after put
-	a, _ := c.get(9)
-	if a.Assign[0][0] != 5 {
+	orig := solOf(5)
+	c.put(ck(9), orig)
+	orig.Config.Assign[0][0] = -1 // caller mutates after put
+	a, _ := c.get(ck(9))
+	if a.Config.Assign[0][0] != 5 {
 		t.Fatal("put did not copy")
 	}
-	a.Assign[0][0] = -2 // caller mutates a get result
-	b, _ := c.get(9)
-	if b.Assign[0][0] != 5 {
+	a.Config.Assign[0][0] = -2 // caller mutates a get result
+	b, _ := c.get(ck(9))
+	if b.Config.Assign[0][0] != 5 {
 		t.Fatal("get did not copy")
 	}
 }

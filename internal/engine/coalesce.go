@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -10,13 +11,14 @@ import (
 )
 
 // Coalescer collapses concurrent identical Solve calls into one solver
-// execution (singleflight keyed on core.Fingerprint). The LRU cache only
-// helps *after* the first solve of an instance completes; under a flash
-// crowd — N identical requests arriving inside one solve's latency — all N
-// would miss the cache and run the solver N times. The coalescer makes the
-// first arrival the leader, parks the rest on its in-flight call, and fans
-// the leader's result out as deep copies, so every caller may mutate its
-// configuration freely.
+// execution (singleflight keyed on core.Fingerprint PLUS the solver's cache
+// key — a flash crowd asking for AVG must never be answered with AVG-D's
+// result). The LRU cache only helps *after* the first solve of an instance
+// completes; under a flash crowd — N identical requests arriving inside one
+// solve's latency — all N would miss the cache and run the solver N times.
+// The coalescer makes the first arrival the leader, parks the rest on its
+// in-flight call, and fans the leader's solution out as deep copies, so
+// every caller may mutate its configuration freely.
 //
 // Followers share the leader's results but not its context: if the leader's
 // own deadline expires or its client disconnects mid-solve, a parked
@@ -27,8 +29,11 @@ import (
 type Coalescer struct {
 	e *Engine
 
-	mu       sync.Mutex
-	inflight map[uint64]*call
+	mu sync.Mutex
+	// inflight is keyed by the same (fingerprint, solver identity) pair as
+	// the engine's result cache, so the two layers can never disagree about
+	// what counts as "the same request".
+	inflight map[cacheKey]*call
 
 	leads atomic.Uint64
 	joins atomic.Uint64
@@ -38,13 +43,13 @@ type Coalescer struct {
 type call struct {
 	done    chan struct{}
 	joiners int
-	conf    *core.Configuration // set before done closes iff joiners > 0; never mutated after
+	sol     *core.Solution // set before done closes iff joiners > 0; never mutated after
 	err     error
 }
 
 // CoalesceStats is a snapshot of a Coalescer's counters.
 type CoalesceStats struct {
-	Leads uint64 // calls that ran the engine (first arrival for their fingerprint)
+	Leads uint64 // calls that ran the engine (first arrival for their key)
 	Joins uint64 // calls answered by parking on another call's in-flight solve
 }
 
@@ -52,7 +57,7 @@ type CoalesceStats struct {
 // shared with direct callers; only calls routed through the coalescer are
 // collapsed.
 func NewCoalescer(e *Engine) *Coalescer {
-	return &Coalescer{e: e, inflight: make(map[uint64]*call)}
+	return &Coalescer{e: e, inflight: make(map[cacheKey]*call)}
 }
 
 // Stats returns a point-in-time snapshot of the coalescing counters.
@@ -60,14 +65,34 @@ func (c *Coalescer) Stats() CoalesceStats {
 	return CoalesceStats{Leads: c.leads.Load(), Joins: c.joins.Load()}
 }
 
-// Solve answers one instance, collapsing it into an identical in-flight call
-// when one exists. The returned configuration is always private to the
-// caller (the leader gets the engine's copy, followers get deep copies of
-// the leader's result). Validation is the engine's: the fingerprint key is
-// total on any input, and an invalid leader fails fast in Engine.Solve with
-// the same error a direct call would see.
-func (c *Coalescer) Solve(ctx context.Context, in *core.Instance) (*core.Configuration, error) {
-	key := core.Fingerprint(in)
+// Solve answers one instance with the engine's default solver, collapsing it
+// into an identical in-flight call when one exists. See SolveWith.
+func (c *Coalescer) Solve(ctx context.Context, in *core.Instance) (*core.Solution, error) {
+	return c.solve(ctx, in, nil)
+}
+
+// SolveWith answers one instance with the given solver, coalescing only with
+// in-flight calls of the same instance AND same solver identity. A solver
+// without core.CacheKeyer has no parameter-precise identity, so it bypasses
+// coalescing (the call leads unconditionally) rather than risk answering one
+// parameterization's crowd with another's result. The returned solution is
+// always private to the caller (the leader gets the engine's copy, followers
+// get deep copies of the leader's result). Validation is the engine's: the
+// key is total on any input, and an invalid leader fails fast in the engine
+// with the same error a direct call would see.
+func (c *Coalescer) SolveWith(ctx context.Context, in *core.Instance, solver core.Solver) (*core.Solution, error) {
+	if solver == nil {
+		return nil, errors.New("engine: Coalescer.SolveWith requires a solver (use Solve for the default)")
+	}
+	return c.solve(ctx, in, solver)
+}
+
+func (c *Coalescer) solve(ctx context.Context, in *core.Instance, solver core.Solver) (*core.Solution, error) {
+	if solver != nil && !keyedSolver(solver) {
+		c.leads.Add(1)
+		return c.e.solve(ctx, in, solver)
+	}
+	key := cacheKey{fp: core.Fingerprint(in), solver: c.e.solverKeyFor(solver)}
 	for {
 		c.mu.Lock()
 		if cl, ok := c.inflight[key]; ok {
@@ -86,9 +111,9 @@ func (c *Coalescer) Solve(ctx context.Context, in *core.Instance) (*core.Configu
 					}
 					return nil, cl.err
 				}
-				// cl.conf is immutable once done is closed; every follower
+				// cl.sol is immutable once done is closed; every follower
 				// clones it so results stay independently mutable.
-				return cl.conf.Clone(), nil
+				return cl.sol.Clone(), nil
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
@@ -98,7 +123,7 @@ func (c *Coalescer) Solve(ctx context.Context, in *core.Instance) (*core.Configu
 		c.mu.Unlock()
 		c.leads.Add(1)
 
-		conf, err := c.e.Solve(ctx, in)
+		sol, err := c.e.solve(ctx, in, solver)
 
 		// Unregister first: arrivals from here on start a fresh flight (and
 		// hit the engine's result cache if this one succeeded). The joiner
@@ -111,10 +136,10 @@ func (c *Coalescer) Solve(ctx context.Context, in *core.Instance) (*core.Configu
 
 		cl.err = err
 		if err == nil && joiners > 0 {
-			cl.conf = conf.Clone()
+			cl.sol = sol.Clone()
 		}
 		close(cl.done)
-		return conf, err
+		return sol, err
 	}
 }
 
@@ -124,22 +149,38 @@ func isContextErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// SolveBatch answers a batch through the coalescing path: each instance is
-// solved concurrently via Solve, so duplicates inside the batch — and across
-// concurrent batches — collapse too. Results are positional; the error joins
-// the per-instance failures like Engine.SolveBatch.
-func (c *Coalescer) SolveBatch(ctx context.Context, ins []*core.Instance) ([]*core.Configuration, error) {
-	confs := make([]*core.Configuration, len(ins))
+// SolveBatch answers a batch through the coalescing path with the default
+// solver: each instance is solved concurrently via Solve, so duplicates
+// inside the batch — and across concurrent batches — collapse too. Results
+// are positional; the error joins the per-instance failures like
+// Engine.SolveBatch.
+func (c *Coalescer) SolveBatch(ctx context.Context, ins []*core.Instance) ([]*core.Solution, error) {
+	return c.SolveBatchEach(ctx, ins, nil)
+}
+
+// SolveBatchEach is SolveBatch with a per-item solver selection: solvers is
+// either nil (every item uses the engine default) or positional with ins
+// (nil entries use the default). The server's mixed-algorithm batches route
+// through here.
+func (c *Coalescer) SolveBatchEach(ctx context.Context, ins []*core.Instance, solvers []core.Solver) ([]*core.Solution, error) {
+	if solvers != nil && len(solvers) != len(ins) {
+		return nil, fmt.Errorf("engine: %d solvers for %d instances", len(solvers), len(ins))
+	}
+	sols := make([]*core.Solution, len(ins))
 	errs := make([]error, len(ins))
 	var wg sync.WaitGroup
 	for i, in := range ins {
 		i, in := i, in
+		var solver core.Solver
+		if solvers != nil {
+			solver = solvers[i]
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			confs[i], errs[i] = c.Solve(ctx, in)
+			sols[i], errs[i] = c.solve(ctx, in, solver)
 		}()
 	}
 	wg.Wait()
-	return confs, errors.Join(errs...)
+	return sols, errors.Join(errs...)
 }

@@ -22,10 +22,10 @@ type gateSolver struct {
 
 func (g *gateSolver) Name() string { return "gate" }
 
-func (g *gateSolver) Solve(in *core.Instance) (*core.Configuration, error) {
+func (g *gateSolver) Solve(ctx context.Context, in *core.Instance) (*core.Solution, error) {
 	g.runs.Add(1)
 	<-g.gate
-	return g.inner.Solve(in)
+	return g.inner.Solve(ctx, in)
 }
 
 // waitFor polls cond until it holds or the deadline expires.
@@ -59,7 +59,7 @@ func TestCoalescerCollapsesConcurrentDuplicates(t *testing.T) {
 	c := NewCoalescer(e)
 
 	in := multiComponentInstance(7, 1, 6, 12, 3, 0.5)
-	confs := make([]*core.Configuration, n)
+	sols := make([]*core.Solution, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
@@ -67,7 +67,7 @@ func TestCoalescerCollapsesConcurrentDuplicates(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			confs[i], errs[i] = c.Solve(context.Background(), in)
+			sols[i], errs[i] = c.Solve(context.Background(), in)
 		}()
 	}
 	// One leader is stuck on the gate; everyone else must park on its call.
@@ -86,7 +86,7 @@ func TestCoalescerCollapsesConcurrentDuplicates(t *testing.T) {
 		}
 		for u := range want.Assign {
 			for s := range want.Assign[u] {
-				if confs[i].Assign[u][s] != want.Assign[u][s] {
+				if sols[i].Config.Assign[u][s] != want.Assign[u][s] {
 					t.Fatalf("request %d diverges from SolveAVGD at (%d,%d)", i, u, s)
 				}
 			}
@@ -102,9 +102,9 @@ func TestCoalescerCollapsesConcurrentDuplicates(t *testing.T) {
 		t.Errorf("coalesce stats = %+v, want 1 lead / %d joins", st, n-1)
 	}
 	// Deep-copy fan-out: mutating one caller's result must not reach another.
-	confs[0].Assign[0][0] = -42
+	sols[0].Config.Assign[0][0] = -42
 	for i := 1; i < n; i++ {
-		if confs[i].Assign[0][0] == -42 {
+		if sols[i].Config.Assign[0][0] == -42 {
 			t.Fatalf("request %d shares memory with request 0", i)
 		}
 	}
@@ -211,11 +211,11 @@ func TestCoalescerBatchCollapsesInternalDuplicates(t *testing.T) {
 	a := multiComponentInstance(11, 1, 5, 12, 2, 0.5)
 	b := multiComponentInstance(12, 1, 5, 12, 2, 0.5)
 	done := make(chan struct{})
-	var confs []*core.Configuration
+	var sols []*core.Solution
 	var batchErr error
 	go func() {
 		defer close(done)
-		confs, batchErr = c.SolveBatch(context.Background(), []*core.Instance{a, a, a, b})
+		sols, batchErr = c.SolveBatch(context.Background(), []*core.Instance{a, a, a, b})
 	}()
 	// Two flights (a's leader and b's leader) and two joined duplicates of a.
 	waitFor(t, "duplicates to join", func() bool { return c.Stats().Joins == 2 })
@@ -230,12 +230,12 @@ func TestCoalescerBatchCollapsesInternalDuplicates(t *testing.T) {
 	if got := runs.Load(); got != 2 {
 		t.Errorf("solver ran %d times, want 2", got)
 	}
-	for i, conf := range confs {
+	for i, sol := range sols {
 		in := a
 		if i == 3 {
 			in = b
 		}
-		if err := conf.Validate(in); err != nil {
+		if err := sol.Config.Validate(in); err != nil {
 			t.Errorf("batch result %d: %v", i, err)
 		}
 	}
@@ -326,10 +326,10 @@ func TestCoalescerFollowerRetriesAfterLeaderCancel(t *testing.T) {
 	waitFor(t, "leader to lead", func() bool { return c.Stats().Leads == 2 })
 
 	followerDone := make(chan error, 1)
-	var followerConf *core.Configuration
+	var followerSol *core.Solution
 	go func() {
-		conf, err := c.Solve(context.Background(), in)
-		followerConf = conf
+		sol, err := c.Solve(context.Background(), in)
+		followerSol = sol
 		followerDone <- err
 	}()
 	waitFor(t, "follower to join", func() bool { return c.Stats().Joins == 1 })
@@ -345,7 +345,7 @@ func TestCoalescerFollowerRetriesAfterLeaderCancel(t *testing.T) {
 	if err := <-followerDone; err != nil {
 		t.Fatalf("follower inherited the leader's cancellation: %v", err)
 	}
-	if err := followerConf.Validate(in); err != nil {
+	if err := followerSol.Config.Validate(in); err != nil {
 		t.Fatal(err)
 	}
 	if st := c.Stats(); st.Leads != 3 || st.Joins != 1 {

@@ -21,12 +21,16 @@ type flakySolver struct {
 
 func (f flakySolver) Name() string { return "flaky" }
 
-func (f flakySolver) Solve(in *core.Instance) (*core.Configuration, error) {
+func (f flakySolver) Solve(ctx context.Context, in *core.Instance) (*core.Solution, error) {
 	if in.NumItems == f.failItems {
 		return nil, errFlaky
 	}
-	return (&core.AVGDSolver{}).Solve(in)
+	return (&core.AVGDSolver{}).Solve(ctx, in)
 }
+
+// DecomposeSafe keeps the stress mix exercising the decomposition path, as
+// the pre-registry engine did for its per-worker custom solvers.
+func (f flakySolver) DecomposeSafe() bool { return true }
 
 // assertCounterIdentity checks the Stats contract: every counted Solve call
 // lands in exactly one of the four terminal buckets.
@@ -35,6 +39,23 @@ func assertCounterIdentity(t *testing.T, st Stats) {
 	if got, want := st.Solves, st.CacheHits+st.Solved+st.Canceled+st.Errors; got != want {
 		t.Errorf("counter identity broken: Solves=%d != CacheHits=%d + Solved=%d + Canceled=%d + Errors=%d (=%d)",
 			got, st.CacheHits, st.Solved, st.Canceled, st.Errors, want)
+	}
+	// The identity holds per algorithm too, and the per-algorithm buckets sum
+	// to the global ones.
+	var sum AlgoStats
+	for name, a := range st.PerAlgorithm {
+		if got, want := a.Solves, a.CacheHits+a.Solved+a.Canceled+a.Errors; got != want {
+			t.Errorf("per-algo counter identity broken for %s: %+v", name, a)
+		}
+		sum.Solves += a.Solves
+		sum.CacheHits += a.CacheHits
+		sum.Solved += a.Solved
+		sum.Canceled += a.Canceled
+		sum.Errors += a.Errors
+	}
+	if sum.Solves != st.Solves || sum.CacheHits != st.CacheHits || sum.Solved != st.Solved ||
+		sum.Canceled != st.Canceled || sum.Errors != st.Errors {
+		t.Errorf("per-algorithm buckets (%+v) do not sum to the global counters (%+v)", sum, st)
 	}
 }
 

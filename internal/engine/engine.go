@@ -1,14 +1,18 @@
 // Package engine provides the concurrent batch-solving layer over the SVGIC
 // solvers: a fixed worker pool that splits every incoming instance into the
-// connected components of its social network, solves the components in
-// parallel with per-worker solver instances, merges the per-component
-// configurations back (objective-preserving, see core.ComponentDecompose) and
-// memoizes whole-instance results behind a fingerprint-keyed LRU cache.
+// connected components of its social network (when the solver is
+// decomposition-safe), solves the components in parallel, merges the
+// per-component solutions back (objective-preserving, see
+// core.ComponentDecompose) and memoizes whole-instance solutions behind an
+// LRU cache keyed by instance fingerprint AND solver identity.
 //
 // The engine is the serving-path counterpart of the one-shot library calls:
 // where SolveAVGD answers one group on one goroutine, an Engine answers many
 // groups at once on a bounded number of goroutines, under context
-// cancellation and deadlines, with throughput and latency counters.
+// cancellation and deadlines, with throughput, latency and per-algorithm
+// counters. Every registered solver can be used per request via SolveWith;
+// the cache and the Coalescer incorporate the solver's cache key, so AVG and
+// AVG-D results (or one algorithm under two parameterizations) never alias.
 package engine
 
 import (
@@ -34,22 +38,32 @@ type Options struct {
 	// Workers is the number of solver goroutines in the pool.
 	// Zero means GOMAXPROCS.
 	Workers int
-	// NewSolver returns a fresh solver for one worker. Solvers carry mutable
-	// per-solve state (e.g. RoundingStats on the AVG/AVG-D adapters), so every
-	// worker owns a private instance. Nil means deterministic AVG-D with
-	// default options.
+	// NewSolver returns the engine's default solver, called once per worker.
+	// Solvers must be safe for concurrent use (core.Solver's contract); the
+	// per-worker instantiation additionally isolates any implementation that
+	// cheats. Nil means deterministic AVG-D with default options.
 	NewSolver func() core.Solver
-	// CacheSize bounds the fingerprint-keyed result cache: zero means
-	// DefaultCacheSize, negative disables caching. Cached configurations are
+	// CacheSize bounds the (fingerprint, solver)-keyed result cache: zero
+	// means DefaultCacheSize, negative disables caching. Cached solutions are
 	// returned as deep copies, so callers may mutate results freely.
 	CacheSize int
 	// NoDecompose solves every instance whole instead of per connected
-	// component. Required when the configured solver couples components
-	// beyond the SAVG objective — e.g. an SVGIC-ST subgroup size cap, which
-	// binds across components because subgroups are keyed by (item, slot)
-	// over all users. New forces it automatically for AVG/AVG-D solvers
-	// configured with a size cap; custom capped solvers must set it.
+	// component, regardless of what the solver reports. Decomposition is
+	// only ever applied to solvers that declare themselves safe via
+	// core.ComponentSafe (AVG/AVG-D without a size cap, PER, IP); all other
+	// solvers are solved whole automatically.
 	NoDecompose bool
+}
+
+// AlgoStats is the per-algorithm slice of Stats: every terminated Solve call
+// lands in its solver's bucket alongside the global counters.
+type AlgoStats struct {
+	Solves       uint64        // terminated Solve calls routed to this algorithm
+	CacheHits    uint64        // answered from the result cache
+	Solved       uint64        // ran the solver to completion
+	Canceled     uint64        // aborted by their context
+	Errors       uint64        // failed by a component solver or mid-flight Close
+	TotalLatency time.Duration // summed wall time of the Solved bucket
 }
 
 // Stats is a snapshot of an Engine's counters.
@@ -60,8 +74,9 @@ type Options struct {
 //	Solves == CacheHits + Solved + Canceled + Errors
 //
 // holds at any quiescent point (asserted under -race by the engine stress
-// test). Calls rejected before admission — validation failures and calls on
-// an already-closed engine — touch no counters at all.
+// test), globally and per algorithm. Calls rejected before admission —
+// validation failures and calls on an already-closed engine — touch no
+// counters at all.
 type Stats struct {
 	Solves           uint64        // terminated Solve calls (sum of the four buckets below)
 	Batches          uint64        // completed SolveBatch calls
@@ -73,6 +88,10 @@ type Stats struct {
 	Errors           uint64        // Solve calls failed by a component solver or mid-flight Close
 	TotalLatency     time.Duration // summed wall time of the Solved bucket (cache hits excluded)
 	Workers          int
+	// PerAlgorithm splits the terminal buckets by solver display name
+	// (e.g. "AVG-D"), so a mixed-algorithm serving workload is observable
+	// per algorithm.
+	PerAlgorithm map[string]AlgoStats
 }
 
 // AvgLatency returns the mean wall time of a Solve that actually solved;
@@ -96,11 +115,54 @@ func (s Stats) Throughput() float64 {
 	return float64(s.Solved) / s.TotalLatency.Seconds()
 }
 
-// task is one component subproblem handed to the pool.
+// task is one component subproblem handed to the pool. A nil solver means
+// "use the worker's default solver".
 type task struct {
-	ctx  context.Context
-	in   *core.Instance
-	done func(*core.Configuration, error)
+	ctx    context.Context
+	in     *core.Instance
+	solver core.Solver
+	done   func(*core.Solution, error)
+}
+
+// SolverKey returns the caching identity of a solver: its CacheKey when it
+// implements core.CacheKeyer (registry-built solvers do), its Name
+// otherwise. Cache and coalescing keys pair it with the instance
+// fingerprint.
+func SolverKey(s core.Solver) string {
+	if ck, ok := s.(core.CacheKeyer); ok {
+		return ck.CacheKey()
+	}
+	return s.Name()
+}
+
+// keyedSolver reports whether the solver carries a parameter-precise cache
+// identity. The engine's default solver is always keyed (its parameters are
+// fixed for the engine's lifetime, so even a bare Name cannot alias); a
+// per-request solver without core.CacheKeyer is NOT — two AVG-D instances
+// with different size caps share one Name — so such solvers bypass the
+// result cache and the coalescer rather than risk serving one
+// parameterization's result for another.
+func keyedSolver(s core.Solver) bool {
+	_, ok := s.(core.CacheKeyer)
+	return ok
+}
+
+// solverKeyFor resolves the cache identity for a request-level solver (nil
+// means the engine default).
+func (e *Engine) solverKeyFor(s core.Solver) string {
+	if s == nil {
+		return e.defaultKey
+	}
+	return SolverKey(s)
+}
+
+// decomposeSafe reports whether the solver declares component decomposition
+// result-preserving. Unknown solvers are conservatively solved whole.
+func decomposeSafe(s core.Solver) bool {
+	if ds, ok := s.(core.ComponentSafe); ok {
+		return ds.DecomposeSafe()
+	}
+	return false
 }
 
 // Engine is a concurrent batch solver. Create with New, release with Close.
@@ -109,14 +171,17 @@ type task struct {
 // granularity. A Solve racing Close returns ErrClosed (or a partial
 // "component" error) — it never panics.
 type Engine struct {
-	workers     int
-	noDecompose bool
-	tasks       chan task
-	done        chan struct{} // closed by Close; unblocks submitters and workers
-	wg          sync.WaitGroup
-	cache       *lruCache
-	closeOnce   sync.Once
-	closed      atomic.Bool
+	workers       int
+	forceWhole    bool // Options.NoDecompose: never decompose, for any solver
+	defaultWhole  bool // resolved decomposition decision for the default solver
+	defaultSolver core.Solver
+	defaultKey    string
+	tasks         chan task
+	done          chan struct{} // closed by Close; unblocks submitters and workers
+	wg            sync.WaitGroup
+	cache         *lruCache
+	closeOnce     sync.Once
+	closed        atomic.Bool
 
 	solves      atomic.Uint64
 	batches     atomic.Uint64
@@ -127,6 +192,9 @@ type Engine struct {
 	canceled    atomic.Uint64
 	errored     atomic.Uint64
 	latencyNS   atomic.Int64
+
+	algoMu sync.Mutex
+	algos  map[string]*AlgoStats
 }
 
 // New starts an Engine with its worker pool running.
@@ -139,29 +207,19 @@ func New(opts Options) *Engine {
 	if newSolver == nil {
 		newSolver = func() core.Solver { return &core.AVGDSolver{} }
 	}
-	noDecompose := opts.NoDecompose
 	solvers := make([]core.Solver, workers)
 	for w := range solvers {
 		solvers[w] = newSolver()
 	}
-	// An SVGIC-ST subgroup size cap binds across components (subgroups are
-	// keyed by item and slot over ALL users), so decomposing would merge
-	// per-component subgroups into oversized ones. Force whole-instance
-	// solving for the solver types whose cap the engine can see; solvers the
-	// engine cannot introspect must set NoDecompose themselves.
-	if !noDecompose {
-		switch s := solvers[0].(type) {
-		case *core.AVGDSolver:
-			noDecompose = s.Opts.SizeCap != 0
-		case *core.AVGSolver:
-			noDecompose = s.Opts.SizeCap != 0
-		}
-	}
 	e := &Engine{
-		workers:     workers,
-		noDecompose: noDecompose,
-		tasks:       make(chan task),
-		done:        make(chan struct{}),
+		workers:       workers,
+		forceWhole:    opts.NoDecompose,
+		defaultWhole:  opts.NoDecompose || !decomposeSafe(solvers[0]),
+		defaultSolver: solvers[0],
+		defaultKey:    SolverKey(solvers[0]),
+		tasks:         make(chan task),
+		done:          make(chan struct{}),
+		algos:         make(map[string]*AlgoStats),
 	}
 	switch {
 	case opts.CacheSize == 0:
@@ -176,8 +234,9 @@ func New(opts Options) *Engine {
 	return e
 }
 
-// worker drains the task channel with a private solver until Close.
-func (e *Engine) worker(solver core.Solver) {
+// worker drains the task channel until Close, running each task with its own
+// solver or, when the task carries none, the worker's default instance.
+func (e *Engine) worker(def core.Solver) {
 	defer e.wg.Done()
 	for {
 		select {
@@ -188,8 +247,12 @@ func (e *Engine) worker(solver core.Solver) {
 				t.done(nil, err)
 				continue
 			}
-			conf, err := solver.Solve(t.in)
-			t.done(conf, err)
+			solver := t.solver
+			if solver == nil {
+				solver = def
+			}
+			sol, err := solver.Solve(t.ctx, t.in)
+			t.done(sol, err)
 		}
 	}
 }
@@ -208,7 +271,7 @@ func (e *Engine) Close() {
 
 // Stats returns a point-in-time snapshot of the counters.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Solves:           e.solves.Load(),
 		Batches:          e.batches.Load(),
 		ComponentsSolved: e.components.Load(),
@@ -220,45 +283,124 @@ func (e *Engine) Stats() Stats {
 		TotalLatency:     time.Duration(e.latencyNS.Load()),
 		Workers:          e.workers,
 	}
+	e.algoMu.Lock()
+	if len(e.algos) > 0 {
+		st.PerAlgorithm = make(map[string]AlgoStats, len(e.algos))
+		for name, a := range e.algos {
+			st.PerAlgorithm[name] = *a
+		}
+	}
+	e.algoMu.Unlock()
+	return st
 }
 
-// Solve answers one instance: cache lookup, component decomposition,
-// concurrent component solves on the pool, merge, cache fill. The context
-// bounds the call — cancellation abandons components that have not started
-// (a component already on a worker runs to completion but its result is
-// discarded).
-func (e *Engine) Solve(ctx context.Context, in *core.Instance) (*core.Configuration, error) {
+// terminal buckets for counter accounting.
+type outcome int
+
+const (
+	outcomeCacheHit outcome = iota
+	outcomeSolved
+	outcomeCanceled
+	outcomeErrored
+)
+
+// record lands one terminated Solve call in exactly one global bucket and
+// the matching per-algorithm bucket, keeping the counter identity intact.
+func (e *Engine) record(algo string, o outcome, latency time.Duration) {
+	e.solves.Add(1)
+	switch o {
+	case outcomeCacheHit:
+		e.cacheHits.Add(1)
+	case outcomeSolved:
+		e.solved.Add(1)
+		e.latencyNS.Add(int64(latency))
+	case outcomeCanceled:
+		e.canceled.Add(1)
+	case outcomeErrored:
+		e.errored.Add(1)
+	}
+	e.algoMu.Lock()
+	a := e.algos[algo]
+	if a == nil {
+		a = &AlgoStats{}
+		e.algos[algo] = a
+	}
+	a.Solves++
+	switch o {
+	case outcomeCacheHit:
+		a.CacheHits++
+	case outcomeSolved:
+		a.Solved++
+		a.TotalLatency += latency
+	case outcomeCanceled:
+		a.Canceled++
+	case outcomeErrored:
+		a.Errors++
+	}
+	e.algoMu.Unlock()
+}
+
+// Solve answers one instance with the engine's default solver. See SolveWith.
+func (e *Engine) Solve(ctx context.Context, in *core.Instance) (*core.Solution, error) {
+	return e.solve(ctx, in, nil)
+}
+
+// SolveWith answers one instance with the given solver (any core.Solver —
+// typically a registry-built one): cache lookup under the (fingerprint,
+// solver-key) pair, component decomposition when the solver declares it
+// safe, concurrent component solves on the shared pool, merge, cache fill.
+// A solver that does not implement core.CacheKeyer has no parameter-precise
+// identity and therefore bypasses the result cache (every call solves);
+// registry-built solvers are always keyed. The solver must be safe for
+// concurrent use: decomposed components run it from several workers at
+// once. The context bounds the call — cancellation abandons components that
+// have not started (a component already on a worker runs to completion but
+// its result is discarded).
+func (e *Engine) SolveWith(ctx context.Context, in *core.Instance, solver core.Solver) (*core.Solution, error) {
+	if solver == nil {
+		return nil, errors.New("engine: SolveWith requires a solver (use Solve for the default)")
+	}
+	return e.solve(ctx, in, solver)
+}
+
+func (e *Engine) solve(ctx context.Context, in *core.Instance, solver core.Solver) (*core.Solution, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
 	}
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	algo := e.defaultSolver.Name()
+	whole := e.defaultWhole
+	useCache := e.cache != nil
+	if solver != nil {
+		algo = solver.Name()
+		whole = e.forceWhole || !decomposeSafe(solver)
+		useCache = useCache && keyedSolver(solver)
+	}
 	// Dead-on-arrival requests: don't pay the O(n·m + |E|·m) fingerprint or
 	// touch the cache counters for a call that cannot run.
 	if err := ctx.Err(); err != nil {
-		e.canceled.Add(1)
-		e.solves.Add(1)
+		e.record(algo, outcomeCanceled, 0)
 		return nil, err
 	}
 	start := time.Now()
-	var fp uint64
-	if e.cache != nil {
-		fp = core.Fingerprint(in)
-		if conf, ok := e.cache.get(fp); ok {
-			e.cacheHits.Add(1)
-			e.solves.Add(1) // counted as served, but not in the latency metrics
-			return conf, nil
+	var key cacheKey
+	if useCache {
+		key = cacheKey{fp: core.Fingerprint(in), solver: e.solverKeyFor(solver)}
+		if sol, ok := e.cache.get(key); ok {
+			e.record(algo, outcomeCacheHit, 0)
+			return sol, nil
 		}
 		e.cacheMisses.Add(1)
 	}
 
 	subs := []*core.Instance{in}
 	var origs [][]int
-	if !e.noDecompose {
+	if !whole {
 		subs, origs = core.ComponentDecompose(in)
 	}
-	parts := make([]*core.Configuration, len(subs))
+	parts := make([]*core.Solution, len(subs))
 	errs := make([]error, len(subs))
 	var wg sync.WaitGroup
 	for i, sub := range subs {
@@ -268,8 +410,8 @@ func (e *Engine) Solve(ctx context.Context, in *core.Instance) (*core.Configurat
 		}
 		i := i
 		wg.Add(1)
-		t := task{ctx: ctx, in: sub, done: func(c *core.Configuration, err error) {
-			parts[i], errs[i] = c, err
+		t := task{ctx: ctx, in: sub, solver: solver, done: func(sol *core.Solution, err error) {
+			parts[i], errs[i] = sol, err
 			wg.Done()
 		}}
 		select {
@@ -286,9 +428,7 @@ func (e *Engine) Solve(ctx context.Context, in *core.Instance) (*core.Configurat
 	// Real solver errors win over concurrent cancellation/shutdown: a caller
 	// retrying a context error must not be hiding a deterministic failure.
 	// Every terminal path below lands the call in exactly one Stats bucket
-	// (Errors / Canceled / Solved), keeping the counter identity intact — an
-	// errored solve used to vanish from Solves entirely while its cache miss
-	// had already been counted.
+	// (Errors / Canceled / Solved), keeping the counter identity intact.
 	var ctxErr, closedErr error
 	for i, err := range errs {
 		switch {
@@ -298,62 +438,81 @@ func (e *Engine) Solve(ctx context.Context, in *core.Instance) (*core.Configurat
 		case errors.Is(err, ErrClosed):
 			closedErr = err
 		default:
-			e.errored.Add(1)
-			e.solves.Add(1)
+			e.record(algo, outcomeErrored, 0)
 			return nil, fmt.Errorf("engine: component %d: %w", i, err)
 		}
 	}
 	if ctxErr != nil {
-		e.canceled.Add(1)
-		e.solves.Add(1)
+		e.record(algo, outcomeCanceled, 0)
 		return nil, ctxErr
 	}
 	if closedErr != nil {
-		e.errored.Add(1)
-		e.solves.Add(1)
+		e.record(algo, outcomeErrored, 0)
 		return nil, ErrClosed
 	}
 	e.components.Add(uint64(len(subs)))
 
-	conf := parts[0]
+	sol := parts[0]
 	if len(subs) > 1 {
-		conf = core.MergeConfigurations(in.NumUsers(), in.K, parts, origs)
+		sol = core.MergeSolutions(in, parts, origs)
 	}
-	if e.cache != nil {
-		e.cache.put(fp, conf)
+	sol.Wall = time.Since(start)
+	if useCache {
+		e.cache.put(key, sol)
 	}
-	e.finish(start)
-	return conf, nil
+	e.record(algo, outcomeSolved, sol.Wall)
+	return sol, nil
 }
 
-// finish records a Solve that ran the solver to completion.
-func (e *Engine) finish(start time.Time) {
-	e.solves.Add(1)
-	e.solved.Add(1)
-	e.latencyNS.Add(int64(time.Since(start)))
+// SolveBatch answers a batch of instances concurrently with the default
+// solver, sharing the worker pool at component granularity, and returns one
+// solution per instance in input order. On error the slice still carries
+// every solution that completed (nil for the failures) and the error joins
+// the per-instance failures.
+func (e *Engine) SolveBatch(ctx context.Context, ins []*core.Instance) ([]*core.Solution, error) {
+	return e.SolveBatchWith(ctx, ins, nil)
 }
 
-// SolveBatch answers a batch of instances concurrently, sharing the worker
-// pool at component granularity, and returns one configuration per instance
-// in input order. On error the slice still carries every configuration that
-// completed (nil for the failures) and the error joins the per-instance
-// failures.
-func (e *Engine) SolveBatch(ctx context.Context, ins []*core.Instance) ([]*core.Configuration, error) {
+// SolveBatchWith is SolveBatch with a per-batch solver (nil means the
+// engine default).
+func (e *Engine) SolveBatchWith(ctx context.Context, ins []*core.Instance, solver core.Solver) ([]*core.Solution, error) {
+	var solvers []core.Solver
+	if solver != nil {
+		solvers = make([]core.Solver, len(ins))
+		for i := range solvers {
+			solvers[i] = solver
+		}
+	}
+	return e.SolveBatchEach(ctx, ins, solvers)
+}
+
+// SolveBatchEach is SolveBatch with a per-item solver selection: solvers is
+// either nil (every item uses the engine default) or positional with ins
+// (nil entries use the default). The server's mixed-algorithm batches route
+// through here.
+func (e *Engine) SolveBatchEach(ctx context.Context, ins []*core.Instance, solvers []core.Solver) ([]*core.Solution, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
 	}
-	confs := make([]*core.Configuration, len(ins))
+	if solvers != nil && len(solvers) != len(ins) {
+		return nil, fmt.Errorf("engine: %d solvers for %d instances", len(solvers), len(ins))
+	}
+	sols := make([]*core.Solution, len(ins))
 	errs := make([]error, len(ins))
 	var wg sync.WaitGroup
 	for i, in := range ins {
 		i, in := i, in
+		var solver core.Solver
+		if solvers != nil {
+			solver = solvers[i]
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			confs[i], errs[i] = e.Solve(ctx, in)
+			sols[i], errs[i] = e.solve(ctx, in, solver)
 		}()
 	}
 	wg.Wait()
 	e.batches.Add(1)
-	return confs, errors.Join(errs...)
+	return sols, errors.Join(errs...)
 }

@@ -34,12 +34,19 @@ func TestEngineMatchesWholeInstanceSolve(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := e.Solve(ctx, in)
+		sol, err := e.Solve(ctx, in)
 		if err != nil {
 			t.Fatal(err)
 		}
+		got := sol.Config
 		if err := got.Validate(in); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if sol.Algorithm != "AVG-D" {
+			t.Fatalf("seed %d: solution algorithm = %q", seed, sol.Algorithm)
+		}
+		if sol.Components < 2 {
+			t.Fatalf("seed %d: solution reports %d components for a multi-component instance", seed, sol.Components)
 		}
 		for u := range want.Assign {
 			for s := range want.Assign[u] {
@@ -49,7 +56,7 @@ func TestEngineMatchesWholeInstanceSolve(t *testing.T) {
 			}
 		}
 		ow := core.Evaluate(in, want).Weighted()
-		og := core.Evaluate(in, got).Weighted()
+		og := sol.Report.Weighted()
 		if math.Abs(ow-og) > 1e-12 {
 			t.Errorf("seed %d: objective %.12f != %.12f", seed, og, ow)
 		}
@@ -71,20 +78,22 @@ func TestEngineCacheHitMiss(t *testing.T) {
 	defer e.Close()
 	ctx := context.Background()
 	in := multiComponentInstance(3, 3, 5, 12, 2, 0.5)
-	first, err := e.Solve(ctx, in)
+	firstSol, err := e.Solve(ctx, in)
 	if err != nil {
 		t.Fatal(err)
 	}
+	first := firstSol.Config
 	if st := e.Stats(); st.CacheMisses != 1 || st.CacheHits != 0 {
 		t.Fatalf("after first solve: %+v", st)
 	}
 	// Poisoning guard: mutating a returned configuration must not reach the
 	// cached copy.
 	first.Assign[0][0] = -7
-	second, err := e.Solve(ctx, in)
+	secondSol, err := e.Solve(ctx, in)
 	if err != nil {
 		t.Fatal(err)
 	}
+	second := secondSol.Config
 	if st := e.Stats(); st.CacheHits != 1 || st.CacheMisses != 1 {
 		t.Fatalf("after second solve: %+v", st)
 	}
@@ -127,13 +136,13 @@ func TestEngineContextCancellation(t *testing.T) {
 	// A deadline in the past behaves the same through SolveBatch.
 	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer dcancel()
-	confs, err := e.SolveBatch(dctx, []*core.Instance{in, in})
+	sols, err := e.SolveBatch(dctx, []*core.Instance{in, in})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("SolveBatch past deadline: err = %v", err)
 	}
-	for i, c := range confs {
+	for i, c := range sols {
 		if c != nil {
-			t.Errorf("conf[%d] non-nil after deadline", i)
+			t.Errorf("solution[%d] non-nil after deadline", i)
 		}
 	}
 }
@@ -145,15 +154,15 @@ func TestEngineSolveBatch(t *testing.T) {
 	for i := range ins {
 		ins[i] = multiComponentInstance(uint64(100+i), 3, 5, 15, 3, 0.5)
 	}
-	confs, err := e.SolveBatch(context.Background(), ins)
+	sols, err := e.SolveBatch(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(confs) != len(ins) {
-		t.Fatalf("got %d configurations, want %d", len(confs), len(ins))
+	if len(sols) != len(ins) {
+		t.Fatalf("got %d solutions, want %d", len(sols), len(ins))
 	}
-	for i, conf := range confs {
-		if err := conf.Validate(ins[i]); err != nil {
+	for i, sol := range sols {
+		if err := sol.Config.Validate(ins[i]); err != nil {
 			t.Errorf("instance %d: %v", i, err)
 		}
 		// Order preserved: the batch result must score what a direct solve of
@@ -162,7 +171,7 @@ func TestEngineSolveBatch(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if w, g := core.Evaluate(ins[i], want).Weighted(), core.Evaluate(ins[i], conf).Weighted(); math.Abs(w-g) > 1e-12 {
+		if w, g := core.Evaluate(ins[i], want).Weighted(), sol.Report.Weighted(); math.Abs(w-g) > 1e-12 {
 			t.Errorf("instance %d: objective %.12f, want %.12f", i, g, w)
 		}
 	}
@@ -176,15 +185,15 @@ func TestEngineBatchPartialFailure(t *testing.T) {
 	defer e.Close()
 	good := multiComponentInstance(9, 2, 4, 10, 2, 0.5)
 	bad := core.NewInstance(graph.New(2), 1, 3, 0.5) // k > m: invalid
-	confs, err := e.SolveBatch(context.Background(), []*core.Instance{good, bad})
+	sols, err := e.SolveBatch(context.Background(), []*core.Instance{good, bad})
 	if err == nil {
 		t.Fatal("invalid instance did not fail the batch")
 	}
-	if confs[0] == nil {
+	if sols[0] == nil {
 		t.Error("valid instance result dropped")
 	}
-	if confs[1] != nil {
-		t.Error("invalid instance produced a configuration")
+	if sols[1] != nil {
+		t.Error("invalid instance produced a solution")
 	}
 }
 
@@ -199,12 +208,12 @@ func TestEngineConcurrentSolvesRaceClean(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 4; i++ {
 				in := multiComponentInstance(uint64(1+(w+i)%3), 3, 4, 10, 2, 0.5)
-				conf, err := e.Solve(context.Background(), in)
+				sol, err := e.Solve(context.Background(), in)
 				if err != nil {
 					t.Error(err)
 					return
 				}
-				if err := conf.Validate(in); err != nil {
+				if err := sol.Config.Validate(in); err != nil {
 					t.Error(err)
 					return
 				}
@@ -233,11 +242,11 @@ func TestEngineNoDecompose(t *testing.T) {
 	e := New(Options{Workers: 2, CacheSize: -1, NoDecompose: true})
 	defer e.Close()
 	in := multiComponentInstance(4, 3, 5, 12, 2, 0.5)
-	conf, err := e.Solve(context.Background(), in)
+	sol, err := e.Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := conf.Validate(in); err != nil {
+	if err := sol.Config.Validate(in); err != nil {
 		t.Fatal(err)
 	}
 	if st := e.Stats(); st.ComponentsSolved != 1 {
@@ -257,11 +266,11 @@ func TestEngineCappedSolverNoDecompose(t *testing.T) {
 	})
 	defer e.Close()
 	in := multiComponentInstance(6, 3, 4, 14, 2, 0.5)
-	conf, err := e.Solve(context.Background(), in)
+	sol, err := e.Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := conf.SizeViolations(cap); v != 0 {
+	if v := sol.Config.SizeViolations(cap); v != 0 {
 		t.Errorf("%d size violations at cap %d", v, cap)
 	}
 }
@@ -279,11 +288,11 @@ func TestEngineCappedSolverAutoNoDecompose(t *testing.T) {
 	})
 	defer e.Close()
 	in := multiComponentInstance(6, 3, 4, 14, 2, 0.5)
-	conf, err := e.Solve(context.Background(), in)
+	sol, err := e.Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := conf.SizeViolations(cap); v != 0 {
+	if v := sol.Config.SizeViolations(cap); v != 0 {
 		t.Errorf("%d size violations at cap %d", v, cap)
 	}
 	if st := e.Stats(); st.ComponentsSolved != 1 {
@@ -305,13 +314,13 @@ func TestEngineCloseRacesSolve(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			conf, err := e.Solve(context.Background(), in)
+			sol, err := e.Solve(context.Background(), in)
 			if err != nil && !errors.Is(err, ErrClosed) {
 				t.Errorf("unexpected error: %v", err)
 				return
 			}
 			if err == nil {
-				if verr := conf.Validate(in); verr != nil {
+				if verr := sol.Config.Validate(in); verr != nil {
 					t.Error(verr)
 				}
 			}
@@ -319,4 +328,71 @@ func TestEngineCloseRacesSolve(t *testing.T) {
 	}
 	e.Close() // races the Solves above
 	wg.Wait()
+}
+
+// TestEngineUnkeyedSolverBypassesCache: a per-request solver without
+// core.CacheKeyer has no parameter-precise identity, so SolveWith must not
+// cache under its bare Name — two AVG-D adapters with different size caps
+// share the name "AVG-D", and serving one's cached result for the other
+// could violate the requested cap.
+func TestEngineUnkeyedSolverBypassesCache(t *testing.T) {
+	e := New(Options{Workers: 2, CacheSize: 8})
+	defer e.Close()
+	ctx := context.Background()
+	in := multiComponentInstance(6, 3, 4, 14, 2, 0.5)
+
+	uncapped := &core.AVGDSolver{}
+	capped := &core.AVGDSolver{Opts: core.AVGDOptions{SizeCap: 2}}
+	if _, err := e.SolveWith(ctx, in, uncapped); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.SolveWith(ctx, in, capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got.Config.SizeViolations(2); v != 0 {
+		t.Errorf("capped solve served an aliased uncapped result: %d violations", v)
+	}
+	st := e.Stats()
+	if st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Errorf("unkeyed solvers touched the cache: %+v", st)
+	}
+	// Repeating the same unkeyed solver still solves (no stale entry).
+	if _, err := e.SolveWith(ctx, in, uncapped); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Solved != 3 || st.CacheHits != 0 {
+		t.Errorf("stats after repeat = %+v, want 3 solved / 0 hits", st)
+	}
+}
+
+// TestEngineSolveBatchEachMixesSolvers: positional per-item solvers, nil
+// entries falling back to the default, one Batches tick.
+func TestEngineSolveBatchEachMixesSolvers(t *testing.T) {
+	e := New(Options{Workers: 2, CacheSize: -1})
+	defer e.Close()
+	in := multiComponentInstance(7, 2, 4, 10, 2, 0.5)
+	per := flakySolver{failItems: -1} // never fails; delegates to AVG-D
+	sols, err := e.SolveBatchEach(context.Background(), []*core.Instance{in, in},
+		[]core.Solver{nil, per})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sol := range sols {
+		if err := sol.Config.Validate(in); err != nil {
+			t.Errorf("result %d: %v", i, err)
+		}
+	}
+	st := e.Stats()
+	if st.Batches != 1 {
+		t.Errorf("Batches = %d, want 1", st.Batches)
+	}
+	// Per-item routing is visible in the per-algorithm counters: one solve
+	// under the default's name, one under the override's.
+	if st.PerAlgorithm["AVG-D"].Solves != 1 || st.PerAlgorithm["flaky"].Solves != 1 {
+		t.Errorf("per-algo split = %+v, want one AVG-D and one flaky", st.PerAlgorithm)
+	}
+	if _, err := e.SolveBatchEach(context.Background(), []*core.Instance{in}, make([]core.Solver, 2)); err == nil {
+		t.Error("mismatched solver slice accepted")
+	}
 }

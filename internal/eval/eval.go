@@ -9,15 +9,16 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 	"time"
 
-	"github.com/svgic/svgic/internal/baselines"
 	"github.com/svgic/svgic/internal/core"
 	"github.com/svgic/svgic/internal/datasets"
 	"github.com/svgic/svgic/internal/lp"
+	"github.com/svgic/svgic/internal/registry"
 	"github.com/svgic/svgic/internal/utility"
 )
 
@@ -137,42 +138,54 @@ func defaultLP() lp.RelaxOptions {
 	return lp.RelaxOptions{MaxPasses: 30, PolishIters: 40, Restarts: 1}
 }
 
-// newAVG builds the experiment-default AVG solver.
-func newAVG(seed uint64) *core.AVGSolver {
-	return &core.AVGSolver{Opts: core.AVGOptions{Seed: seed, LP: defaultLP(), Repeats: 3}}
+// defaultLPParams is defaultLP in registry-parameter form, so the experiment
+// lineups resolve their solvers from the same registry the CLIs and the
+// server use.
+func defaultLPParams(p registry.Params) registry.Params {
+	if p == nil {
+		p = registry.Params{}
+	}
+	p["lpPasses"] = 30
+	p["lpPolish"] = 40
+	p["lpRestarts"] = 1
+	return p
 }
 
-// newAVGD builds the experiment-default AVG-D solver. The balancing ratio
-// follows the paper's §6.7 sensitivity finding: r = 1/4 carries the proven
-// worst-case guarantee but behaves like the group approach, while
-// r ∈ [0.7, 1.0] is near-optimal in practice; the experiments use r = 1.
-// Figure 12's runner sweeps the full range.
-func newAVGD() *core.AVGDSolver {
-	return &core.AVGDSolver{Opts: core.AVGDOptions{R: 1.0, LP: defaultLP()}}
+// newAVG builds the experiment-default AVG solver from the registry.
+func newAVG(seed uint64) core.Solver {
+	return registry.MustNew("avg", defaultLPParams(registry.Params{"seed": seed, "repeats": 3}))
+}
+
+// newAVGD builds the experiment-default AVG-D solver from the registry. The
+// balancing ratio follows the paper's §6.7 sensitivity finding: r = 1/4
+// carries the proven worst-case guarantee but behaves like the group
+// approach, while r ∈ [0.7, 1.0] is near-optimal in practice; the
+// experiments use r = 1. Figure 12's runner sweeps the full range.
+func newAVGD() core.Solver {
+	return registry.MustNew("avgd", defaultLPParams(registry.Params{"r": 1.0}))
 }
 
 // lineup returns the standard solver comparison set of the paper's figures
-// (AVG, AVG-D, PER, FMG, SDP, GRF), without the IP baseline.
+// (AVG, AVG-D, PER, FMG, SDP, GRF), without the IP baseline, resolved from
+// the solver registry.
 func lineup(seed uint64) []core.Solver {
 	return []core.Solver{
 		newAVG(seed),
 		newAVGD(),
-		baselines.PER{},
-		baselines.FMG{Fairness: 1},
-		baselines.SDP{Seed: seed},
-		baselines.GRF{},
+		registry.MustNew("per", nil),
+		registry.MustNew("fmg", registry.Params{"fairness": 1.0}),
+		registry.MustNew("sdp", registry.Params{"seed": seed}),
+		registry.MustNew("grf", nil),
 	}
 }
 
 // measure runs a solver and returns its configuration, report and wall time.
 func measure(in *core.Instance, s core.Solver) (*core.Configuration, core.Report, time.Duration, error) {
-	start := time.Now()
-	conf, err := s.Solve(in)
-	elapsed := time.Since(start)
+	sol, err := s.Solve(context.Background(), in)
 	if err != nil {
-		return nil, core.Report{}, elapsed, err
+		return nil, core.Report{}, 0, err
 	}
-	return conf, core.Evaluate(in, conf), elapsed, nil
+	return sol.Config, sol.Report, sol.Wall, nil
 }
 
 // generate builds a dataset instance with the experiment seed layering.

@@ -1,12 +1,13 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
-	"github.com/svgic/svgic/internal/baselines"
 	"github.com/svgic/svgic/internal/core"
 	"github.com/svgic/svgic/internal/graph"
 	"github.com/svgic/svgic/internal/paperex"
+	"github.com/svgic/svgic/internal/registry"
 	"github.com/svgic/svgic/internal/stats"
 	"github.com/svgic/svgic/internal/userstudy"
 )
@@ -27,15 +28,16 @@ func RunningExample(cfg Config) ([]*Table, error) {
 	tab.Addf("AVG-D (Table 6 factors)", core.Evaluate(in, avgdConf).Scaled(), 9.85)
 
 	for _, s := range []core.Solver{
-		baselines.PER{},
-		baselines.FMG{},
-		baselines.SDP{Groups: 2},
-		baselines.GRF{Groups: 2},
+		registry.MustNew("per", nil),
+		registry.MustNew("fmg", registry.Params{"fairness": 0.0}),
+		registry.MustNew("sdp", registry.Params{"groups": 2}),
+		registry.MustNew("grf", registry.Params{"groups": 2}),
 	} {
-		conf, err := s.Solve(in)
+		sol, err := s.Solve(context.Background(), in)
 		if err != nil {
 			return nil, err
 		}
+		conf := sol.Config
 		var paper float64
 		switch s.Name() {
 		case "PER":

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/svgic/svgic/internal/baselines"
 	"github.com/svgic/svgic/internal/core"
 	"github.com/svgic/svgic/internal/datasets"
 	"github.com/svgic/svgic/internal/mip"
+	"github.com/svgic/svgic/internal/registry"
 	"github.com/svgic/svgic/internal/utility"
 )
 
@@ -18,11 +18,16 @@ import (
 
 const ipTimeout = 20 * time.Second
 
+// newIP builds the experiment-default exact IP from the registry.
+func newIP() core.Solver {
+	return registry.MustNew("ip", registry.Params{"timeLimit": ipTimeout})
+}
+
 // smallLineup is the small-data comparison set including the exact IP.
 func smallLineup(seed uint64, withIP bool) []core.Solver {
 	ls := lineup(seed)
 	if withIP {
-		ls = append(ls, &baselines.IP{Strategy: mip.Primal, TimeLimit: ipTimeout, WarmStart: true})
+		ls = append(ls, newIP())
 	}
 	return ls
 }
@@ -143,7 +148,7 @@ func Fig4Lambda(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ip := &baselines.IP{Strategy: mip.Primal, TimeLimit: ipTimeout, WarmStart: true}
+		ip := newIP()
 		_, ipRep, _, err := measure(in, ip)
 		if err != nil {
 			return nil, err

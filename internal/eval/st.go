@@ -1,11 +1,13 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/svgic/svgic/internal/baselines"
 	"github.com/svgic/svgic/internal/core"
 	"github.com/svgic/svgic/internal/datasets"
+	"github.com/svgic/svgic/internal/registry"
 	"github.com/svgic/svgic/internal/utility"
 )
 
@@ -16,18 +18,23 @@ import (
 
 const stDTel = 0.5
 
-// stAVG builds the AVG solver with the capped CSF.
+// stAVG builds the AVG solver with the capped CSF from the registry.
 func stAVG(seed uint64, m int) core.Solver {
-	return &core.AVGSolver{Opts: core.AVGOptions{Seed: seed, LP: defaultLP(), SizeCap: m, Repeats: 3}}
+	return registry.MustNew("avg", defaultLPParams(registry.Params{
+		"seed": seed, "repeats": 3, "sizeCap": m,
+	}))
 }
 
 // stBaselines returns the baseline set, prepartitioned ("-P") or not ("-NP").
+// The inner solvers resolve from the registry; the prepartition wrapper is
+// composed on top (it wraps arbitrary solvers, so it is not itself a
+// registry entry).
 func stBaselines(seed uint64, m int, prepartition bool) []core.Solver {
 	inner := []core.Solver{
-		baselines.PER{},
-		baselines.FMG{Fairness: 1},
-		baselines.SDP{Seed: seed},
-		baselines.GRF{},
+		registry.MustNew("per", nil),
+		registry.MustNew("fmg", registry.Params{"fairness": 1.0}),
+		registry.MustNew("sdp", registry.Params{"seed": seed}),
+		registry.MustNew("grf", nil),
 	}
 	if !prepartition {
 		return inner
@@ -93,11 +100,11 @@ func Fig13STViolations(cfg Config) ([]*Table, error) {
 					if err != nil {
 						return nil, err
 					}
-					conf, err := meth.solver(sample).Solve(in)
+					sol, err := meth.solver(sample).Solve(context.Background(), in)
 					if err != nil {
 						return nil, err
 					}
-					v := conf.SizeViolations(m)
+					v := sol.Config.SizeViolations(m)
 					totalViol += v
 					if v == 0 {
 						feasible++
@@ -142,10 +149,11 @@ func Fig14_15STUtility(cfg Config) ([]*Table, error) {
 			}
 			methods := append([]core.Solver{stAVG(cfg.Seed, m)}, stBaselines(cfg.Seed, m, true)...)
 			for _, s := range methods {
-				conf, err := s.Solve(in)
+				sol, err := s.Solve(context.Background(), in)
 				if err != nil {
 					return nil, err
 				}
+				conf := sol.Config
 				viol := conf.SizeViolations(m)
 				rep := core.EvaluateST(in, conf, stDTel)
 				total := rep.Scaled()

@@ -19,6 +19,7 @@ package mip
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"time"
 
@@ -63,6 +64,7 @@ const (
 	TimeLimit
 	NodeLimit
 	Infeasible
+	Canceled
 )
 
 func (s Status) String() string {
@@ -75,6 +77,8 @@ func (s Status) String() string {
 		return "node-limit"
 	case Infeasible:
 		return "infeasible"
+	case Canceled:
+		return "canceled"
 	}
 	return "unknown"
 }
@@ -129,8 +133,20 @@ func (h *nodeHeap) Pop() interface{} {
 
 // Solve runs branch and bound on the full SVGIC IP for the instance.
 func Solve(in *core.Instance, opts Options) (Result, error) {
+	return SolveCtx(context.Background(), in, opts)
+}
+
+// SolveCtx runs branch and bound under a context: the node loop polls ctx
+// between nodes (on top of the wall-clock TimeLimit), so an engine deadline
+// or a disconnected client stops the search at node granularity. On
+// cancellation the Result carries the incumbent found so far with Status
+// Canceled, and the context's error is returned.
+func SolveCtx(ctx context.Context, in *core.Instance, opts Options) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{Status: Canceled}, err
 	}
 	fm := core.BuildFullModel(in)
 	deadline := time.Time{}
@@ -188,6 +204,11 @@ func Solve(in *core.Instance, opts Options) (Result, error) {
 		}
 		if nd.bound <= res.Objective+intEps {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			res.Status = Canceled
+			res.Bound = maxBound(nd.bound, dfs, best)
+			return res, err
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			res.Status = TimeLimit

@@ -1,6 +1,11 @@
 package server
 
-import "github.com/svgic/svgic/internal/core"
+import (
+	"encoding/json"
+
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/registry"
+)
 
 // Wire types of the svgicd JSON API. Instances travel as core.InstanceJSON
 // (the interchange schema shared with the CLI and datagen); everything here
@@ -13,8 +18,19 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// SolveRequest is the body of POST /v1/solve: the instance itself (the
+// core.InstanceJSON fields, inline) plus an optional algorithm selection.
+// A bare InstanceJSON document remains a valid request and runs the server's
+// default solver; "algo" picks any registered solver by name and "params"
+// overrides its parameters (schemas via GET /v1/algorithms).
+type SolveRequest struct {
+	core.InstanceJSON
+	Algo   string          `json:"algo,omitempty"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
 // SolveResponse answers POST /v1/solve: the SAVG k-Configuration plus its
-// utility report under plain SVGIC semantics.
+// utility report under plain SVGIC semantics and the solver's provenance.
 type SolveResponse struct {
 	Algorithm  string  `json:"algorithm"`
 	Slots      int     `json:"slots"`
@@ -23,7 +39,17 @@ type SolveResponse struct {
 	Social     float64 `json:"social"`
 	Weighted   float64 `json:"weighted"`
 	Scaled     float64 `json:"scaled"`
-	ElapsedMS  float64 `json:"elapsedMs,omitempty"`
+	// Components is the number of independently solved social-network
+	// components merged into the assignment (1 = solved whole).
+	Components int `json:"components,omitempty"`
+	// LPObjective is the fractional relaxation objective (AVG/AVG-D only).
+	LPObjective float64 `json:"lpObjective,omitempty"`
+	// Nodes/Bound/Exact carry the branch-and-bound certificate (IP only).
+	Nodes     int     `json:"nodes,omitempty"`
+	Bound     float64 `json:"bound,omitempty"`
+	Exact     bool    `json:"exact,omitempty"`
+	SolveMS   float64 `json:"solveMs,omitempty"`   // solver wall time (cached: the original solve's)
+	ElapsedMS float64 `json:"elapsedMs,omitempty"` // request wall time
 }
 
 // BatchResponse answers POST /v1/solve/batch; Results is positional with the
@@ -55,6 +81,21 @@ type EvaluateResponse struct {
 	Scaled     float64 `json:"scaled"`
 }
 
+// AlgorithmInfo describes one registered solver for GET /v1/algorithms.
+type AlgorithmInfo struct {
+	Name          string               `json:"name"`    // registry name, what "algo" accepts
+	Display       string               `json:"display"` // reported in SolveResponse.Algorithm
+	Description   string               `json:"description,omitempty"`
+	Deterministic bool                 `json:"deterministic"`
+	Params        []registry.ParamSpec `json:"params,omitempty"`
+}
+
+// AlgorithmsResponse answers GET /v1/algorithms.
+type AlgorithmsResponse struct {
+	Default    string          `json:"default"` // server default algorithm name
+	Algorithms []AlgorithmInfo `json:"algorithms"`
+}
+
 // HealthResponse answers GET /healthz.
 type HealthResponse struct {
 	Status  string `json:"status"`
@@ -73,25 +114,37 @@ type ServerStats struct {
 	Draining     bool   `json:"draining"`
 }
 
+// AlgoStats is the per-algorithm slice of EngineStats; the counter identity
+// Solves == CacheHits + Solved + Canceled + Errors holds per algorithm.
+type AlgoStats struct {
+	Solves       uint64  `json:"solves"`
+	CacheHits    uint64  `json:"cacheHits"`
+	Solved       uint64  `json:"solved"`
+	Canceled     uint64  `json:"canceled"`
+	Errors       uint64  `json:"errors"`
+	AvgLatencyMS float64 `json:"avgLatencyMs"`
+}
+
 // EngineStats is the engine-counter slice of GET /v1/stats. The identity
 // Solves == CacheHits + Solved + Canceled + Errors holds at any quiescent
-// point.
+// point, globally and per algorithm.
 type EngineStats struct {
-	Solves           uint64  `json:"solves"`
-	Batches          uint64  `json:"batches"`
-	ComponentsSolved uint64  `json:"componentsSolved"`
-	CacheHits        uint64  `json:"cacheHits"`
-	CacheMisses      uint64  `json:"cacheMisses"`
-	Solved           uint64  `json:"solved"`
-	Canceled         uint64  `json:"canceled"`
-	Errors           uint64  `json:"errors"`
-	AvgLatencyMS     float64 `json:"avgLatencyMs"`
-	Workers          int     `json:"workers"`
+	Solves           uint64               `json:"solves"`
+	Batches          uint64               `json:"batches"`
+	ComponentsSolved uint64               `json:"componentsSolved"`
+	CacheHits        uint64               `json:"cacheHits"`
+	CacheMisses      uint64               `json:"cacheMisses"`
+	Solved           uint64               `json:"solved"`
+	Canceled         uint64               `json:"canceled"`
+	Errors           uint64               `json:"errors"`
+	AvgLatencyMS     float64              `json:"avgLatencyMs"`
+	Workers          int                  `json:"workers"`
+	PerAlgorithm     map[string]AlgoStats `json:"perAlgorithm,omitempty"`
 }
 
 // CoalesceStats is the request-coalescing slice of GET /v1/stats: Leads
 // counts flights that ran the engine, Joins counts requests answered by
-// parking on an identical in-flight solve.
+// parking on an identical in-flight solve (same instance AND same solver).
 type CoalesceStats struct {
 	Enabled bool   `json:"enabled"`
 	Leads   uint64 `json:"leads"`

@@ -1,24 +1,30 @@
 // Package server implements svgicd's HTTP serving layer over the engine: the
-// JSON API (core.InstanceJSON in, configurations and utility reports out)
-// plus the serving-path machinery a network front door needs —
+// JSON API (core.InstanceJSON in, solutions and utility reports out) plus
+// the serving-path machinery a network front door needs —
 //
 //   - admission control: a bounded in-flight limit that sheds excess load
 //     with 429 + Retry-After instead of queueing unboundedly;
 //   - per-request deadlines: a `timeout` query parameter (capped by the
-//     server maximum) wired into the context the engine already honours,
-//     mapped to 504 on expiry and 499 when the client goes away;
-//   - request coalescing: concurrent identical instances (by
-//     core.Fingerprint) run the solver once and fan the result out as deep
-//     copies — the flash-crowd case the result cache cannot help with,
-//     because nothing is cached until the first solve completes;
+//     server maximum) wired into the context the engine and every solver
+//     honour, mapped to 504 on expiry and 499 when the client goes away;
+//   - per-request algorithm selection: an optional "algo" + "params" pair on
+//     solve requests resolves any registered solver (GET /v1/algorithms
+//     lists them with parameter schemas); cache and coalescing keys pair the
+//     instance fingerprint with the solver identity, so AVG and AVG-D
+//     results never alias;
+//   - request coalescing: concurrent identical (instance, solver) requests
+//     run the solver once and fan the result out as deep copies — the
+//     flash-crowd case the result cache cannot help with, because nothing is
+//     cached until the first solve completes;
 //   - graceful shutdown: Shutdown stops admitting, drains every in-flight
 //     solve, and only then lets the caller close the engine.
 //
 // Endpoints:
 //
-//	POST /v1/solve        one core.InstanceJSON  -> SolveResponse
-//	POST /v1/solve/batch  [core.InstanceJSON...] -> BatchResponse
-//	POST /v1/evaluate     EvaluateRequest        -> EvaluateResponse
+//	POST /v1/solve        SolveRequest             -> SolveResponse
+//	POST /v1/solve/batch  [SolveRequest...]        -> BatchResponse
+//	POST /v1/evaluate     EvaluateRequest          -> EvaluateResponse
+//	GET  /v1/algorithms   registered solvers + parameter schemas
 //	GET  /healthz         liveness + drain state
 //	GET  /v1/stats        StatsResponse (engine + admission + coalescing)
 //
@@ -34,11 +40,13 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"github.com/svgic/svgic/internal/core"
 	"github.com/svgic/svgic/internal/engine"
+	"github.com/svgic/svgic/internal/registry"
 )
 
 // StatusClientClosedRequest is the non-standard 499 status (nginx
@@ -58,10 +66,19 @@ const (
 // Options configures a Server.
 type Options struct {
 	// Engine executes the solves. Required; the server does not own it —
-	// call Engine.Close after Shutdown.
+	// call Engine.Close after Shutdown. Requests without an "algo"/"params"
+	// selection run the engine's default solver.
 	Engine *engine.Engine
-	// AlgoName labels solve responses (e.g. "AVG-D"). Defaults to "AVG-D".
-	AlgoName string
+	// DefaultAlgo is the registry name backing requests that send "params"
+	// without "algo" (and the name advertised by /v1/algorithms as the
+	// default). Empty means "avgd". It should match the engine's default
+	// solver so explicit and implicit requests share cache entries.
+	DefaultAlgo string
+	// DefaultParams parameterizes DefaultAlgo the way the engine's default
+	// solver is configured (svgicd derives both from the same flags), so a
+	// request naming the default algorithm explicitly resolves the SAME
+	// solver as a bare request — request "params" overlay these.
+	DefaultParams registry.Params
 	// MaxInFlight bounds concurrently admitted requests; excess load is shed
 	// with 429. Zero means 4 × engine workers.
 	MaxInFlight int
@@ -105,8 +122,12 @@ func New(opts Options) (*Server, error) {
 	if opts.Engine == nil {
 		return nil, errors.New("server: Options.Engine is required")
 	}
-	if opts.AlgoName == "" {
-		opts.AlgoName = "AVG-D"
+	opts.DefaultAlgo = strings.ToLower(opts.DefaultAlgo)
+	if opts.DefaultAlgo == "" {
+		opts.DefaultAlgo = "avgd"
+	}
+	if _, err := registry.New(opts.DefaultAlgo, opts.DefaultParams); err != nil {
+		return nil, fmt.Errorf("server: default algorithm: %w", err)
 	}
 	if opts.MaxInFlight <= 0 {
 		opts.MaxInFlight = 4 * opts.Engine.Stats().Workers
@@ -138,6 +159,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/solve/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s, nil
@@ -216,13 +238,61 @@ func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
 	return d, nil
 }
 
-// solve routes one instance through the coalescer (or straight to the engine
-// when coalescing is off).
-func (s *Server) solve(ctx context.Context, in *core.Instance) (*core.Configuration, error) {
-	if s.coal != nil {
-		return s.coal.Solve(ctx, in)
+// resolveSolver maps a request's algorithm selection to a solver. A request
+// with neither "algo" nor "params" returns nil: it runs the engine's default
+// solver (whatever svgicd configured), which keeps a bare InstanceJSON body
+// a valid request. "params" without "algo" parameterizes the server's
+// default algorithm. Requests naming the default algorithm start from
+// Options.DefaultParams (the server's flag-derived configuration) with the
+// request's "params" overlaid, so explicit and bare requests resolve the
+// same solver.
+func (s *Server) resolveSolver(algo string, raw json.RawMessage) (core.Solver, error) {
+	if algo == "" && len(raw) == 0 {
+		return nil, nil
 	}
-	return s.eng.Solve(ctx, in)
+	// Normalize before comparing with DefaultAlgo: registry lookup is
+	// case-insensitive, so "AVGD" must select the same default parameters
+	// as "avgd".
+	algo = strings.ToLower(algo)
+	if algo == "" {
+		algo = s.opts.DefaultAlgo
+	}
+	var params registry.Params
+	if algo == s.opts.DefaultAlgo && len(s.opts.DefaultParams) > 0 {
+		params = make(registry.Params, len(s.opts.DefaultParams))
+		for k, v := range s.opts.DefaultParams {
+			params[k] = v
+		}
+	}
+	if len(raw) > 0 {
+		var req registry.Params
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, fmt.Errorf(`"params" must be an object: %v`, err)
+		}
+		if params == nil {
+			params = req
+		} else {
+			for k, v := range req {
+				params[k] = v
+			}
+		}
+	}
+	return registry.New(algo, params)
+}
+
+// solve routes one instance through the coalescer (or straight to the engine
+// when coalescing is off); a nil solver means the engine default.
+func (s *Server) solve(ctx context.Context, in *core.Instance, solver core.Solver) (*core.Solution, error) {
+	switch {
+	case s.coal != nil && solver != nil:
+		return s.coal.SolveWith(ctx, in, solver)
+	case s.coal != nil:
+		return s.coal.Solve(ctx, in)
+	case solver != nil:
+		return s.eng.SolveWith(ctx, in, solver)
+	default:
+		return s.eng.Solve(ctx, in)
+	}
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -240,12 +310,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	var ij core.InstanceJSON
-	if err := core.DecodeStrict(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes), &ij); err != nil {
+	var sr SolveRequest
+	if err := core.DecodeStrict(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes), &sr); err != nil {
 		s.writeDecodeError(w, "decoding instance", err)
 		return
 	}
-	in, err := core.InstanceFromJSON(&ij)
+	in, err := core.InstanceFromJSON(&sr.InstanceJSON)
+	if err != nil {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	solver, err := s.resolveSolver(sr.Algo, sr.Params)
 	if err != nil {
 		s.badRequests.Add(1)
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -254,12 +330,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	start := time.Now()
-	conf, err := s.solve(ctx, in)
+	sol, err := s.solve(ctx, in, solver)
 	if err != nil {
 		s.writeSolveError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.solveResponse(in, conf, time.Since(start)))
+	writeJSON(w, http.StatusOK, solveResponse(sol, time.Since(start)))
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -277,41 +353,51 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	var ijs []core.InstanceJSON
-	if err := core.DecodeStrict(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes), &ijs); err != nil {
+	var srs []SolveRequest
+	if err := core.DecodeStrict(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes), &srs); err != nil {
 		s.writeDecodeError(w, "decoding batch", err)
 		return
 	}
-	if len(ijs) == 0 {
+	if len(srs) == 0 {
 		s.badRequests.Add(1)
 		writeError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
-	if len(ijs) > s.opts.MaxBatch {
+	if len(srs) > s.opts.MaxBatch {
 		s.badRequests.Add(1)
 		writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("batch of %d exceeds limit %d", len(ijs), s.opts.MaxBatch))
+			fmt.Sprintf("batch of %d exceeds limit %d", len(srs), s.opts.MaxBatch))
 		return
 	}
-	ins := make([]*core.Instance, len(ijs))
-	for i := range ijs {
-		in, err := core.InstanceFromJSON(&ijs[i])
+	ins := make([]*core.Instance, len(srs))
+	solvers := make([]core.Solver, len(srs))
+	for i := range srs {
+		in, err := core.InstanceFromJSON(&srs[i].InstanceJSON)
 		if err != nil {
 			s.badRequests.Add(1)
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("instance %d: %v", i, err))
 			return
 		}
 		ins[i] = in
+		solver, err := s.resolveSolver(srs[i].Algo, srs[i].Params)
+		if err != nil {
+			s.badRequests.Add(1)
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("instance %d: %v", i, err))
+			return
+		}
+		solvers[i] = solver
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	start := time.Now()
-	var confs []*core.Configuration
+	// Per-item solvers (instances may select different algorithms); the
+	// coalescer still collapses duplicates inside and across batches.
+	var sols []*core.Solution
 	var solveErr error
 	if s.coal != nil {
-		confs, solveErr = s.coal.SolveBatch(ctx, ins)
+		sols, solveErr = s.coal.SolveBatchEach(ctx, ins, solvers)
 	} else {
-		confs, solveErr = s.eng.SolveBatch(ctx, ins)
+		sols, solveErr = s.eng.SolveBatchEach(ctx, ins, solvers)
 	}
 	elapsed := time.Since(start)
 	// The batch shares one deadline, so a context failure is the whole
@@ -324,9 +410,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, solveErr.Error())
 		return
 	}
-	resp := BatchResponse{Results: make([]SolveResponse, len(confs)), ElapsedMS: ms(elapsed)}
-	for i, conf := range confs {
-		resp.Results[i] = s.solveResponse(ins[i], conf, 0)
+	resp := BatchResponse{Results: make([]SolveResponse, len(sols)), ElapsedMS: ms(elapsed)}
+	for i, sol := range sols {
+		resp.Results[i] = solveResponse(sol, 0)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -366,6 +452,31 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleAlgorithms serves the solver registry: names, display names and
+// parameter schemas, so clients can discover what "algo"/"params" accept
+// without a deploy-time contract.
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	specs := registry.Specs()
+	resp := AlgorithmsResponse{
+		Default:    s.opts.DefaultAlgo,
+		Algorithms: make([]AlgorithmInfo, len(specs)),
+	}
+	for i, spec := range specs {
+		resp.Algorithms[i] = AlgorithmInfo{
+			Name:          spec.Name,
+			Display:       spec.Display,
+			Description:   spec.Description,
+			Deterministic: spec.Deterministic,
+			Params:        spec.Params,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
@@ -386,8 +497,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.StatsSnapshot())
 }
 
-// StatsSnapshot assembles the /v1/stats payload: engine counters, admission
-// counters and coalescing counters.
+// StatsSnapshot assembles the /v1/stats payload: engine counters (global and
+// per algorithm), admission counters and coalescing counters.
 func (s *Server) StatsSnapshot() StatsResponse {
 	est := s.eng.Stats()
 	resp := StatsResponse{
@@ -413,6 +524,23 @@ func (s *Server) StatsSnapshot() StatsResponse {
 			AvgLatencyMS:     ms(est.AvgLatency()),
 			Workers:          est.Workers,
 		},
+	}
+	if len(est.PerAlgorithm) > 0 {
+		resp.Engine.PerAlgorithm = make(map[string]AlgoStats, len(est.PerAlgorithm))
+		for name, a := range est.PerAlgorithm {
+			avg := 0.0
+			if a.Solved > 0 {
+				avg = ms(a.TotalLatency / time.Duration(a.Solved))
+			}
+			resp.Engine.PerAlgorithm[name] = AlgoStats{
+				Solves:       a.Solves,
+				CacheHits:    a.CacheHits,
+				Solved:       a.Solved,
+				Canceled:     a.Canceled,
+				Errors:       a.Errors,
+				AvgLatencyMS: avg,
+			}
+		}
 	}
 	if s.coal != nil {
 		cst := s.coal.Stats()
@@ -452,20 +580,28 @@ func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
 	}
 }
 
-// solveResponse assembles the response for one solved instance, scoring the
-// configuration so clients get the utility report alongside the assignment.
-func (s *Server) solveResponse(in *core.Instance, conf *core.Configuration, elapsed time.Duration) SolveResponse {
-	rep := core.Evaluate(in, conf)
-	return SolveResponse{
-		Algorithm:  s.opts.AlgoName,
-		Slots:      conf.K,
-		Assignment: conf.Assign,
-		Preference: rep.Preference,
-		Social:     rep.Social,
-		Weighted:   rep.Weighted(),
-		Scaled:     rep.Scaled(),
+// solveResponse assembles the response for one solution: the assignment,
+// its utility report and the solver provenance the Solution carries.
+func solveResponse(sol *core.Solution, elapsed time.Duration) SolveResponse {
+	resp := SolveResponse{
+		Algorithm:  sol.Algorithm,
+		Slots:      sol.Config.K,
+		Assignment: sol.Config.Assign,
+		Preference: sol.Report.Preference,
+		Social:     sol.Report.Social,
+		Weighted:   sol.Report.Weighted(),
+		Scaled:     sol.Report.Scaled(),
+		Components: sol.Components,
+		Nodes:      sol.Nodes,
+		Bound:      sol.Bound,
+		Exact:      sol.Exact,
+		SolveMS:    ms(sol.Wall),
 		ElapsedMS:  ms(elapsed),
 	}
+	if sol.Rounding != nil {
+		resp.LPObjective = sol.Rounding.LPObjective
+	}
+	return resp
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -41,10 +41,10 @@ type gateSolver struct {
 
 func (g *gateSolver) Name() string { return "gate" }
 
-func (g *gateSolver) Solve(in *core.Instance) (*core.Configuration, error) {
+func (g *gateSolver) Solve(ctx context.Context, in *core.Instance) (*core.Solution, error) {
 	g.runs.Add(1)
 	<-g.gate
-	return g.inner.Solve(in)
+	return g.inner.Solve(ctx, in)
 }
 
 // newGatedServer builds a 1-worker engine whose solver parks on the returned

@@ -12,13 +12,13 @@
 package userstudy
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"github.com/svgic/svgic/internal/baselines"
 	"github.com/svgic/svgic/internal/core"
 	"github.com/svgic/svgic/internal/graph"
-	"github.com/svgic/svgic/internal/lp"
+	"github.com/svgic/svgic/internal/registry"
 	"github.com/svgic/svgic/internal/stats"
 	"github.com/svgic/svgic/internal/utility"
 )
@@ -93,11 +93,13 @@ func Run(s Study) (*Outcome, error) {
 
 	methods := []func(seed uint64) core.Solver{
 		func(seed uint64) core.Solver {
-			return &core.AVGSolver{Opts: core.AVGOptions{Seed: seed, LP: lp.RelaxOptions{MaxPasses: 30, PolishIters: 30, Restarts: 1}, Repeats: 3}}
+			return registry.MustNew("avg", registry.Params{
+				"seed": seed, "repeats": 3, "lpPasses": 30, "lpPolish": 30, "lpRestarts": 1,
+			})
 		},
-		func(uint64) core.Solver { return baselines.PER{} },
-		func(uint64) core.Solver { return baselines.FMG{Fairness: 1} },
-		func(uint64) core.Solver { return baselines.GRF{} },
+		func(uint64) core.Solver { return registry.MustNew("per", nil) },
+		func(uint64) core.Solver { return registry.MustNew("fmg", registry.Params{"fairness": 1.0}) },
+		func(uint64) core.Solver { return registry.MustNew("grf", nil) },
 	}
 	outcomes := make([]MethodOutcome, len(methods))
 	for i, mk := range methods {
@@ -122,11 +124,12 @@ func Run(s Study) (*Outcome, error) {
 		in := buildGroupInstance(s, members, r)
 		for mi, mk := range methods {
 			solver := mk(s.Seed + uint64(groupCount*10+mi))
-			conf, err := solver.Solve(in)
+			sol, err := solver.Solve(context.Background(), in)
 			if err != nil {
 				return nil, fmt.Errorf("userstudy: %s: %w", solver.Name(), err)
 			}
-			rep := core.Evaluate(in, conf)
+			conf := sol.Config
+			rep := sol.Report
 			outcomes[mi].MeanScaledTotal += rep.Scaled()
 			m := core.ComputeSubgroupMetrics(in, conf)
 			acc := &outcomes[mi].Metrics

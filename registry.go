@@ -1,0 +1,68 @@
+package svgic
+
+import (
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/registry"
+)
+
+// Solution is the rich result of a Solver run: the configuration plus its
+// utility report, the algorithm name, LP/rounding statistics, decomposition
+// info, the IP's branch-and-bound certificate and the wall time.
+type Solution = core.Solution
+
+// Registry types: a SolverSpec names one algorithm with a validated
+// parameter schema; Params carries caller-supplied parameters (native Go
+// values or JSON-decoded ones — numbers as float64, durations as strings).
+type (
+	// SolverSpec registers one solver: name, display name, parameter schema
+	// and constructor.
+	SolverSpec = registry.Spec
+	// SolverParams is a validated, default-filled parameter set handed to a
+	// SolverSpec constructor.
+	SolverParams = registry.Resolved
+	// ParamSpec declares one solver parameter (name, kind, default).
+	ParamSpec = registry.ParamSpec
+	// ParamKind is the declared type of a solver parameter.
+	ParamKind = registry.ParamKind
+	// Params carries caller-supplied solver parameters by name.
+	Params = registry.Params
+)
+
+// Parameter kinds for ParamSpec.
+const (
+	ParamInt      = registry.KindInt
+	ParamUint     = registry.KindUint
+	ParamFloat    = registry.KindFloat
+	ParamBool     = registry.KindBool
+	ParamDuration = registry.KindDuration
+	ParamString   = registry.KindString
+)
+
+// RegisterSolver adds a solver to the package-level registry. Registered
+// solvers are reachable everywhere solvers are named: NewSolver, the svgic
+// and svgicd -algo flags, the server's "algo" request field and
+// GET /v1/algorithms — without touching any of those layers.
+func RegisterSolver(spec SolverSpec) error { return registry.Register(spec) }
+
+// Solvers returns every registered solver spec in name order: the paper's
+// algorithms (avg, avgd), its baselines (per, fmg, sdp, grf), the exact IP
+// (ip), and anything added via RegisterSolver.
+func Solvers() []SolverSpec { return registry.Specs() }
+
+// SolverNames returns every registered solver name, sorted.
+func SolverNames() []string { return registry.Names() }
+
+// LookupSolver returns the spec registered under name.
+func LookupSolver(name string) (SolverSpec, bool) { return registry.Lookup(name) }
+
+// NewSolver builds a registered solver by name with validated parameters
+// (nil for all defaults):
+//
+//	s, err := svgic.NewSolver("avgd", svgic.Params{"r": 1.0})
+//	sol, err := s.Solve(ctx, in)
+//	fmt.Println(sol.Algorithm, sol.Report.Scaled(), sol.Wall)
+//
+// The returned solver carries a canonical cache key of its name and resolved
+// parameters, which the Engine's result cache and the server's request
+// coalescing use to keep differently-parameterized solvers from aliasing.
+func NewSolver(name string, params Params) (Solver, error) { return registry.New(name, params) }

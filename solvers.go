@@ -8,13 +8,18 @@ import (
 	"github.com/svgic/svgic/internal/mip"
 )
 
-// Solver constructors. Every solver satisfies the Solver interface, so
-// comparison code can treat the paper's algorithms and baselines uniformly:
+// Typed solver constructors. Every solver satisfies the Solver interface —
+// Solve(ctx, in) returning a rich *Solution — so comparison code can treat
+// the paper's algorithms and baselines uniformly:
 //
 //	for _, s := range []svgic.Solver{svgic.AVG(opts), svgic.Personalized()} {
-//		conf, err := s.Solve(in)
+//		sol, err := s.Solve(ctx, in)
 //		...
 //	}
+//
+// Prefer NewSolver(name, params) when the algorithm choice is data — a flag,
+// a request field, a config file; these constructors remain for callers that
+// want compile-time-typed options.
 
 // AVG returns the randomized 4-approximation solver.
 func AVG(opts AVGOptions) Solver { return &core.AVGSolver{Opts: opts} }
@@ -50,7 +55,9 @@ func Prepartitioned(inner Solver, m int, seed uint64) Solver {
 }
 
 // ExactIP returns the exact branch-and-bound IP solver (small instances
-// only); timeLimit 0 means no limit and the result is a proven optimum.
+// only); timeLimit 0 means no limit and the result is a proven optimum. The
+// search polls the Solve context between nodes, so cancellation does not
+// wait out the time limit.
 func ExactIP(timeLimit time.Duration) Solver {
-	return &baselines.IP{Strategy: mip.Primal, TimeLimit: timeLimit, WarmStart: true}
+	return baselines.IP{Strategy: mip.Primal, TimeLimit: timeLimit, WarmStart: true}
 }

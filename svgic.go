@@ -23,6 +23,11 @@
 //
 // # Quick start
 //
+// Every algorithm is a Solver — Solve(ctx, in) returning a rich *Solution
+// (configuration + utility report + algorithm name, LP/rounding stats,
+// decomposition info and wall time) — and every algorithm is registered by
+// name, so the choice of algorithm can be data:
+//
 //	g := svgic.NewGraph(2)
 //	g.AddMutualEdge(0, 1)
 //	in := svgic.NewInstance(g, 3 /* items */, 2 /* slots */, 0.5 /* λ */)
@@ -30,9 +35,19 @@
 //	in.SetPref(1, 0, 0.8)
 //	_ = in.SetTau(0, 1, 0, 0.5)
 //	_ = in.SetTau(1, 0, 0, 0.5)
-//	conf, _, err := svgic.SolveAVGD(in, svgic.AVGDOptions{})
+//	s, err := svgic.NewSolver("avgd", nil) // or svgic.Params{"r": 1.0}
 //	if err != nil { ... }
-//	rep := svgic.Evaluate(in, conf)
+//	sol, err := s.Solve(ctx, in)
+//	if err != nil { ... }
+//	fmt.Println(sol.Algorithm, sol.Report.Scaled(), sol.Wall)
+//
+// Solvers honour their context — a canceled ctx stops the LP/rounding
+// pipeline at phase boundaries and the exact IP between branch-and-bound
+// nodes. SolverNames/Solvers/LookupSolver enumerate the registry ("avg",
+// "avgd", "per", "fmg", "sdp", "grf", "ip"); RegisterSolver extends it, and
+// new entries are immediately reachable from the CLIs and the HTTP API.
+// Typed constructors (AVGD, Personalized, ExactIP, ...) remain for callers
+// that want compile-time options.
 //
 // # Serving many groups
 //
@@ -47,12 +62,15 @@
 // Command svgicd (cmd/svgicd, backed by internal/server) puts the engine
 // behind HTTP: POST /v1/solve, /v1/solve/batch and /v1/evaluate speak the
 // InstanceJSON interchange schema with strict decoding (unknown fields are
-// rejected, never dropped), bounded in-flight admission control (429 +
+// rejected, never dropped), an optional per-request "algo" + "params"
+// selection resolving any registered solver (GET /v1/algorithms lists them
+// with parameter schemas), bounded in-flight admission control (429 +
 // Retry-After under overload), per-request deadlines (?timeout=...),
-// fingerprint-keyed request coalescing for flash crowds of identical
-// instances, and graceful drain on shutdown. GET /healthz and /v1/stats
-// expose liveness and the engine/admission/coalescing counters. The same
-// binary is its own load generator (svgicd -loadgen).
+// request coalescing keyed on (instance fingerprint, solver identity) for
+// flash crowds, and graceful drain on shutdown. GET /healthz and /v1/stats
+// expose liveness and the engine/admission/coalescing counters, split per
+// algorithm. The same binary is its own load generator (svgicd -loadgen,
+// optionally mixing algorithms with -algo avgd,per,avg).
 //
 // See examples/ for complete programs and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation, the engine demo, the serving
@@ -79,7 +97,9 @@ type (
 	Report = core.Report
 	// Factors is a fractional LP solution in condensed form.
 	Factors = core.Factors
-	// Solver is the common interface of all configuration algorithms.
+	// Solver is the common interface of all configuration algorithms:
+	// Solve(ctx, in) returning a rich *Solution. Implementations must honour
+	// the context and be safe for concurrent use.
 	Solver = core.Solver
 	// RoundingStats describes what AVG/AVG-D's rounding phase did.
 	RoundingStats = core.RoundingStats
@@ -134,11 +154,19 @@ func NewInstance(g *Graph, numItems, k int, lambda float64) *Instance {
 func NewConfiguration(n, k int) *Configuration { return core.NewConfiguration(n, k) }
 
 // SolveAVG runs the randomized AVG pipeline (LP relaxation + CSF rounding).
+//
+// Deprecated: thin wrapper kept for compatibility; it cannot be canceled and
+// returns no Solution. Use NewSolver("avg", params) (or AVG(opts)) and
+// Solve(ctx, in) instead.
 func SolveAVG(in *Instance, opts AVGOptions) (*Configuration, RoundingStats, error) {
 	return core.SolveAVG(in, opts)
 }
 
 // SolveAVGD runs the deterministic AVG-D pipeline.
+//
+// Deprecated: thin wrapper kept for compatibility; it cannot be canceled and
+// returns no Solution. Use NewSolver("avgd", params) (or AVGD(opts)) and
+// Solve(ctx, in) instead.
 func SolveAVGD(in *Instance, opts AVGDOptions) (*Configuration, RoundingStats, error) {
 	return core.SolveAVGD(in, opts)
 }

@@ -1,6 +1,7 @@
 package svgic_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -60,12 +61,11 @@ func TestPublicAPISolvers(t *testing.T) {
 	}
 	values := map[string]float64{}
 	for _, s := range solvers {
-		conf, err := s.Solve(in)
+		sol, err := s.Solve(context.Background(), in)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
-		rep := svgic.Evaluate(in, conf)
-		values[s.Name()] = rep.Scaled()
+		values[s.Name()] = sol.Report.Scaled()
 	}
 	if math.Abs(values["IP"]-10.35) > 1e-6 {
 		t.Errorf("exact IP = %.4f, want 10.35", values["IP"])
@@ -110,9 +110,23 @@ func TestPublicAPIST(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The deprecated one-shot wrapper must keep delegating to the same path
+	// as the Solver API (compat contract of the v2 redesign).
+	//lint:ignore SA1019 the deprecated wrapper is exercised deliberately
 	conf, st, err := svgic.SolveAVG(in, svgic.AVGOptions{Seed: 2, SizeCap: 3})
 	if err != nil {
 		t.Fatal(err)
+	}
+	wrapped, err := svgic.AVG(svgic.AVGOptions{Seed: 2, SizeCap: 3}).Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range conf.Assign {
+		for k := range conf.Assign[u] {
+			if conf.Assign[u][k] != wrapped.Config.Assign[u][k] {
+				t.Fatalf("deprecated SolveAVG diverges from AVG().Solve at (%d,%d)", u, k)
+			}
+		}
 	}
 	if st.LPObjective <= 0 {
 		t.Error("no LP objective reported")
@@ -128,8 +142,76 @@ func TestPublicAPIST(t *testing.T) {
 	if pp.Name() != "FMG-P" {
 		t.Errorf("prepartitioned name = %q", pp.Name())
 	}
-	if _, err := pp.Solve(in); err != nil {
+	if _, err := pp.Solve(context.Background(), in); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPublicAPIRegistry covers the package-level solver registry: discovery,
+// construction with validated parameters, and extension via RegisterSolver.
+func TestPublicAPIRegistry(t *testing.T) {
+	names := svgic.SolverNames()
+	for _, want := range []string{"avg", "avgd", "per", "fmg", "sdp", "grf", "ip"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("built-in solver %q missing from SolverNames() = %v", want, names)
+		}
+	}
+	if len(svgic.Solvers()) != len(names) {
+		t.Errorf("Solvers() and SolverNames() disagree: %d vs %d", len(svgic.Solvers()), len(names))
+	}
+	if _, ok := svgic.LookupSolver("avgd"); !ok {
+		t.Fatal("LookupSolver(avgd) failed")
+	}
+
+	in := buildExample(t, 0.5)
+	s, err := svgic.NewSolver("avgd", svgic.Params{"r": 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := s.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Algorithm != "AVG-D" || sol.Config == nil || sol.Rounding == nil {
+		t.Errorf("registry AVG-D solution incomplete: %+v", sol)
+	}
+	if _, err := svgic.NewSolver("avgd", svgic.Params{"bogus": 1}); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+	if _, err := svgic.NewSolver("nope", nil); err == nil {
+		t.Error("unknown solver accepted")
+	}
+
+	// A custom registration is immediately constructible by name.
+	if err := svgic.RegisterSolver(svgic.SolverSpec{
+		Name:        "always-per",
+		Display:     "ALWAYS-PER",
+		Description: "test-only alias of the personalized baseline",
+		New: func(p svgic.SolverParams) (svgic.Solver, error) {
+			return svgic.Personalized(), nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	custom, err := svgic.NewSolver("always-per", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := custom.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm != "ALWAYS-PER" {
+		t.Errorf("custom solver algorithm = %q", got.Algorithm)
+	}
+	if err := svgic.RegisterSolver(svgic.SolverSpec{Name: "always-per", New: func(svgic.SolverParams) (svgic.Solver, error) { return svgic.Personalized(), nil }}); err == nil {
+		t.Error("duplicate registration accepted")
 	}
 }
 
@@ -139,10 +221,11 @@ func TestPublicAPIDatasetsAndExtensions(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		conf, _, err := svgic.SolveAVGD(in, svgic.AVGDOptions{R: 1})
+		sol, err := svgic.AVGD(svgic.AVGDOptions{R: 1}).Solve(context.Background(), in)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
+		conf := sol.Config
 		// Extensions through the public surface.
 		w := make([]float64, in.NumItems)
 		gamma := make([]float64, in.K)
@@ -153,7 +236,7 @@ func TestPublicAPIDatasetsAndExtensions(t *testing.T) {
 			gamma[i] = float64(in.K - i)
 		}
 		wi := svgic.WeightedInstance(in, w)
-		if _, _, err := svgic.SolveAVGD(wi, svgic.AVGDOptions{}); err != nil {
+		if _, err := svgic.AVGD(svgic.AVGDOptions{}).Solve(context.Background(), wi); err != nil {
 			t.Fatal(err)
 		}
 		re := svgic.OptimizeSlotOrder(in, conf, gamma)
