@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench fmt fmt-check vet lint check serve-smoke
+.PHONY: build test test-short bench fmt fmt-check vet lint check serve-smoke session-smoke
 
 build:
 	$(GO) build ./...
@@ -49,5 +49,17 @@ lint:
 serve-smoke:
 	$(GO) build -o bin/svgicd ./cmd/svgicd
 	./bin/svgicd -loadgen -requests 300 -dup-frac 0.5 -conc 8 -workers 2 -max-inflight 16
+
+# Live-session smoke: datagen records a join/leave/update event trace, the
+# dynamic loadgen boots an in-process svgicd (drift repair on a hot 50ms
+# loop) and replays the trace into two sessions plus a generated-churn run.
+# The loadgen fails on any non-2xx/non-429 status or a non-monotone session
+# version.
+session-smoke:
+	$(GO) build -o bin/svgicd ./cmd/svgicd
+	$(GO) build -o bin/datagen ./cmd/datagen
+	./bin/datagen -dataset timik -n 12 -m 30 -k 3 -seed 5 -events 40 -o bin/session-trace.json
+	./bin/svgicd -loadgen -dynamic -trace bin/session-trace.json -sessions 2 -workers 2 -repair-interval 50ms
+	./bin/svgicd -loadgen -dynamic -sessions 4 -requests 200 -workers 2 -repair-interval 50ms
 
 check: fmt-check vet lint build test-short

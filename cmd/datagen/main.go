@@ -6,14 +6,24 @@
 //
 //	datagen -dataset yelp -n 50 -m 300 -k 10 -lambda 0.5 -seed 7 > store.json
 //	datagen -dataset timik -n 25 -m 40 -k 5 -o timik25.json
+//
+// With -events N it instead emits a replayable live-session trace: the
+// instance plus N join/leave/updatePreference/rebalance events valid against
+// it, in the schema of svgicd's /v1/sessions/{id}/events endpoint. Replay
+// with `svgicd -loadgen -dynamic -trace trace.json` (what `make
+// session-smoke` does) or offline via the session package:
+//
+//	datagen -dataset timik -n 12 -m 30 -k 3 -events 50 -o trace.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	svgic "github.com/svgic/svgic"
+	"github.com/svgic/svgic/internal/session"
 )
 
 func main() {
@@ -30,6 +40,9 @@ func run() error {
 	k := flag.Int("k", 5, "number of display slots")
 	lambda := flag.Float64("lambda", 0.5, "social weight λ in [0,1]")
 	seed := flag.Uint64("seed", 1, "generation seed")
+	events := flag.Int("events", 0, "emit a live-session trace with this many events (0 = plain instance)")
+	eventSeed := flag.Uint64("event-seed", 0, "event-stream seed (0 = derive from -seed)")
+	sizeCap := flag.Int("size-cap", 0, "trace: SVGIC-ST subgroup size cap M (0 = uncapped)")
 	out := flag.String("o", "-", "output file ('-' = stdout)")
 	flag.Parse()
 
@@ -37,7 +50,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	data, err := svgic.MarshalInstance(in)
+	var data []byte
+	if *events > 0 {
+		es := *eventSeed
+		if es == 0 {
+			es = *seed + 1
+		}
+		data, err = json.MarshalIndent(session.NewTrace(in, *sizeCap, *events, es), "", "  ")
+	} else {
+		data, err = svgic.MarshalInstance(in)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,342 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	svgic "github.com/svgic/svgic"
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/datasets"
+	"github.com/svgic/svgic/internal/server"
+	"github.com/svgic/svgic/internal/session"
+)
+
+// The dynamic load generator (-loadgen -dynamic) drives the live-session
+// endpoints the way a fleet of VR stores would: it creates -sessions
+// concurrent sessions, streams join/leave/updatePreference/rebalance churn
+// at each in batches of -event-batch, then reads every session back and
+// deletes them. Each session's responses must be 2xx (429 admission shedding
+// tolerated) with strictly monotone versions — a version that stalls or
+// regresses means the serialized event path lost an event, and the run
+// fails. With -trace it instead replays a datagen-recorded event trace into
+// every session, which is what `make session-smoke` does in CI. The report
+// shows create/event latency percentiles and the server's sessions and
+// drift-repair counters.
+
+// dynamicSessionPlan is one session's workload: the starting instance and
+// the event stream to feed it.
+type dynamicSessionPlan struct {
+	instance core.InstanceJSON
+	sizeCap  int
+	algo     string
+	events   []session.Event
+}
+
+// dynamicShot is one timed request against the session endpoints.
+type dynamicShot struct {
+	kind    string // "create", "events", "get", "delete"
+	status  int
+	latency time.Duration
+	err     error
+}
+
+func runDynamicLoadgen(cfg config) error {
+	algos := strings.Split(cfg.algo, ",")
+	for _, a := range algos {
+		if _, ok := svgic.LookupSolver(a); !ok {
+			return fmt.Errorf("unknown algorithm %q (want one of: %s)", a, strings.Join(svgic.SolverNames(), ", "))
+		}
+	}
+	if cfg.sessions <= 0 {
+		return fmt.Errorf("-sessions %d must be positive", cfg.sessions)
+	}
+	if cfg.eventBatch <= 0 {
+		return fmt.Errorf("-event-batch %d must be positive", cfg.eventBatch)
+	}
+
+	plans, err := dynamicPlans(cfg, algos)
+	if err != nil {
+		return err
+	}
+
+	base, cleanup, err := targetOrInProcess(cfg)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	// With drift repair enabled, let each session sit for one repair
+	// interval after its event stream before the final read: a fast replay
+	// would otherwise finish under the first tick and the report would show
+	// zero repair cycles.
+	var settle time.Duration
+	if cfg.repairInterval > 0 {
+		settle = cfg.repairInterval + cfg.repairInterval/2
+	}
+
+	client := &http.Client{Timeout: 2 * cfg.maxTimeout}
+	results := make(chan []dynamicShot, len(plans))
+	start := time.Now()
+	for i := range plans {
+		plan := plans[i]
+		go func() {
+			shots, err := driveSession(client, base, cfg.eventBatch, settle, plan)
+			if err != nil {
+				shots = append(shots, dynamicShot{err: err})
+			}
+			results <- shots
+		}()
+	}
+	var shots []dynamicShot
+	for range plans {
+		shots = append(shots, <-results...)
+	}
+	wall := time.Since(start)
+
+	// Report.
+	statuses := make(map[int]int)
+	lats := make(map[string][]time.Duration)
+	bad := 0
+	for _, sh := range shots {
+		if sh.err != nil {
+			fmt.Fprintf(os.Stderr, "dynamic loadgen: %v\n", sh.err)
+			bad++
+			continue
+		}
+		statuses[sh.status]++
+		if sh.status < 300 {
+			lats[sh.kind] = append(lats[sh.kind], sh.latency)
+		} else if sh.status != http.StatusTooManyRequests {
+			bad++
+		}
+	}
+	total := 0
+	for _, n := range statuses {
+		total += n
+	}
+	fmt.Printf("dynamic loadgen: %d sessions, %d requests in %v (%.1f req/s), event-batch=%d algos=%s\n",
+		len(plans), total, wall.Round(time.Millisecond), float64(total)/wall.Seconds(),
+		cfg.eventBatch, strings.Join(algos, ","))
+	fmt.Printf("status:")
+	for _, code := range sortedKeys(statuses) {
+		fmt.Printf(" %d×%d", code, statuses[code])
+	}
+	fmt.Println()
+	for _, kind := range []string{"create", "events", "get", "delete"} {
+		ls := lats[kind]
+		if len(ls) == 0 {
+			continue
+		}
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		fmt.Printf("%-7s latency: n=%d p50=%v p90=%v p99=%v max=%v\n",
+			kind, len(ls), pct(ls, 50), pct(ls, 90), pct(ls, 99), ls[len(ls)-1].Round(10*time.Microsecond))
+	}
+	if err := printServerStats(client, base); err != nil {
+		fmt.Fprintf(os.Stderr, "dynamic loadgen: stats fetch failed: %v\n", err)
+		bad++
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d session requests failed", bad)
+	}
+	return nil
+}
+
+// dynamicPlans builds the per-session workloads: either -trace replayed into
+// every session, or generated churn over small multi-component stores, with
+// sessions cycling the -algo mix.
+func dynamicPlans(cfg config, algos []string) ([]dynamicSessionPlan, error) {
+	plans := make([]dynamicSessionPlan, cfg.sessions)
+	if cfg.trace != "" {
+		data, err := os.ReadFile(cfg.trace)
+		if err != nil {
+			return nil, err
+		}
+		var trace session.TraceJSON
+		if err := json.Unmarshal(data, &trace); err != nil {
+			return nil, fmt.Errorf("decoding trace %s: %w", cfg.trace, err)
+		}
+		if err := trace.Validate(); err != nil {
+			return nil, fmt.Errorf("trace %s: %w", cfg.trace, err)
+		}
+		fmt.Fprintf(os.Stderr, "dynamic loadgen: replaying %s (%d users, %d events) into %d session(s)\n",
+			cfg.trace, trace.Instance.Users, len(trace.Events), cfg.sessions)
+		for i := range plans {
+			plans[i] = dynamicSessionPlan{
+				instance: trace.Instance,
+				sizeCap:  trace.SizeCap,
+				algo:     algos[i%len(algos)],
+				events:   trace.Events,
+			}
+		}
+		return plans, nil
+	}
+	perSession := cfg.requests / cfg.sessions
+	if perSession < 1 {
+		perSession = 1
+	}
+	for i := range plans {
+		in := datasets.MultiGroup(uint64(300+i), 2, 4, 12, 2, 0.5)
+		plans[i] = dynamicSessionPlan{
+			instance: *core.InstanceAsJSON(in),
+			algo:     algos[i%len(algos)],
+			events:   session.GenerateEvents(in.NumUsers(), in.NumItems, perSession, uint64(700+i)),
+		}
+	}
+	return plans, nil
+}
+
+// shed429Retries bounds how often the loadgen re-offers a request shed with
+// 429 before abandoning the session. 429 is the admission controller doing
+// its job and never fails the run (the contract shared with the solve
+// loadgen); retrying instead of dropping keeps event traces intact — a
+// skipped batch would orphan later events that reference its joined users.
+const shed429Retries = 40
+
+// retry429 re-issues shot() while it returns 429, recording every attempt
+// in shots. It reports whether the request eventually got through.
+func retry429(shots *[]dynamicShot, shot func() dynamicShot) (dynamicShot, bool) {
+	for attempt := 0; ; attempt++ {
+		sh := shot()
+		*shots = append(*shots, sh)
+		if sh.status != http.StatusTooManyRequests {
+			return sh, true
+		}
+		if attempt >= shed429Retries {
+			return sh, false
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// driveSession runs one session's full lifecycle: create, stream the event
+// batches (asserting strictly monotone versions), wait out the settle
+// window so drift repair gets a look, read the session back and delete it.
+// Persistent 429 shedding abandons the session gracefully — recorded in the
+// status report, but not an error.
+func driveSession(client *http.Client, base string, batchSize int, settle time.Duration, plan dynamicSessionPlan) ([]dynamicShot, error) {
+	var shots []dynamicShot
+
+	createBody, err := json.Marshal(server.CreateSessionRequest{
+		InstanceJSON: plan.instance,
+		Algo:         plan.algo,
+		SizeCap:      plan.sizeCap,
+	})
+	if err != nil {
+		return shots, err
+	}
+	var created server.CreateSessionResponse
+	sh, ok := retry429(&shots, func() dynamicShot {
+		sh := shootJSON(client, http.MethodPost, base+"/v1/sessions", createBody, &created)
+		sh.kind = "create"
+		return sh
+	})
+	if !ok {
+		return shots, nil // shed throughout: tolerated, session skipped
+	}
+	if sh.err != nil || sh.status != http.StatusCreated {
+		return shots, fmt.Errorf("create session: status %d, err %v", sh.status, sh.err)
+	}
+
+	version := created.Version
+	for at := 0; at < len(plan.events); at += batchSize {
+		end := at + batchSize
+		if end > len(plan.events) {
+			end = len(plan.events)
+		}
+		body, err := json.Marshal(server.SessionEventsRequest{Events: plan.events[at:end]})
+		if err != nil {
+			return shots, err
+		}
+		var resp server.SessionEventsResponse
+		sh, ok := retry429(&shots, func() dynamicShot {
+			sh := shootJSON(client, http.MethodPost, base+"/v1/sessions/"+created.ID+"/events", body, &resp)
+			sh.kind = "events"
+			return sh
+		})
+		if !ok {
+			return shots, nil // shed throughout: tolerated, session abandoned
+		}
+		if sh.err != nil || sh.status != http.StatusOK {
+			return shots, fmt.Errorf("session %s events[%d:%d]: status %d, err %v",
+				created.ID, at, end, sh.status, sh.err)
+		}
+		// The wire contract under test: every applied event advances the
+		// version by one; drift-repair swaps in between only push it further.
+		if want := version + uint64(len(resp.Results)); resp.Version < want {
+			return shots, fmt.Errorf("session %s: version %d after %d events on version %d (want ≥ %d)",
+				created.ID, resp.Version, len(resp.Results), version, want)
+		}
+		version = resp.Version
+	}
+
+	if settle > 0 {
+		time.Sleep(settle)
+	}
+
+	var got server.SessionResponse
+	sh, ok = retry429(&shots, func() dynamicShot {
+		sh := shootJSON(client, http.MethodGet, base+"/v1/sessions/"+created.ID, nil, &got)
+		sh.kind = "get"
+		return sh
+	})
+	if !ok {
+		return shots, nil
+	}
+	if sh.err != nil || sh.status != http.StatusOK {
+		return shots, fmt.Errorf("get session %s: status %d, err %v", created.ID, sh.status, sh.err)
+	}
+	if got.Version < version {
+		return shots, fmt.Errorf("session %s: GET version %d below last event version %d", created.ID, got.Version, version)
+	}
+
+	sh, ok = retry429(&shots, func() dynamicShot {
+		sh := shootJSON(client, http.MethodDelete, base+"/v1/sessions/"+created.ID, nil, nil)
+		sh.kind = "delete"
+		return sh
+	})
+	if !ok {
+		return shots, nil
+	}
+	if sh.err != nil || sh.status != http.StatusNoContent {
+		return shots, fmt.Errorf("delete session %s: status %d, err %v", created.ID, sh.status, sh.err)
+	}
+	return shots, nil
+}
+
+// shootJSON issues one request, decoding a 2xx response body into out (when
+// given) and draining anything else.
+func shootJSON(client *http.Client, method, url string, body []byte, out any) dynamicShot {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return dynamicShot{err: err}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return dynamicShot{err: err}
+	}
+	defer resp.Body.Close()
+	sh := dynamicShot{status: resp.StatusCode, latency: time.Since(t0)}
+	if resp.StatusCode < 300 && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			sh.err = err
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return sh
+}

@@ -59,23 +59,11 @@ func runLoadgen(cfg config) error {
 			return fmt.Errorf("unknown algorithm %q (want one of: %s)", a, strings.Join(svgic.SolverNames(), ", "))
 		}
 	}
-	base := cfg.target
-	if base == "" {
-		eng, app, err := newApp(cfg)
-		if err != nil {
-			return err
-		}
-		defer eng.Close()
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		httpSrv := &http.Server{Handler: app}
-		go func() { _ = httpSrv.Serve(ln) }()
-		defer httpSrv.Close()
-		base = "http://" + ln.Addr().String()
-		fmt.Fprintf(os.Stderr, "loadgen: in-process server on %s\n", base)
+	base, cleanup, err := targetOrInProcess(cfg)
+	if err != nil {
+		return err
 	}
+	defer cleanup()
 
 	// One hot instance plus a pool of distinct ones, marshalled once per
 	// algorithm in the mix (each request names its algorithm explicitly, so
@@ -191,6 +179,35 @@ func runLoadgen(cfg config) error {
 		return fmt.Errorf("%d requests failed with a status other than 200/429", bad)
 	}
 	return nil
+}
+
+// targetOrInProcess resolves the loadgen target: the -target base URL when
+// given, otherwise a full in-process server (engine + session manager +
+// HTTP) built from the same flags serve mode uses. The returned cleanup
+// tears the in-process stack down in dependency order.
+func targetOrInProcess(cfg config) (string, func(), error) {
+	if cfg.target != "" {
+		return cfg.target, func() {}, nil
+	}
+	eng, mgr, app, err := newApp(cfg)
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		mgr.Close()
+		eng.Close()
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: app}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "loadgen: in-process server on %s\n", base)
+	return base, func() {
+		httpSrv.Close()
+		mgr.Close()
+		eng.Close()
+	}, nil
 }
 
 // post sends one JSON document and drains the response.
@@ -316,6 +333,16 @@ func printServerStats(client *http.Client, base string) error {
 	s := st.Server
 	fmt.Printf("admission: admitted=%d shed=%d timeouts=%d clientClosed=%d badRequests=%d maxInFlight=%d\n",
 		s.Admitted, s.Shed, s.Timeouts, s.ClientClosed, s.BadRequests, s.MaxInFlight)
+	if ss := st.Sessions; ss.EventsApplied > 0 || ss.Created > 0 {
+		fmt.Printf("sessions: live=%d created=%d evicted=%d rejected=%d events=%d (join=%d leave=%d update=%d rebalance=%d)\n",
+			ss.Live, ss.Created, ss.Evicted, ss.Rejected, ss.EventsApplied, ss.Joins, ss.Leaves, ss.Updates, ss.Rebalances)
+		swapRate := 0.0
+		if done := ss.RepairSwaps + ss.RepairKeeps + ss.RepairStale; done > 0 {
+			swapRate = 100 * float64(ss.RepairSwaps) / float64(done)
+		}
+		fmt.Printf("drift-repair: runs=%d swaps=%d keeps=%d stale=%d errors=%d (%.1f%% of completed cycles swapped)\n",
+			ss.RepairRuns, ss.RepairSwaps, ss.RepairKeeps, ss.RepairStale, ss.RepairErrors, swapRate)
+	}
 	return nil
 }
 

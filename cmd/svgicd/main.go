@@ -43,6 +43,7 @@ import (
 
 	svgic "github.com/svgic/svgic"
 	"github.com/svgic/svgic/internal/server"
+	"github.com/svgic/svgic/internal/session"
 )
 
 func main() {
@@ -65,12 +66,22 @@ type config struct {
 	maxBatch    int
 	noCoalesce  bool
 
+	maxSessions    int
+	sessionTTL     time.Duration
+	repairInterval time.Duration
+	repairMargin   float64
+
 	loadgen  bool
 	target   string
 	requests int
 	rps      int
 	dupFrac  float64
 	conc     int
+
+	dynamic    bool
+	sessions   int
+	eventBatch int
+	trace      string
 }
 
 func run() error {
@@ -88,36 +99,64 @@ func run() error {
 	flag.IntVar(&cfg.maxBatch, "max-batch", server.DefaultMaxBatch, "max instances per batch request")
 	flag.BoolVar(&cfg.noCoalesce, "no-coalesce", false, "disable request coalescing")
 
+	flag.IntVar(&cfg.maxSessions, "max-sessions", session.DefaultMaxSessions,
+		"live-session admission bound; creates beyond it are shed with 429")
+	flag.DurationVar(&cfg.sessionTTL, "session-ttl", 10*time.Minute,
+		"evict live sessions idle longer than this (0 = never)")
+	flag.DurationVar(&cfg.repairInterval, "repair-interval", 0,
+		"drift repair: periodically re-solve each live session through the engine and swap in the result when it beats the incremental configuration (0 = off)")
+	flag.Float64Var(&cfg.repairMargin, "repair-margin", session.DefaultRepairMargin,
+		"drift repair: relative improvement a re-solve must show to be swapped in (0 = the 0.01 default; negative = swap on any strict improvement)")
+
 	flag.BoolVar(&cfg.loadgen, "loadgen", false, "run the load generator instead of serving")
 	flag.StringVar(&cfg.target, "target", "", "loadgen target base URL (empty = spin up an in-process server)")
-	flag.IntVar(&cfg.requests, "requests", 300, "loadgen: total requests")
+	flag.IntVar(&cfg.requests, "requests", 300, "loadgen: total requests (dynamic mode: total events)")
 	flag.IntVar(&cfg.rps, "rps", 0, "loadgen: request rate (0 = unthrottled)")
 	flag.Float64Var(&cfg.dupFrac, "dup-frac", 0.5, "loadgen: fraction of requests that repeat the hot instance")
 	flag.IntVar(&cfg.conc, "conc", 8, "loadgen: concurrent clients")
+
+	flag.BoolVar(&cfg.dynamic, "dynamic", false, "loadgen: drive live-session churn against /v1/sessions instead of /v1/solve")
+	flag.IntVar(&cfg.sessions, "sessions", 4, "dynamic loadgen: concurrent live sessions")
+	flag.IntVar(&cfg.eventBatch, "event-batch", 4, "dynamic loadgen: events per POST")
+	flag.StringVar(&cfg.trace, "trace", "", "dynamic loadgen: replay a datagen -events trace file into every session (empty = generate churn)")
 	flag.Parse()
 
+	if cfg.loadgen && cfg.dynamic {
+		return runDynamicLoadgen(cfg)
+	}
 	if cfg.loadgen {
 		return runLoadgen(cfg)
 	}
 	return serve(cfg)
 }
 
-// newApp builds the engine + server pair from flags. The caller shuts the
-// server down before closing the engine.
-func newApp(cfg config) (*svgic.Engine, *server.Server, error) {
+// newApp builds the engine + session manager + server triple from flags. The
+// caller shuts the server down, then closes the manager, then the engine.
+func newApp(cfg config) (*svgic.Engine, *session.Manager, *server.Server, error) {
 	algo := cfg.algo
 	if i := strings.IndexByte(algo, ','); i >= 0 {
 		algo = algo[:i] // loadgen mixes; the in-process server defaults to the first
 	}
 	newSolver, params, err := pickSolver(algo, cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	eng := svgic.NewEngine(svgic.EngineOptions{
 		Workers:   cfg.workers,
 		CacheSize: cfg.cache,
 		NewSolver: newSolver,
 	})
+	mgr, err := session.NewManager(session.Options{
+		Engine:         eng,
+		MaxSessions:    cfg.maxSessions,
+		TTL:            cfg.sessionTTL,
+		RepairInterval: cfg.repairInterval,
+		RepairMargin:   cfg.repairMargin,
+	})
+	if err != nil {
+		eng.Close()
+		return nil, nil, nil, err
+	}
 	srv, err := server.New(server.Options{
 		Engine: eng,
 		// Same name AND same flag-derived params as the engine default, so a
@@ -130,12 +169,14 @@ func newApp(cfg config) (*svgic.Engine, *server.Server, error) {
 		MaxTimeout:     cfg.maxTimeout,
 		MaxBatch:       cfg.maxBatch,
 		NoCoalesce:     cfg.noCoalesce,
+		Sessions:       mgr,
 	})
 	if err != nil {
+		mgr.Close()
 		eng.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return eng, srv, nil
+	return eng, mgr, srv, nil
 }
 
 // pickSolver resolves the default solver from the registry, mapping the
@@ -179,11 +220,12 @@ func serve(cfg config) error {
 	if strings.ContainsRune(cfg.algo, ',') {
 		return fmt.Errorf("-algo %q: comma-separated lists are loadgen-only; serve mode takes one default algorithm", cfg.algo)
 	}
-	eng, app, err := newApp(cfg)
+	eng, mgr, app, err := newApp(cfg)
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
+	defer mgr.Close()
 
 	httpSrv := &http.Server{
 		Addr:              cfg.addr,
@@ -195,8 +237,9 @@ func serve(cfg config) error {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "svgicd: serving on %s (workers=%d cache=%d algo=%s max-inflight=%d)\n",
-		cfg.addr, eng.Stats().Workers, cfg.cache, cfg.algo, app.StatsSnapshot().Server.MaxInFlight)
+	fmt.Fprintf(os.Stderr, "svgicd: serving on %s (workers=%d cache=%d algo=%s max-inflight=%d max-sessions=%d repair=%s)\n",
+		cfg.addr, eng.Stats().Workers, cfg.cache, cfg.algo, app.StatsSnapshot().Server.MaxInFlight,
+		cfg.maxSessions, cfg.repairInterval)
 
 	select {
 	case err := <-errCh:

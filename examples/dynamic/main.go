@@ -1,9 +1,11 @@
-// Dynamic VR store (Extension F): shoppers join and leave a live session.
-// Rather than re-solving the whole instance per event, the session admits a
-// newcomer with an exact single-user best response against the standing
-// configuration and lets the affected friends react, then runs bounded
-// best-response rebalancing — the incremental strategy sketched in the
-// paper's Section 5.F.
+// Dynamic VR store (Extension F) as a live session: shoppers join, leave
+// and change their minds while the configuration is repaired incrementally —
+// and a drift-repair cycle re-solves the store in the background, swapping
+// the full solution in when it beats the incremental one.
+//
+// This drives the same session manager svgicd serves over HTTP (POST
+// /v1/sessions + /v1/sessions/{id}/events); here it runs in-process through
+// the public API.
 //
 //	go run ./examples/dynamic
 package main
@@ -27,20 +29,31 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sol, err := svgic.AVGD(svgic.AVGDOptions{}).Solve(context.Background(), in)
+
+	eng := svgic.NewEngine(svgic.EngineOptions{})
+	defer eng.Close()
+	mgr, err := svgic.NewSessionManager(svgic.SessionManagerOptions{
+		Engine:       eng,
+		RepairMargin: -1, // swap on any strict improvement, for the demo
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	conf := sol.Config
-	session, err := svgic.NewDynamicSession(in, conf, 0)
+	defer mgr.Close()
+
+	ctx := context.Background()
+	snap, sol, err := mgr.Create(ctx, in, nil, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("=== Dynamic session: %d shoppers, %d items, %d slots ===\n\n", n, m, k)
-	fmt.Printf("t=0  initial AVG-D configuration        value %.2f\n", session.Value())
+	fmt.Printf("=== Live session %s: %d shoppers, %d items, %d slots ===\n\n", snap.ID, n, m, k)
+	fmt.Printf("t=0  created from %s solve            value %.2f\n", sol.Algorithm, snap.Value)
 
 	// Two newcomers join: each likes a band of items and is friends with a
-	// few shoppers already in the store.
+	// few shoppers already in the store. Then shopper 3 walks out, shopper 5
+	// changes their mind, and the store rebalances — one event batch, applied
+	// in order under the session's serializing lock.
+	var events []svgic.SessionEvent
 	for j := 0; j < 2; j++ {
 		pref := make([]float64, m)
 		for c := range pref {
@@ -50,7 +63,7 @@ func main() {
 				pref[c] = 0.1
 			}
 		}
-		friends := map[int]struct{ Out, In []float64 }{}
+		var ties []svgic.SessionTie
 		for f := j; f < 6; f += 2 {
 			out := make([]float64, m)
 			inn := make([]float64, m)
@@ -58,29 +71,52 @@ func main() {
 				out[c] = 0.3 * pref[c]
 				inn[c] = 0.2 * pref[c]
 			}
-			friends[f] = struct{ Out, In []float64 }{Out: out, In: inn}
+			ties = append(ties, svgic.SessionTie{ID: f, Out: out, In: inn})
 		}
-		id, err := session.Join(pref, friends)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("t=%d  shopper %d joined (%d friends)      value %.2f\n",
-			j+1, id, len(friends), session.Value())
+		events = append(events, svgic.SessionEvent{Type: svgic.SessionEventJoin, Pref: pref, Friends: ties})
 	}
-
-	// A shopper walks out; their friends rebalance.
-	if err := session.Leave(3); err != nil {
+	flipped := make([]float64, m)
+	for c := range flipped {
+		flipped[m-1-c] = 0.5 + 0.5*float64(c%2)
+	}
+	events = append(events,
+		svgic.SessionEvent{Type: svgic.SessionEventLeave, User: 3},
+		svgic.SessionEvent{Type: svgic.SessionEventUpdatePreference, User: 5, Pref: flipped},
+		svgic.SessionEvent{Type: svgic.SessionEventRebalance, MaxPasses: 5},
+	)
+	res, err := mgr.Apply(snap.ID, events)
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("t=3  shopper 3 left                     value %.2f\n", session.Value())
+	for i, r := range res.Results {
+		switch r.Type {
+		case svgic.SessionEventJoin:
+			fmt.Printf("t=%d  shopper %d joined\n", i+1, r.User)
+		case svgic.SessionEventLeave:
+			fmt.Printf("t=%d  shopper %d left\n", i+1, r.User)
+		case svgic.SessionEventUpdatePreference:
+			fmt.Printf("t=%d  shopper %d changed their mind      (+%.3f)\n", i+1, r.User, r.Gain)
+		case svgic.SessionEventRebalance:
+			fmt.Printf("t=%d  best-response rebalancing          (+%.3f)\n", i+1, r.Gain)
+		}
+	}
+	fmt.Printf("\nafter %d events: version %d, value %.2f\n", len(res.Results), res.Version, res.Value)
 
-	// Periodic local search keeps the configuration near-stable.
-	improved := session.Rebalance(5)
-	fmt.Printf("t=4  best-response rebalancing (+%.3f)  value %.2f\n", improved, session.Value())
-
-	fmt.Printf("\nActive shoppers: %v\n", session.ActiveUsers())
-	final := session.Config()
-	met := svgic.ComputeSubgroupMetrics(session.Instance(), final)
-	fmt.Printf("Co-display rate %.1f%%, alone rate %.1f%% after the event stream\n",
-		100*met.CoDisplayPct, 100*met.AlonePct)
+	// One drift-repair cycle: re-solve the session's current instance
+	// through the engine and swap the solution in if it beats the
+	// incrementally repaired configuration.
+	mgr.RepairAll(ctx)
+	final, err := mgr.Snapshot(snap.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdict := "kept the incremental configuration"
+	if final.Metrics.RepairSwaps > 0 {
+		verdict = "swapped in the full re-solve"
+	}
+	fmt.Printf("drift repair: %s                 value %.2f (version %d)\n", verdict, final.Value, final.Version)
+	fmt.Printf("\nActive shoppers: %v\n", final.Active)
+	fmt.Printf("Session metrics: %d events (%d joins, %d leaves, %d updates, %d rebalances), rebalance gain %.3f\n",
+		final.Metrics.EventsApplied, final.Metrics.Joins, final.Metrics.Leaves,
+		final.Metrics.Updates, final.Metrics.Rebalances, final.Metrics.RebalanceGain)
 }

@@ -6,6 +6,20 @@ import (
 	"github.com/svgic/svgic/internal/graph"
 )
 
+// FriendTie carries the per-item social utilities between a joining user and
+// one standing friend: Out is τ(newcomer, friend, ·) — what the newcomer
+// gains from co-viewing with the friend — and In is τ(friend, newcomer, ·).
+// A nil slice means all-zero in that direction; a non-nil slice must have
+// exactly NumItems entries of finite, non-negative values.
+type FriendTie struct {
+	Out []float64
+	In  []float64
+}
+
+// FriendTies maps a standing user's id to the social ties a joining user
+// declares toward them.
+type FriendTies map[int]FriendTie
+
 // DynamicSession supports the dynamic scenario of Extension F: users join
 // and leave a running SAVG configuration without re-solving the whole
 // instance. A joining user is admitted by an exact single-user best response
@@ -13,6 +27,15 @@ import (
 // subgroups" step of the paper, realized as an assignment problem), and a
 // bounded number of best-response passes over the affected neighbourhood
 // restores local optimality after each event.
+//
+// The session owns a private deep copy of the instance: event application
+// mutates utilities in place (Leave zeroes the departed user's rows), so
+// sharing the caller's instance would silently corrupt it — and any engine
+// cache entry fingerprinted from it.
+//
+// A DynamicSession is not safe for concurrent use; callers that serve one
+// session from many goroutines (internal/session's manager) serialize event
+// application themselves.
 type DynamicSession struct {
 	in   *Instance
 	conf *Configuration
@@ -21,7 +44,9 @@ type DynamicSession struct {
 	active []bool
 }
 
-// NewDynamicSession starts a session from a solved configuration.
+// NewDynamicSession starts a session from a solved configuration. Both the
+// instance and the configuration are deep-cloned; subsequent events never
+// touch the caller's copies.
 func NewDynamicSession(in *Instance, conf *Configuration, cap int) (*DynamicSession, error) {
 	if err := conf.Validate(in); err != nil {
 		return nil, err
@@ -30,18 +55,22 @@ func NewDynamicSession(in *Instance, conf *Configuration, cap int) (*DynamicSess
 	for i := range active {
 		active[i] = true
 	}
-	return &DynamicSession{in: in, conf: conf.Clone(), cap: cap, active: active}, nil
+	return &DynamicSession{in: in.Clone(), conf: conf.Clone(), cap: cap, active: active}, nil
 }
 
-// Instance returns the session's current instance.
+// Instance returns the session's current instance (live view, do not modify).
 func (ds *DynamicSession) Instance() *Instance { return ds.in }
 
 // Config returns the current configuration (live view, do not modify).
 func (ds *DynamicSession) Config() *Configuration { return ds.conf }
 
-// ActiveUsers returns the ids of users currently in the store.
+// SizeCap returns the session's SVGIC-ST subgroup size bound (0 = none).
+func (ds *DynamicSession) SizeCap() int { return ds.cap }
+
+// ActiveUsers returns the ids of users currently in the store. Never nil,
+// so an empty store serializes as [] on the session wire, not null.
 func (ds *DynamicSession) ActiveUsers() []int {
-	var out []int
+	out := make([]int, 0, len(ds.active))
 	for u, a := range ds.active {
 		if a {
 			out = append(out, u)
@@ -50,12 +79,75 @@ func (ds *DynamicSession) ActiveUsers() []int {
 	return out
 }
 
-// Join adds a user with the given preferences and friendships
-// (friend id -> (τ outgoing per item, τ incoming per item)) and admits them
-// with an exact best response. It returns the new user's id.
-func (ds *DynamicSession) Join(pref []float64, friends map[int]struct{ Out, In []float64 }) (int, error) {
-	if len(pref) != ds.in.NumItems {
-		return 0, fmt.Errorf("core: joining user has %d preferences, want %d", len(pref), ds.in.NumItems)
+// NumActive returns the number of users currently in the store.
+func (ds *DynamicSession) NumActive() int {
+	n := 0
+	for _, a := range ds.active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// validatePrefVector checks a caller-supplied utility vector at the event
+// trust boundary: exact length, finite, non-negative. Events reach sessions
+// from untrusted JSON via the serving path, so the checks mirror
+// Instance.Validate.
+func (ds *DynamicSession) validatePrefVector(what string, vec []float64) error {
+	if len(vec) != ds.in.NumItems {
+		return fmt.Errorf("core: %s has %d items, want %d", what, len(vec), ds.in.NumItems)
+	}
+	for c, x := range vec {
+		if !isFinite(x) {
+			return fmt.Errorf("core: %s[%d]=%v is not finite", what, c, x)
+		}
+		if x < 0 {
+			return fmt.Errorf("core: %s[%d]=%g is negative", what, c, x)
+		}
+	}
+	return nil
+}
+
+// validateFriendTies checks every declared tie before Join mutates anything:
+// friend ids must name ACTIVE users — a tie to a departed shopper would
+// re-add social utility on edges Leave just zeroed, and the ghost's frozen
+// assignment row would then earn phantom co-display value in Evaluate — and
+// tie vectors must be nil or exactly NumItems long (a short slice used to
+// panic mid-rebuild, after the new graph was already constructed).
+func (ds *DynamicSession) validateFriendTies(friends FriendTies) error {
+	n := ds.in.NumUsers()
+	for f, tie := range friends {
+		if f < 0 || f >= n {
+			return fmt.Errorf("core: friend id %d out of range [0,%d)", f, n)
+		}
+		if !ds.active[f] {
+			return fmt.Errorf("core: friend %d is not active", f)
+		}
+		if tie.Out != nil {
+			if err := ds.validatePrefVector(fmt.Sprintf("τ out to friend %d", f), tie.Out); err != nil {
+				return err
+			}
+		}
+		if tie.In != nil {
+			if err := ds.validatePrefVector(fmt.Sprintf("τ in from friend %d", f), tie.In); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Join adds a user with the given preferences and friend ties and admits
+// them with an exact best response, returning the new user's id. All inputs
+// are validated (and copied) before any session state changes, so a failed
+// Join leaves the session exactly as it was.
+func (ds *DynamicSession) Join(pref []float64, friends FriendTies) (int, error) {
+	if err := ds.validatePrefVector("joining user's preferences", pref); err != nil {
+		return 0, err
+	}
+	if err := ds.validateFriendTies(friends); err != nil {
+		return 0, err
 	}
 	old := ds.in
 	oldN := old.NumUsers()
@@ -67,9 +159,6 @@ func (ds *DynamicSession) Join(pref []float64, friends map[int]struct{ Out, In [
 	}
 	nu := oldN
 	for f := range friends {
-		if f < 0 || f >= oldN {
-			return 0, fmt.Errorf("core: friend id %d out of range", f)
-		}
 		g.AddMutualEdge(nu, f)
 	}
 	in := NewInstance(g, old.NumItems, old.K, old.Lambda)
@@ -84,13 +173,13 @@ func (ds *DynamicSession) Join(pref []float64, friends map[int]struct{ Out, In [
 		}
 	}
 	copy(in.Pref[nu], pref)
-	for f, tv := range friends {
+	for f, tie := range friends {
 		for c := 0; c < in.NumItems; c++ {
-			if tv.Out != nil && tv.Out[c] != 0 {
-				must(in.SetTau(nu, f, c, tv.Out[c]))
+			if tie.Out != nil && tie.Out[c] != 0 {
+				must(in.SetTau(nu, f, c, tie.Out[c]))
 			}
-			if tv.In != nil && tv.In[c] != 0 {
-				must(in.SetTau(f, nu, c, tv.In[c]))
+			if tie.In != nil && tie.In[c] != 0 {
+				must(in.SetTau(f, nu, c, tie.In[c]))
 			}
 		}
 	}
@@ -145,6 +234,28 @@ func (ds *DynamicSession) Leave(u int) error {
 	return nil
 }
 
+// UpdatePreference replaces an active user's preference vector and reacts
+// with the exact best response for that user plus one pass over their direct
+// friends — the in-store counterpart of Join's admission step, for shoppers
+// whose interests shift mid-session. The vector is copied; it returns the
+// total best-response improvement in the weighted objective.
+func (ds *DynamicSession) UpdatePreference(u int, pref []float64) (float64, error) {
+	if u < 0 || u >= len(ds.active) || !ds.active[u] {
+		return 0, fmt.Errorf("core: user %d is not active", u)
+	}
+	if err := ds.validatePrefVector(fmt.Sprintf("user %d's preferences", u), pref); err != nil {
+		return 0, err
+	}
+	copy(ds.in.Pref[u], pref)
+	gain := BestResponse(ds.in, ds.conf, u, ds.cap)
+	for _, v := range ds.in.G.Neighbors(u) {
+		if ds.active[v] {
+			gain += BestResponse(ds.in, ds.conf, v, ds.cap)
+		}
+	}
+	return gain, nil
+}
+
 // Rebalance runs best-response passes over all active users until no user
 // improves or maxPasses is reached, returning the total improvement. This is
 // the local-search step of Extension F.
@@ -163,6 +274,19 @@ func (ds *DynamicSession) Rebalance(maxPasses int) float64 {
 		}
 	}
 	return total
+}
+
+// Adopt atomically replaces the session's configuration with a full
+// re-solve's result — the drift-repair swap: a background solver beat the
+// incrementally maintained configuration, so the session jumps to the better
+// one without replaying events. The configuration is validated against the
+// session's current instance and deep-cloned.
+func (ds *DynamicSession) Adopt(conf *Configuration) error {
+	if err := conf.Validate(ds.in); err != nil {
+		return fmt.Errorf("core: adopting configuration: %w", err)
+	}
+	ds.conf = conf.Clone()
+	return nil
 }
 
 // Value returns the current weighted SVGIC objective over active users.

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// solvedSession builds a random instance, solves it with AVG-D (optionally
+// capped) and opens a dynamic session on the result.
+func solvedSession(t *testing.T, seed uint64, n, m, k, cap int) (*Instance, *DynamicSession) {
+	t.Helper()
+	in := randomInstance(seed, n, m, k, 0.5)
+	conf, _, err := SolveAVGD(in, AVGDOptions{R: 1, SizeCap: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDynamicSession(in, conf, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, ds
+}
+
+// TestDynamicSessionClonesInstance: the session must deep-clone the caller's
+// instance — Leave zeroes preference and τ rows in place, which used to
+// corrupt the caller's copy (and any engine cache entry sharing it).
+func TestDynamicSessionClonesInstance(t *testing.T) {
+	in, ds := solvedSession(t, 51, 8, 12, 3, 0)
+	wantPref := make([][]float64, in.NumUsers())
+	for u := range wantPref {
+		wantPref[u] = append([]float64(nil), in.Pref[u]...)
+	}
+	var wantTau []float64
+	for _, e := range in.G.Edges() {
+		for c := 0; c < in.NumItems; c++ {
+			wantTau = append(wantTau, in.Tau(e[0], e[1], c))
+		}
+	}
+	fpBefore := Fingerprint(in)
+
+	// Leave every user's neighbour-rich core; each Leave zeroes rows on the
+	// session's instance.
+	if err := ds.Leave(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Leave(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.UpdatePreference(2, make([]float64, in.NumItems)); err != nil {
+		t.Fatal(err)
+	}
+
+	for u := range wantPref {
+		for c, want := range wantPref[u] {
+			if in.Pref[u][c] != want {
+				t.Fatalf("caller instance mutated: p(%d,%d) = %g, want %g", u, c, in.Pref[u][c], want)
+			}
+		}
+	}
+	i := 0
+	for _, e := range in.G.Edges() {
+		for c := 0; c < in.NumItems; c++ {
+			if got := in.Tau(e[0], e[1], c); got != wantTau[i] {
+				t.Fatalf("caller instance mutated: τ(%d,%d,%d) = %g, want %g", e[0], e[1], c, got, wantTau[i])
+			}
+			i++
+		}
+	}
+	if Fingerprint(in) != fpBefore {
+		t.Fatal("caller instance fingerprint changed across session events")
+	}
+}
+
+// TestInstanceCloneIsDeep: mutations of a clone never reach the original,
+// including τ vectors and graph structure.
+func TestInstanceCloneIsDeep(t *testing.T) {
+	in := randomInstance(7, 6, 8, 2, 0.5)
+	cl := in.Clone()
+	if Fingerprint(cl) != Fingerprint(in) {
+		t.Fatal("clone fingerprint differs from original")
+	}
+	cl.Pref[0][0] += 1
+	if in.Pref[0][0] == cl.Pref[0][0] {
+		t.Fatal("clone shares preference storage")
+	}
+	es := in.G.Edges()
+	if len(es) == 0 {
+		t.Fatal("test instance has no edges")
+	}
+	u, v := es[0][0], es[0][1]
+	if err := cl.SetTau(u, v, 0, in.Tau(u, v, 0)+1); err != nil {
+		t.Fatal(err)
+	}
+	if in.Tau(u, v, 0) == cl.Tau(u, v, 0) {
+		t.Fatal("clone shares τ storage")
+	}
+	cl.G.AddMutualEdge(0, 5)
+	if in.G.NumEdges() == cl.G.NumEdges() {
+		t.Fatal("clone shares the graph")
+	}
+}
+
+// TestJoinValidatesTieLengths: short or non-finite tie vectors are rejected
+// with an error before any state changes (a short Out slice used to panic
+// mid-rebuild).
+func TestJoinValidatesTieLengths(t *testing.T) {
+	_, ds := solvedSession(t, 52, 6, 8, 2, 0)
+	pref := make([]float64, 8)
+	activeBefore := len(ds.ActiveUsers())
+	usersBefore := ds.Instance().NumUsers()
+	valueBefore := ds.Value()
+
+	bad := []FriendTies{
+		{0: {Out: []float64{1}}},                              // short Out
+		{0: {In: make([]float64, 3)}},                         // short In
+		{1: {Out: make([]float64, 9)}},                        // long Out
+		{1: {Out: []float64{0, 0, 0, 0, 0, 0, 0, -1}}},        // negative τ
+		{2: {In: []float64{math.NaN(), 0, 0, 0, 0, 0, 0, 0}}}, // NaN τ
+		{-1: {}}, // negative friend id
+		{99: {}}, // out-of-range friend id
+	}
+	for i, ties := range bad {
+		if _, err := ds.Join(pref, ties); err == nil {
+			t.Errorf("bad ties %d accepted", i)
+		}
+	}
+	if _, err := ds.Join([]float64{1, math.Inf(1), 0, 0, 0, 0, 0, 0}, nil); err == nil {
+		t.Error("non-finite preference accepted")
+	}
+	if _, err := ds.Join([]float64{-0.5, 0, 0, 0, 0, 0, 0, 0}, nil); err == nil {
+		t.Error("negative preference accepted")
+	}
+
+	if got := len(ds.ActiveUsers()); got != activeBefore {
+		t.Fatalf("failed joins changed active set: %d -> %d", activeBefore, got)
+	}
+	if got := ds.Instance().NumUsers(); got != usersBefore {
+		t.Fatalf("failed joins grew the instance: %d -> %d", usersBefore, got)
+	}
+	if got := ds.Value(); got != valueBefore {
+		t.Fatalf("failed joins changed the value: %g -> %g", valueBefore, got)
+	}
+	if err := ds.Config().Validate(ds.Instance()); err != nil {
+		t.Fatalf("configuration invalid after rejected joins: %v", err)
+	}
+}
+
+// TestDoubleLeave: leaving twice is an error and leaves the session intact.
+func TestDoubleLeave(t *testing.T) {
+	_, ds := solvedSession(t, 53, 6, 8, 2, 0)
+	if err := ds.Leave(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Leave(2); err == nil {
+		t.Fatal("double leave accepted")
+	}
+	if got := len(ds.ActiveUsers()); got != 5 {
+		t.Fatalf("active users = %d, want 5", got)
+	}
+}
+
+// TestJoinAfterLeave: a departed shopper's slot history does not block later
+// joins; ids keep growing and the configuration stays valid.
+func TestJoinAfterLeave(t *testing.T) {
+	_, ds := solvedSession(t, 54, 6, 8, 2, 0)
+	if err := ds.Leave(1); err != nil {
+		t.Fatal(err)
+	}
+	pref := make([]float64, 8)
+	for c := range pref {
+		pref[c] = float64(c) / 8
+	}
+	out := make([]float64, 8)
+	for c := range out {
+		out[c] = 0.2
+	}
+	id, err := ds.Join(pref, FriendTies{0: {Out: out, In: out}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 6 {
+		t.Fatalf("joined id = %d, want 6", id)
+	}
+	if got := len(ds.ActiveUsers()); got != 6 {
+		t.Fatalf("active users = %d, want 6", got)
+	}
+	if err := ds.Config().Validate(ds.Instance()); err != nil {
+		t.Fatalf("configuration after join-after-leave: %v", err)
+	}
+	// Joining as a friend of a departed user is rejected: the tie would
+	// re-add τ utility on edges Leave zeroed, and the ghost's frozen
+	// assignment would earn phantom co-display value.
+	if _, err := ds.Join(pref, FriendTies{1: {Out: out}}); err == nil {
+		t.Fatal("join tied to departed user accepted")
+	}
+}
+
+// TestDynamicSessionSTCap: with an SVGIC-ST cap, joins, leaves, preference
+// updates and rebalances never grow a subgroup past M.
+func TestDynamicSessionSTCap(t *testing.T) {
+	const cap = 2
+	_, ds := solvedSession(t, 55, 8, 12, 3, cap)
+	if got := ds.Config().MaxSubgroupSize(); got > cap {
+		t.Fatalf("initial capped solve has subgroup of %d > %d", got, cap)
+	}
+	if ds.SizeCap() != cap {
+		t.Fatalf("SizeCap = %d, want %d", ds.SizeCap(), cap)
+	}
+	pref := make([]float64, 12)
+	for c := range pref {
+		pref[c] = 1 - float64(c)/12
+	}
+	out := make([]float64, 12)
+	for c := range out {
+		out[c] = 0.4
+	}
+	for j := 0; j < 3; j++ {
+		if _, err := ds.Join(pref, FriendTies{j: {Out: out, In: out}}); err != nil {
+			t.Fatal(err)
+		}
+		if got := ds.Config().MaxSubgroupSize(); got > cap {
+			t.Fatalf("after join %d: subgroup of %d > cap %d", j, got, cap)
+		}
+	}
+	if err := ds.Leave(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.UpdatePreference(1, pref); err != nil {
+		t.Fatal(err)
+	}
+	ds.Rebalance(3)
+	if got := ds.Config().MaxSubgroupSize(); got > cap {
+		t.Fatalf("after event stream: subgroup of %d > cap %d", got, cap)
+	}
+	if err := ds.Config().Validate(ds.Instance()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpdatePreference: the event validates its inputs, copies the vector,
+// and never decreases the global objective.
+func TestUpdatePreference(t *testing.T) {
+	_, ds := solvedSession(t, 56, 8, 12, 3, 0)
+	if _, err := ds.UpdatePreference(99, make([]float64, 12)); err == nil {
+		t.Error("inactive user accepted")
+	}
+	if _, err := ds.UpdatePreference(0, make([]float64, 5)); err == nil {
+		t.Error("short vector accepted")
+	}
+	if _, err := ds.UpdatePreference(0, []float64{math.NaN(), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("NaN vector accepted")
+	}
+	if err := ds.Leave(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.UpdatePreference(3, make([]float64, 12)); err == nil {
+		t.Error("departed user accepted")
+	}
+
+	pref := make([]float64, 12)
+	for c := range pref {
+		pref[c] = float64((c*5)%12) / 12
+	}
+	before := ds.Value()
+	gain, err := ds.UpdatePreference(2, pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain < 0 {
+		t.Fatalf("negative best-response gain %g", gain)
+	}
+	// The caller's slice must be copied, not aliased.
+	pref[0] = 1e9
+	if ds.Instance().Pref[2][0] == 1e9 {
+		t.Fatal("UpdatePreference aliases the caller's slice")
+	}
+	// Value changed consistently with the new preferences (cannot compare
+	// with `before` directly — the vector swap itself moves the objective).
+	if math.IsNaN(ds.Value()) || math.IsInf(ds.Value(), 0) {
+		t.Fatalf("value corrupted: %g (was %g)", ds.Value(), before)
+	}
+	if err := ds.Config().Validate(ds.Instance()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdopt: a full re-solve's configuration swaps in atomically; an
+// incompatible one is rejected.
+func TestAdopt(t *testing.T) {
+	_, ds := solvedSession(t, 57, 6, 8, 2, 0)
+	resolved, _, err := SolveAVGD(ds.Instance(), AVGDOptions{R: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Adopt(resolved); err != nil {
+		t.Fatal(err)
+	}
+	// Adopt clones: mutating the adopted configuration afterwards must not
+	// reach the session.
+	resolved.Assign[0][0] = Unassigned
+	if err := ds.Config().Validate(ds.Instance()); err != nil {
+		t.Fatalf("session configuration aliased the adopted one: %v", err)
+	}
+	if err := ds.Adopt(NewConfiguration(6, 2)); err == nil {
+		t.Fatal("incomplete configuration adopted")
+	}
+}

@@ -37,9 +37,10 @@ type InstanceJSON struct {
 	Preferences [][]float64 `json:"preferences"`
 }
 
-// MarshalInstance encodes an instance as indented JSON.
-func MarshalInstance(in *Instance) ([]byte, error) {
-	ij := InstanceJSON{
+// InstanceAsJSON converts an instance to its interchange struct. The
+// preference matrix is referenced, not copied; marshal before mutating.
+func InstanceAsJSON(in *Instance) *InstanceJSON {
+	ij := &InstanceJSON{
 		Users:       in.NumUsers(),
 		Items:       in.NumItems,
 		Slots:       in.K,
@@ -62,7 +63,12 @@ func MarshalInstance(in *Instance) ([]byte, error) {
 			ij.Edges = append(ij.Edges, EdgeJSON{From: u, To: v})
 		}
 	}
-	return json.MarshalIndent(ij, "", "  ")
+	return ij
+}
+
+// MarshalInstance encodes an instance as indented JSON.
+func MarshalInstance(in *Instance) ([]byte, error) {
+	return json.MarshalIndent(InstanceAsJSON(in), "", "  ")
 }
 
 // UnmarshalInstance decodes an instance from its JSON interchange form,

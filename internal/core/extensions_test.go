@@ -261,7 +261,7 @@ func TestDynamicSessionLifecycle(t *testing.T) {
 	for c := range tauOut {
 		tauOut[c] = 0.2
 	}
-	id, err := ds.Join(pref, map[int]struct{ Out, In []float64 }{
+	id, err := ds.Join(pref, FriendTies{
 		0: {Out: tauOut, In: tauOut},
 		1: {Out: tauOut},
 	})
@@ -313,7 +313,7 @@ func TestDynamicSessionBadInputs(t *testing.T) {
 	if _, err := ds.Join([]float64{1}, nil); err == nil {
 		t.Error("short preference vector accepted")
 	}
-	if _, err := ds.Join(make([]float64, 6), map[int]struct{ Out, In []float64 }{99: {}}); err == nil {
+	if _, err := ds.Join(make([]float64, 6), FriendTies{99: {}}); err == nil {
 		t.Error("out-of-range friend accepted")
 	}
 	if err := ds.Leave(99); err == nil {

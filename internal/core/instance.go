@@ -49,6 +49,22 @@ func NewInstance(g *graph.Graph, numItems, k int, lambda float64) *Instance {
 // NumUsers returns the number of shoppers.
 func (in *Instance) NumUsers() int { return in.G.NumVertices() }
 
+// Clone returns a deep copy of the instance: the graph, the preference
+// matrix and every τ vector are private to the copy. Layers that mutate
+// instances in place — the dynamic session's Leave zeroes utility rows, a
+// drift-repair snapshot races concurrent events — clone first so the
+// caller's instance (and any cache entry sharing it) stays intact.
+func (in *Instance) Clone() *Instance {
+	c := NewInstance(in.G.Clone(), in.NumItems, in.K, in.Lambda)
+	for u := range in.Pref {
+		copy(c.Pref[u], in.Pref[u])
+	}
+	for key, vec := range in.tau {
+		c.tau[key] = append([]float64(nil), vec...)
+	}
+	return c
+}
+
 func (in *Instance) edgeKey(u, v int) int64 {
 	return int64(u)*int64(in.NumUsers()) + int64(v)
 }

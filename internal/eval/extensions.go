@@ -132,7 +132,7 @@ func ExtDynamic(cfg Config) ([]*Table, error) {
 			for c := range pref {
 				pref[c] = r.Float64()
 			}
-			friends := map[int]struct{ Out, In []float64 }{}
+			friends := core.FriendTies{}
 			for len(friends) < 3 {
 				f := r.IntN(len(ds.ActiveUsers()))
 				u := ds.ActiveUsers()[f]
@@ -140,7 +140,7 @@ func ExtDynamic(cfg Config) ([]*Table, error) {
 				for c := range out {
 					out[c] = 0.3 * pref[c]
 				}
-				friends[u] = struct{ Out, In []float64 }{Out: out, In: out}
+				friends[u] = core.FriendTie{Out: out, In: out}
 			}
 			if _, err := ds.Join(pref, friends); err != nil {
 				return nil, err

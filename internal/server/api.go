@@ -5,6 +5,7 @@ import (
 
 	"github.com/svgic/svgic/internal/core"
 	"github.com/svgic/svgic/internal/registry"
+	"github.com/svgic/svgic/internal/session"
 )
 
 // Wire types of the svgicd JSON API. Instances travel as core.InstanceJSON
@@ -96,6 +97,79 @@ type AlgorithmsResponse struct {
 	Algorithms []AlgorithmInfo `json:"algorithms"`
 }
 
+// CreateSessionRequest is the body of POST /v1/sessions: the starting
+// instance (core.InstanceJSON fields, inline) plus an optional algorithm
+// selection — the named solver both produces the initial configuration and
+// backs the session's drift repair — and an optional SVGIC-ST subgroup size
+// cap enforced on event application. When sizeCap is set and the selected
+// algorithm's schema has a sizeCap parameter not explicitly given, the
+// server injects it, so the repair solver solves the same capped problem the
+// session maintains.
+type CreateSessionRequest struct {
+	core.InstanceJSON
+	Algo    string          `json:"algo,omitempty"`
+	Params  json.RawMessage `json:"params,omitempty"`
+	SizeCap int             `json:"sizeCap,omitempty"`
+}
+
+// CreateSessionResponse answers POST /v1/sessions.
+type CreateSessionResponse struct {
+	ID        string  `json:"id"`
+	Algorithm string  `json:"algorithm"`
+	Version   uint64  `json:"version"`
+	Value     float64 `json:"value"`
+	Users     int     `json:"users"`
+	SizeCap   int     `json:"sizeCap,omitempty"`
+	SolveMS   float64 `json:"solveMs,omitempty"`
+	ElapsedMS float64 `json:"elapsedMs,omitempty"`
+}
+
+// SessionEventsRequest is the body of POST /v1/sessions/{id}/events: a batch
+// of live-session events applied in order under the session's serializing
+// lock (see the session package for the event schema).
+type SessionEventsRequest struct {
+	Events []session.Event `json:"events"`
+}
+
+// SessionEventsResponse answers POST /v1/sessions/{id}/events: the session's
+// version and objective value after the batch, plus one result per applied
+// event. Every applied event bumps the version by exactly one (drift-repair
+// swaps between batches bump it too), so a client replaying a trace can
+// assert monotone progress.
+type SessionEventsResponse struct {
+	Version   uint64                `json:"version"`
+	Value     float64               `json:"value"`
+	Results   []session.EventResult `json:"results"`
+	ElapsedMS float64               `json:"elapsedMs,omitempty"`
+}
+
+// SessionResponse answers GET /v1/sessions/{id}: the live configuration and
+// the per-session metrics (events applied per kind, accumulated rebalance
+// gain, drift-repair swap/keep/stale counts).
+type SessionResponse struct {
+	ID         string          `json:"id"`
+	Algorithm  string          `json:"algorithm"`
+	SizeCap    int             `json:"sizeCap,omitempty"`
+	Version    uint64          `json:"version"`
+	Value      float64         `json:"value"`
+	Users      int             `json:"users"`
+	Active     []int           `json:"active"`
+	Slots      int             `json:"slots"`
+	Assignment [][]int         `json:"assignment"`
+	AgeMS      float64         `json:"ageMs"`
+	IdleMS     float64         `json:"idleMs"`
+	Metrics    session.Metrics `json:"metrics"`
+}
+
+// SessionsStats is the live-session slice of GET /v1/stats: manager-level
+// admission/eviction counters, aggregate event counts and the drift-repair
+// swap/keep/stale split.
+type SessionsStats struct {
+	Enabled     bool `json:"enabled"`
+	MaxSessions int  `json:"maxSessions"`
+	session.Stats
+}
+
 // HealthResponse answers GET /healthz.
 type HealthResponse struct {
 	Status  string `json:"status"`
@@ -156,4 +230,5 @@ type StatsResponse struct {
 	Server   ServerStats   `json:"server"`
 	Engine   EngineStats   `json:"engine"`
 	Coalesce CoalesceStats `json:"coalesce"`
+	Sessions SessionsStats `json:"sessions"`
 }

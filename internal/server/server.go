@@ -21,12 +21,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve        SolveRequest             -> SolveResponse
-//	POST /v1/solve/batch  [SolveRequest...]        -> BatchResponse
-//	POST /v1/evaluate     EvaluateRequest          -> EvaluateResponse
-//	GET  /v1/algorithms   registered solvers + parameter schemas
-//	GET  /healthz         liveness + drain state
-//	GET  /v1/stats        StatsResponse (engine + admission + coalescing)
+//	POST   /v1/solve               SolveRequest             -> SolveResponse
+//	POST   /v1/solve/batch         [SolveRequest...]        -> BatchResponse
+//	POST   /v1/evaluate            EvaluateRequest          -> EvaluateResponse
+//	POST   /v1/sessions            CreateSessionRequest     -> CreateSessionResponse
+//	POST   /v1/sessions/{id}/events SessionEventsRequest    -> SessionEventsResponse
+//	GET    /v1/sessions/{id}                                -> SessionResponse
+//	DELETE /v1/sessions/{id}                                -> 204
+//	GET    /v1/algorithms          registered solvers + parameter schemas
+//	GET    /healthz                liveness + drain state
+//	GET    /v1/stats               StatsResponse (engine + admission + coalescing + sessions)
+//
+// The /v1/sessions endpoints are the live-session subsystem (the paper's
+// Extension F as a serving path): ID-keyed versioned sessions over a
+// session.Manager with serialized event application, bounded admission, TTL
+// eviction and background drift repair. See internal/session.
 //
 // All request bodies are decoded strictly: unknown fields and trailing
 // content are rejected with 400, so a misspelled field fails loudly instead
@@ -47,6 +56,7 @@ import (
 	"github.com/svgic/svgic/internal/core"
 	"github.com/svgic/svgic/internal/engine"
 	"github.com/svgic/svgic/internal/registry"
+	"github.com/svgic/svgic/internal/session"
 )
 
 // StatusClientClosedRequest is the non-standard 499 status (nginx
@@ -95,14 +105,22 @@ type Options struct {
 	// NoCoalesce disables request coalescing (solves go straight to the
 	// engine). For measurement and tests; production serving wants it on.
 	NoCoalesce bool
+	// Sessions is the live-session manager backing the /v1/sessions
+	// endpoints. The server does not own it — close it after Shutdown, before
+	// the engine. Nil builds a loop-less default manager over Engine (bounded
+	// admission, but no TTL eviction and no background drift repair), which
+	// the server DOES own and closes at the end of Shutdown.
+	Sessions *session.Manager
 }
 
 // Server is the svgicd HTTP handler. Create with New, stop with Shutdown.
 type Server struct {
-	eng  *engine.Engine
-	coal *engine.Coalescer
-	opts Options
-	mux  *http.ServeMux
+	eng    *engine.Engine
+	coal   *engine.Coalescer
+	mgr    *session.Manager
+	ownMgr bool // New built mgr itself (Options.Sessions was nil): Shutdown closes it
+	opts   Options
+	mux    *http.ServeMux
 
 	// sem holds one token per admitted request; Shutdown drains the server
 	// by acquiring every token after flipping draining, so "all tokens held
@@ -155,6 +173,15 @@ func New(opts Options) (*Server, error) {
 	if !opts.NoCoalesce {
 		s.coal = engine.NewCoalescer(opts.Engine)
 	}
+	s.mgr = opts.Sessions
+	if s.mgr == nil {
+		mgr, err := session.NewManager(session.Options{Engine: opts.Engine})
+		if err != nil {
+			return nil, fmt.Errorf("server: session manager: %w", err)
+		}
+		s.mgr = mgr
+		s.ownMgr = true
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/solve/batch", s.handleBatch)
@@ -162,8 +189,15 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleSessionEvents)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	return s, nil
 }
+
+// Sessions returns the live-session manager serving /v1/sessions.
+func (s *Server) Sessions() *session.Manager { return s.mgr }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -181,6 +215,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		case <-ctx.Done():
 			return fmt.Errorf("server: drain interrupted with requests in flight: %w", ctx.Err())
 		}
+	}
+	// A manager the server built itself (Options.Sessions was nil) has no
+	// other owner; close it now that no request can touch it. A
+	// caller-supplied manager stays the caller's to close.
+	if s.ownMgr {
+		s.mgr.Close()
 	}
 	return nil
 }
@@ -545,6 +585,11 @@ func (s *Server) StatsSnapshot() StatsResponse {
 	if s.coal != nil {
 		cst := s.coal.Stats()
 		resp.Coalesce = CoalesceStats{Enabled: true, Leads: cst.Leads, Joins: cst.Joins}
+	}
+	resp.Sessions = SessionsStats{
+		Enabled:     true,
+		MaxSessions: s.mgr.MaxSessions(),
+		Stats:       s.mgr.Stats(),
 	}
 	return resp
 }

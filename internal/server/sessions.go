@@ -1,0 +1,232 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/engine"
+	"github.com/svgic/svgic/internal/registry"
+	"github.com/svgic/svgic/internal/session"
+)
+
+// The live-session endpoints promote the dynamic scenario (Extension F) to
+// the serving path:
+//
+//	POST   /v1/sessions              CreateSessionRequest  -> CreateSessionResponse
+//	POST   /v1/sessions/{id}/events  SessionEventsRequest  -> SessionEventsResponse
+//	GET    /v1/sessions/{id}                               -> SessionResponse
+//	DELETE /v1/sessions/{id}                               -> 204
+//
+// Sessions are held by a session.Manager: versioned, serialized event
+// application, bounded session count (429 on overflow), TTL idle eviction
+// and background drift repair through the engine. The /v1/stats payload
+// carries the manager's counters under "sessions".
+
+// resolveSessionSolver resolves the solver backing a session — both its
+// initial solve and its drift repair. It is resolveSolver plus the cap
+// contract: a capped session's solver must solve the SAME capped problem
+// the event path maintains, so when the request asks for a subgroup size
+// cap the selected algorithm's schema must have a sizeCap parameter — it is
+// injected when absent, and an explicitly conflicting value is rejected. A
+// cap-incapable algorithm (e.g. "per") is a 400: its initial solve and
+// every drift-repair re-solve would silently violate the session's bound.
+func (s *Server) resolveSessionSolver(algo string, raw json.RawMessage, sizeCap int) (core.Solver, error) {
+	if sizeCap > 0 {
+		name := strings.ToLower(algo)
+		if name == "" {
+			name = s.opts.DefaultAlgo
+		}
+		spec, ok := registry.Lookup(name)
+		if ok {
+			capable := false
+			for _, p := range spec.Params {
+				if p.Name == "sizeCap" {
+					capable = true
+					break
+				}
+			}
+			if !capable {
+				return nil, fmt.Errorf("algorithm %q has no sizeCap parameter: it cannot solve the capped problem a sizeCap=%d session maintains", name, sizeCap)
+			}
+			params := registry.Params{}
+			if len(raw) > 0 {
+				if err := json.Unmarshal(raw, &params); err != nil {
+					return nil, fmt.Errorf(`"params" must be an object: %v`, err)
+				}
+			}
+			if set, have := params["sizeCap"]; have {
+				if f, isNum := set.(float64); !isNum || f != float64(sizeCap) {
+					return nil, fmt.Errorf(`"params".sizeCap %v conflicts with the session sizeCap %d`, set, sizeCap)
+				}
+			} else {
+				params["sizeCap"] = sizeCap
+			}
+			merged, err := json.Marshal(params)
+			if err != nil {
+				return nil, err
+			}
+			raw = merged
+		}
+	}
+	return s.resolveSolver(algo, raw)
+}
+
+// writeSessionError maps session-manager failures onto HTTP statuses:
+// unknown id → 404, session limit → 429 + Retry-After, manager/engine shut
+// down → 503, deadline/cancel → 504/499, anything else (event validation,
+// inactive users, malformed vectors) → 400.
+func (s *Server) writeSessionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, session.ErrNotFound):
+		writeError(w, http.StatusNotFound, "no such session")
+	case errors.Is(err, session.ErrLimit):
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
+		writeError(w, http.StatusTooManyRequests, "session limit reached")
+	case errors.Is(err, session.ErrClosed), errors.Is(err, engine.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "sessions are shut down")
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.writeSolveError(w, err)
+	default:
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	timeout, err := s.requestTimeout(r)
+	if err != nil {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var req CreateSessionRequest
+	if err := core.DecodeStrict(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes), &req); err != nil {
+		s.writeDecodeError(w, "decoding session request", err)
+		return
+	}
+	if req.SizeCap < 0 {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("sizeCap %d is negative", req.SizeCap))
+		return
+	}
+	in, err := core.InstanceFromJSON(&req.InstanceJSON)
+	if err != nil {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	solver, err := s.resolveSessionSolver(req.Algo, req.Params, req.SizeCap)
+	if err != nil {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	start := time.Now()
+	snap, sol, err := s.mgr.Create(ctx, in, solver, req.SizeCap)
+	if err != nil {
+		s.writeSessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, CreateSessionResponse{
+		ID:        snap.ID,
+		Algorithm: snap.Algorithm,
+		Version:   snap.Version,
+		Value:     snap.Value,
+		Users:     snap.Users,
+		SizeCap:   snap.SizeCap,
+		SolveMS:   ms(sol.Wall),
+		ElapsedMS: ms(time.Since(start)),
+	})
+}
+
+func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	var req SessionEventsRequest
+	if err := core.DecodeStrict(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes), &req); err != nil {
+		s.writeDecodeError(w, "decoding events", err)
+		return
+	}
+	if len(req.Events) == 0 {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "empty event batch")
+		return
+	}
+	if len(req.Events) > s.opts.MaxBatch {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("event batch of %d exceeds limit %d", len(req.Events), s.opts.MaxBatch))
+		return
+	}
+	start := time.Now()
+	res, err := s.mgr.Apply(r.PathValue("id"), req.Events)
+	if err != nil {
+		// Events apply in order and stop at the first failure; earlier
+		// events stay applied, so the error names both the failure and how
+		// far the batch got.
+		s.writeSessionError(w, fmt.Errorf("%w (%d of %d events applied, version %d)",
+			err, len(res.Results), len(req.Events), res.Version))
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionEventsResponse{
+		Version:   res.Version,
+		Value:     res.Value,
+		Results:   res.Results,
+		ElapsedMS: ms(time.Since(start)),
+	})
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	snap, err := s.mgr.Snapshot(r.PathValue("id"))
+	if err != nil {
+		s.writeSessionError(w, err)
+		return
+	}
+	now := time.Now()
+	writeJSON(w, http.StatusOK, SessionResponse{
+		ID:         snap.ID,
+		Algorithm:  snap.Algorithm,
+		SizeCap:    snap.SizeCap,
+		Version:    snap.Version,
+		Value:      snap.Value,
+		Users:      snap.Users,
+		Active:     snap.Active,
+		Slots:      snap.Slots,
+		Assignment: snap.Assignment,
+		AgeMS:      ms(now.Sub(snap.Created)),
+		IdleMS:     ms(now.Sub(snap.LastTouch)),
+		Metrics:    snap.Metrics,
+	})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	if err := s.mgr.Delete(r.PathValue("id")); err != nil {
+		s.writeSessionError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

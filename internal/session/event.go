@@ -1,0 +1,184 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/svgic/svgic/internal/core"
+)
+
+// EventType names one kind of live-session event.
+type EventType string
+
+// The four event kinds of the live-session protocol, mirroring the dynamic
+// scenario of the paper's Extension F.
+const (
+	// EventJoin admits a new shopper: Pref carries their per-item
+	// preferences, Friends their social ties to standing users.
+	EventJoin EventType = "join"
+	// EventLeave removes shopper User from the store; their former friends
+	// rebalance with one best-response pass.
+	EventLeave EventType = "leave"
+	// EventUpdatePreference replaces shopper User's preference vector with
+	// Pref and reacts with best responses for them and their friends.
+	EventUpdatePreference EventType = "updatePreference"
+	// EventRebalance runs up to MaxPasses best-response passes over all
+	// active shoppers (the local-search step of Extension F).
+	EventRebalance EventType = "rebalance"
+)
+
+// DefaultRebalancePasses is used when a rebalance event carries no
+// maxPasses.
+const DefaultRebalancePasses = 3
+
+// MaxRebalancePasses caps the per-event pass count: events arrive from
+// untrusted JSON, and an unbounded pass budget would let one request pin a
+// session's serializing lock arbitrarily long.
+const MaxRebalancePasses = 16
+
+// TieJSON is the wire form of one friend tie of a join event: the standing
+// user's id plus the per-item social utilities in both directions (omitted =
+// all-zero; present = exactly `items` entries).
+type TieJSON struct {
+	ID  int       `json:"id"`
+	Out []float64 `json:"out,omitempty"`
+	In  []float64 `json:"in,omitempty"`
+}
+
+// Event is one typed, JSON-encodable live-session event. Exactly the fields
+// of its type may be set; Validate rejects cross-type leakage so a malformed
+// trace fails loudly instead of silently dropping intent.
+//
+//	{"type": "join", "pref": [0.9, 0.1], "friends": [{"id": 0, "out": [0.3, 0]}]}
+//	{"type": "leave", "user": 3}
+//	{"type": "updatePreference", "user": 2, "pref": [0, 1]}
+//	{"type": "rebalance", "maxPasses": 2}
+type Event struct {
+	Type      EventType `json:"type"`
+	User      int       `json:"user,omitempty"`      // leave, updatePreference
+	Pref      []float64 `json:"pref,omitempty"`      // join, updatePreference
+	Friends   []TieJSON `json:"friends,omitempty"`   // join
+	MaxPasses int       `json:"maxPasses,omitempty"` // rebalance
+}
+
+// EventResult reports what applying one event did: the affected user (the
+// assigned id for a join) and the best-response improvement where the event
+// kind produces one.
+type EventResult struct {
+	Type EventType `json:"type"`
+	User int       `json:"user"`
+	Gain float64   `json:"gain,omitempty"`
+}
+
+// Validate checks the event's structure (field presence per type, bounded
+// pass budgets, no duplicate friend ids). Value-level checks — vector
+// lengths, finiteness, user liveness — happen in core when the event is
+// applied against a concrete session.
+func (ev *Event) Validate() error {
+	switch ev.Type {
+	case EventJoin:
+		if ev.Pref == nil {
+			return errors.New(`session: join event requires "pref"`)
+		}
+		if ev.User != 0 {
+			return errors.New(`session: join event does not take "user" (ids are assigned by the session)`)
+		}
+		if ev.MaxPasses != 0 {
+			return errors.New(`session: join event does not take "maxPasses"`)
+		}
+		seen := make(map[int]struct{}, len(ev.Friends))
+		for _, tie := range ev.Friends {
+			if _, dup := seen[tie.ID]; dup {
+				return fmt.Errorf("session: join event declares friend %d twice", tie.ID)
+			}
+			seen[tie.ID] = struct{}{}
+		}
+	case EventLeave:
+		if ev.Pref != nil || ev.Friends != nil || ev.MaxPasses != 0 {
+			return errors.New(`session: leave event takes only "user"`)
+		}
+		if ev.User < 0 {
+			return fmt.Errorf("session: leave event user %d is negative", ev.User)
+		}
+	case EventUpdatePreference:
+		if ev.Pref == nil {
+			return errors.New(`session: updatePreference event requires "pref"`)
+		}
+		if ev.Friends != nil || ev.MaxPasses != 0 {
+			return errors.New(`session: updatePreference event takes only "user" and "pref"`)
+		}
+		if ev.User < 0 {
+			return fmt.Errorf("session: updatePreference event user %d is negative", ev.User)
+		}
+	case EventRebalance:
+		if ev.Pref != nil || ev.Friends != nil || ev.User != 0 {
+			return errors.New(`session: rebalance event takes only "maxPasses"`)
+		}
+		if ev.MaxPasses < 0 || ev.MaxPasses > MaxRebalancePasses {
+			return fmt.Errorf("session: rebalance maxPasses %d out of [0,%d]", ev.MaxPasses, MaxRebalancePasses)
+		}
+	case "":
+		return errors.New(`session: event is missing "type"`)
+	default:
+		return fmt.Errorf("session: unknown event type %q (want join|leave|updatePreference|rebalance)", ev.Type)
+	}
+	return nil
+}
+
+// ties converts the wire friend list to the core representation.
+func (ev *Event) ties() core.FriendTies {
+	if len(ev.Friends) == 0 {
+		return nil
+	}
+	ties := make(core.FriendTies, len(ev.Friends))
+	for _, t := range ev.Friends {
+		ties[t.ID] = core.FriendTie{Out: t.Out, In: t.In}
+	}
+	return ties
+}
+
+// Apply validates ev and applies it to a dynamic session. It is the single
+// event-application semantics shared by the live Session, offline trace
+// replay and the equivalence tests — one code path, so a server-side replay
+// and a library replay of the same trace agree bit-for-bit.
+func Apply(ds *core.DynamicSession, ev Event) (EventResult, error) {
+	if err := ev.Validate(); err != nil {
+		return EventResult{}, err
+	}
+	switch ev.Type {
+	case EventJoin:
+		id, err := ds.Join(ev.Pref, ev.ties())
+		if err != nil {
+			return EventResult{}, err
+		}
+		return EventResult{Type: ev.Type, User: id}, nil
+	case EventLeave:
+		if err := ds.Leave(ev.User); err != nil {
+			return EventResult{}, err
+		}
+		return EventResult{Type: ev.Type, User: ev.User}, nil
+	case EventUpdatePreference:
+		gain, err := ds.UpdatePreference(ev.User, ev.Pref)
+		if err != nil {
+			return EventResult{}, err
+		}
+		return EventResult{Type: ev.Type, User: ev.User, Gain: gain}, nil
+	default: // EventRebalance; Validate rejected everything else
+		passes := ev.MaxPasses
+		if passes == 0 {
+			passes = DefaultRebalancePasses
+		}
+		return EventResult{Type: ev.Type, Gain: ds.Rebalance(passes)}, nil
+	}
+}
+
+// Replay applies a whole trace to a dynamic session, stopping at the first
+// failing event. It returns the number of events applied.
+func Replay(ds *core.DynamicSession, events []Event) (int, error) {
+	for i, ev := range events {
+		if _, err := Apply(ds, ev); err != nil {
+			return i, fmt.Errorf("session: event %d: %w", i, err)
+		}
+	}
+	return len(events), nil
+}

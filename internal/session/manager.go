@@ -1,0 +1,559 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/svgic/svgic/internal/core"
+	"github.com/svgic/svgic/internal/engine"
+)
+
+// Errors of the serving contract. The HTTP layer maps ErrLimit to 429,
+// ErrNotFound to 404 and ErrClosed to 503.
+var (
+	ErrLimit    = errors.New("session: session limit reached")
+	ErrNotFound = errors.New("session: no such session")
+	ErrClosed   = errors.New("session: manager closed")
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultMaxSessions   = 1024
+	DefaultRepairMargin  = 0.01
+	DefaultRepairTimeout = 30 * time.Second
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Engine runs the initial solve of every session and the drift-repair
+	// re-solves. Required; the manager does not own it — close the manager
+	// first, then the engine.
+	Engine *engine.Engine
+	// MaxSessions bounds concurrently live sessions; Create beyond the bound
+	// fails with ErrLimit. Zero means DefaultMaxSessions.
+	MaxSessions int
+	// TTL evicts sessions idle (no events, no reads) for longer than this.
+	// Zero disables eviction.
+	TTL time.Duration
+	// RepairInterval is the period of the background drift-repair loop: each
+	// tick re-solves every session's current instance through the engine and
+	// swaps the result in when it clears the margin. Zero disables the loop
+	// (RepairAll can still be called directly).
+	RepairInterval time.Duration
+	// RepairMargin is the relative improvement a full re-solve must show
+	// over the incremental configuration to be swapped in: swap when
+	// resolved > current·(1+margin). Zero means DefaultRepairMargin;
+	// negative means swap on any strict improvement.
+	RepairMargin float64
+	// RepairTimeout bounds each drift-repair solve. Zero means
+	// DefaultRepairTimeout.
+	RepairTimeout time.Duration
+}
+
+// Stats is a snapshot of the manager's counters, aggregated over all
+// sessions that ever lived (deleting a session does not erase its event
+// counts).
+type Stats struct {
+	Live     int    `json:"live"`
+	Created  uint64 `json:"created"`
+	Rejected uint64 `json:"rejected"` // Create calls refused by MaxSessions
+	Evicted  uint64 `json:"evicted"`  // idle sessions removed by the TTL sweep
+	Deleted  uint64 `json:"deleted"`  // explicit deletes
+
+	EventsApplied uint64 `json:"eventsApplied"`
+	Joins         uint64 `json:"joins"`
+	Leaves        uint64 `json:"leaves"`
+	Updates       uint64 `json:"updates"`
+	Rebalances    uint64 `json:"rebalances"`
+
+	RepairRuns   uint64 `json:"repairRuns"`   // drift-repair solves attempted
+	RepairSwaps  uint64 `json:"repairSwaps"`  // re-solve beat the margin and was adopted
+	RepairKeeps  uint64 `json:"repairKeeps"`  // incremental configuration held
+	RepairStale  uint64 `json:"repairStale"`  // discarded: events raced the re-solve
+	RepairErrors uint64 `json:"repairErrors"` // re-solve failed or timed out
+}
+
+// Manager is the concurrency-safe registry of live sessions. Create with
+// NewManager, release with Close. All methods are safe for concurrent use.
+type Manager struct {
+	eng           *engine.Engine
+	maxSessions   int
+	ttl           time.Duration
+	repairMargin  float64
+	repairTimeout time.Duration
+
+	now func() time.Time // test seam; time.Now in production
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	closed   bool
+
+	idc       atomic.Uint64
+	created   atomic.Uint64
+	rejected  atomic.Uint64
+	evicted   atomic.Uint64
+	deleted   atomic.Uint64
+	events    atomic.Uint64
+	joins     atomic.Uint64
+	leaves    atomic.Uint64
+	updates   atomic.Uint64
+	rebals    atomic.Uint64
+	repRuns   atomic.Uint64
+	repSwaps  atomic.Uint64
+	repKeeps  atomic.Uint64
+	repStale  atomic.Uint64
+	repErrors atomic.Uint64
+
+	ctx       context.Context // canceled by Close; bounds repair solves
+	cancel    context.CancelFunc
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewManager starts a session manager over an engine. When TTL or
+// RepairInterval is set, a background goroutine runs the eviction sweep and
+// the drift-repair loop until Close.
+func NewManager(opts Options) (*Manager, error) {
+	if opts.Engine == nil {
+		return nil, errors.New("session: Options.Engine is required")
+	}
+	m := &Manager{
+		eng:           opts.Engine,
+		maxSessions:   opts.MaxSessions,
+		ttl:           opts.TTL,
+		repairMargin:  opts.RepairMargin,
+		repairTimeout: opts.RepairTimeout,
+		now:           time.Now,
+		sessions:      make(map[string]*Session),
+		done:          make(chan struct{}),
+	}
+	if m.maxSessions <= 0 {
+		m.maxSessions = DefaultMaxSessions
+	}
+	if m.repairMargin == 0 {
+		m.repairMargin = DefaultRepairMargin
+	}
+	if m.repairTimeout <= 0 {
+		m.repairTimeout = DefaultRepairTimeout
+	}
+	m.ctx, m.cancel = context.WithCancel(context.Background())
+	if opts.TTL > 0 || opts.RepairInterval > 0 {
+		m.wg.Add(1)
+		go m.loop(opts.RepairInterval)
+	}
+	return m, nil
+}
+
+// loop drives the periodic work: drift repair on its interval, TTL eviction
+// on a quarter-TTL cadence.
+func (m *Manager) loop(repairInterval time.Duration) {
+	defer m.wg.Done()
+	var repairC, evictC <-chan time.Time
+	if repairInterval > 0 {
+		t := time.NewTicker(repairInterval)
+		defer t.Stop()
+		repairC = t.C
+	}
+	if m.ttl > 0 {
+		iv := m.ttl / 4
+		if iv < 10*time.Millisecond {
+			iv = 10 * time.Millisecond
+		}
+		t := time.NewTicker(iv)
+		defer t.Stop()
+		evictC = t.C
+	}
+	// Repair cycles run off the ticker goroutine so a slow cycle (many
+	// sessions × solve time) never starves eviction ticks; a tick that
+	// arrives while the previous cycle is still running is skipped rather
+	// than queued.
+	repairing := make(chan struct{}, 1)
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-repairC:
+			select {
+			case repairing <- struct{}{}:
+				m.wg.Add(1)
+				go func() {
+					defer m.wg.Done()
+					defer func() { <-repairing }()
+					m.RepairAll(m.ctx)
+				}()
+			default: // previous cycle still in flight
+			}
+		case <-evictC:
+			m.EvictIdle()
+		}
+	}
+}
+
+// Close stops the background loop, cancels any in-flight repair solve and
+// closes every session. Idempotent. The engine stays open — it belongs to
+// the caller.
+func (m *Manager) Close() {
+	m.closeOnce.Do(func() {
+		m.mu.Lock()
+		m.closed = true
+		victims := make([]*Session, 0, len(m.sessions))
+		for _, s := range m.sessions {
+			victims = append(victims, s)
+		}
+		m.sessions = make(map[string]*Session)
+		m.mu.Unlock()
+		m.cancel()
+		close(m.done)
+		m.wg.Wait()
+		for _, s := range victims {
+			s.close()
+		}
+	})
+}
+
+// newID mints a session id: a monotone sequence number plus random tail, so
+// ids are unguessable enough not to collide across restarts yet still sort
+// by creation order within one process.
+func (m *Manager) newID() string {
+	return fmt.Sprintf("s%06d-%08x", m.idc.Add(1), rand.Uint32())
+}
+
+// solveWith routes a full solve through the engine: the session's own solver
+// when it has one, the engine default otherwise.
+func (m *Manager) solveWith(ctx context.Context, in *core.Instance, solver core.Solver) (*core.Solution, error) {
+	if solver != nil {
+		return m.eng.SolveWith(ctx, in, solver)
+	}
+	return m.eng.Solve(ctx, in)
+}
+
+// Create solves the instance through the engine (with the given solver, or
+// the engine default when nil) and registers a live session seeded with the
+// solution. sizeCap > 0 enforces the SVGIC-ST subgroup bound on event
+// application; pass a solver parameterized with the same cap so drift
+// repair solves the same problem. The instance is deep-cloned into the
+// session; the caller's copy is never mutated. Returns the new session's
+// snapshot together with the initial Solution.
+func (m *Manager) Create(ctx context.Context, in *core.Instance, solver core.Solver, sizeCap int) (Snapshot, *core.Solution, error) {
+	// Cheap pre-admission: don't burn a solve for a session that cannot be
+	// registered. Re-checked at insert — creates race each other.
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Snapshot{}, nil, ErrClosed
+	}
+	if len(m.sessions) >= m.maxSessions {
+		m.mu.Unlock()
+		m.rejected.Add(1)
+		return Snapshot{}, nil, ErrLimit
+	}
+	m.mu.Unlock()
+
+	sol, err := m.solveWith(ctx, in, solver)
+	if err != nil {
+		return Snapshot{}, nil, err
+	}
+	ds, err := core.NewDynamicSession(in, sol.Config, sizeCap)
+	if err != nil {
+		return Snapshot{}, nil, err
+	}
+	now := m.now()
+	s := &Session{
+		id:        m.newID(),
+		algo:      sol.Algorithm,
+		solver:    solver,
+		sizeCap:   sizeCap,
+		ds:        ds,
+		value:     ds.Value(),
+		created:   now,
+		lastTouch: now,
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Snapshot{}, nil, ErrClosed
+	}
+	if len(m.sessions) >= m.maxSessions {
+		m.mu.Unlock()
+		m.rejected.Add(1)
+		return Snapshot{}, nil, ErrLimit
+	}
+	m.sessions[s.id] = s
+	m.mu.Unlock()
+	m.created.Add(1)
+	snap, err := s.snapshot(now, false)
+	return snap, sol, err
+}
+
+func (m *Manager) get(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return s, nil
+}
+
+// Apply runs an event batch against a session, serialized with every other
+// batch and drift-repair swap on that session. See Session.apply for batch
+// semantics.
+func (m *Manager) Apply(id string, events []Event) (ApplyResult, error) {
+	s, err := m.get(id)
+	if err != nil {
+		return ApplyResult{}, err
+	}
+	res, err := s.apply(m.now(), events)
+	for _, r := range res.Results {
+		m.events.Add(1)
+		switch r.Type {
+		case EventJoin:
+			m.joins.Add(1)
+		case EventLeave:
+			m.leaves.Add(1)
+		case EventUpdatePreference:
+			m.updates.Add(1)
+		case EventRebalance:
+			m.rebals.Add(1)
+		}
+	}
+	return res, err
+}
+
+// Snapshot returns a point-in-time copy of a session's state and refreshes
+// its idle clock.
+func (m *Manager) Snapshot(id string) (Snapshot, error) {
+	s, err := m.get(id)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	return s.snapshot(m.now(), true)
+}
+
+// Delete removes a session. Idempotent at the HTTP layer's discretion — a
+// second delete returns ErrNotFound.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	s, ok := m.sessions[id]
+	if ok {
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	m.deleted.Add(1)
+	s.close()
+	return nil
+}
+
+// MaxSessions returns the admission bound on live sessions.
+func (m *Manager) MaxSessions() int { return m.maxSessions }
+
+// Len returns the number of live sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// EvictIdle removes every session idle longer than the TTL, returning how
+// many were evicted. The background loop calls it periodically; it is
+// exported for tests and manual sweeps. No-op when TTL is zero.
+//
+// Session locks are never taken while holding the manager lock: a sweep
+// blocking on one session's long event batch under m.mu would stall every
+// manager operation server-wide. Idleness is checked lock-by-lock outside
+// m.mu; confirmed candidates are then removed under m.mu by identity alone.
+// A session touched in the narrow window between its idleness check and
+// removal can be evicted anyway — it had been idle for a full TTL moments
+// earlier, which is within the eviction contract — and an event batch
+// already in flight on a victim completes normally before close() lands.
+func (m *Manager) EvictIdle() int {
+	if m.ttl <= 0 {
+		return 0
+	}
+	cutoff := m.now().Add(-m.ttl)
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return 0
+	}
+	all := make(map[string]*Session, len(m.sessions))
+	for id, s := range m.sessions {
+		all[id] = s
+	}
+	m.mu.Unlock()
+
+	candidates := make(map[string]*Session)
+	for id, s := range all {
+		s.mu.Lock()
+		idle := !s.closed && s.lastTouch.Before(cutoff)
+		s.mu.Unlock()
+		if idle {
+			candidates[id] = s
+		}
+	}
+	if len(candidates) == 0 {
+		return 0
+	}
+
+	var victims []*Session
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return 0
+	}
+	for id, s := range candidates {
+		if m.sessions[id] != s {
+			continue // deleted or replaced meanwhile
+		}
+		delete(m.sessions, id)
+		victims = append(victims, s)
+	}
+	m.mu.Unlock()
+	for _, s := range victims {
+		s.close()
+		m.evicted.Add(1)
+	}
+	return len(victims)
+}
+
+// repairConcurrency bounds how many repair solves are in flight at once:
+// enough to keep the engine's pool busy, few enough that a large session
+// count cannot flood it and starve interactive solves.
+const repairConcurrency = 4
+
+// RepairAll runs one drift-repair cycle over every live session, up to
+// repairConcurrency sessions at a time (the engine's worker pool is the
+// real execution bound), and returns when the whole cycle is done. The
+// background loop triggers it on RepairInterval; it is exported for tests
+// and manual cycles. The context bounds the cycle.
+func (m *Manager) RepairAll(ctx context.Context) {
+	m.mu.Lock()
+	list := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		list = append(list, s)
+	}
+	m.mu.Unlock()
+	sem := make(chan struct{}, repairConcurrency)
+	var wg sync.WaitGroup
+	for _, s := range list {
+		if ctx.Err() != nil {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(s *Session) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			m.repairOne(ctx, s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// repairOne re-solves one session's current instance through the engine and
+// swaps the result in when it beats the incremental configuration by the
+// margin. The snapshot is taken under the session lock but the solve runs
+// outside it, so event application never blocks on a re-solve; if events
+// advanced the session meanwhile, the (now stale) solution is discarded
+// rather than clobbering state it never saw.
+func (m *Manager) repairOne(ctx context.Context, s *Session) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	snap := s.ds.Instance().Clone()
+	version, current := s.version, s.value
+	solver := s.solver
+	s.mu.Unlock()
+
+	m.repRuns.Add(1)
+	sctx, cancel := context.WithTimeout(ctx, m.repairTimeout)
+	sol, err := m.solveWith(sctx, snap, solver)
+	cancel()
+	if err != nil {
+		m.repErrors.Add(1)
+		return
+	}
+	resolved := sol.Report.Weighted()
+	threshold := current * (1 + m.repairMargin)
+	if m.repairMargin < 0 {
+		threshold = current
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if s.version != version {
+		s.repairStale++
+		m.repStale.Add(1)
+		return
+	}
+	// A capped session never adopts a configuration that violates its
+	// bound, whatever the solver produced — the cap is the session's
+	// contract, better objective or not. (The serving layer already rejects
+	// cap-incapable solvers at create; this holds the invariant for
+	// library-constructed sessions too.)
+	if cap := s.ds.SizeCap(); cap > 0 && sol.Config.MaxSubgroupSize() > cap {
+		s.repairKeeps++
+		m.repKeeps.Add(1)
+		return
+	}
+	if resolved > threshold {
+		if err := s.ds.Adopt(sol.Config); err != nil {
+			// Cannot happen for a solution solved on a clone of this very
+			// instance; account it rather than crash the loop.
+			m.repErrors.Add(1)
+			return
+		}
+		s.value = s.ds.Value()
+		s.version++
+		s.repairSwaps++
+		m.repSwaps.Add(1)
+		return
+	}
+	s.repairKeeps++
+	m.repKeeps.Add(1)
+}
+
+// Stats returns a point-in-time snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	live := len(m.sessions)
+	m.mu.Unlock()
+	return Stats{
+		Live:          live,
+		Created:       m.created.Load(),
+		Rejected:      m.rejected.Load(),
+		Evicted:       m.evicted.Load(),
+		Deleted:       m.deleted.Load(),
+		EventsApplied: m.events.Load(),
+		Joins:         m.joins.Load(),
+		Leaves:        m.leaves.Load(),
+		Updates:       m.updates.Load(),
+		Rebalances:    m.rebals.Load(),
+		RepairRuns:    m.repRuns.Load(),
+		RepairSwaps:   m.repSwaps.Load(),
+		RepairKeeps:   m.repKeeps.Load(),
+		RepairStale:   m.repStale.Load(),
+		RepairErrors:  m.repErrors.Load(),
+	}
+}

@@ -1,0 +1,184 @@
+// Package session is the live-session subsystem: it promotes the dynamic
+// scenario of Extension F (shoppers joining and leaving a running VR store,
+// the configuration repaired incrementally instead of re-solved) from a
+// single-threaded library type into a stateful, concurrency-safe serving
+// path.
+//
+// A Manager holds ID-keyed, versioned Sessions, each wrapping a
+// core.DynamicSession behind a serializing lock. Clients mutate a session by
+// applying batches of typed, JSON-encodable events (join, leave,
+// updatePreference, rebalance); every applied event bumps the session's
+// version, so replays and monitoring can assert exactly how far a session
+// has advanced. The manager bounds the live-session count (admission
+// errors, not queues), evicts idle sessions after a TTL, and — the piece
+// that keeps a million incremental sessions near-optimal — runs drift
+// repair: a background loop that periodically re-solves each session's
+// current instance through the shared engine and atomically swaps in the
+// full solution when it beats the incrementally maintained configuration by
+// a configurable margin. Repair solves run outside the session lock, so the
+// event path never blocks on a re-solve; a version check at swap time
+// discards solutions made stale by concurrent events.
+package session
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/svgic/svgic/internal/core"
+)
+
+// Session is one live store: a dynamic session plus the serving state around
+// it — identity, version, activity timestamps and per-session metrics. All
+// methods are safe for concurrent use; event application is serialized.
+type Session struct {
+	id      string
+	algo    string      // display name of the solver backing create + repair
+	solver  core.Solver // nil = the engine's default solver
+	sizeCap int
+
+	mu        sync.Mutex
+	ds        *core.DynamicSession
+	version   uint64
+	value     float64
+	created   time.Time
+	lastTouch time.Time
+	closed    bool
+
+	joins, leaves, updates, rebalances uint64
+	rebalanceGain                      float64
+	repairSwaps, repairKeeps           uint64
+	repairStale                        uint64
+}
+
+// ID returns the session's identifier.
+func (s *Session) ID() string { return s.id }
+
+// ApplyResult reports the outcome of one event batch: the session's version
+// and objective value after the last applied event, plus one result per
+// applied event (positional with the request on success; on error, the
+// prefix that applied before the failure).
+type ApplyResult struct {
+	Version uint64        `json:"version"`
+	Value   float64       `json:"value"`
+	Results []EventResult `json:"results"`
+}
+
+// apply runs one event batch under the session lock. Events apply in order;
+// the first failure stops the batch and the error reports its index, with
+// every earlier event still applied (the returned result reflects the
+// session as it stands). Each applied event bumps the version by one.
+func (s *Session) apply(now time.Time, events []Event) (ApplyResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ApplyResult{}, ErrNotFound
+	}
+	results := make([]EventResult, 0, len(events))
+	var failed error
+	for i, ev := range events {
+		res, err := Apply(s.ds, ev)
+		if err != nil {
+			failed = fmt.Errorf("session: event %d: %w", i, err)
+			break
+		}
+		s.version++
+		switch res.Type {
+		case EventJoin:
+			s.joins++
+		case EventLeave:
+			s.leaves++
+		case EventUpdatePreference:
+			s.updates++
+		case EventRebalance:
+			s.rebalances++
+			s.rebalanceGain += res.Gain
+		}
+		results = append(results, res)
+	}
+	s.value = s.ds.Value()
+	s.lastTouch = now
+	return ApplyResult{Version: s.version, Value: s.value, Results: results}, failed
+}
+
+// Metrics is the per-session counter block exposed by snapshots and the
+// sessions section of /v1/stats.
+type Metrics struct {
+	EventsApplied uint64  `json:"eventsApplied"`
+	Joins         uint64  `json:"joins"`
+	Leaves        uint64  `json:"leaves"`
+	Updates       uint64  `json:"updates"`
+	Rebalances    uint64  `json:"rebalances"`
+	RebalanceGain float64 `json:"rebalanceGain"`
+	RepairSwaps   uint64  `json:"repairSwaps"`
+	RepairKeeps   uint64  `json:"repairKeeps"`
+	RepairStale   uint64  `json:"repairStale"`
+}
+
+// Snapshot is a point-in-time copy of a session's serving state: the current
+// configuration (deep-copied; callers may keep it), the active-user set and
+// the metrics.
+type Snapshot struct {
+	ID         string
+	Algorithm  string
+	SizeCap    int
+	Version    uint64
+	Value      float64
+	Users      int   // instance rows, including departed shoppers
+	Active     []int // ids of shoppers currently in the store
+	Slots      int
+	Assignment [][]int
+	Created    time.Time
+	LastTouch  time.Time
+	Metrics    Metrics
+}
+
+// snapshot assembles a Snapshot under the session lock; touch refreshes the
+// idle clock (reads count as activity for TTL eviction).
+func (s *Session) snapshot(now time.Time, touch bool) (Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Snapshot{}, ErrNotFound
+	}
+	if touch {
+		s.lastTouch = now
+	}
+	conf := s.ds.Config()
+	return Snapshot{
+		ID:         s.id,
+		Algorithm:  s.algo,
+		SizeCap:    s.sizeCap,
+		Version:    s.version,
+		Value:      s.value,
+		Users:      s.ds.Instance().NumUsers(),
+		Active:     s.ds.ActiveUsers(),
+		Slots:      conf.K,
+		Assignment: conf.Clone().Assign,
+		Created:    s.created,
+		LastTouch:  s.lastTouch,
+		Metrics:    s.metricsLocked(),
+	}, nil
+}
+
+func (s *Session) metricsLocked() Metrics {
+	return Metrics{
+		EventsApplied: s.joins + s.leaves + s.updates + s.rebalances,
+		Joins:         s.joins,
+		Leaves:        s.leaves,
+		Updates:       s.updates,
+		Rebalances:    s.rebalances,
+		RebalanceGain: s.rebalanceGain,
+		RepairSwaps:   s.repairSwaps,
+		RepairKeeps:   s.repairKeeps,
+		RepairStale:   s.repairStale,
+	}
+}
+
+// close marks the session dead; later applies and snapshots see ErrNotFound
+// and an in-flight drift repair discards its result.
+func (s *Session) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}

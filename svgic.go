@@ -72,6 +72,19 @@
 // algorithm. The same binary is its own load generator (svgicd -loadgen,
 // optionally mixing algorithms with -algo avgd,per,avg).
 //
+// # Live sessions
+//
+// The dynamic scenario (Extension F) is a first-class serving path: a
+// SessionManager holds ID-keyed, versioned live stores, each wrapping a
+// DynamicSession mutated by typed JSON events (join, leave,
+// updatePreference, rebalance) under a serializing lock, with bounded
+// admission, TTL idle eviction and background drift repair — periodic full
+// re-solves through the Engine, atomically swapped in when they beat the
+// incrementally maintained configuration. svgicd serves the same manager
+// under /v1/sessions; cmd/datagen -events emits replayable traces and
+// `svgicd -loadgen -dynamic` drives churn against the endpoints. See
+// NewSessionManager.
+//
 // See examples/ for complete programs and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation, the engine demo, the serving
 // layer and the CI lanes.
@@ -113,6 +126,11 @@ type (
 	MultiViewConfig = core.MultiViewConfig
 	// DynamicSession supports dynamic user join/leave (Extension F).
 	DynamicSession = core.DynamicSession
+	// FriendTie carries the per-item social utilities between a joining user
+	// and one standing friend (Out = newcomer→friend, In = friend→newcomer).
+	FriendTie = core.FriendTie
+	// FriendTies maps a standing user's id to a joining user's declared ties.
+	FriendTies = core.FriendTies
 	// Graph is the directed social network substrate.
 	Graph = graph.Graph
 	// LPOptions tunes the structured LP relaxation solver.
