@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench fmt fmt-check vet lint check serve-smoke session-smoke
+.PHONY: build test test-short bench fmt fmt-check vet lint check serve-smoke session-smoke crash-smoke
 
 build:
 	$(GO) build ./...
@@ -54,12 +54,26 @@ serve-smoke:
 # dynamic loadgen boots an in-process svgicd (drift repair on a hot 50ms
 # loop) and replays the trace into two sessions plus a generated-churn run.
 # The loadgen fails on any non-2xx/non-429 status or a non-monotone session
-# version.
+# version. Both the trace (-seed/-event-seed) and the churn run (-seed) are
+# explicitly seeded, so two CI runs replay byte-identical workloads.
 session-smoke:
 	$(GO) build -o bin/svgicd ./cmd/svgicd
 	$(GO) build -o bin/datagen ./cmd/datagen
-	./bin/datagen -dataset timik -n 12 -m 30 -k 3 -seed 5 -events 40 -o bin/session-trace.json
+	./bin/datagen -dataset timik -n 12 -m 30 -k 3 -seed 5 -event-seed 6 -events 40 -o bin/session-trace.json
 	./bin/svgicd -loadgen -dynamic -trace bin/session-trace.json -sessions 2 -workers 2 -repair-interval 50ms
-	./bin/svgicd -loadgen -dynamic -sessions 4 -requests 200 -workers 2 -repair-interval 50ms
+	./bin/svgicd -loadgen -dynamic -sessions 4 -requests 200 -workers 2 -repair-interval 50ms -seed 9
+
+# Crash smoke: the durability acceptance test against a REAL process. The
+# loadgen spawns a child svgicd serving on a data directory, streams
+# live-session churn, SIGKILLs the child mid-stream, restarts it on the same
+# directory and asserts every recovered session serves exactly what an
+# offline replay of its acknowledged event prefix produces — once under
+# per-event fsync, once with fsync off (prefix consistency must hold under
+# both; a hot 16-event snapshot cadence keeps compaction in the picture).
+crash-smoke:
+	$(GO) build -o bin/svgicd ./cmd/svgicd
+	rm -rf bin/crash-data-always bin/crash-data-off
+	./bin/svgicd -loadgen -dynamic -crash -data-dir bin/crash-data-always -fsync always -snapshot-every 16 -sessions 4 -requests 240 -workers 2 -seed 11
+	./bin/svgicd -loadgen -dynamic -crash -data-dir bin/crash-data-off -fsync off -snapshot-every 16 -sessions 4 -requests 240 -workers 2 -seed 12
 
 check: fmt-check vet lint build test-short

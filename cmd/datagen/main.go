@@ -11,9 +11,15 @@
 // instance plus N join/leave/updatePreference/rebalance events valid against
 // it, in the schema of svgicd's /v1/sessions/{id}/events endpoint. Replay
 // with `svgicd -loadgen -dynamic -trace trace.json` (what `make
-// session-smoke` does) or offline via the session package:
+// session-smoke` does) or offline via the session package.
 //
-//	datagen -dataset timik -n 12 -m 30 -k 3 -events 50 -o trace.json
+// Generation is fully seeded: -seed drives the instance and, unless
+// -event-seed overrides it, the event stream too (derived as seed+1), so
+// the same flags always emit a byte-identical trace — CI replays are
+// reproducible run to run, and a crash-recovery verification can regenerate
+// the exact workload it served:
+//
+//	datagen -dataset timik -n 12 -m 30 -k 3 -seed 5 -event-seed 6 -events 50 -o trace.json
 package main
 
 import (

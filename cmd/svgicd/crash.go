@@ -1,0 +1,400 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	svgic "github.com/svgic/svgic"
+	"github.com/svgic/svgic/internal/server"
+)
+
+// Crash mode (-loadgen -dynamic -crash): the durability acceptance test as
+// a CLI. It spawns a REAL child svgicd process serving on -data-dir, drives
+// live-session churn at it, SIGKILLs the child mid-stream — no drain, no
+// flush, the genuine article — restarts it on the same data directory, and
+// verifies every recovered session against an offline replay:
+//
+//	recovered (version, value, configuration)
+//	  == session.Replay(initial solve, events[:version])
+//
+// The recovered version may trail the acknowledged one (an acknowledged
+// event's durability is bounded by the fsync policy and the writer queue —
+// that is the documented contract), and may even lead it (a batch can be
+// applied and persisted after the kill severed the response); what crash
+// mode proves is PREFIX CONSISTENCY: whatever version came back, the state
+// is bit-for-bit the deterministic replay of exactly that many events,
+// under every fsync policy. Drift repair is forced off in the child because
+// repair swaps are not reproducible by offline event replay (they are
+// logged as adopt records and covered by the Go e2e tests instead).
+
+// crashProgress tracks one session's acknowledged progress.
+type crashProgress struct {
+	plan    dynamicSessionPlan
+	id      string
+	created bool
+	acked   uint64 // last acknowledged version
+}
+
+func runCrashLoadgen(cfg config) error {
+	if cfg.dataDir == "" {
+		return fmt.Errorf("-crash requires -data-dir")
+	}
+	if cfg.target != "" {
+		return fmt.Errorf("-crash spawns its own child server; -target is not supported")
+	}
+	if cfg.repairInterval != 0 {
+		return fmt.Errorf("-crash verifies against offline event replay, which drift repair would diverge from; drop -repair-interval")
+	}
+	algo := cfg.algo
+	if i := strings.IndexByte(algo, ','); i >= 0 {
+		algo = algo[:i] // offline verification re-solves with the child's default
+	}
+	if _, ok := svgic.LookupSolver(algo); !ok {
+		return fmt.Errorf("unknown algorithm %q (want one of: %s)", algo, strings.Join(svgic.SolverNames(), ", "))
+	}
+	plans, err := dynamicPlans(cfg, []string{algo})
+	if err != nil {
+		return err
+	}
+	totalEvents := 0
+	for _, p := range plans {
+		totalEvents += len(p.events)
+	}
+
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	child, err := spawnChild(cfg, addr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if child != nil && child.Process != nil {
+			_ = child.Process.Kill()
+			_ = child.Wait()
+		}
+	}()
+	if err := waitHealthy(client, base, 15*time.Second); err != nil {
+		return fmt.Errorf("child svgicd never became healthy: %w", err)
+	}
+
+	// Drive churn concurrently; SIGKILL once half the planned events are
+	// acknowledged (or everything finished early — tiny workloads still get
+	// a restart+verify pass).
+	var ackedTotal atomic.Uint64
+	killAt := uint64(totalEvents / 2)
+	if killAt == 0 {
+		killAt = 1
+	}
+	killed := make(chan struct{})
+	progress := make([]*crashProgress, len(plans))
+	var wg sync.WaitGroup
+	for i := range plans {
+		progress[i] = &crashProgress{plan: plans[i]}
+		wg.Add(1)
+		go func(p *crashProgress) {
+			defer wg.Done()
+			driveUntilKilled(client, base, cfg.eventBatch, p, &ackedTotal, killed)
+		}(progress[i])
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	killTick := time.NewTicker(5 * time.Millisecond)
+	defer killTick.Stop()
+waitKill:
+	for {
+		select {
+		case <-done:
+			break waitKill
+		case <-killTick.C:
+			if ackedTotal.Load() >= killAt {
+				break waitKill
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "crash: SIGKILL after %d/%d acked events\n", ackedTotal.Load(), totalEvents)
+	if err := child.Process.Kill(); err != nil {
+		return fmt.Errorf("killing child: %w", err)
+	}
+	close(killed)
+	<-done
+	_ = child.Wait() // expected: killed
+	child = nil
+
+	// Restart on the same data directory; recovery runs before the listener
+	// accepts, so the first healthz already reflects the recovered state.
+	fmt.Fprintln(os.Stderr, "crash: restarting child on the same -data-dir")
+	child, err = spawnChild(cfg, addr)
+	if err != nil {
+		return err
+	}
+	if err := waitHealthy(client, base, 15*time.Second); err != nil {
+		return fmt.Errorf("restarted svgicd never became healthy: %w", err)
+	}
+
+	// Verify every session that was acknowledged as created.
+	verified, lost, bad := 0, 0, 0
+	for _, p := range progress {
+		if !p.created {
+			continue
+		}
+		var got server.SessionResponse
+		sh := shootJSON(client, http.MethodGet, base+"/v1/sessions/"+p.id, nil, &got)
+		if sh.err != nil {
+			return fmt.Errorf("reading recovered session %s: %w", p.id, sh.err)
+		}
+		if sh.status == http.StatusNotFound {
+			// The creation image was still in the writer queue at the kill:
+			// lost, as the fsync/queue contract allows. Count it — a smoke
+			// run that loses everything proves nothing and fails below.
+			lost++
+			fmt.Fprintf(os.Stderr, "crash: session %s (acked v%d) not recovered — creation image lost in the kill window\n", p.id, p.acked)
+			continue
+		}
+		if sh.status != http.StatusOK {
+			return fmt.Errorf("reading recovered session %s: status %d", p.id, sh.status)
+		}
+		if err := verifyAgainstReplay(cfg, algo, p, &got); err != nil {
+			bad++
+			fmt.Fprintf(os.Stderr, "crash: session %s FAILED verification: %v\n", p.id, err)
+			continue
+		}
+		verified++
+		fmt.Printf("crash: session %s recovered at v%d (acked v%d): matches offline replay of %d events\n",
+			p.id, got.Version, p.acked, got.Version)
+	}
+
+	if err := printServerStats(client, base); err != nil {
+		fmt.Fprintf(os.Stderr, "crash: stats fetch failed: %v\n", err)
+	}
+	fmt.Printf("crash: verified=%d lost=%d failed=%d (fsync=%s, %d/%d events acked before SIGKILL)\n",
+		verified, lost, bad, cfg.fsync, ackedTotal.Load(), totalEvents)
+	if bad > 0 {
+		return fmt.Errorf("%d recovered session(s) diverged from offline replay", bad)
+	}
+	if verified == 0 {
+		return fmt.Errorf("no session survived the crash — the smoke proved nothing (lost=%d)", lost)
+	}
+	return nil
+}
+
+// driveUntilKilled runs one session's create + event stream, recording
+// acknowledged progress. Transport errors after the kill are the expected
+// end of the run; before it, they fail loudly via stderr (and the session
+// simply stops making progress, which verification tolerates).
+func driveUntilKilled(client *http.Client, base string, batchSize int, p *crashProgress, ackedTotal *atomic.Uint64, killed chan struct{}) {
+	stopped := func() bool {
+		select {
+		case <-killed:
+			return true
+		default:
+			return false
+		}
+	}
+	createBody, err := json.Marshal(server.CreateSessionRequest{
+		InstanceJSON: p.plan.instance,
+		SizeCap:      p.plan.sizeCap,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crash: marshal create: %v\n", err)
+		return
+	}
+	var created server.CreateSessionResponse
+	sh := shootJSON(client, http.MethodPost, base+"/v1/sessions", createBody, &created)
+	if sh.err != nil || sh.status != http.StatusCreated {
+		if !stopped() {
+			fmt.Fprintf(os.Stderr, "crash: create failed: status %d err %v\n", sh.status, sh.err)
+		}
+		return
+	}
+	p.id = created.ID
+	p.created = true
+
+	for at := 0; at < len(p.plan.events); at += batchSize {
+		end := at + batchSize
+		if end > len(p.plan.events) {
+			end = len(p.plan.events)
+		}
+		body, err := json.Marshal(server.SessionEventsRequest{Events: p.plan.events[at:end]})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crash: marshal events: %v\n", err)
+			return
+		}
+		var resp server.SessionEventsResponse
+		sh := shootJSON(client, http.MethodPost, base+"/v1/sessions/"+p.id+"/events", body, &resp)
+		if sh.err != nil || sh.status != http.StatusOK {
+			if !stopped() {
+				fmt.Fprintf(os.Stderr, "crash: session %s events[%d:%d]: status %d err %v\n", p.id, at, end, sh.status, sh.err)
+			}
+			return
+		}
+		p.acked = resp.Version
+		ackedTotal.Add(uint64(end - at))
+	}
+}
+
+// verifyAgainstReplay checks one recovered session against the ground
+// truth: solve the plan's instance the way the child's engine did, replay
+// exactly got.Version events through the shared Apply semantics, and
+// compare value and configuration bit for bit.
+func verifyAgainstReplay(cfg config, algo string, p *crashProgress, got *server.SessionResponse) error {
+	n := got.Version
+	if n > uint64(len(p.plan.events)) {
+		return fmt.Errorf("recovered version %d exceeds the %d events ever sent", n, len(p.plan.events))
+	}
+	newSolver, params, err := pickSolver(algo, cfg)
+	if err != nil {
+		return err
+	}
+	in, err := svgic.InstanceFromJSON(&p.plan.instance)
+	if err != nil {
+		return err
+	}
+	// The child's create path solved through its engine (same default
+	// solver factory, component decomposition included), so the offline
+	// baseline must too — a direct solver call can legally produce a
+	// different optimal assignment on multi-component instances.
+	eng := svgic.NewEngine(svgic.EngineOptions{Workers: 2, NewSolver: newSolver})
+	defer eng.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var sol *svgic.Solution
+	if p.plan.sizeCap > 0 {
+		params["sizeCap"] = p.plan.sizeCap
+		solver, err := svgic.NewSolver(algo, params)
+		if err != nil {
+			return err
+		}
+		sol, err = eng.SolveWith(ctx, in, solver)
+		if err != nil {
+			return err
+		}
+	} else {
+		sol, err = eng.Solve(ctx, in)
+		if err != nil {
+			return err
+		}
+	}
+	ds, err := svgic.NewDynamicSession(in, sol.Config, p.plan.sizeCap)
+	if err != nil {
+		return err
+	}
+	if applied, err := svgic.ReplaySessionEvents(ds, p.plan.events[:n]); err != nil {
+		return fmt.Errorf("offline replay stopped at event %d: %w", applied, err)
+	}
+	if want := ds.Value(); got.Value != want {
+		return fmt.Errorf("value %v != offline replay value %v at version %d", got.Value, want, n)
+	}
+	wantConf := ds.Config()
+	if got.Slots != wantConf.K {
+		return fmt.Errorf("slots %d != offline %d", got.Slots, wantConf.K)
+	}
+	if len(got.Assignment) != len(wantConf.Assign) {
+		return fmt.Errorf("assignment rows %d != offline %d", len(got.Assignment), len(wantConf.Assign))
+	}
+	for u := range wantConf.Assign {
+		for s := range wantConf.Assign[u] {
+			if got.Assignment[u][s] != wantConf.Assign[u][s] {
+				return fmt.Errorf("assignment[%d][%d] = %d != offline %d", u, s, got.Assignment[u][s], wantConf.Assign[u][s])
+			}
+		}
+	}
+	// Membership, not just count: a wrong active SET can coexist with a
+	// matching value (departed users' rows are zeroed and contribute
+	// nothing), but would diverge on the next join/leave. Both sides are
+	// ascending.
+	want := ds.ActiveUsers()
+	if len(got.Active) != len(want) {
+		return fmt.Errorf("active count %d != offline %d", len(got.Active), len(want))
+	}
+	for i := range want {
+		if got.Active[i] != want[i] {
+			return fmt.Errorf("active[%d] = %d != offline %d", i, got.Active[i], want[i])
+		}
+	}
+	return nil
+}
+
+// freeAddr grabs an ephemeral localhost port for the child. (Classic tiny
+// race between close and the child's bind; harmless at smoke scale.)
+func freeAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr, nil
+}
+
+// spawnChild starts a serve-mode svgicd child on the crash data directory,
+// forwarding the durability and solver flags so both incarnations (and the
+// offline verifier) agree on the workload.
+func spawnChild(cfg config, addr string) (*exec.Cmd, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	algo := cfg.algo
+	if i := strings.IndexByte(algo, ','); i >= 0 {
+		algo = algo[:i]
+	}
+	args := []string{
+		"-addr", addr,
+		"-workers", strconv.Itoa(cfg.workers),
+		"-algo", algo,
+		"-seed", strconv.FormatUint(cfg.seed, 10),
+		"-max-sessions", strconv.Itoa(cfg.maxSessions),
+		"-session-ttl", "0s", // an eviction tombstone mid-test would (correctly!) erase a session we still want to verify
+		"-data-dir", cfg.dataDir,
+		"-fsync", cfg.fsync,
+		"-fsync-interval", cfg.fsyncInterval.String(),
+		"-snapshot-every", strconv.Itoa(cfg.snapshotEvery),
+	}
+	if cfg.sizeCap > 0 {
+		args = append(args, "-size-cap", strconv.Itoa(cfg.sizeCap))
+	}
+	child := exec.Command(self, args...)
+	child.Stdout = os.Stderr
+	child.Stderr = os.Stderr
+	if err := child.Start(); err != nil {
+		return nil, fmt.Errorf("spawning child svgicd: %w", err)
+	}
+	return child, nil
+}
+
+// waitHealthy polls /healthz until 200 or the deadline.
+func waitHealthy(client *http.Client, base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return err
+			}
+			return fmt.Errorf("timed out")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -181,12 +181,16 @@ func dynamicPlans(cfg config, algos []string) ([]dynamicSessionPlan, error) {
 	if perSession < 1 {
 		perSession = 1
 	}
+	// Instance and churn seeds both derive from -seed, so two loadgen runs
+	// with the same flags drive byte-identical workloads — what the
+	// crash-smoke's offline-replay verification and reproducible CI runs
+	// rely on.
 	for i := range plans {
-		in := datasets.MultiGroup(uint64(300+i), 2, 4, 12, 2, 0.5)
+		in := datasets.MultiGroup(cfg.seed+uint64(300+i), 2, 4, 12, 2, 0.5)
 		plans[i] = dynamicSessionPlan{
 			instance: *core.InstanceAsJSON(in),
 			algo:     algos[i%len(algos)],
-			events:   session.GenerateEvents(in.NumUsers(), in.NumItems, perSession, uint64(700+i)),
+			events:   session.GenerateEvents(in.NumUsers(), in.NumItems, perSession, cfg.seed+uint64(700+i)),
 		}
 	}
 	return plans, nil

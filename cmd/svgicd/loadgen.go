@@ -189,24 +189,22 @@ func targetOrInProcess(cfg config) (string, func(), error) {
 	if cfg.target != "" {
 		return cfg.target, func() {}, nil
 	}
-	eng, mgr, app, err := newApp(cfg)
+	a, err := newApp(cfg)
 	if err != nil {
 		return "", nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		mgr.Close()
-		eng.Close()
+		a.close()
 		return "", nil, err
 	}
-	httpSrv := &http.Server{Handler: app}
+	httpSrv := &http.Server{Handler: a.srv}
 	go func() { _ = httpSrv.Serve(ln) }()
 	base := "http://" + ln.Addr().String()
 	fmt.Fprintf(os.Stderr, "loadgen: in-process server on %s\n", base)
 	return base, func() {
 		httpSrv.Close()
-		mgr.Close()
-		eng.Close()
+		a.close()
 	}, nil
 }
 

@@ -14,6 +14,19 @@
 //	curl -s -XPOST localhost:8080/v1/solve -d '{"algo":"per", ...instance...}'
 //	curl -s -XPOST localhost:8080/v1/solve/batch -d @stores.json
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics        # Prometheus text format
+//
+// With -data-dir, live sessions are durable: each gets a write-ahead event
+// log plus periodic snapshots (-snapshot-every bounds the recovery tail,
+// -fsync picks always|interval|off), and a restart recovers every session
+// at its exact pre-crash (version, value, configuration):
+//
+//	svgicd -data-dir /var/lib/svgic -fsync always -snapshot-every 256
+//
+// The crash contract is testable end to end: `-loadgen -dynamic -crash`
+// spawns a child svgicd, SIGKILLs it mid-churn, restarts it on the same
+// directory and verifies every recovered session against an offline replay
+// (what `make crash-smoke` runs in CI).
 //
 // Load-generate (reports throughput, latency percentiles, cache/coalesce
 // hit rates; exits non-zero on any status other than 200/429). In loadgen
@@ -44,6 +57,7 @@ import (
 	svgic "github.com/svgic/svgic"
 	"github.com/svgic/svgic/internal/server"
 	"github.com/svgic/svgic/internal/session"
+	"github.com/svgic/svgic/internal/store"
 )
 
 func main() {
@@ -71,6 +85,11 @@ type config struct {
 	repairInterval time.Duration
 	repairMargin   float64
 
+	dataDir       string
+	fsync         string
+	fsyncInterval time.Duration
+	snapshotEvery int
+
 	loadgen  bool
 	target   string
 	requests int
@@ -82,6 +101,7 @@ type config struct {
 	sessions   int
 	eventBatch int
 	trace      string
+	crash      bool
 }
 
 func run() error {
@@ -108,6 +128,15 @@ func run() error {
 	flag.Float64Var(&cfg.repairMargin, "repair-margin", session.DefaultRepairMargin,
 		"drift repair: relative improvement a re-solve must show to be swapped in (0 = the 0.01 default; negative = swap on any strict improvement)")
 
+	flag.StringVar(&cfg.dataDir, "data-dir", "",
+		"durable session store directory: live sessions get a write-ahead log + snapshots there and are recovered on restart (empty = in-memory only)")
+	flag.StringVar(&cfg.fsync, "fsync", "interval",
+		"WAL fsync policy: always (every record durable before the writer moves on) | interval (bounded loss window) | off (OS decides)")
+	flag.DurationVar(&cfg.fsyncInterval, "fsync-interval", store.DefaultSyncInterval,
+		"dirty-log fsync cadence under -fsync interval")
+	flag.IntVar(&cfg.snapshotEvery, "snapshot-every", session.DefaultSnapshotEvery,
+		"cut a session snapshot (and compact its WAL) every N applied events; bounds recovery replay to the post-snapshot tail")
+
 	flag.BoolVar(&cfg.loadgen, "loadgen", false, "run the load generator instead of serving")
 	flag.StringVar(&cfg.target, "target", "", "loadgen target base URL (empty = spin up an in-process server)")
 	flag.IntVar(&cfg.requests, "requests", 300, "loadgen: total requests (dynamic mode: total events)")
@@ -119,8 +148,13 @@ func run() error {
 	flag.IntVar(&cfg.sessions, "sessions", 4, "dynamic loadgen: concurrent live sessions")
 	flag.IntVar(&cfg.eventBatch, "event-batch", 4, "dynamic loadgen: events per POST")
 	flag.StringVar(&cfg.trace, "trace", "", "dynamic loadgen: replay a datagen -events trace file into every session (empty = generate churn)")
+	flag.BoolVar(&cfg.crash, "crash", false,
+		"dynamic loadgen: kill/restart/verify mode — spawn a child svgicd on -data-dir, SIGKILL it mid-churn, restart it, and assert every recovered session matches an offline replay (requires -data-dir)")
 	flag.Parse()
 
+	if cfg.loadgen && cfg.dynamic && cfg.crash {
+		return runCrashLoadgen(cfg)
+	}
 	if cfg.loadgen && cfg.dynamic {
 		return runDynamicLoadgen(cfg)
 	}
@@ -130,32 +164,80 @@ func run() error {
 	return serve(cfg)
 }
 
-// newApp builds the engine + session manager + server triple from flags. The
-// caller shuts the server down, then closes the manager, then the engine.
-func newApp(cfg config) (*svgic.Engine, *session.Manager, *server.Server, error) {
+// app is the assembled serving stack. Shutdown order matters and is the
+// reverse of construction: HTTP drain, then the manager (flushes its
+// persist outboxes), then the store (drains writer shards, fsyncs, closes
+// logs), then the engine.
+type app struct {
+	eng *svgic.Engine
+	st  *store.Store // nil without -data-dir
+	mgr *session.Manager
+	srv *server.Server
+}
+
+// close tears the stack down in dependency order (idempotent components).
+func (a *app) close() {
+	a.mgr.Close()
+	if a.st != nil {
+		a.st.Close()
+	}
+	a.eng.Close()
+}
+
+// newApp builds the engine (+ optional durable store) + session manager +
+// server stack from flags. With -data-dir, every persisted session is
+// recovered into the manager before the server takes a request.
+func newApp(cfg config) (*app, error) {
 	algo := cfg.algo
 	if i := strings.IndexByte(algo, ','); i >= 0 {
 		algo = algo[:i] // loadgen mixes; the in-process server defaults to the first
 	}
 	newSolver, params, err := pickSolver(algo, cfg)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	eng := svgic.NewEngine(svgic.EngineOptions{
 		Workers:   cfg.workers,
 		CacheSize: cfg.cache,
 		NewSolver: newSolver,
 	})
+	var st *store.Store
+	if cfg.dataDir != "" {
+		policy, err := store.ParseSyncPolicy(cfg.fsync)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		backend, err := store.NewFS(cfg.dataDir)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		st, err = store.Open(store.Options{
+			Backend:      backend,
+			Sync:         policy,
+			SyncInterval: cfg.fsyncInterval,
+		})
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+	}
 	mgr, err := session.NewManager(session.Options{
 		Engine:         eng,
 		MaxSessions:    cfg.maxSessions,
 		TTL:            cfg.sessionTTL,
 		RepairInterval: cfg.repairInterval,
 		RepairMargin:   cfg.repairMargin,
+		Persister:      persisterOrNil(st),
+		SnapshotEvery:  cfg.snapshotEvery,
 	})
 	if err != nil {
+		if st != nil {
+			st.Close()
+		}
 		eng.Close()
-		return nil, nil, nil, err
+		return nil, err
 	}
 	srv, err := server.New(server.Options{
 		Engine: eng,
@@ -170,13 +252,27 @@ func newApp(cfg config) (*svgic.Engine, *session.Manager, *server.Server, error)
 		MaxBatch:       cfg.maxBatch,
 		NoCoalesce:     cfg.noCoalesce,
 		Sessions:       mgr,
+		Store:          st,
 	})
 	if err != nil {
 		mgr.Close()
+		if st != nil {
+			st.Close()
+		}
 		eng.Close()
-		return nil, nil, nil, err
+		return nil, err
 	}
-	return eng, mgr, srv, nil
+	return &app{eng: eng, st: st, mgr: mgr, srv: srv}, nil
+}
+
+// persisterOrNil avoids the classic typed-nil-in-interface trap: a nil
+// *store.Store stuffed into the Persister interface would be non-nil to the
+// manager and panic on first use.
+func persisterOrNil(st *store.Store) session.Persister {
+	if st == nil {
+		return nil
+	}
+	return st
 }
 
 // pickSolver resolves the default solver from the registry, mapping the
@@ -220,16 +316,15 @@ func serve(cfg config) error {
 	if strings.ContainsRune(cfg.algo, ',') {
 		return fmt.Errorf("-algo %q: comma-separated lists are loadgen-only; serve mode takes one default algorithm", cfg.algo)
 	}
-	eng, mgr, app, err := newApp(cfg)
+	a, err := newApp(cfg)
 	if err != nil {
 		return err
 	}
-	defer eng.Close()
-	defer mgr.Close()
+	defer a.close()
 
 	httpSrv := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           app,
+		Handler:           a.srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -238,8 +333,13 @@ func serve(cfg config) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "svgicd: serving on %s (workers=%d cache=%d algo=%s max-inflight=%d max-sessions=%d repair=%s)\n",
-		cfg.addr, eng.Stats().Workers, cfg.cache, cfg.algo, app.StatsSnapshot().Server.MaxInFlight,
+		cfg.addr, a.eng.Stats().Workers, cfg.cache, cfg.algo, a.srv.StatsSnapshot().Server.MaxInFlight,
 		cfg.maxSessions, cfg.repairInterval)
+	if a.st != nil {
+		st := a.st.Stats()
+		fmt.Fprintf(os.Stderr, "svgicd: durable store at %s (fsync=%s snapshot-every=%d): recovered %d session(s), replayed %d WAL record(s)/%d event(s), torn tails=%d, errors=%d\n",
+			cfg.dataDir, st.Policy, cfg.snapshotEvery, st.RecoveredSessions, st.ReplayedRecords, st.ReplayedEvents, st.TornTails, st.RecoveryErrors)
+	}
 
 	select {
 	case err := <-errCh:
@@ -247,14 +347,15 @@ func serve(cfg config) error {
 	case <-ctx.Done():
 	}
 	// Graceful shutdown: stop accepting, drain in-flight solves, then (via
-	// the deferred Close) release the engine's worker pool.
+	// the deferred close) flush the session manager into the store, drain
+	// and fsync the store, and release the engine's worker pool.
 	fmt.Fprintln(os.Stderr, "svgicd: draining...")
 	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
-	if err := app.Shutdown(drainCtx); err != nil {
+	if err := a.srv.Shutdown(drainCtx); err != nil {
 		return err
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -58,6 +58,31 @@ func NewDynamicSession(in *Instance, conf *Configuration, cap int) (*DynamicSess
 	return &DynamicSession{in: in.Clone(), conf: conf.Clone(), cap: cap, active: active}, nil
 }
 
+// RestoreDynamicSession rebuilds a session from persisted state: the
+// instance and configuration as they stood at the persistence point, the
+// SVGIC-ST cap, and the ids of the users active at that point — the one
+// piece of session state NewDynamicSession cannot reconstruct, because a
+// departed user's row stays in the instance (zeroed) after Leave. The
+// durable session store uses it to reload snapshots; WAL-tail replay through
+// the ordinary event path then brings the session back to its pre-crash
+// state. Both the instance and the configuration are deep-cloned.
+func RestoreDynamicSession(in *Instance, conf *Configuration, cap int, activeIDs []int) (*DynamicSession, error) {
+	if err := conf.Validate(in); err != nil {
+		return nil, err
+	}
+	active := make([]bool, in.NumUsers())
+	for _, u := range activeIDs {
+		if u < 0 || u >= len(active) {
+			return nil, fmt.Errorf("core: restored active id %d out of range [0,%d)", u, len(active))
+		}
+		if active[u] {
+			return nil, fmt.Errorf("core: restored active id %d repeated", u)
+		}
+		active[u] = true
+	}
+	return &DynamicSession{in: in.Clone(), conf: conf.Clone(), cap: cap, active: active}, nil
+}
+
 // Instance returns the session's current instance (live view, do not modify).
 func (ds *DynamicSession) Instance() *Instance { return ds.in }
 

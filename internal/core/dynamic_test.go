@@ -305,3 +305,55 @@ func TestAdopt(t *testing.T) {
 		t.Fatal("incomplete configuration adopted")
 	}
 }
+
+// TestRestoreDynamicSession: a session reconstructed from persisted state
+// (instance, configuration, cap, active set) is indistinguishable from the
+// original — including the departed-user bookkeeping NewDynamicSession
+// cannot express — and invalid active sets are rejected.
+func TestRestoreDynamicSession(t *testing.T) {
+	_, ds := solvedSession(t, 58, 8, 10, 2, 0)
+	if err := ds.Leave(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Leave(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Join(make([]float64, ds.Instance().NumItems), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := RestoreDynamicSession(ds.Instance(), ds.Config(), ds.SizeCap(), ds.ActiveUsers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Value(), ds.Value(); got != want {
+		t.Fatalf("restored value %v, want %v", got, want)
+	}
+	if got, want := restored.ActiveUsers(), ds.ActiveUsers(); len(got) != len(want) {
+		t.Fatalf("restored %d active users, want %d", len(got), len(want))
+	}
+	// The departed users stay departed: re-leaving must fail, exactly as on
+	// the original, and a rebalance must not resurrect their utility.
+	if err := restored.Leave(2); err == nil {
+		t.Fatal("restored session let a departed user leave again")
+	}
+	before := restored.Value()
+	restored.Rebalance(3)
+	if restored.Value() < before {
+		t.Fatalf("rebalance on restored session lost value: %v -> %v", before, restored.Value())
+	}
+	// Restore clones: mutating the source instance afterwards must not
+	// reach the restored session.
+	ds.Instance().Pref[0][0] = 123
+	if restored.Instance().Pref[0][0] == 123 {
+		t.Fatal("restored session aliases the source instance")
+	}
+
+	// Invalid active sets are rejected before any state is built.
+	if _, err := RestoreDynamicSession(ds.Instance(), ds.Config(), 0, []int{0, 0}); err == nil {
+		t.Fatal("duplicate active id accepted")
+	}
+	if _, err := RestoreDynamicSession(ds.Instance(), ds.Config(), 0, []int{ds.Instance().NumUsers()}); err == nil {
+		t.Fatal("out-of-range active id accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"github.com/svgic/svgic/internal/core"
 	"github.com/svgic/svgic/internal/registry"
 	"github.com/svgic/svgic/internal/session"
+	"github.com/svgic/svgic/internal/store"
 )
 
 // Wire types of the svgicd JSON API. Instances travel as core.InstanceJSON
@@ -170,6 +171,15 @@ type SessionsStats struct {
 	session.Stats
 }
 
+// StoreStats is the durable-session-store slice of GET /v1/stats: WAL
+// append/fsync/snapshot/compaction counters plus the recovery counters of
+// the last startup (sessions recovered, WAL tail records replayed, torn
+// tails tolerated). Absent when svgicd runs without -data-dir.
+type StoreStats struct {
+	Enabled bool `json:"enabled"`
+	store.Stats
+}
+
 // HealthResponse answers GET /healthz.
 type HealthResponse struct {
 	Status  string `json:"status"`
@@ -231,4 +241,5 @@ type StatsResponse struct {
 	Engine   EngineStats   `json:"engine"`
 	Coalesce CoalesceStats `json:"coalesce"`
 	Sessions SessionsStats `json:"sessions"`
+	Store    *StoreStats   `json:"store,omitempty"`
 }

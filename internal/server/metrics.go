@@ -1,0 +1,142 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// GET /metrics: the serving counters in Prometheus text exposition format
+// (version 0.0.4), so restarts, recovery and drift repair are observable by
+// a standard scraper without parsing the /v1/stats JSON. The endpoint is
+// handwritten over StatsSnapshot rather than pulling in a client library —
+// the format is three line shapes, and the container must not grow
+// dependencies for it.
+//
+// Naming follows the Prometheus conventions: one svgicd_* namespace,
+// _total suffixes on counters, base units, and per-algorithm engine
+// counters as an algo="" label rather than a name explosion.
+
+// promWriter accumulates one exposition document.
+type promWriter struct {
+	b strings.Builder
+}
+
+// counter emits a single-sample counter with its TYPE header.
+func (p *promWriter) counter(name, help string, v uint64) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// gauge emits a single-sample gauge with its TYPE header.
+func (p *promWriter) gauge(name, help string, v float64) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+// labeled emits a labeled family: one TYPE header, one sample per (label
+// value, sample value) pair, in the given order.
+func (p *promWriter) labeled(name, help, typ, label string, keys []string, vals func(string) float64) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, k := range keys {
+		fmt.Fprintf(&p.b, "%s{%s=%q} %g\n", name, label, k, vals(k))
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.StatsSnapshot()
+	var p promWriter
+
+	// Admission / HTTP plane.
+	p.counter("svgicd_requests_admitted_total", "Requests admitted past the in-flight bound.", st.Server.Admitted)
+	p.counter("svgicd_requests_shed_total", "Requests shed with 429 (admission or session limit).", st.Server.Shed)
+	p.counter("svgicd_bad_requests_total", "Requests rejected as malformed (4xx).", st.Server.BadRequests)
+	p.counter("svgicd_timeouts_total", "Solves that exceeded their deadline (504).", st.Server.Timeouts)
+	p.counter("svgicd_client_closed_total", "Requests abandoned by the client mid-solve (499).", st.Server.ClientClosed)
+	p.gauge("svgicd_in_flight_requests", "Requests currently holding an admission token.", float64(st.Server.InFlight))
+	p.gauge("svgicd_max_in_flight_requests", "Admission bound.", float64(st.Server.MaxInFlight))
+	p.gauge("svgicd_draining", "1 while the server is draining for shutdown.", boolGauge(st.Server.Draining))
+
+	// Engine.
+	p.counter("svgicd_engine_solves_total", "Solve requests reaching the engine.", st.Engine.Solves)
+	p.counter("svgicd_engine_solved_total", "Solves completed by running a solver.", st.Engine.Solved)
+	p.counter("svgicd_engine_cache_hits_total", "Solves answered from the result cache.", st.Engine.CacheHits)
+	p.counter("svgicd_engine_cache_misses_total", "Result-cache misses.", st.Engine.CacheMisses)
+	p.counter("svgicd_engine_canceled_total", "Solves canceled by context.", st.Engine.Canceled)
+	p.counter("svgicd_engine_errors_total", "Solves that failed.", st.Engine.Errors)
+	p.counter("svgicd_engine_batches_total", "Batch solve calls.", st.Engine.Batches)
+	p.counter("svgicd_engine_components_solved_total", "Independently solved social-network components.", st.Engine.ComponentsSolved)
+	p.gauge("svgicd_engine_workers", "Solver worker pool size.", float64(st.Engine.Workers))
+	p.gauge("svgicd_engine_avg_solve_seconds", "Mean solver wall time.", st.Engine.AvgLatencyMS/1000)
+	if len(st.Engine.PerAlgorithm) > 0 {
+		algos := make([]string, 0, len(st.Engine.PerAlgorithm))
+		for name := range st.Engine.PerAlgorithm {
+			algos = append(algos, name)
+		}
+		sort.Strings(algos)
+		p.labeled("svgicd_engine_algo_solves_total", "Solve requests per algorithm.", "counter", "algo", algos,
+			func(a string) float64 { return float64(st.Engine.PerAlgorithm[a].Solves) })
+		p.labeled("svgicd_engine_algo_cache_hits_total", "Cache hits per algorithm.", "counter", "algo", algos,
+			func(a string) float64 { return float64(st.Engine.PerAlgorithm[a].CacheHits) })
+		p.labeled("svgicd_engine_algo_errors_total", "Failed solves per algorithm.", "counter", "algo", algos,
+			func(a string) float64 { return float64(st.Engine.PerAlgorithm[a].Errors) })
+	}
+
+	// Coalescing.
+	p.gauge("svgicd_coalesce_enabled", "1 when request coalescing is on.", boolGauge(st.Coalesce.Enabled))
+	p.counter("svgicd_coalesce_leads_total", "Coalesced flights that ran the engine.", st.Coalesce.Leads)
+	p.counter("svgicd_coalesce_joins_total", "Requests answered by joining an in-flight solve.", st.Coalesce.Joins)
+
+	// Live sessions.
+	ss := st.Sessions
+	p.gauge("svgicd_sessions_live", "Live sessions.", float64(ss.Live))
+	p.gauge("svgicd_sessions_max", "Session admission bound.", float64(ss.MaxSessions))
+	p.counter("svgicd_sessions_created_total", "Sessions created.", ss.Created)
+	p.counter("svgicd_sessions_restored_total", "Sessions recovered from the durable store at startup.", ss.Restored)
+	p.counter("svgicd_sessions_rejected_total", "Session creates refused at the bound.", ss.Rejected)
+	p.counter("svgicd_sessions_evicted_total", "Idle sessions evicted by the TTL sweep.", ss.Evicted)
+	p.counter("svgicd_sessions_deleted_total", "Sessions explicitly deleted.", ss.Deleted)
+	kinds := []string{"join", "leave", "updatePreference", "rebalance"}
+	byKind := map[string]uint64{"join": ss.Joins, "leave": ss.Leaves, "updatePreference": ss.Updates, "rebalance": ss.Rebalances}
+	p.labeled("svgicd_session_events_total", "Applied live-session events by kind.", "counter", "kind", kinds,
+		func(k string) float64 { return float64(byKind[k]) })
+	p.counter("svgicd_repair_runs_total", "Drift-repair re-solves attempted.", ss.RepairRuns)
+	p.counter("svgicd_repair_swaps_total", "Drift repairs adopted over the incremental configuration.", ss.RepairSwaps)
+	p.counter("svgicd_repair_keeps_total", "Drift repairs that kept the incremental configuration.", ss.RepairKeeps)
+	p.counter("svgicd_repair_stale_total", "Drift repairs discarded as stale.", ss.RepairStale)
+	p.counter("svgicd_repair_errors_total", "Drift repairs that failed or timed out.", ss.RepairErrors)
+
+	// Durable store (present only with -data-dir).
+	if st.Store != nil {
+		d := st.Store.Stats
+		p.counter("svgicd_store_appends_total", "WAL records appended.", d.Appends)
+		p.counter("svgicd_store_appended_events_total", "Events inside appended WAL records.", d.AppendedEvents)
+		p.counter("svgicd_store_appended_bytes_total", "Bytes appended to WALs (frames included).", d.AppendedBytes)
+		p.counter("svgicd_store_syncs_total", "fsync calls issued by the store.", d.Syncs)
+		p.counter("svgicd_store_snapshots_total", "Session snapshots written.", d.Snapshots)
+		p.counter("svgicd_store_compactions_total", "WAL truncations behind a snapshot.", d.Compactions)
+		p.counter("svgicd_store_tombstones_total", "Session tombstones written.", d.Tombstones)
+		p.counter("svgicd_store_io_errors_total", "Persistence operations abandoned on I/O failure.", d.IOErrors)
+		p.gauge("svgicd_store_queue_depth", "Persist ops waiting across writer shards.", float64(d.QueueDepth))
+		p.gauge("svgicd_store_open_logs", "Session logs currently open.", float64(d.OpenLogs))
+		p.counter("svgicd_store_recovered_sessions_total", "Sessions recovered at the last startup.", d.RecoveredSessions)
+		p.counter("svgicd_store_replayed_records_total", "WAL tail records replayed during recovery.", d.ReplayedRecords)
+		p.counter("svgicd_store_replayed_events_total", "Events replayed during recovery.", d.ReplayedEvents)
+		p.counter("svgicd_store_torn_tails_total", "WALs that ended in a torn frame at recovery.", d.TornTails)
+		p.counter("svgicd_store_recovery_errors_total", "Sessions that failed to recover.", d.RecoveryErrors)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(p.b.String()))
+}

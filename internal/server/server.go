@@ -30,12 +30,17 @@
 //	DELETE /v1/sessions/{id}                                -> 204
 //	GET    /v1/algorithms          registered solvers + parameter schemas
 //	GET    /healthz                liveness + drain state
-//	GET    /v1/stats               StatsResponse (engine + admission + coalescing + sessions)
+//	GET    /v1/stats               StatsResponse (engine + admission + coalescing + sessions + store)
+//	GET    /metrics                the same counters in Prometheus text format
 //
 // The /v1/sessions endpoints are the live-session subsystem (the paper's
 // Extension F as a serving path): ID-keyed versioned sessions over a
 // session.Manager with serialized event application, bounded admission, TTL
-// eviction and background drift repair. See internal/session.
+// eviction and background drift repair. See internal/session. With
+// Options.Store set, every persisted session is recovered — snapshot +
+// WAL-tail replay — before the server takes its first request, and served
+// at the exact (version, value, configuration) it had before the restart.
+// See internal/store.
 //
 // All request bodies are decoded strictly: unknown fields and trailing
 // content are rejected with 400, so a misspelled field fails loudly instead
@@ -57,6 +62,7 @@ import (
 	"github.com/svgic/svgic/internal/engine"
 	"github.com/svgic/svgic/internal/registry"
 	"github.com/svgic/svgic/internal/session"
+	"github.com/svgic/svgic/internal/store"
 )
 
 // StatusClientClosedRequest is the non-standard 499 status (nginx
@@ -111,6 +117,15 @@ type Options struct {
 	// admission, but no TTL eviction and no background drift repair), which
 	// the server DOES own and closes at the end of Shutdown.
 	Sessions *session.Manager
+	// Store is the durable session store. When set, New recovers every
+	// persisted session into the manager before the server can take a
+	// request — re-resolving each session's drift-repair solver from its
+	// persisted registry reference — and /v1/stats (and /metrics) carry the
+	// store's counters. The server does not own the store: the caller closes
+	// it after the manager (and typically also attached it to the manager as
+	// its Persister; New does not do that wiring, because the manager is
+	// built first).
+	Store *store.Store
 }
 
 // Server is the svgicd HTTP handler. Create with New, stop with Shutdown.
@@ -175,12 +190,30 @@ func New(opts Options) (*Server, error) {
 	}
 	s.mgr = opts.Sessions
 	if s.mgr == nil {
-		mgr, err := session.NewManager(session.Options{Engine: opts.Engine})
+		// The default manager persists through Options.Store when one is
+		// given — otherwise recovered sessions would be served but their
+		// subsequent transitions silently dropped, and the NEXT restart
+		// would resurrect stale state.
+		mopts := session.Options{Engine: opts.Engine}
+		if opts.Store != nil {
+			mopts.Persister = opts.Store
+		}
+		mgr, err := session.NewManager(mopts)
 		if err != nil {
 			return nil, fmt.Errorf("server: session manager: %w", err)
 		}
 		s.mgr = mgr
 		s.ownMgr = true
+	}
+	if opts.Store != nil {
+		if err := s.recoverSessions(); err != nil {
+			// A manager New built itself has no other owner to stop its
+			// background loop.
+			if s.ownMgr {
+				s.mgr.Close()
+			}
+			return nil, err
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
@@ -188,6 +221,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleSessionEvents)
@@ -590,6 +624,9 @@ func (s *Server) StatsSnapshot() StatsResponse {
 		Enabled:     true,
 		MaxSessions: s.mgr.MaxSessions(),
 		Stats:       s.mgr.Stats(),
+	}
+	if s.opts.Store != nil {
+		resp.Store = &StoreStats{Enabled: true, Stats: s.opts.Store.Stats()}
 	}
 	return resp
 }

@@ -78,6 +78,32 @@ func (s *Server) resolveSessionSolver(algo string, raw json.RawMessage, sizeCap 
 	return s.resolveSolver(algo, raw)
 }
 
+// recoverSessions rebuilds every session persisted in the durable store and
+// installs it into the manager, before the server takes its first request.
+// Each session's drift-repair solver is re-resolved from its persisted
+// registry reference through the SAME resolution path creates use (cap
+// injection included), so a recovered capped session keeps repairing the
+// capped problem. A session whose solver no longer resolves — a registry
+// entry removed across the restart — recovers onto the engine default
+// rather than being dropped: serving the exact pre-crash state matters more
+// than which solver repairs it next.
+func (s *Server) recoverSessions() error {
+	recs, err := s.opts.Store.Recover()
+	if err != nil {
+		return fmt.Errorf("server: recovering sessions: %w", err)
+	}
+	for _, rec := range recs {
+		solver, err := s.resolveSessionSolver(rec.State.Ref.Name, rec.State.Ref.Params, rec.State.SizeCap)
+		if err != nil {
+			solver = nil
+		}
+		if _, err := s.mgr.Restore(rec.State, solver, rec.SinceSnapshot); err != nil {
+			return fmt.Errorf("server: restoring session %s: %w", rec.State.ID, err)
+		}
+	}
+	return nil
+}
+
 // writeSessionError maps session-manager failures onto HTTP statuses:
 // unknown id → 404, session limit → 429 + Retry-After, manager/engine shut
 // down → 503, deadline/cancel → 504/499, anything else (event validation,
@@ -136,7 +162,15 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	start := time.Now()
-	snap, sol, err := s.mgr.Create(ctx, in, solver, req.SizeCap)
+	snap, sol, err := s.mgr.CreateWith(ctx, in, session.CreateSpec{
+		Solver:  solver,
+		SizeCap: req.SizeCap,
+		// The request's own algorithm selection is the session's durable
+		// solver identity: recovery re-resolves it through the same
+		// resolveSessionSolver path, so a restarted session repairs with the
+		// same (cap-injected) solver it was created with.
+		Ref: session.SolverRef{Name: strings.ToLower(req.Algo), Params: req.Params},
+	})
 	if err != nil {
 		s.writeSessionError(w, err)
 		return

@@ -53,6 +53,16 @@ type Options struct {
 	// RepairTimeout bounds each drift-repair solve. Zero means
 	// DefaultRepairTimeout.
 	RepairTimeout time.Duration
+	// Persister receives durability hooks for every session transition
+	// (internal/store implements it over a write-ahead log + snapshots).
+	// Nil keeps sessions purely in memory — a restart discards them.
+	Persister Persister
+	// SnapshotEvery is the snapshot cadence: a full-state image is cut (and
+	// the persister may compact the log behind it) every this many applied
+	// transitions per session. Zero means DefaultSnapshotEvery; negative
+	// disables periodic cuts (the creation snapshot still happens). Ignored
+	// without a Persister.
+	SnapshotEvery int
 }
 
 // Stats is a snapshot of the manager's counters, aggregated over all
@@ -61,9 +71,10 @@ type Options struct {
 type Stats struct {
 	Live     int    `json:"live"`
 	Created  uint64 `json:"created"`
-	Rejected uint64 `json:"rejected"` // Create calls refused by MaxSessions
-	Evicted  uint64 `json:"evicted"`  // idle sessions removed by the TTL sweep
-	Deleted  uint64 `json:"deleted"`  // explicit deletes
+	Restored uint64 `json:"restored,omitempty"` // sessions recovered from the durable store
+	Rejected uint64 `json:"rejected"`           // Create calls refused by MaxSessions
+	Evicted  uint64 `json:"evicted"`            // idle sessions removed by the TTL sweep
+	Deleted  uint64 `json:"deleted"`            // explicit deletes
 
 	EventsApplied uint64 `json:"eventsApplied"`
 	Joins         uint64 `json:"joins"`
@@ -86,6 +97,8 @@ type Manager struct {
 	ttl           time.Duration
 	repairMargin  float64
 	repairTimeout time.Duration
+	persister     Persister
+	snapshotEvery int
 
 	now func() time.Time // test seam; time.Now in production
 
@@ -95,6 +108,7 @@ type Manager struct {
 
 	idc       atomic.Uint64
 	created   atomic.Uint64
+	restored  atomic.Uint64
 	rejected  atomic.Uint64
 	evicted   atomic.Uint64
 	deleted   atomic.Uint64
@@ -113,6 +127,7 @@ type Manager struct {
 	cancel    context.CancelFunc
 	done      chan struct{}
 	wg        sync.WaitGroup
+	creating  sync.WaitGroup // in-flight CreateWith calls; Close waits them out
 	closeOnce sync.Once
 }
 
@@ -129,9 +144,14 @@ func NewManager(opts Options) (*Manager, error) {
 		ttl:           opts.TTL,
 		repairMargin:  opts.RepairMargin,
 		repairTimeout: opts.RepairTimeout,
+		persister:     opts.Persister,
+		snapshotEvery: opts.SnapshotEvery,
 		now:           time.Now,
 		sessions:      make(map[string]*Session),
 		done:          make(chan struct{}),
+	}
+	if m.snapshotEvery == 0 {
+		m.snapshotEvery = DefaultSnapshotEvery
 	}
 	if m.maxSessions <= 0 {
 		m.maxSessions = DefaultMaxSessions
@@ -209,10 +229,18 @@ func (m *Manager) Close() {
 		m.sessions = make(map[string]*Session)
 		m.mu.Unlock()
 		m.cancel()
+		// Wait out in-flight creates: each either inserted before closed
+		// was set (its session is among the victims) or will fail the
+		// insert re-check and tombstone its creation image — both must
+		// finish before the caller may close the persister's store.
+		m.creating.Wait()
 		close(m.done)
 		m.wg.Wait()
 		for _, s := range victims {
-			s.close()
+			// Shutdown is not a tombstone: the sessions' durable state must
+			// survive the restart, so close with no end reason (pending
+			// persist ops still flush).
+			s.close("")
 		}
 	})
 }
@@ -233,21 +261,50 @@ func (m *Manager) solveWith(ctx context.Context, in *core.Instance, solver core.
 	return m.eng.Solve(ctx, in)
 }
 
+// CreateSpec bundles Create's optional inputs.
+type CreateSpec struct {
+	// Solver backs the initial solve and every drift repair; nil means the
+	// engine's default solver.
+	Solver core.Solver
+	// SizeCap > 0 enforces the SVGIC-ST subgroup bound on event application;
+	// pass a Solver parameterized with the same cap so drift repair solves
+	// the same capped problem.
+	SizeCap int
+	// Ref is the registry identity of Solver, persisted so a recovery path
+	// can re-resolve it (see SolverRef). Only meaningful with a Persister.
+	Ref SolverRef
+}
+
 // Create solves the instance through the engine (with the given solver, or
 // the engine default when nil) and registers a live session seeded with the
-// solution. sizeCap > 0 enforces the SVGIC-ST subgroup bound on event
-// application; pass a solver parameterized with the same cap so drift
-// repair solves the same problem. The instance is deep-cloned into the
-// session; the caller's copy is never mutated. Returns the new session's
-// snapshot together with the initial Solution.
+// solution. The instance is deep-cloned into the session; the caller's copy
+// is never mutated. Returns the new session's snapshot together with the
+// initial Solution. See CreateWith for the full-spec form.
 func (m *Manager) Create(ctx context.Context, in *core.Instance, solver core.Solver, sizeCap int) (Snapshot, *core.Solution, error) {
+	return m.CreateWith(ctx, in, CreateSpec{Solver: solver, SizeCap: sizeCap})
+}
+
+// CreateWith is Create with the full specification: solver, SVGIC-ST cap
+// and the solver's registry identity for durable recovery. When the manager
+// has a Persister, the new session's full state is persisted (as its
+// creation snapshot) before the session becomes reachable, so the durable
+// log never sees an event for a session it has not seen born.
+func (m *Manager) CreateWith(ctx context.Context, in *core.Instance, spec CreateSpec) (Snapshot, *core.Solution, error) {
 	// Cheap pre-admission: don't burn a solve for a session that cannot be
-	// registered. Re-checked at insert — creates race each other.
+	// registered. Re-checked at insert — creates race each other. The
+	// creating group is joined under the same lock that checked closed, so
+	// Close (which sets closed first, then waits on the group) always waits
+	// out this call — otherwise a create's persisted creation image could
+	// land before Store.Close while its abort tombstone lands after, and
+	// the next restart would recover a session no client was ever told
+	// about.
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return Snapshot{}, nil, ErrClosed
 	}
+	m.creating.Add(1)
+	defer m.creating.Done()
 	if len(m.sessions) >= m.maxSessions {
 		m.mu.Unlock()
 		m.rejected.Add(1)
@@ -255,33 +312,62 @@ func (m *Manager) Create(ctx context.Context, in *core.Instance, solver core.Sol
 	}
 	m.mu.Unlock()
 
-	sol, err := m.solveWith(ctx, in, solver)
+	sol, err := m.solveWith(ctx, in, spec.Solver)
 	if err != nil {
 		return Snapshot{}, nil, err
 	}
-	ds, err := core.NewDynamicSession(in, sol.Config, sizeCap)
+	ds, err := core.NewDynamicSession(in, sol.Config, spec.SizeCap)
 	if err != nil {
 		return Snapshot{}, nil, err
 	}
 	now := m.now()
 	s := &Session{
-		id:        m.newID(),
-		algo:      sol.Algorithm,
-		solver:    solver,
-		sizeCap:   sizeCap,
-		ds:        ds,
-		value:     ds.Value(),
-		created:   now,
-		lastTouch: now,
+		algo:          sol.Algorithm,
+		ref:           spec.Ref,
+		solver:        spec.Solver,
+		sizeCap:       spec.SizeCap,
+		persist:       m.persister,
+		snapshotEvery: m.snapshotEvery,
+		ds:            ds,
+		value:         ds.Value(),
+		created:       now,
+		lastTouch:     now,
+	}
+	// Mint an id free of collisions. Minted ids carry a random tail and a
+	// monotone sequence (so two racing creates can never mint the same one);
+	// the map check guards against colliding with a session RESTORED from a
+	// previous process epoch, whose log a reused id would silently fuse with.
+	// Restores all happen before serving starts, so an id checked free here
+	// is still free at insert below.
+	m.mu.Lock()
+	for s.id = m.newID(); ; s.id = m.newID() {
+		if _, taken := m.sessions[s.id]; !taken {
+			break
+		}
+	}
+	m.mu.Unlock()
+	if m.persister != nil {
+		// The session is not reachable yet, so the creation image
+		// happens-before every later hook for this id.
+		m.persister.SessionCreated(s.stateLocked())
+	}
+	// A failure between the creation image and the insert must tombstone the
+	// image, or a restart would recover a session that was never reachable.
+	abort := func() {
+		if m.persister != nil {
+			m.persister.SessionEnded(s.id, EndDeleted)
+		}
 	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
+		abort()
 		return Snapshot{}, nil, ErrClosed
 	}
 	if len(m.sessions) >= m.maxSessions {
 		m.mu.Unlock()
 		m.rejected.Add(1)
+		abort()
 		return Snapshot{}, nil, ErrLimit
 	}
 	m.sessions[s.id] = s
@@ -356,7 +442,7 @@ func (m *Manager) Delete(id string) error {
 		return ErrNotFound
 	}
 	m.deleted.Add(1)
-	s.close()
+	s.close(EndDeleted)
 	return nil
 }
 
@@ -426,7 +512,10 @@ func (m *Manager) EvictIdle() int {
 	}
 	m.mu.Unlock()
 	for _, s := range victims {
-		s.close()
+		// The eviction tombstone is part of the eviction, not an
+		// afterthought: a TTL-evicted id whose WAL survived a restart would
+		// resurrect as a live session the client believed gone.
+		s.close(EndEvicted)
 		m.evicted.Add(1)
 	}
 	return len(victims)
@@ -498,40 +587,62 @@ func (m *Manager) repairOne(ctx context.Context, s *Session) {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return
-	}
-	if s.version != version {
-		s.repairStale++
-		m.repStale.Add(1)
-		return
-	}
-	// A capped session never adopts a configuration that violates its
-	// bound, whatever the solver produced — the cap is the session's
-	// contract, better objective or not. (The serving layer already rejects
-	// cap-incapable solvers at create; this holds the invariant for
-	// library-constructed sessions too.)
-	if cap := s.ds.SizeCap(); cap > 0 && sol.Config.MaxSubgroupSize() > cap {
-		s.repairKeeps++
-		m.repKeeps.Add(1)
-		return
-	}
-	if resolved > threshold {
-		if err := s.ds.Adopt(sol.Config); err != nil {
-			// Cannot happen for a solution solved on a clone of this very
-			// instance; account it rather than crash the loop.
-			m.repErrors.Add(1)
+	swapped := false
+	func() {
+		defer s.mu.Unlock()
+		if s.closed {
 			return
 		}
-		s.value = s.ds.Value()
-		s.version++
-		s.repairSwaps++
-		m.repSwaps.Add(1)
-		return
+		if s.version != version {
+			s.repairStale++
+			m.repStale.Add(1)
+			return
+		}
+		// A capped session never adopts a configuration that violates its
+		// bound, whatever the solver produced — the cap is the session's
+		// contract, better objective or not. (The serving layer already rejects
+		// cap-incapable solvers at create; this holds the invariant for
+		// library-constructed sessions too.)
+		if cap := s.ds.SizeCap(); cap > 0 && sol.Config.MaxSubgroupSize() > cap {
+			s.repairKeeps++
+			m.repKeeps.Add(1)
+			return
+		}
+		if resolved > threshold {
+			if err := s.ds.Adopt(sol.Config); err != nil {
+				// Cannot happen for a solution solved on a clone of this very
+				// instance; account it rather than crash the loop.
+				m.repErrors.Add(1)
+				return
+			}
+			s.value = s.ds.Value()
+			s.version++
+			s.repairSwaps++
+			m.repSwaps.Add(1)
+			swapped = true
+			if s.persist != nil {
+				// The swap is a state transition like any event batch: log it
+				// (the adopted configuration travels as a deep clone — the
+				// Solution may live in the engine cache) so WAL replay lands
+				// on the exact served configuration, not just the same value.
+				s.outbox = append(s.outbox, persistOp{
+					kind:  opAdopt,
+					conf:  sol.Config.Clone(),
+					from:  version,
+					to:    s.version,
+					value: s.value,
+				})
+				s.sinceSnapshot++
+				s.maybeSnapshotLocked()
+			}
+			return
+		}
+		s.repairKeeps++
+		m.repKeeps.Add(1)
+	}()
+	if swapped {
+		s.drainOutbox()
 	}
-	s.repairKeeps++
-	m.repKeeps.Add(1)
 }
 
 // Stats returns a point-in-time snapshot of the manager's counters.
@@ -542,6 +653,7 @@ func (m *Manager) Stats() Stats {
 	return Stats{
 		Live:          live,
 		Created:       m.created.Load(),
+		Restored:      m.restored.Load(),
 		Rejected:      m.rejected.Load(),
 		Evicted:       m.evicted.Load(),
 		Deleted:       m.deleted.Load(),

@@ -18,6 +18,13 @@
 // a configurable margin. Repair solves run outside the session lock, so the
 // event path never blocks on a re-solve; a version check at swap time
 // discards solutions made stale by concurrent events.
+//
+// A manager built with Options.Persister is durable: every transition —
+// creation, applied batches, repair adoptions, periodic snapshot cuts,
+// tombstoning ends — is reported to the persister in per-session order (see
+// persist.go for the ordering machinery), and Restore installs recovered
+// state images back into a fresh manager after a restart. internal/store
+// implements the persister over a write-ahead log with snapshots.
 package session
 
 import (
@@ -34,8 +41,12 @@ import (
 type Session struct {
 	id      string
 	algo    string      // display name of the solver backing create + repair
+	ref     SolverRef   // registry identity persisted for recovery
 	solver  core.Solver // nil = the engine's default solver
 	sizeCap int
+
+	persist       Persister // nil = in-memory only
+	snapshotEvery int
 
 	mu        sync.Mutex
 	ds        *core.DynamicSession
@@ -44,6 +55,13 @@ type Session struct {
 	created   time.Time
 	lastTouch time.Time
 	closed    bool
+
+	// Durability outbox: transitions queue here under mu and are drained to
+	// the persister in order under outMu (see persist.go). sinceSnapshot
+	// counts transitions since the last snapshot cut.
+	outbox        []persistOp
+	sinceSnapshot int
+	outMu         sync.Mutex
 
 	joins, leaves, updates, rebalances uint64
 	rebalanceGain                      float64
@@ -67,13 +85,17 @@ type ApplyResult struct {
 // apply runs one event batch under the session lock. Events apply in order;
 // the first failure stops the batch and the error reports its index, with
 // every earlier event still applied (the returned result reflects the
-// session as it stands). Each applied event bumps the version by one.
+// session as it stands). Each applied event bumps the version by one. The
+// applied prefix is queued for the persister (exactly the prefix — a replay
+// of the log must reproduce what actually happened, not what was asked) and
+// drained outside the state lock.
 func (s *Session) apply(now time.Time, events []Event) (ApplyResult, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ApplyResult{}, ErrNotFound
 	}
+	from := s.version
 	results := make([]EventResult, 0, len(events))
 	var failed error
 	for i, ev := range events {
@@ -98,7 +120,21 @@ func (s *Session) apply(now time.Time, events []Event) (ApplyResult, error) {
 	}
 	s.value = s.ds.Value()
 	s.lastTouch = now
-	return ApplyResult{Version: s.version, Value: s.value, Results: results}, failed
+	out := ApplyResult{Version: s.version, Value: s.value, Results: results}
+	if s.persist != nil && len(results) > 0 {
+		s.outbox = append(s.outbox, persistOp{
+			kind:   opEvents,
+			events: events[:len(results)],
+			from:   from,
+			to:     s.version,
+			value:  s.value,
+		})
+		s.sinceSnapshot += len(results)
+		s.maybeSnapshotLocked()
+	}
+	s.mu.Unlock()
+	s.drainOutbox()
+	return out, failed
 }
 
 // Metrics is the per-session counter block exposed by snapshots and the
@@ -176,9 +212,18 @@ func (s *Session) metricsLocked() Metrics {
 }
 
 // close marks the session dead; later applies and snapshots see ErrNotFound
-// and an in-flight drift repair discards its result.
-func (s *Session) close() {
+// and an in-flight drift repair discards its result. A non-empty reason
+// queues a durable tombstone (delete / TTL eviction); an empty reason is a
+// manager shutdown — the session's durable state must survive the restart,
+// so only the pending outbox is flushed. close takes the state lock, so it
+// serializes after any in-flight apply: the tombstone always lands after
+// that apply's ops in the log.
+func (s *Session) close(reason EndReason) {
 	s.mu.Lock()
 	s.closed = true
+	if s.persist != nil && reason != "" {
+		s.outbox = append(s.outbox, persistOp{kind: opEnd, reason: reason})
+	}
 	s.mu.Unlock()
+	s.drainOutbox()
 }

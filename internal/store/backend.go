@@ -1,0 +1,68 @@
+package store
+
+import "errors"
+
+// Backend is the durable medium behind a Store: per-session append-only
+// logs plus atomically replaceable snapshots, with tombstones marking
+// deliberately ended sessions. The Store layers record semantics, fsync
+// policy, compaction and recovery on top; a Backend only moves bytes. The
+// filesystem backend (NewFS) is the first implementation; the interface is
+// deliberately small so an embedded-KV or replicated backend can follow
+// without touching the Store.
+//
+// A Backend must tolerate crashes at any point: List must never return a
+// tombstoned session, Open must start a tombstoned id from a clean slate,
+// and a half-written snapshot must be invisible (the filesystem backend
+// uses write-to-temp + rename).
+type Backend interface {
+	// List returns the ids of every persisted, non-tombstoned session.
+	List() ([]string, error)
+	// Open opens (creating if absent) one session's durable state. Opening
+	// a tombstoned id clears the stale state first — the id is being
+	// legitimately reused.
+	Open(id string) (Log, error)
+	// Tombstone durably marks a session ended and releases its log and
+	// snapshot. After a tombstone, List omits the id and Open starts fresh.
+	Tombstone(id string) error
+	// Close releases the backend. Logs must be closed first.
+	Close() error
+}
+
+// ErrPoisoned wraps an Append failure that may have left a torn frame
+// MID-log (the write failed partway and truncating back to the pre-append
+// length also failed). Appending past such a tear would write records —
+// fsynced, acknowledged records — that recovery can never see, because the
+// reader stops at the first bad frame. The Store stops appending to a
+// poisoned log until a snapshot+truncate rebuilds it clean.
+var ErrPoisoned = errors.New("store: log poisoned by a partial append")
+
+// Log is one session's durable state: a framed write-ahead log plus at most
+// one snapshot. Implementations need not be safe for concurrent use — the
+// Store serializes all access to one session's Log on its owning shard.
+type Log interface {
+	// Append durably queues one record payload at the log's end (framed,
+	// CRC-protected). Durability against a machine crash requires Sync. On
+	// error the log must be exactly as it was before the call; when that
+	// cannot be guaranteed (a partial write that could not be truncated
+	// back), the error wraps ErrPoisoned.
+	Append(payload []byte) error
+	// Sync forces every appended record and the current snapshot to stable
+	// storage.
+	Sync() error
+	// ReadWAL returns every intact record payload in append order, plus a
+	// Corruption report when the log ends in a torn frame. A torn tail is
+	// data loss bounded by the fsync policy, not an error.
+	ReadWAL() ([][]byte, *Corruption, error)
+	// Truncate discards the whole WAL (records up to the just-written
+	// snapshot — the Store only truncates immediately after WriteSnapshot).
+	Truncate() error
+	// WriteSnapshot atomically replaces the snapshot with payload: after a
+	// crash, ReadSnapshot returns either the old or the new image, never a
+	// mix.
+	WriteSnapshot(payload []byte) error
+	// ReadSnapshot returns the current snapshot payload, or nil when none
+	// has ever been written.
+	ReadSnapshot() ([]byte, error)
+	// Close releases the log's resources. The Store reopens on demand.
+	Close() error
+}

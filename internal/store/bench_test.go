@@ -1,0 +1,105 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/svgic/svgic/internal/engine"
+	"github.com/svgic/svgic/internal/session"
+)
+
+// BenchmarkRecovery measures startup recovery against the WAL tail length —
+// the number EXPERIMENTS.md's "recovery time vs. log length" table reports,
+// and the cost -snapshot-every trades against write amplification. The
+// populate phase streams `tail` events with snapshots disabled (so every
+// event stays in the WAL), then each iteration recovers the directory cold.
+func BenchmarkRecovery(b *testing.B) {
+	for _, tail := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("tail=%d", tail), func(b *testing.B) {
+			dir := b.TempDir()
+			func() {
+				backend, err := NewFS(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := Open(Options{Backend: backend, Sync: SyncOff})
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng := engine.New(engine.Options{Workers: 2})
+				defer eng.Close()
+				mgr, err := session.NewManager(session.Options{
+					Engine:        eng,
+					Persister:     st,
+					SnapshotEvery: -1, // keep the whole stream in the WAL
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				in := testInstance(90)
+				snap, _, err := mgr.Create(context.Background(), in, nil, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events := session.GenerateEvents(in.NumUsers(), in.NumItems, tail, 90)
+				for at := 0; at < len(events); at += 8 {
+					end := min(at+8, len(events))
+					if _, err := mgr.Apply(snap.ID, events[at:end]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				mgr.Close()
+				st.Close()
+			}()
+			// Recovery re-baselines the log (fresh snapshot, truncated WAL),
+			// so the populated state must be restored before every
+			// iteration or only the first one would measure tail replay.
+			sessions, err := os.ReadDir(filepath.Join(dir, "sessions"))
+			if err != nil || len(sessions) != 1 {
+				b.Fatalf("session dirs: %v, err %v", sessions, err)
+			}
+			sdir := filepath.Join(dir, "sessions", sessions[0].Name())
+			savedWAL, err := os.ReadFile(filepath.Join(sdir, "wal"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			savedSnap, err := os.ReadFile(filepath.Join(sdir, "snapshot"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := os.WriteFile(filepath.Join(sdir, "wal"), savedWAL, 0o644); err != nil {
+					b.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(sdir, "snapshot"), savedSnap, 0o644); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				backend, err := NewFS(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := Open(Options{Backend: backend, Sync: SyncOff})
+				if err != nil {
+					b.Fatal(err)
+				}
+				recs, err := st.Recover()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(recs) != 1 || recs[0].State.Version != uint64(tail) {
+					b.Fatalf("recovered %d sessions at v%d, want 1 at v%d", len(recs), recs[0].State.Version, tail)
+				}
+				if st.Stats().ReplayedEvents != uint64(tail) {
+					b.Fatalf("replayed %d events, want %d", st.Stats().ReplayedEvents, tail)
+				}
+				st.Close()
+			}
+		})
+	}
+}
