@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench fmt fmt-check vet lint check serve-smoke session-smoke crash-smoke
+.PHONY: build test test-short bench bench-sessions fmt fmt-check vet lint check serve-smoke session-smoke crash-smoke
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,14 @@ test-short:
 # Benchmark smoke: one iteration of every benchmark, no tests.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Sharded-session contention benchmark: single-lock (shards=1) vs sharded
+# manager throughput at 1/2/4/8 concurrent workers, written to
+# BENCH_sessions.json — the repo's tracked perf-trajectory artifact. 500ms
+# per sub-benchmark keeps the shard-count trend above run-to-run noise.
+bench-sessions:
+	$(GO) test ./internal/session -run='^$$' -bench='BenchmarkManagerSharded' -benchtime=500ms \
+		| $(GO) run ./cmd/benchjson -o BENCH_sessions.json
 
 fmt:
 	gofmt -w .
@@ -70,10 +78,13 @@ session-smoke:
 # offline replay of its acknowledged event prefix produces — once under
 # per-event fsync, once with fsync off (prefix consistency must hold under
 # both; a hot 16-event snapshot cadence keeps compaction in the picture).
+# -session-shards 4 makes the restarted child restore every session into a
+# hash-routed shard, so recovery-into-the-owning-shard is exercised end to
+# end under both fsync policies.
 crash-smoke:
 	$(GO) build -o bin/svgicd ./cmd/svgicd
 	rm -rf bin/crash-data-always bin/crash-data-off
-	./bin/svgicd -loadgen -dynamic -crash -data-dir bin/crash-data-always -fsync always -snapshot-every 16 -sessions 4 -requests 240 -workers 2 -seed 11
-	./bin/svgicd -loadgen -dynamic -crash -data-dir bin/crash-data-off -fsync off -snapshot-every 16 -sessions 4 -requests 240 -workers 2 -seed 12
+	./bin/svgicd -loadgen -dynamic -crash -data-dir bin/crash-data-always -fsync always -snapshot-every 16 -sessions 4 -session-shards 4 -requests 240 -workers 2 -seed 11
+	./bin/svgicd -loadgen -dynamic -crash -data-dir bin/crash-data-off -fsync off -snapshot-every 16 -sessions 4 -session-shards 4 -requests 240 -workers 2 -seed 12
 
 check: fmt-check vet lint build test-short

@@ -1,0 +1,118 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// artifact, so benchmark results can be committed and diffed as the repo's
+// perf trajectory (BENCH_*.json files) instead of living only in CI logs.
+//
+//	go test ./internal/session -run '^$' -bench BenchmarkManagerSharded | benchjson -o BENCH_sessions.json
+//
+// Every input line is echoed to stderr, so piping through benchjson keeps
+// the human-readable benchmark table in the terminal / CI log. The output
+// is deterministic for identical input — no timestamps — so re-running a
+// benchmark with unchanged performance produces a byte-identical artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line: name, iteration count and the
+// value-per-iteration metrics (ns/op, B/op, allocs/op, custom units).
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Document is the whole artifact: the run context go test prints before the
+// benchmark table, plus every parsed result in input order.
+type Document struct {
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (empty = stdout)")
+	flag.Parse()
+
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+	payload, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	payload = append(payload, '\n')
+	if *out == "" {
+		os.Stdout.Write(payload)
+		return
+	}
+	if err := os.WriteFile(*out, payload, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(doc.Benchmarks), *out)
+}
+
+func parse(sc *bufio.Scanner) (*Document, error) {
+	doc := &Document{}
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line) // tee: keep the table human-readable
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			doc.Benchmarks = append(doc.Benchmarks, *res)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBenchLine parses one result line of the standard bench format:
+//
+//	BenchmarkName-P  <iterations>  <value> <unit> [<value> <unit> ...]
+func parseBenchLine(line string) (*Result, error) {
+	fields := strings.Fields(line)
+	// name, iterations, and at least one value-unit pair
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return nil, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("benchmark line %q: iterations: %w", line, err)
+	}
+	res := &Result{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64, (len(fields)-2)/2)}
+	for i := 2; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchmark line %q: value %q: %w", line, fields[i], err)
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, nil
+}

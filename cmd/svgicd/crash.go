@@ -360,6 +360,7 @@ func spawnChild(cfg config, addr string) (*exec.Cmd, error) {
 		"-algo", algo,
 		"-seed", strconv.FormatUint(cfg.seed, 10),
 		"-max-sessions", strconv.Itoa(cfg.maxSessions),
+		"-session-shards", strconv.Itoa(cfg.sessionShards), // restores must land on their owning shard at every shard count
 		"-session-ttl", "0s", // an eviction tombstone mid-test would (correctly!) erase a session we still want to verify
 		"-data-dir", cfg.dataDir,
 		"-fsync", cfg.fsync,

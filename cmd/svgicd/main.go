@@ -81,6 +81,7 @@ type config struct {
 	noCoalesce  bool
 
 	maxSessions    int
+	sessionShards  int
 	sessionTTL     time.Duration
 	repairInterval time.Duration
 	repairMargin   float64
@@ -121,6 +122,8 @@ func run() error {
 
 	flag.IntVar(&cfg.maxSessions, "max-sessions", session.DefaultMaxSessions,
 		"live-session admission bound; creates beyond it are shed with 429")
+	flag.IntVar(&cfg.sessionShards, "session-shards", 0,
+		"hash-partitioned session shard count: each shard is an independent lock domain with its own eviction/repair goroutine (0 = GOMAXPROCS, 1 = single-lock)")
 	flag.DurationVar(&cfg.sessionTTL, "session-ttl", 10*time.Minute,
 		"evict live sessions idle longer than this (0 = never)")
 	flag.DurationVar(&cfg.repairInterval, "repair-interval", 0,
@@ -217,6 +220,10 @@ func newApp(cfg config) (*app, error) {
 			Backend:      backend,
 			Sync:         policy,
 			SyncInterval: cfg.fsyncInterval,
+			// Align the persister's writer shards with the session shards:
+			// outbox dispatch stays ordered per session but parallel across
+			// shards, so the durable path scales with the serving path.
+			Shards: cfg.sessionShards,
 		})
 		if err != nil {
 			eng.Close()
@@ -225,6 +232,7 @@ func newApp(cfg config) (*app, error) {
 	}
 	mgr, err := session.NewManager(session.Options{
 		Engine:         eng,
+		Shards:         cfg.sessionShards,
 		MaxSessions:    cfg.maxSessions,
 		TTL:            cfg.sessionTTL,
 		RepairInterval: cfg.repairInterval,
@@ -332,9 +340,9 @@ func serve(cfg config) error {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "svgicd: serving on %s (workers=%d cache=%d algo=%s max-inflight=%d max-sessions=%d repair=%s)\n",
+	fmt.Fprintf(os.Stderr, "svgicd: serving on %s (workers=%d cache=%d algo=%s max-inflight=%d max-sessions=%d session-shards=%d repair=%s)\n",
 		cfg.addr, a.eng.Stats().Workers, cfg.cache, cfg.algo, a.srv.StatsSnapshot().Server.MaxInFlight,
-		cfg.maxSessions, cfg.repairInterval)
+		cfg.maxSessions, a.mgr.Shards(), cfg.repairInterval)
 	if a.st != nil {
 		st := a.st.Stats()
 		fmt.Fprintf(os.Stderr, "svgicd: durable store at %s (fsync=%s snapshot-every=%d): recovered %d session(s), replayed %d WAL record(s)/%d event(s), torn tails=%d, errors=%d\n",

@@ -42,7 +42,7 @@ func main() {
 	defer mgr.Close()
 
 	ctx := context.Background()
-	snap, sol, err := mgr.Create(ctx, in, nil, 0)
+	snap, sol, err := mgr.CreateWith(ctx, in, svgic.SessionCreateSpec{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -163,12 +163,16 @@ type SessionResponse struct {
 }
 
 // SessionsStats is the live-session slice of GET /v1/stats: manager-level
-// admission/eviction counters, aggregate event counts and the drift-repair
-// swap/keep/stale split.
+// admission/eviction counters, aggregate event counts, the drift-repair
+// swap/keep/stale split, and the per-shard counter slices (shard count plus
+// one entry per hash-partitioned lock domain, for routing-imbalance and
+// hot-shard monitoring).
 type SessionsStats struct {
 	Enabled     bool `json:"enabled"`
 	MaxSessions int  `json:"maxSessions"`
+	Shards      int  `json:"shards"`
 	session.Stats
+	PerShard []session.ShardStats `json:"perShard,omitempty"`
 }
 
 // StoreStats is the durable-session-store slice of GET /v1/stats: WAL

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+
+	"github.com/svgic/svgic/internal/session"
 )
 
 // GET /metrics: the serving counters in Prometheus text exposition format
@@ -115,6 +117,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.counter("svgicd_repair_keeps_total", "Drift repairs that kept the incremental configuration.", ss.RepairKeeps)
 	p.counter("svgicd_repair_stale_total", "Drift repairs discarded as stale.", ss.RepairStale)
 	p.counter("svgicd_repair_errors_total", "Drift repairs that failed or timed out.", ss.RepairErrors)
+
+	// Per-shard session routing: a shard="i" label per hash-partitioned lock
+	// domain, so scrapers can watch routing imbalance and hot shards without
+	// parsing the /v1/stats JSON.
+	p.gauge("svgicd_sessions_shards", "Hash-partitioned session shard count.", float64(ss.Shards))
+	if len(ss.PerShard) > 0 {
+		perShard := make(map[string]session.ShardStats, len(ss.PerShard))
+		shardKeys := make([]string, 0, len(ss.PerShard))
+		for _, sp := range ss.PerShard {
+			k := fmt.Sprintf("%d", sp.Shard)
+			perShard[k] = sp
+			shardKeys = append(shardKeys, k)
+		}
+		p.labeled("svgicd_sessions_shard_live", "Live sessions per shard.", "gauge", "shard", shardKeys,
+			func(k string) float64 { return float64(perShard[k].Live) })
+		p.labeled("svgicd_sessions_shard_created_total", "Sessions created per shard.", "counter", "shard", shardKeys,
+			func(k string) float64 { return float64(perShard[k].Created) })
+		p.labeled("svgicd_sessions_shard_events_total", "Applied live-session events per shard.", "counter", "shard", shardKeys,
+			func(k string) float64 { return float64(perShard[k].EventsApplied) })
+	}
 
 	// Durable store (present only with -data-dir).
 	if st.Store != nil {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,11 +35,18 @@ type Options struct {
 	// re-solves. Required; the manager does not own it — close the manager
 	// first, then the engine.
 	Engine *engine.Engine
+	// Shards is the number of hash-partitioned lock domains the session map
+	// is split over (see shard.go): session id → FNV-1a → shard, each shard
+	// an independent mutex plus a pinned owner goroutine for its eviction and
+	// repair. Zero means GOMAXPROCS — one shard per schedulable core; one
+	// reproduces the old single-lock manager exactly.
+	Shards int
 	// MaxSessions bounds concurrently live sessions; Create beyond the bound
 	// fails with ErrLimit. Zero means DefaultMaxSessions.
 	MaxSessions int
 	// TTL evicts sessions idle (no events, no reads) for longer than this.
-	// Zero disables eviction.
+	// Zero disables eviction (a per-session CreateSpec.TTL override still
+	// evicts that session).
 	TTL time.Duration
 	// RepairInterval is the period of the background drift-repair loop: each
 	// tick re-solves every session's current instance through the engine and
@@ -67,7 +75,9 @@ type Options struct {
 
 // Stats is a snapshot of the manager's counters, aggregated over all
 // sessions that ever lived (deleting a session does not erase its event
-// counts).
+// counts). Reading it is lock-free: Live is a single atomic and the rest
+// merge per-shard atomic counters, so stats scrapes never contend with the
+// serving path.
 type Stats struct {
 	Live     int    `json:"live"`
 	Created  uint64 `json:"created"`
@@ -89,8 +99,9 @@ type Stats struct {
 	RepairErrors uint64 `json:"repairErrors"` // re-solve failed or timed out
 }
 
-// Manager is the concurrency-safe registry of live sessions. Create with
-// NewManager, release with Close. All methods are safe for concurrent use.
+// Manager is the concurrency-safe registry of live sessions: a thin router
+// over hash-partitioned shards (see shard.go). Create with NewManager,
+// release with Close. All methods are safe for concurrent use.
 type Manager struct {
 	eng           *engine.Engine
 	maxSessions   int
@@ -102,27 +113,27 @@ type Manager struct {
 
 	now func() time.Time // test seam; time.Now in production
 
-	mu       sync.Mutex
-	sessions map[string]*Session
-	closed   bool
+	shards []*shard
 
-	idc       atomic.Uint64
-	created   atomic.Uint64
-	restored  atomic.Uint64
-	rejected  atomic.Uint64
-	evicted   atomic.Uint64
-	deleted   atomic.Uint64
-	events    atomic.Uint64
-	joins     atomic.Uint64
-	leaves    atomic.Uint64
-	updates   atomic.Uint64
-	rebals    atomic.Uint64
-	repRuns   atomic.Uint64
-	repSwaps  atomic.Uint64
-	repKeeps  atomic.Uint64
-	repStale  atomic.Uint64
-	repErrors atomic.Uint64
+	// live is the global admission counter: a single atomic, because the
+	// MaxSessions bound must be reserved atomically across shards (summing
+	// per-shard counters cannot reserve). It also backs the lock-free Len.
+	live atomic.Int64
 
+	idc      atomic.Uint64
+	rejected atomic.Uint64 // rejections have no session id, hence no shard
+
+	// repairSem bounds in-flight repair solves manager-wide; per-shard
+	// cycles share it (see repairShard).
+	repairSem chan struct{}
+
+	// closeMu guards the manager-level closed flag: the Create pre-gate joins
+	// the creating group under it, so Close (which sets closed under the same
+	// lock, then waits on the group) always waits out in-flight creates. The
+	// per-shard closed flags, set during Close's sweep, are the authoritative
+	// gate on every id-routed path.
+	closeMu   sync.Mutex
+	closed    bool
 	ctx       context.Context // canceled by Close; bounds repair solves
 	cancel    context.CancelFunc
 	done      chan struct{}
@@ -131,9 +142,9 @@ type Manager struct {
 	closeOnce sync.Once
 }
 
-// NewManager starts a session manager over an engine. When TTL or
-// RepairInterval is set, a background goroutine runs the eviction sweep and
-// the drift-repair loop until Close.
+// NewManager starts a session manager over an engine. Every shard gets a
+// pinned owner goroutine driving its eviction sweep and drift-repair cycle
+// until Close.
 func NewManager(opts Options) (*Manager, error) {
 	if opts.Engine == nil {
 		return nil, errors.New("session: Options.Engine is required")
@@ -147,7 +158,6 @@ func NewManager(opts Options) (*Manager, error) {
 		persister:     opts.Persister,
 		snapshotEvery: opts.SnapshotEvery,
 		now:           time.Now,
-		sessions:      make(map[string]*Session),
 		done:          make(chan struct{}),
 	}
 	if m.snapshotEvery == 0 {
@@ -162,75 +172,61 @@ func NewManager(opts Options) (*Manager, error) {
 	if m.repairTimeout <= 0 {
 		m.repairTimeout = DefaultRepairTimeout
 	}
+	nshards := opts.Shards
+	if nshards <= 0 {
+		nshards = runtime.GOMAXPROCS(0)
+	}
+	m.shards = make([]*shard, nshards)
+	for i := range m.shards {
+		sh := &shard{
+			idx:      i,
+			sessions: make(map[string]*Session),
+			wake:     make(chan struct{}, 1),
+		}
+		if m.ttl > 0 {
+			sh.minTTL.Store(int64(m.ttl))
+		}
+		m.shards[i] = sh
+	}
+	m.repairSem = make(chan struct{}, repairConcurrency)
 	m.ctx, m.cancel = context.WithCancel(context.Background())
-	if opts.TTL > 0 || opts.RepairInterval > 0 {
-		m.wg.Add(1)
-		go m.loop(opts.RepairInterval)
+	m.wg.Add(nshards)
+	for _, sh := range m.shards {
+		go m.shardLoop(sh, opts.RepairInterval)
 	}
 	return m, nil
 }
 
-// loop drives the periodic work: drift repair on its interval, TTL eviction
-// on a quarter-TTL cadence.
-func (m *Manager) loop(repairInterval time.Duration) {
-	defer m.wg.Done()
-	var repairC, evictC <-chan time.Time
-	if repairInterval > 0 {
-		t := time.NewTicker(repairInterval)
-		defer t.Stop()
-		repairC = t.C
-	}
-	if m.ttl > 0 {
-		iv := m.ttl / 4
-		if iv < 10*time.Millisecond {
-			iv = 10 * time.Millisecond
-		}
-		t := time.NewTicker(iv)
-		defer t.Stop()
-		evictC = t.C
-	}
-	// Repair cycles run off the ticker goroutine so a slow cycle (many
-	// sessions × solve time) never starves eviction ticks; a tick that
-	// arrives while the previous cycle is still running is skipped rather
-	// than queued.
-	repairing := make(chan struct{}, 1)
-	for {
-		select {
-		case <-m.done:
-			return
-		case <-repairC:
-			select {
-			case repairing <- struct{}{}:
-				m.wg.Add(1)
-				go func() {
-					defer m.wg.Done()
-					defer func() { <-repairing }()
-					m.RepairAll(m.ctx)
-				}()
-			default: // previous cycle still in flight
-			}
-		case <-evictC:
-			m.EvictIdle()
-		}
-	}
+// shardOf routes an id to its owning shard.
+func (m *Manager) shardOf(id string) *shard {
+	return m.shards[ShardForID(id, len(m.shards))]
 }
 
-// Close stops the background loop, cancels any in-flight repair solve and
-// closes every session. Idempotent. The engine stays open — it belongs to
-// the caller.
+// Shards returns the number of hash-partitioned lock domains.
+func (m *Manager) Shards() int { return len(m.shards) }
+
+// Close stops the shard owner goroutines, cancels any in-flight repair solve
+// and closes every session. Idempotent. The engine stays open — it belongs
+// to the caller.
 func (m *Manager) Close() {
 	m.closeOnce.Do(func() {
-		m.mu.Lock()
+		m.closeMu.Lock()
 		m.closed = true
-		victims := make([]*Session, 0, len(m.sessions))
-		for _, s := range m.sessions {
-			victims = append(victims, s)
+		m.closeMu.Unlock()
+		var victims []*Session
+		for _, sh := range m.shards {
+			sh.mu.Lock()
+			sh.closed = true
+			for _, s := range sh.sessions {
+				victims = append(victims, s)
+			}
+			sh.sessions = make(map[string]*Session)
+			sh.live.Store(0)
+			sh.mu.Unlock()
 		}
-		m.sessions = make(map[string]*Session)
-		m.mu.Unlock()
 		m.cancel()
-		// Wait out in-flight creates: each either inserted before closed
-		// was set (its session is among the victims) or will fail the
+		// Wait out in-flight creates: each either inserted before its shard
+		// was swept (its session is among the victims) or will fail the
 		// insert re-check and tombstone its creation image — both must
 		// finish before the caller may close the persister's store.
 		m.creating.Wait()
@@ -242,6 +238,7 @@ func (m *Manager) Close() {
 			// persist ops still flush).
 			s.close("")
 		}
+		m.live.Store(0)
 	})
 }
 
@@ -261,7 +258,8 @@ func (m *Manager) solveWith(ctx context.Context, in *core.Instance, solver core.
 	return m.eng.Solve(ctx, in)
 }
 
-// CreateSpec bundles Create's optional inputs.
+// CreateSpec is the one session-creation surface: everything optional about
+// a new session in a single value.
 type CreateSpec struct {
 	// Solver backs the initial solve and every drift repair; nil means the
 	// engine's default solver.
@@ -273,44 +271,52 @@ type CreateSpec struct {
 	// Ref is the registry identity of Solver, persisted so a recovery path
 	// can re-resolve it (see SolverRef). Only meaningful with a Persister.
 	Ref SolverRef
+	// TTL > 0 overrides the manager-wide idle TTL for this session alone —
+	// it is evicted after this long idle even on a manager whose Options.TTL
+	// is zero. The override survives crash recovery (it travels in State).
+	TTL time.Duration
 }
 
 // Create solves the instance through the engine (with the given solver, or
 // the engine default when nil) and registers a live session seeded with the
-// solution. The instance is deep-cloned into the session; the caller's copy
-// is never mutated. Returns the new session's snapshot together with the
-// initial Solution. See CreateWith for the full-spec form.
+// solution.
+//
+// Deprecated: the positional (solver, sizeCap) signature cannot grow; use
+// CreateWith, whose CreateSpec carries solver, cap, solver reference and the
+// per-session TTL override. This wrapper only delegates.
 func (m *Manager) Create(ctx context.Context, in *core.Instance, solver core.Solver, sizeCap int) (Snapshot, *core.Solution, error) {
 	return m.CreateWith(ctx, in, CreateSpec{Solver: solver, SizeCap: sizeCap})
 }
 
-// CreateWith is Create with the full specification: solver, SVGIC-ST cap
-// and the solver's registry identity for durable recovery. When the manager
+// CreateWith solves the instance through the engine and registers a live
+// session seeded with the solution, per spec. The instance is deep-cloned
+// into the session; the caller's copy is never mutated. Returns the new
+// session's snapshot together with the initial Solution. When the manager
 // has a Persister, the new session's full state is persisted (as its
 // creation snapshot) before the session becomes reachable, so the durable
 // log never sees an event for a session it has not seen born.
 func (m *Manager) CreateWith(ctx context.Context, in *core.Instance, spec CreateSpec) (Snapshot, *core.Solution, error) {
-	// Cheap pre-admission: don't burn a solve for a session that cannot be
-	// registered. Re-checked at insert — creates race each other. The
-	// creating group is joined under the same lock that checked closed, so
-	// Close (which sets closed first, then waits on the group) always waits
-	// out this call — otherwise a create's persisted creation image could
-	// land before Store.Close while its abort tombstone lands after, and
-	// the next restart would recover a session no client was ever told
+	// The creating group is joined under the same lock that checked closed,
+	// so Close (which sets closed first, then waits on the group) always
+	// waits out this call — otherwise a create's persisted creation image
+	// could land before Store.Close while its abort tombstone lands after,
+	// and the next restart would recover a session no client was ever told
 	// about.
-	m.mu.Lock()
+	m.closeMu.Lock()
 	if m.closed {
-		m.mu.Unlock()
+		m.closeMu.Unlock()
 		return Snapshot{}, nil, ErrClosed
 	}
 	m.creating.Add(1)
+	m.closeMu.Unlock()
 	defer m.creating.Done()
-	if len(m.sessions) >= m.maxSessions {
-		m.mu.Unlock()
+
+	// Cheap pre-admission: don't burn a solve for a session that cannot be
+	// registered. Advisory only — the binding reservation happens at insert.
+	if m.live.Load() >= int64(m.maxSessions) {
 		m.rejected.Add(1)
 		return Snapshot{}, nil, ErrLimit
 	}
-	m.mu.Unlock()
 
 	sol, err := m.solveWith(ctx, in, spec.Solver)
 	if err != nil {
@@ -326,6 +332,7 @@ func (m *Manager) CreateWith(ctx context.Context, in *core.Instance, spec Create
 		ref:           spec.Ref,
 		solver:        spec.Solver,
 		sizeCap:       spec.SizeCap,
+		ttl:           spec.TTL,
 		persist:       m.persister,
 		snapshotEvery: m.snapshotEvery,
 		ds:            ds,
@@ -338,14 +345,19 @@ func (m *Manager) CreateWith(ctx context.Context, in *core.Instance, spec Create
 	// the map check guards against colliding with a session RESTORED from a
 	// previous process epoch, whose log a reused id would silently fuse with.
 	// Restores all happen before serving starts, so an id checked free here
-	// is still free at insert below.
-	m.mu.Lock()
-	for s.id = m.newID(); ; s.id = m.newID() {
-		if _, taken := m.sessions[s.id]; !taken {
+	// is still free at insert below. Each candidate id is checked only on
+	// the shard it routes to — where it would live.
+	var sh *shard
+	for {
+		s.id = m.newID()
+		sh = m.shardOf(s.id)
+		sh.mu.Lock()
+		_, taken := sh.sessions[s.id]
+		sh.mu.Unlock()
+		if !taken {
 			break
 		}
 	}
-	m.mu.Unlock()
 	if m.persister != nil {
 		// The session is not reachable yet, so the creation image
 		// happens-before every later hook for this id.
@@ -358,60 +370,46 @@ func (m *Manager) CreateWith(ctx context.Context, in *core.Instance, spec Create
 			m.persister.SessionEnded(s.id, EndDeleted)
 		}
 	}
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
 		abort()
 		return Snapshot{}, nil, ErrClosed
 	}
-	if len(m.sessions) >= m.maxSessions {
-		m.mu.Unlock()
+	// The binding admission check: reserve a slot in the global live count,
+	// give it back if that overshot the bound. A single atomic reserves
+	// across all shards without any cross-shard lock.
+	if m.live.Add(1) > int64(m.maxSessions) {
+		m.live.Add(-1)
+		sh.mu.Unlock()
 		m.rejected.Add(1)
 		abort()
 		return Snapshot{}, nil, ErrLimit
 	}
-	m.sessions[s.id] = s
-	m.mu.Unlock()
-	m.created.Add(1)
+	sh.sessions[s.id] = s
+	sh.live.Add(1)
+	sh.mu.Unlock()
+	sh.created.Add(1)
+	sh.noteTTL(spec.TTL)
 	snap, err := s.snapshot(now, false)
 	return snap, sol, err
 }
 
 func (m *Manager) get(id string) (*Session, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return nil, ErrClosed
-	}
-	s, ok := m.sessions[id]
-	if !ok {
-		return nil, ErrNotFound
-	}
-	return s, nil
+	return m.shardOf(id).get(id)
 }
 
 // Apply runs an event batch against a session, serialized with every other
 // batch and drift-repair swap on that session. See Session.apply for batch
 // semantics.
 func (m *Manager) Apply(id string, events []Event) (ApplyResult, error) {
-	s, err := m.get(id)
+	sh := m.shardOf(id)
+	s, err := sh.get(id)
 	if err != nil {
 		return ApplyResult{}, err
 	}
 	res, err := s.apply(m.now(), events)
-	for _, r := range res.Results {
-		m.events.Add(1)
-		switch r.Type {
-		case EventJoin:
-			m.joins.Add(1)
-		case EventLeave:
-			m.leaves.Add(1)
-		case EventUpdatePreference:
-			m.updates.Add(1)
-		case EventRebalance:
-			m.rebals.Add(1)
-		}
-	}
+	sh.countEvents(res.Results)
 	return res, err
 }
 
@@ -428,20 +426,23 @@ func (m *Manager) Snapshot(id string) (Snapshot, error) {
 // Delete removes a session. Idempotent at the HTTP layer's discretion — a
 // second delete returns ErrNotFound.
 func (m *Manager) Delete(id string) error {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	sh := m.shardOf(id)
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
 		return ErrClosed
 	}
-	s, ok := m.sessions[id]
+	s, ok := sh.sessions[id]
 	if ok {
-		delete(m.sessions, id)
+		delete(sh.sessions, id)
+		sh.live.Add(-1)
+		m.live.Add(-1)
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		return ErrNotFound
 	}
-	m.deleted.Add(1)
+	sh.deleted.Add(1)
 	s.close(EndDeleted)
 	return nil
 }
@@ -449,119 +450,54 @@ func (m *Manager) Delete(id string) error {
 // MaxSessions returns the admission bound on live sessions.
 func (m *Manager) MaxSessions() int { return m.maxSessions }
 
-// Len returns the number of live sessions.
+// Len returns the number of live sessions. Lock-free: it reads the global
+// admission counter, never a shard lock.
 func (m *Manager) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.sessions)
+	return int(m.live.Load())
 }
 
-// EvictIdle removes every session idle longer than the TTL, returning how
-// many were evicted. The background loop calls it periodically; it is
-// exported for tests and manual sweeps. No-op when TTL is zero.
-//
-// Session locks are never taken while holding the manager lock: a sweep
-// blocking on one session's long event batch under m.mu would stall every
-// manager operation server-wide. Idleness is checked lock-by-lock outside
-// m.mu; confirmed candidates are then removed under m.mu by identity alone.
-// A session touched in the narrow window between its idleness check and
-// removal can be evicted anyway — it had been idle for a full TTL moments
-// earlier, which is within the eviction contract — and an event batch
-// already in flight on a victim completes normally before close() lands.
+// EvictIdle sweeps every shard for sessions idle longer than their effective
+// TTL, returning how many were evicted. The shard owner goroutines call the
+// per-shard sweep periodically; this whole-manager form is exported for
+// tests and manual sweeps.
 func (m *Manager) EvictIdle() int {
-	if m.ttl <= 0 {
-		return 0
+	n := 0
+	for _, sh := range m.shards {
+		n += m.evictShard(sh)
 	}
-	cutoff := m.now().Add(-m.ttl)
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		return 0
-	}
-	all := make(map[string]*Session, len(m.sessions))
-	for id, s := range m.sessions {
-		all[id] = s
-	}
-	m.mu.Unlock()
-
-	candidates := make(map[string]*Session)
-	for id, s := range all {
-		s.mu.Lock()
-		idle := !s.closed && s.lastTouch.Before(cutoff)
-		s.mu.Unlock()
-		if idle {
-			candidates[id] = s
-		}
-	}
-	if len(candidates) == 0 {
-		return 0
-	}
-
-	var victims []*Session
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		return 0
-	}
-	for id, s := range candidates {
-		if m.sessions[id] != s {
-			continue // deleted or replaced meanwhile
-		}
-		delete(m.sessions, id)
-		victims = append(victims, s)
-	}
-	m.mu.Unlock()
-	for _, s := range victims {
-		// The eviction tombstone is part of the eviction, not an
-		// afterthought: a TTL-evicted id whose WAL survived a restart would
-		// resurrect as a live session the client believed gone.
-		s.close(EndEvicted)
-		m.evicted.Add(1)
-	}
-	return len(victims)
+	return n
 }
 
-// repairConcurrency bounds how many repair solves are in flight at once:
-// enough to keep the engine's pool busy, few enough that a large session
-// count cannot flood it and starve interactive solves.
+// repairConcurrency bounds how many repair solves are in flight at once
+// manager-wide: enough to keep the engine's pool busy, few enough that a
+// large session count cannot flood it and starve interactive solves.
 const repairConcurrency = 4
 
-// RepairAll runs one drift-repair cycle over every live session, up to
-// repairConcurrency sessions at a time (the engine's worker pool is the
-// real execution bound), and returns when the whole cycle is done. The
-// background loop triggers it on RepairInterval; it is exported for tests
-// and manual cycles. The context bounds the cycle.
+// RepairAll runs one drift-repair cycle over every live session — all shards
+// in parallel, solve concurrency bounded by the manager-wide semaphore — and
+// returns when the whole cycle is done. The shard owner goroutines trigger
+// per-shard cycles on RepairInterval; this whole-manager form is exported
+// for tests and manual cycles. The context bounds the cycle.
 func (m *Manager) RepairAll(ctx context.Context) {
-	m.mu.Lock()
-	list := make([]*Session, 0, len(m.sessions))
-	for _, s := range m.sessions {
-		list = append(list, s)
-	}
-	m.mu.Unlock()
-	sem := make(chan struct{}, repairConcurrency)
 	var wg sync.WaitGroup
-	for _, s := range list {
-		if ctx.Err() != nil {
-			break
-		}
-		sem <- struct{}{}
+	for _, sh := range m.shards {
 		wg.Add(1)
-		go func(s *Session) {
+		go func(sh *shard) {
 			defer wg.Done()
-			defer func() { <-sem }()
-			m.repairOne(ctx, s)
-		}(s)
+			m.repairShard(ctx, sh)
+		}(sh)
 	}
 	wg.Wait()
 }
 
 // repairOne re-solves one session's current instance through the engine and
 // swaps the result in when it beats the incremental configuration by the
-// margin. The snapshot is taken under the session lock but the solve runs
-// outside it, so event application never blocks on a re-solve; if events
-// advanced the session meanwhile, the (now stale) solution is discarded
-// rather than clobbering state it never saw.
-func (m *Manager) repairOne(ctx context.Context, s *Session) {
+// margin, attributing the outcome to the session's owning shard. The
+// snapshot is taken under the session lock but the solve runs outside it, so
+// event application never blocks on a re-solve; if events advanced the
+// session meanwhile, the (now stale) solution is discarded rather than
+// clobbering state it never saw.
+func (m *Manager) repairOne(ctx context.Context, sh *shard, s *Session) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -572,12 +508,12 @@ func (m *Manager) repairOne(ctx context.Context, s *Session) {
 	solver := s.solver
 	s.mu.Unlock()
 
-	m.repRuns.Add(1)
+	sh.repRuns.Add(1)
 	sctx, cancel := context.WithTimeout(ctx, m.repairTimeout)
 	sol, err := m.solveWith(sctx, snap, solver)
 	cancel()
 	if err != nil {
-		m.repErrors.Add(1)
+		sh.repErrors.Add(1)
 		return
 	}
 	resolved := sol.Report.Weighted()
@@ -595,7 +531,7 @@ func (m *Manager) repairOne(ctx context.Context, s *Session) {
 		}
 		if s.version != version {
 			s.repairStale++
-			m.repStale.Add(1)
+			sh.repStale.Add(1)
 			return
 		}
 		// A capped session never adopts a configuration that violates its
@@ -605,20 +541,20 @@ func (m *Manager) repairOne(ctx context.Context, s *Session) {
 		// library-constructed sessions too.)
 		if cap := s.ds.SizeCap(); cap > 0 && sol.Config.MaxSubgroupSize() > cap {
 			s.repairKeeps++
-			m.repKeeps.Add(1)
+			sh.repKeeps.Add(1)
 			return
 		}
 		if resolved > threshold {
 			if err := s.ds.Adopt(sol.Config); err != nil {
 				// Cannot happen for a solution solved on a clone of this very
 				// instance; account it rather than crash the loop.
-				m.repErrors.Add(1)
+				sh.repErrors.Add(1)
 				return
 			}
 			s.value = s.ds.Value()
 			s.version++
 			s.repairSwaps++
-			m.repSwaps.Add(1)
+			sh.repSwaps.Add(1)
 			swapped = true
 			if s.persist != nil {
 				// The swap is a state transition like any event batch: log it
@@ -638,34 +574,45 @@ func (m *Manager) repairOne(ctx context.Context, s *Session) {
 			return
 		}
 		s.repairKeeps++
-		m.repKeeps.Add(1)
+		sh.repKeeps.Add(1)
 	}()
 	if swapped {
 		s.drainOutbox()
 	}
 }
 
-// Stats returns a point-in-time snapshot of the manager's counters.
+// Stats returns a point-in-time snapshot of the manager's counters, merged
+// over the shards. Lock-free: every field is an atomic read.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	live := len(m.sessions)
-	m.mu.Unlock()
-	return Stats{
-		Live:          live,
-		Created:       m.created.Load(),
-		Restored:      m.restored.Load(),
-		Rejected:      m.rejected.Load(),
-		Evicted:       m.evicted.Load(),
-		Deleted:       m.deleted.Load(),
-		EventsApplied: m.events.Load(),
-		Joins:         m.joins.Load(),
-		Leaves:        m.leaves.Load(),
-		Updates:       m.updates.Load(),
-		Rebalances:    m.rebals.Load(),
-		RepairRuns:    m.repRuns.Load(),
-		RepairSwaps:   m.repSwaps.Load(),
-		RepairKeeps:   m.repKeeps.Load(),
-		RepairStale:   m.repStale.Load(),
-		RepairErrors:  m.repErrors.Load(),
+	st := Stats{
+		Live:     int(m.live.Load()),
+		Rejected: m.rejected.Load(),
 	}
+	for _, sh := range m.shards {
+		st.Created += sh.created.Load()
+		st.Restored += sh.restored.Load()
+		st.Evicted += sh.evicted.Load()
+		st.Deleted += sh.deleted.Load()
+		st.EventsApplied += sh.events.Load()
+		st.Joins += sh.joins.Load()
+		st.Leaves += sh.leaves.Load()
+		st.Updates += sh.updates.Load()
+		st.Rebalances += sh.rebals.Load()
+		st.RepairRuns += sh.repRuns.Load()
+		st.RepairSwaps += sh.repSwaps.Load()
+		st.RepairKeeps += sh.repKeeps.Load()
+		st.RepairStale += sh.repStale.Load()
+		st.RepairErrors += sh.repErrors.Load()
+	}
+	return st
+}
+
+// ShardStats returns every shard's counter slice, in shard order — the raw
+// material for imbalance and hot-shard monitoring. Lock-free.
+func (m *Manager) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(m.shards))
+	for i, sh := range m.shards {
+		out[i] = sh.stats()
+	}
+	return out
 }

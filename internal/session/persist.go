@@ -58,6 +58,10 @@ type State struct {
 	Ref     SolverRef
 	Algo    string // display name of the backing algorithm
 	SizeCap int
+	// TTL is the session's idle-eviction override (CreateSpec.TTL); zero
+	// means the manager default. It travels in the durable image so a
+	// restored session keeps its eviction contract across restarts.
+	TTL     time.Duration
 	Version uint64
 	Value   float64
 	Created time.Time
@@ -129,6 +133,7 @@ func (s *Session) stateLocked() *State {
 		Ref:      s.ref,
 		Algo:     s.algo,
 		SizeCap:  s.sizeCap,
+		TTL:      s.ttl,
 		Version:  s.version,
 		Value:    s.value,
 		Created:  s.created,
@@ -196,7 +201,10 @@ func (s *Session) drainOutbox() {
 // length, so a session recovered just short of a cut does not wait a full
 // interval for its next one. Restored sessions bypass MaxSessions — they
 // were admitted before the restart — but collide with nothing: a duplicate
-// id is an error.
+// id is an error. The session is installed into the shard its id hashes to
+// (the routing is a pure function of the id), so the restored session is
+// served, evicted and repaired by the same shard that owned it before the
+// crash.
 func (m *Manager) Restore(st *State, solver core.Solver, sinceSnapshot int) (Snapshot, error) {
 	if st == nil || st.Instance == nil || st.Config == nil {
 		return Snapshot{}, fmt.Errorf("session: restore: incomplete state")
@@ -215,6 +223,7 @@ func (m *Manager) Restore(st *State, solver core.Solver, sinceSnapshot int) (Sna
 		ref:           st.Ref,
 		solver:        solver,
 		sizeCap:       st.SizeCap,
+		ttl:           st.TTL,
 		persist:       m.persister,
 		snapshotEvery: m.snapshotEvery,
 		sinceSnapshot: sinceSnapshot,
@@ -232,17 +241,23 @@ func (m *Manager) Restore(st *State, solver core.Solver, sinceSnapshot int) (Sna
 		repairKeeps:   st.Metrics.RepairKeeps,
 		repairStale:   st.Metrics.RepairStale,
 	}
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	sh := m.shardOf(st.ID)
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
 		return Snapshot{}, ErrClosed
 	}
-	if _, dup := m.sessions[st.ID]; dup {
-		m.mu.Unlock()
+	if _, dup := sh.sessions[st.ID]; dup {
+		sh.mu.Unlock()
 		return Snapshot{}, fmt.Errorf("session: restore %s: id already live", st.ID)
 	}
-	m.sessions[st.ID] = s
-	m.mu.Unlock()
-	m.restored.Add(1)
+	sh.sessions[st.ID] = s
+	// Counters move under the shard lock so a concurrent Close sweep (which
+	// zeroes them after sweeping this shard) is strictly ordered after.
+	sh.live.Add(1)
+	m.live.Add(1)
+	sh.mu.Unlock()
+	sh.restored.Add(1)
+	sh.noteTTL(st.TTL)
 	return s.snapshot(now, false)
 }

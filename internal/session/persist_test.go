@@ -70,7 +70,7 @@ func TestPersisterOrderAndPrefix(t *testing.T) {
 	rec := newRecorder()
 	m, _ := newTestManager(t, Options{Persister: rec, SnapshotEvery: -1})
 	in := testInstance(31)
-	snap, _, err := m.Create(context.Background(), in, nil, 0)
+	snap, _, err := m.CreateWith(context.Background(), in, CreateSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestPersisterOrderAndPrefix(t *testing.T) {
 func TestPersisterSnapshotCadence(t *testing.T) {
 	rec := newRecorder()
 	m, _ := newTestManager(t, Options{Persister: rec, SnapshotEvery: 4})
-	snap, _, err := m.Create(context.Background(), testInstance(32), nil, 0)
+	snap, _, err := m.CreateWith(context.Background(), testInstance(32), CreateSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,11 +151,11 @@ func TestPersisterSnapshotCadence(t *testing.T) {
 func TestPersisterEvictionTombstone(t *testing.T) {
 	rec := newRecorder()
 	m, _ := newTestManager(t, Options{Persister: rec, TTL: time.Hour})
-	idle, _, err := m.Create(context.Background(), testInstance(33), nil, 0)
+	idle, _, err := m.CreateWith(context.Background(), testInstance(33), CreateSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	survivor, _, err := m.Create(context.Background(), testInstance(34), nil, 0)
+	survivor, _, err := m.CreateWith(context.Background(), testInstance(34), CreateSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestPersisterAdoptOp(t *testing.T) {
 	m, _ := newTestManager(t, Options{Persister: rec, RepairMargin: -1})
 	ctx := context.Background()
 	in := testInstance(6)
-	snap, _, err := m.Create(ctx, in, nil, 0)
+	snap, _, err := m.CreateWith(ctx, in, CreateSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestRestoreRoundTrip(t *testing.T) {
 	rec := newRecorder()
 	m, eng := newTestManager(t, Options{Persister: rec, SnapshotEvery: 4})
 	in := testInstance(35)
-	snap, _, err := m.Create(context.Background(), in, nil, 0)
+	snap, _, err := m.CreateWith(context.Background(), in, CreateSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,19 +5,22 @@
 // path.
 //
 // A Manager holds ID-keyed, versioned Sessions, each wrapping a
-// core.DynamicSession behind a serializing lock. Clients mutate a session by
-// applying batches of typed, JSON-encodable events (join, leave,
-// updatePreference, rebalance); every applied event bumps the session's
-// version, so replays and monitoring can assert exactly how far a session
-// has advanced. The manager bounds the live-session count (admission
-// errors, not queues), evicts idle sessions after a TTL, and — the piece
-// that keeps a million incremental sessions near-optimal — runs drift
-// repair: a background loop that periodically re-solves each session's
-// current instance through the shared engine and atomically swaps in the
-// full solution when it beats the incrementally maintained configuration by
-// a configurable margin. Repair solves run outside the session lock, so the
-// event path never blocks on a re-solve; a version check at swap time
-// discards solutions made stale by concurrent events.
+// core.DynamicSession behind a serializing lock. The manager itself is a
+// thin router: sessions are hash-partitioned (FNV-1a over the id) across a
+// fixed array of shards, each an independent lock domain with a pinned owner
+// goroutine, so no hot path ever crosses a shard boundary (see shard.go).
+// Clients mutate a session by applying batches of typed, JSON-encodable
+// events (join, leave, updatePreference, rebalance); every applied event
+// bumps the session's version, so replays and monitoring can assert exactly
+// how far a session has advanced. The manager bounds the live-session count
+// (admission errors, not queues), evicts idle sessions after a TTL, and —
+// the piece that keeps a million incremental sessions near-optimal — runs
+// drift repair: each shard's owner goroutine periodically re-solves its
+// sessions' current instances through the shared engine and atomically
+// swaps in the full solution when it beats the incrementally maintained
+// configuration by a configurable margin. Repair solves run outside the
+// session lock, so the event path never blocks on a re-solve; a version
+// check at swap time discards solutions made stale by concurrent events.
 //
 // A manager built with Options.Persister is durable: every transition —
 // creation, applied batches, repair adoptions, periodic snapshot cuts,
@@ -44,6 +47,7 @@ type Session struct {
 	ref     SolverRef   // registry identity persisted for recovery
 	solver  core.Solver // nil = the engine's default solver
 	sizeCap int
+	ttl     time.Duration // per-session idle TTL override; 0 = manager default
 
 	persist       Persister // nil = in-memory only
 	snapshotEvery int

@@ -77,7 +77,7 @@ func TestManagerReplayEquivalence(t *testing.T) {
 	in := testInstance(11)
 	events := GenerateEvents(in.NumUsers(), in.NumItems, 30, 99)
 
-	snap, sol, err := m.Create(context.Background(), in, nil, 0)
+	snap, sol, err := m.CreateWith(context.Background(), in, CreateSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestManagerReplayEquivalence(t *testing.T) {
 func TestApplyPartialBatch(t *testing.T) {
 	m, _ := newTestManager(t, Options{})
 	in := testInstance(12)
-	snap, _, err := m.Create(context.Background(), in, nil, 0)
+	snap, _, err := m.CreateWith(context.Background(), in, CreateSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,20 +160,20 @@ func TestApplyPartialBatch(t *testing.T) {
 func TestManagerAdmission(t *testing.T) {
 	m, _ := newTestManager(t, Options{MaxSessions: 2})
 	ctx := context.Background()
-	a, _, err := m.Create(ctx, testInstance(1), nil, 0)
+	a, _, err := m.CreateWith(ctx, testInstance(1), CreateSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.Create(ctx, testInstance(2), nil, 0); err != nil {
+	if _, _, err := m.CreateWith(ctx, testInstance(2), CreateSpec{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.Create(ctx, testInstance(3), nil, 0); !errors.Is(err, ErrLimit) {
+	if _, _, err := m.CreateWith(ctx, testInstance(3), CreateSpec{}); !errors.Is(err, ErrLimit) {
 		t.Fatalf("third create: %v, want ErrLimit", err)
 	}
 	if err := m.Delete(a.ID); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.Create(ctx, testInstance(3), nil, 0); err != nil {
+	if _, _, err := m.CreateWith(ctx, testInstance(3), CreateSpec{}); err != nil {
 		t.Fatalf("create after delete: %v", err)
 	}
 	if err := m.Delete(a.ID); !errors.Is(err, ErrNotFound) {
@@ -190,11 +190,11 @@ func TestManagerAdmission(t *testing.T) {
 func TestManagerTTLEviction(t *testing.T) {
 	m, _ := newTestManager(t, Options{TTL: time.Hour})
 	ctx := context.Background()
-	idle, _, err := m.Create(ctx, testInstance(4), nil, 0)
+	idle, _, err := m.CreateWith(ctx, testInstance(4), CreateSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	busy, _, err := m.Create(ctx, testInstance(5), nil, 0)
+	busy, _, err := m.CreateWith(ctx, testInstance(5), CreateSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +228,7 @@ func TestDriftRepairSwapsAndKeeps(t *testing.T) {
 	m, _ := newTestManager(t, Options{RepairMargin: -1}) // swap on any strict improvement
 	ctx := context.Background()
 	in := testInstance(6)
-	snap, sol, err := m.Create(ctx, in, nil, 0)
+	snap, sol, err := m.CreateWith(ctx, in, CreateSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +314,7 @@ func TestDriftRepairStale(t *testing.T) {
 	var createErr error
 	go func() {
 		defer close(createDone)
-		snap, _, createErr = m.Create(context.Background(), in, nil, 0)
+		snap, _, createErr = m.CreateWith(context.Background(), in, CreateSpec{})
 	}()
 	<-started
 	gate <- struct{}{}
@@ -371,12 +371,12 @@ func (g *gatedSolver) Solve(ctx context.Context, in *core.Instance) (*core.Solut
 // TestManagerClosed: every entry point fails cleanly after Close.
 func TestManagerClosed(t *testing.T) {
 	m, _ := newTestManager(t, Options{})
-	snap, _, err := m.Create(context.Background(), testInstance(8), nil, 0)
+	snap, _, err := m.CreateWith(context.Background(), testInstance(8), CreateSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	m.Close()
-	if _, _, err := m.Create(context.Background(), testInstance(9), nil, 0); !errors.Is(err, ErrClosed) {
+	if _, _, err := m.CreateWith(context.Background(), testInstance(9), CreateSpec{}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("create after close: %v", err)
 	}
 	if _, err := m.Apply(snap.ID, []Event{{Type: EventRebalance}}); !errors.Is(err, ErrClosed) {
@@ -409,7 +409,7 @@ func TestManagerStress(t *testing.T) {
 	const sessions = 6
 	ids := make([]string, sessions)
 	for i := range ids {
-		snap, _, err := m.Create(ctx, testInstance(uint64(20+i)), nil, 0)
+		snap, _, err := m.CreateWith(ctx, testInstance(uint64(20+i)), CreateSpec{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -458,7 +458,7 @@ func TestManagerStress(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for j := 0; j < 10; j++ {
-			snap, _, err := m.Create(ctx, testInstance(uint64(50+j)), nil, 0)
+			snap, _, err := m.CreateWith(ctx, testInstance(uint64(50+j)), CreateSpec{})
 			if err != nil {
 				if errors.Is(err, ErrLimit) {
 					continue

@@ -40,7 +40,7 @@ func BenchmarkRecovery(b *testing.B) {
 					b.Fatal(err)
 				}
 				in := testInstance(90)
-				snap, _, err := mgr.Create(context.Background(), in, nil, 0)
+				snap, _, err := mgr.CreateWith(context.Background(), in, session.CreateSpec{})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -183,6 +183,7 @@ func (s *Store) recoverOne(id string) (*Recovered, error) {
 		Ref:      snap.Solver,
 		Algo:     snap.Algo,
 		SizeCap:  snap.SizeCap,
+		TTL:      snap.TTL,
 		Version:  version,
 		Value:    value,
 		Created:  snap.Created,

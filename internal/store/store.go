@@ -235,6 +235,7 @@ type snapshotRecord struct {
 	Solver   session.SolverRef      `json:"solver,omitempty"`
 	Algo     string                 `json:"algo,omitempty"`
 	SizeCap  int                    `json:"sizeCap,omitempty"`
+	TTL      time.Duration          `json:"ttl,omitempty"`
 	Version  uint64                 `json:"version"`
 	Value    float64                `json:"value"`
 	Created  time.Time              `json:"created"`
@@ -576,6 +577,7 @@ func snapshotFromState(st *session.State) *snapshotRecord {
 		Solver:   st.Ref,
 		Algo:     st.Algo,
 		SizeCap:  st.SizeCap,
+		TTL:      st.TTL,
 		Version:  st.Version,
 		Value:    st.Value,
 		Created:  st.Created,

@@ -77,7 +77,7 @@ func reopen(t *testing.T, dir string, policy SyncPolicy, snapshotEvery int) (*st
 
 func mustCreate(t *testing.T, s *stack, seed uint64) session.Snapshot {
 	t.Helper()
-	snap, _, err := s.mgr.Create(context.Background(), testInstance(seed), nil, 0)
+	snap, _, err := s.mgr.CreateWith(context.Background(), testInstance(seed), session.CreateSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,14 +271,14 @@ func TestTombstones(t *testing.T) {
 		t.Fatal(err)
 	}
 	deleted := func() session.Snapshot {
-		snap, _, err := mgr.Create(context.Background(), testInstance(13), nil, 0)
+		snap, _, err := mgr.CreateWith(context.Background(), testInstance(13), session.CreateSpec{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return snap
 	}()
 	evicted := func() session.Snapshot {
-		snap, _, err := mgr.Create(context.Background(), testInstance(14), nil, 0)
+		snap, _, err := mgr.CreateWith(context.Background(), testInstance(14), session.CreateSpec{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -577,7 +577,7 @@ func TestStoreStress(t *testing.T) {
 	for i := 0; i < sessions; i++ {
 		seed := uint64(40 + i)
 		in := testInstance(seed)
-		snap, _, err := s.mgr.Create(context.Background(), in, nil, 0)
+		snap, _, err := s.mgr.CreateWith(context.Background(), in, session.CreateSpec{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -699,7 +699,7 @@ func TestPoisonedLogStopsAppendsUntilSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snap, _, err := mgr.Create(context.Background(), testInstance(19), nil, 0)
+	snap, _, err := mgr.CreateWith(context.Background(), testInstance(19), session.CreateSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -777,7 +777,7 @@ func TestTransientAppendFailureQuarantines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snap, _, err := mgr.Create(context.Background(), testInstance(20), nil, 0)
+	snap, _, err := mgr.CreateWith(context.Background(), testInstance(20), session.CreateSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}

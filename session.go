@@ -10,7 +10,11 @@ import (
 // JSON-encodable events, bounded in count, evicted when idle, and kept
 // near-optimal by background drift repair — periodic full re-solves through
 // the shared Engine that are atomically swapped in when they beat the
-// incrementally maintained configuration by a margin.
+// incrementally maintained configuration by a margin. The manager is
+// internally sharded: session ids hash (FNV-1a) onto
+// SessionManagerOptions.Shards independent lock domains (default GOMAXPROCS),
+// each with a pinned owner goroutine for its eviction and repair, so serving
+// throughput scales with cores instead of serializing behind one lock.
 //
 //	eng := svgic.NewEngine(svgic.EngineOptions{})
 //	defer eng.Close()
@@ -19,7 +23,7 @@ import (
 //		RepairInterval: 30 * time.Second,
 //	})
 //	defer mgr.Close()
-//	snap, _, err := mgr.Create(ctx, in, nil, 0)
+//	snap, _, err := mgr.CreateWith(ctx, in, svgic.SessionCreateSpec{})
 //	res, err := mgr.Apply(snap.ID, []svgic.SessionEvent{
 //		{Type: svgic.SessionEventJoin, Pref: pref, Friends: ties},
 //	})
@@ -30,8 +34,8 @@ import (
 type (
 	// SessionManager is the concurrency-safe registry of live sessions.
 	SessionManager = session.Manager
-	// SessionManagerOptions configures NewSessionManager: engine, session
-	// bound, idle TTL and the drift-repair interval/margin.
+	// SessionManagerOptions configures NewSessionManager: engine, shard
+	// count, session bound, idle TTL and the drift-repair interval/margin.
 	SessionManagerOptions = session.Options
 	// SessionEvent is one typed live-session event (join, leave,
 	// updatePreference, rebalance).
@@ -50,6 +54,10 @@ type (
 	// SessionManagerStats aggregates the manager's admission, event and
 	// drift-repair counters.
 	SessionManagerStats = session.Stats
+	// SessionShardStats is one shard's slice of the manager counters —
+	// SessionManager.ShardStats returns one per lock domain, for routing
+	// imbalance and hot-shard monitoring.
+	SessionShardStats = session.ShardStats
 	// SessionTie is the wire form of one friend tie in a join event.
 	SessionTie = session.TieJSON
 	// SessionTrace is a replayable live-session workload: an instance plus

@@ -53,8 +53,9 @@ type (
 	// SessionSolverRef names the registry solver backing a session, so
 	// recovery can re-resolve it.
 	SessionSolverRef = session.SolverRef
-	// SessionCreateSpec is SessionManager.CreateWith's full specification:
-	// solver, SVGIC-ST cap and the persisted solver reference.
+	// SessionCreateSpec is SessionManager.CreateWith's full specification —
+	// the one session-creation surface: solver, SVGIC-ST cap, the persisted
+	// solver reference and the per-session idle-TTL override.
 	SessionCreateSpec = session.CreateSpec
 )
 
