@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/svgic/svgic/internal/analysis"
+)
+
+// modulePath scopes vet-mode analysis: units outside the module (the standard
+// library and its test shims, which `go vet` also schedules so dependency
+// fact files exist) get an empty fact file and no analysis. Project
+// invariants are about project code; staticcheck owns the generic checks.
+const modulePath = "github.com/svgic/svgic"
+
+// vetConfig is the JSON the go command writes for each compilation unit when
+// a -vettool is set (the unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one vet compilation unit. It always writes the fact
+// file the go command asked for (dependents block on it), then reports
+// diagnostics on stderr with exit status 2, the vet convention.
+func unitcheck(cfgFile string, suite []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return fail(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fail(fmt.Errorf("parsing vet config %s: %w", cfgFile, err))
+	}
+
+	inModule := strings.Contains(cfg.ImportPath, modulePath)
+	if !inModule || len(cfg.GoFiles) == 0 {
+		return writeFacts(cfg.VetxOutput, analysis.NewFacts())
+	}
+
+	facts := analysis.NewFacts()
+	for _, vetx := range cfg.PackageVetx {
+		fdata, err := os.ReadFile(vetx)
+		if err != nil {
+			return fail(err)
+		}
+		if len(fdata) > 0 {
+			if err := facts.Merge(fdata); err != nil {
+				return fail(fmt.Errorf("merging facts from %s: %w", vetx, err))
+			}
+		}
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeFacts(cfg.VetxOutput, analysis.NewFacts())
+			}
+			return fail(err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tconf := types.Config{Importer: newUnitImporter(fset, &cfg)}
+	if v := cfg.GoVersion; v != "" && strings.HasPrefix(v, "go") {
+		tconf.GoVersion = v
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeFacts(cfg.VetxOutput, analysis.NewFacts())
+		}
+		return fail(fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err))
+	}
+
+	analysis.ComputePackageFacts(files, info, facts)
+	if code := writeFacts(cfg.VetxOutput, facts); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	pkg := &analysis.Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+	diags, err := analysis.Run(pkg, facts, suite)
+	if err != nil {
+		return fail(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func writeFacts(path string, facts *analysis.Facts) int {
+	if path == "" {
+		return 0
+	}
+	data, err := facts.ExportAll()
+	if err != nil {
+		return fail(err)
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "svgiclint: %v\n", err)
+	return 1
+}
+
+// unitImporter resolves a unit's imports through the export files the go
+// command listed in the vet config.
+type unitImporter struct {
+	cfg *vetConfig
+	gc  types.ImporterFrom
+}
+
+func newUnitImporter(fset *token.FileSet, cfg *vetConfig) *unitImporter {
+	u := &unitImporter{cfg: cfg}
+	u.gc = importer.ForCompiler(fset, "gc", u.lookup).(types.ImporterFrom)
+	return u
+}
+
+func (u *unitImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if real, ok := u.cfg.ImportMap[path]; ok {
+		path = real
+	}
+	return u.gc.ImportFrom(path, u.cfg.Dir, 0)
+}
+
+func (u *unitImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := u.cfg.PackageFile[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q in vet config", path)
+	}
+	return os.Open(file)
+}

@@ -1,0 +1,170 @@
+// Package analysistest runs an analyzer against testdata fixture packages and
+// checks its diagnostics against `// want` expectations, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract:
+//
+//	bad := solve(x) // want `solver call .* while s\.mu is held`
+//
+// Each want comment holds one or more quoted Go strings (interpreted or
+// backquoted), each a regexp that must match exactly one diagnostic reported
+// on that line. Diagnostics without a matching want, and wants without a
+// matching diagnostic, both fail the test.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/svgic/svgic/internal/analysis"
+)
+
+// TestData returns the caller package's testdata directory.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: cannot locate caller")
+	}
+	dir, err := filepath.Abs(filepath.Join(filepath.Dir(file), "testdata"))
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each fixture package from testdata/src/<path>, executes the
+// analyzer (suppression filtering included, exactly as the driver would), and
+// compares diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := analysis.NewFixtureLoader(filepath.Join(testdata, "src"))
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := analysis.Run(pkg, loader.Facts, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		check(t, pkg, diags)
+	}
+}
+
+// expectation is one want regexp, with a flag for single-use matching.
+type expectation struct {
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*expectation)
+	for _, file := range pkg.Files {
+		fname := pkg.Fset.File(file.Pos()).Name()
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				for _, raw := range parseWants(t, fname, pkg.Fset, c) {
+					rx, err := regexp.Compile(raw.pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", fname, raw.line, raw.pattern, err)
+					}
+					k := key{fname, raw.line}
+					wants[k] = append(wants[k], &expectation{rx: rx, raw: raw.pattern})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		found := false
+		for _, exp := range wants[k] {
+			if !exp.matched && exp.rx.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for k, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, exp.raw)
+			}
+		}
+	}
+}
+
+type rawWant struct {
+	line    int
+	pattern string
+}
+
+// parseWants extracts the quoted patterns of a `// want "..."` comment. The
+// expectations anchor to the comment's own line.
+func parseWants(t *testing.T, fname string, fset *token.FileSet, c *ast.Comment) []rawWant {
+	t.Helper()
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil
+	}
+	line := fset.Position(c.Pos()).Line
+	var out []rawWant
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '"':
+			end := matchInterpreted(rest)
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want string: %s", fname, line, rest)
+			}
+			lit = rest[:end]
+			rest = rest[end:]
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want raw string: %s", fname, line, rest)
+			}
+			lit = rest[:end+2]
+			rest = rest[end+2:]
+		default:
+			t.Fatalf("%s:%d: want expects quoted regexps, got: %s", fname, line, rest)
+		}
+		pattern, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want literal %s: %v", fname, line, lit, err)
+		}
+		out = append(out, rawWant{line: line, pattern: pattern})
+		rest = strings.TrimSpace(rest)
+	}
+	return out
+}
+
+// matchInterpreted returns the index just past the closing quote of the
+// interpreted string literal at the start of s, or -1.
+func matchInterpreted(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i + 1
+		}
+	}
+	return -1
+}

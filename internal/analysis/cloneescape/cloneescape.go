@@ -1,0 +1,134 @@
+// Package cloneescape enforces the deep-clone-before-store rule for
+// cloneable inputs: an exported function or method that receives a pointer to
+// a Clone-able type (*core.Instance, *core.Configuration, …) must not store
+// that pointer into a struct field as-is — it must store a Clone. Storing the
+// raw pointer aliases caller-owned memory into long-lived state, which is
+// exactly the historical `Leave` bug: a dynamic session adopted a caller's
+// configuration, the caller kept mutating it, and the session's state changed
+// out from under it.
+//
+// Unexported helpers are exempt: internal scratch structs (solver round
+// state, engine task envelopes) deliberately borrow read-only references, and
+// their callers are in the same review unit.
+package cloneescape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/svgic/svgic/internal/analysis"
+)
+
+// Analyzer is the cloneescape check.
+var Analyzer = &analysis.Analyzer{
+	Name: "cloneescape",
+	Doc: "report exported constructors and adopt-style methods that store a cloneable pointer parameter " +
+		"(a *T where T has a Clone method) into a struct field without calling Clone first",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// The parameters under watch: pointer-to-named types carrying a Clone
+	// method. (Value parameters are copies already; non-cloneable pointers
+	// have no sanctioned deep-copy to demand.)
+	params := make(map[types.Object]string)
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && cloneable(obj.Type()) {
+				params[obj] = name.Name
+			}
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok || !isFieldSel(pass.TypesInfo, sel) {
+					continue
+				}
+				if name, ok := paramRef(pass.TypesInfo, params, n.Rhs[i]); ok {
+					pass.Reportf(n.Rhs[i].Pos(),
+						"%s stores parameter %s into a field without Clone; the caller keeps a mutable alias — store %s.Clone()",
+						fd.Name.Name, name, name)
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[n]
+			if !ok {
+				return true
+			}
+			if _, isStruct := tv.Type.Underlying().(*types.Struct); !isStruct {
+				return true
+			}
+			for _, elt := range n.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if name, ok := paramRef(pass.TypesInfo, params, val); ok {
+					pass.Reportf(val.Pos(),
+						"%s stores parameter %s into a struct literal without Clone; the caller keeps a mutable alias — store %s.Clone()",
+						fd.Name.Name, name, name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// paramRef reports whether expr is a bare reference to one of the watched
+// parameters (a Clone() call, a field read, or any other derivation is fine —
+// only the raw pointer escaping is the bug).
+func paramRef(info *types.Info, params map[types.Object]string, expr ast.Expr) (string, bool) {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	name, ok := params[info.Uses[id]]
+	return name, ok
+}
+
+func isFieldSel(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	return ok && s.Kind() == types.FieldVal
+}
+
+// cloneable reports whether t is *T for a named T whose method set includes
+// Clone.
+func cloneable(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	if _, ok := ptr.Elem().(*types.Named); !ok {
+		return false
+	}
+	ms := types.NewMethodSet(ptr)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == "Clone" {
+			return true
+		}
+	}
+	return false
+}

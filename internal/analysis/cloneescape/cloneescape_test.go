@@ -1,0 +1,12 @@
+package cloneescape_test
+
+import (
+	"testing"
+
+	"github.com/svgic/svgic/internal/analysis/analysistest"
+	"github.com/svgic/svgic/internal/analysis/cloneescape"
+)
+
+func TestCloneEscape(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), cloneescape.Analyzer, "cloneescape")
+}

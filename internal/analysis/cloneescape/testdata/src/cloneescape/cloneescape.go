@@ -1,0 +1,92 @@
+// Package cloneescape is the fixture for the deep-clone-before-store
+// analyzer. DynamicSession/Adopt reproduce the historical Leave aliasing bug
+// shape: a constructor stored the caller's instance/configuration pointer
+// raw, so later caller-side mutation changed session state in place.
+package cloneescape
+
+// Instance mirrors core.Instance: cloneable input data.
+type Instance struct {
+	Items []int
+}
+
+// Clone deep-copies the instance.
+func (in *Instance) Clone() *Instance {
+	out := &Instance{Items: make([]int, len(in.Items))}
+	copy(out.Items, in.Items)
+	return out
+}
+
+// Configuration mirrors core.Configuration.
+type Configuration struct {
+	Groups [][]int
+}
+
+// Clone deep-copies the configuration.
+func (c *Configuration) Clone() *Configuration {
+	out := &Configuration{Groups: make([][]int, len(c.Groups))}
+	for i, g := range c.Groups {
+		out.Groups[i] = append([]int(nil), g...)
+	}
+	return out
+}
+
+// Options has no Clone method: storing it raw is not this analyzer's
+// business.
+type Options struct {
+	Cap int
+}
+
+// DynamicSession mirrors core.DynamicSession.
+type DynamicSession struct {
+	in   *Instance
+	conf *Configuration
+	opts *Options
+}
+
+// NewDynamicSession is the buggy historical shape: the instance escapes raw
+// into the session while the configuration is cloned properly.
+func NewDynamicSession(in *Instance, conf *Configuration) *DynamicSession {
+	return &DynamicSession{
+		in:   in, // want `NewDynamicSession stores parameter in into a struct literal without Clone`
+		conf: conf.Clone(),
+	}
+}
+
+// NewDynamicSessionClean is the fixed shape.
+func NewDynamicSessionClean(in *Instance, conf *Configuration) *DynamicSession {
+	return &DynamicSession{
+		in:   in.Clone(),
+		conf: conf.Clone(),
+	}
+}
+
+// Adopt is the buggy field-assignment shape.
+func (s *DynamicSession) Adopt(conf *Configuration) {
+	s.conf = conf // want `Adopt stores parameter conf into a field without Clone`
+}
+
+// AdoptClean is the fixed field-assignment shape.
+func (s *DynamicSession) AdoptClean(conf *Configuration) {
+	s.conf = conf.Clone()
+}
+
+// Configure stores a non-cloneable pointer: allowed.
+func (s *DynamicSession) Configure(opts *Options) {
+	s.opts = opts
+}
+
+// Peek only reads from the parameter: allowed.
+func (s *DynamicSession) Peek(in *Instance) int {
+	if len(in.Items) == 0 {
+		return 0
+	}
+	return in.Items[0]
+}
+
+// newScratch is unexported: internal borrows of read-only references are the
+// callee's and caller's shared business, not the analyzer's.
+func newScratch(in *Instance) *DynamicSession {
+	return &DynamicSession{in: in}
+}
+
+var _ = newScratch

@@ -1,0 +1,89 @@
+// Package ctxthread enforces context threading on the serving path. In the
+// serving packages (engine, registry, session, server):
+//
+//  1. every exported function or method that synchronously reaches a solver
+//     must accept a context.Context, so cancellation and deadlines propagate
+//     from the RPC edge all the way into the solve; and
+//  2. no function may mint a fresh context with context.Background() or
+//     context.TODO() — a detached context silently severs the cancellation
+//     chain. The rare legitimate root (a manager's own lifecycle context,
+//     canceled by Close) carries a justified //lint:ignore.
+package ctxthread
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/svgic/svgic/internal/analysis"
+)
+
+// scope is the set of serving-package path suffixes the check applies to.
+var scope = []string{"engine", "registry", "session", "server"}
+
+// Analyzer is the ctxthread check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxthread",
+	Doc: "in serving packages (engine/registry/session/server): exported functions that transitively call Solve " +
+		"must take a context.Context, and context.Background()/context.TODO() are forbidden — thread the caller's ctx",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgPathHasSuffix(pass.Pkg.Path(), scope...) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			if fd.Name.IsExported() && pass.Facts.Of(fn).Solvy && !hasCtxParam(fn) {
+				pass.Reportf(fd.Name.Pos(),
+					"exported %s transitively calls a solver but takes no context.Context; accept and forward the caller's ctx",
+					fd.Name.Name)
+			}
+			checkFreshContexts(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func hasCtxParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if named, ok := sig.Params().At(i).Type().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkFreshContexts(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if name := fn.Name(); name == "Background" || name == "TODO" {
+			pass.Reportf(call.Pos(),
+				"context.%s() in a serving package detaches the cancellation chain; thread the caller's ctx instead",
+				name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package ctxthread_test
+
+import (
+	"testing"
+
+	"github.com/svgic/svgic/internal/analysis/analysistest"
+	"github.com/svgic/svgic/internal/analysis/ctxthread"
+)
+
+func TestCtxThread(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxthread.Analyzer, "ctxthread/session")
+}

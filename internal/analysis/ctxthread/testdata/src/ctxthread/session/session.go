@@ -1,0 +1,65 @@
+// Package session is the ctxthread fixture; its import path ends in
+// /session, putting it in the analyzer's serving-package scope.
+package session
+
+import "context"
+
+// Engine is a stand-in solver.
+type Engine struct{}
+
+// Solve is the solver entry point.
+func (e *Engine) Solve(ctx context.Context, x int) int { return x }
+
+// Manager mirrors the real session manager.
+type Manager struct {
+	eng    *Engine
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// NewManager is solvy only through a goroutine, which is not the caller's
+// serving path — no ctx parameter is demanded. Its root context carries the
+// sanctioned lifecycle suppression.
+func NewManager(eng *Engine) *Manager {
+	m := &Manager{eng: eng}
+	//lint:ignore ctxthread manager root context, canceled by Close; serving calls still thread their own ctx
+	m.ctx, m.cancel = context.WithCancel(context.Background())
+	go m.loop()
+	return m
+}
+
+func (m *Manager) loop() {
+	<-m.ctx.Done()
+}
+
+// CreateWith threads the caller's context into the solve: the sanctioned
+// shape.
+func (m *Manager) CreateWith(ctx context.Context, x int) int {
+	return m.eng.Solve(ctx, x)
+}
+
+// Create reaches the solver without accepting a context, and detaches the
+// cancellation chain to do it.
+func (m *Manager) Create(x int) int { // want `exported Create transitively calls a solver but takes no context\.Context`
+	return m.eng.Solve(context.Background(), x) // want `context\.Background\(\) in a serving package detaches the cancellation chain`
+}
+
+// Refresh hides the solve behind a helper; the fact still demands a context.
+func (m *Manager) Refresh(x int) int { // want `exported Refresh transitively calls a solver but takes no context\.Context`
+	return m.resolve(x)
+}
+
+func (m *Manager) resolve(x int) int {
+	return m.eng.Solve(m.ctx, x)
+}
+
+// Sweep is unexported-equivalent housekeeping on the exported surface: not
+// solvy, so no ctx is demanded — but a fresh TODO context is still banned.
+func (m *Manager) Sweep() {
+	_ = context.TODO() // want `context\.TODO\(\) in a serving package detaches the cancellation chain`
+}
+
+// Close is exported and not solvy: no ctx demanded.
+func (m *Manager) Close() {
+	m.cancel()
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression policy: a finding is silenced only by a staticcheck-style
+//
+//	//lint:ignore <check>[,<check>…] <justification>
+//
+// directive on the flagged line or the line directly above it, with a
+// non-empty justification. There are deliberately no flag-level or
+// file-level disables — every suppression is a reviewed, justified call
+// site, visible in the diff that introduces it.
+
+// Directive is one parsed //lint:ignore comment.
+type Directive struct {
+	Line   int
+	Checks []string
+	Reason string
+}
+
+// DirectivesFor extracts the //lint:ignore directives of one file, keyed by
+// the line the directive sits on.
+func DirectivesFor(fset *token.FileSet, file *ast.File) map[int]Directive {
+	var out map[int]Directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			d := Directive{Line: fset.Position(c.Pos()).Line}
+			if len(fields) > 0 {
+				d.Checks = strings.Split(fields[0], ",")
+			}
+			if len(fields) > 1 {
+				d.Reason = strings.Join(fields[1:], " ")
+			}
+			if out == nil {
+				out = make(map[int]Directive)
+			}
+			out[d.Line] = d
+		}
+	}
+	return out
+}
+
+// matches reports whether the directive names one of the given checks and
+// carries a justification. A directive without a justification suppresses
+// nothing — the policy requires the why, not just the what.
+func (d Directive) matches(names ...string) bool {
+	if d.Reason == "" {
+		return false
+	}
+	for _, c := range d.Checks {
+		for _, n := range names {
+			if c == n {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SanctionedAt reports whether a directive for one of the named checks
+// covers the given line: the directive sits on the line itself (a trailing
+// comment) or on the line directly above.
+func SanctionedAt(dirs map[int]Directive, line int, names ...string) bool {
+	if d, ok := dirs[line]; ok && d.matches(names...) {
+		return true
+	}
+	if d, ok := dirs[line-1]; ok && d.matches(names...) {
+		return true
+	}
+	return false
+}

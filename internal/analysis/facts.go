@@ -1,0 +1,303 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file is the cross-package knowledge layer. Analyzers like locksolve
+// ("no solve call reachable while a state lock is held") need to know, for a
+// call to some helper in another package, whether that helper transitively
+// reaches a solver. ASTs of dependency packages are not available when
+// running as a `go vet -vettool` compilation unit, so the knowledge travels
+// as per-function Facts: computed bottom-up in dependency order, serialized
+// between vet units as JSON (the .vetx files of the vet protocol), and
+// accumulated in-process by the standalone driver and the test harness.
+
+// FuncFact is what the suite records about one function or method.
+type FuncFact struct {
+	// Solvy: the function synchronously calls a solver entry point
+	// (Solve/SolveWith/SolveBatch…, see SolveName), directly or transitively.
+	// Calls made on new goroutines (`go f(...)`) do not count: spawning
+	// background solving is not the same as solving on the caller's path.
+	Solvy bool `json:"solvy,omitempty"`
+	// Persisty: the function synchronously reaches a durability hook (the
+	// session.Persister methods — the "store enqueue" of the lock invariant).
+	Persisty bool `json:"persisty,omitempty"`
+	// Deprecated is the first line of the declaration's "Deprecated:" doc
+	// paragraph, empty for non-deprecated functions.
+	Deprecated string `json:"deprecated,omitempty"`
+}
+
+func (f FuncFact) isZero() bool {
+	return !f.Solvy && !f.Persisty && f.Deprecated == ""
+}
+
+// Facts is a function-fact table keyed by FuncKey.
+type Facts struct {
+	m map[string]FuncFact
+}
+
+// NewFacts returns an empty fact table.
+func NewFacts() *Facts { return &Facts{m: make(map[string]FuncFact)} }
+
+// Of looks up the fact recorded for a function object. The zero fact is
+// returned for functions the suite has not (yet) analyzed — external code is
+// assumed neither solvy nor persisty nor deprecated, which keeps the
+// analyzers quiet rather than noisy about the standard library.
+func (fs *Facts) Of(fn *types.Func) FuncFact {
+	if fn == nil {
+		return FuncFact{}
+	}
+	return fs.m[FuncKey(fn)]
+}
+
+// Merge adds every entry of the JSON-encoded table (a dependency's .vetx
+// payload) to the receiver.
+func (fs *Facts) Merge(data []byte) error {
+	var m map[string]FuncFact
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	for k, v := range m {
+		fs.m[k] = v
+	}
+	return nil
+}
+
+// Export serializes the given package's slice of the table — the payload the
+// vet protocol hands to dependents.
+func (fs *Facts) Export(pkgPath string) ([]byte, error) {
+	out := make(map[string]FuncFact)
+	prefix := pkgPath + "."
+	for k, v := range fs.m {
+		if strings.HasPrefix(k, prefix) && !v.isZero() {
+			out[k] = v
+		}
+	}
+	return json.Marshal(out)
+}
+
+// ExportAll serializes every non-zero fact in the table. The vet protocol
+// hands each compilation unit only its direct dependencies' fact files, so a
+// unit must re-export the transitive closure it has accumulated, not just its
+// own slice.
+func (fs *Facts) ExportAll() ([]byte, error) {
+	out := make(map[string]FuncFact)
+	for k, v := range fs.m {
+		if !v.isZero() {
+			out[k] = v
+		}
+	}
+	return json.Marshal(out)
+}
+
+// FuncKey names a function or method across package boundaries:
+// "pkg/path.Func" or "pkg/path.Recv.Method" (pointer receivers are
+// flattened). The key is what fact tables and the sanctioned-suppression
+// table are indexed by.
+func FuncKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name() // error.Error and friends
+	}
+	key := fn.Pkg().Path() + "."
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if name := recvTypeName(sig.Recv().Type()); name != "" {
+			key += name + "."
+		}
+	}
+	return key + fn.Name()
+}
+
+func recvTypeName(t types.Type) string {
+	switch t := t.(type) {
+	case *types.Pointer:
+		return recvTypeName(t.Elem())
+	case *types.Named:
+		return t.Obj().Name()
+	case *types.Interface:
+		return "" // anonymous interface receiver: method sets only
+	}
+	return ""
+}
+
+// KeyMatches reports whether a FuncKey ends in the given shorthand — e.g.
+// "session.Manager.Create" matches the real
+// "github.com/svgic/svgic/internal/session.Manager.Create" and a fixture's
+// "example.com/session.Manager.Create". The boundary must fall on a path
+// separator so "mysession.Manager.Create" does not match.
+func KeyMatches(key, shorthand string) bool {
+	return key == shorthand || strings.HasSuffix(key, "/"+shorthand)
+}
+
+// SolveName reports whether a callee name is a solver entry point: Solve
+// itself and the Solve* family (SolveWith, SolveBatch, SolveCtx, SolveAVG,
+// SolveRelaxation, …). Solver*, the registry/identity helpers, are not solve
+// calls.
+func SolveName(name string) bool {
+	if name == "Solve" {
+		return true
+	}
+	return strings.HasPrefix(name, "Solve") && !strings.HasPrefix(name, "Solver")
+}
+
+// PersistNames are the durability hooks of session.Persister — the "store
+// enqueue" calls of the locksolve invariant. Name-matched so fixture
+// persisters and the real interface both count.
+var PersistNames = map[string]bool{
+	"SessionCreated": true,
+	"EventsApplied":  true,
+	"ConfigAdopted":  true,
+	"SnapshotCut":    true,
+	"SessionEnded":   true,
+}
+
+// Callee resolves the static callee of a call expression, or nil for
+// builtins, conversions and function-typed variables.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// CalleeName returns the bare name a call is made under, resolving through
+// nothing — "Solve" for both s.Solve(...) and Solve(...). Empty for calls to
+// function values computed by arbitrary expressions.
+func CalleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// funcNode is one declaration during the per-package fact fixpoint.
+type funcNode struct {
+	key     string
+	fact    FuncFact
+	callees []string // FuncKeys of statically resolved synchronous callees
+}
+
+// ComputePackageFacts derives the FuncFacts of one package and adds them to
+// the table. Dependencies' facts must already be present (packages are
+// processed in dependency order); intra-package recursion is handled by a
+// fixpoint.
+func ComputePackageFacts(files []*ast.File, info *types.Info, facts *Facts) {
+	nodes := make(map[string]*funcNode)
+	var order []string
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			n := &funcNode{key: FuncKey(obj)}
+			n.fact.Deprecated = deprecationOf(fd.Doc)
+			collectSyncCalls(fd.Body, func(call *ast.CallExpr) {
+				if name := CalleeName(call); SolveName(name) {
+					n.fact.Solvy = true
+				} else if PersistNames[name] {
+					n.fact.Persisty = true
+				}
+				if callee := Callee(info, call); callee != nil {
+					n.callees = append(n.callees, FuncKey(callee))
+				}
+			})
+			nodes[n.key] = n
+			order = append(order, n.key)
+		}
+	}
+	// Propagate solvy/persisty through the package's internal call graph to a
+	// fixpoint; external callees are final already.
+	for changed := true; changed; {
+		changed = false
+		for _, key := range order {
+			n := nodes[key]
+			for _, callee := range n.callees {
+				var f FuncFact
+				if cn, ok := nodes[callee]; ok {
+					f = cn.fact
+				} else {
+					f = facts.m[callee]
+				}
+				if f.Solvy && !n.fact.Solvy {
+					n.fact.Solvy = true
+					changed = true
+				}
+				if f.Persisty && !n.fact.Persisty {
+					n.fact.Persisty = true
+					changed = true
+				}
+			}
+		}
+	}
+	for _, key := range order {
+		if f := nodes[key].fact; !f.isZero() {
+			facts.m[key] = f
+		}
+	}
+}
+
+// deprecationOf extracts the first line of a "Deprecated:" doc paragraph.
+func deprecationOf(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "Deprecated:") {
+			return strings.TrimSpace(strings.TrimPrefix(line, "Deprecated:"))
+		}
+	}
+	return ""
+}
+
+// collectSyncCalls walks a function body and invokes fn for every call that
+// executes on the caller's goroutine. Calls launched with `go` are skipped —
+// along with the bodies of function literals launched that way — but their
+// argument expressions are walked (they evaluate synchronously). Function
+// literals that are deferred, invoked immediately or stored all count as
+// synchronous: deferred calls run before the function returns, and a stored
+// closure is conservatively assumed to be called.
+func collectSyncCalls(body *ast.BlockStmt, fn func(*ast.CallExpr)) {
+	if body == nil {
+		return
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			if call, ok := n.(*ast.CallExpr); ok {
+				fn(call)
+			}
+			return true
+		}
+		for _, arg := range g.Call.Args {
+			ast.Inspect(arg, walk)
+		}
+		// Skip g.Call itself and, for `go func(){...}()`, the literal's body.
+		if _, isLit := ast.Unparen(g.Call.Fun).(*ast.FuncLit); !isLit {
+			// A method value like `go m.loop()` still evaluates its receiver
+			// expression synchronously.
+			if sel, ok := ast.Unparen(g.Call.Fun).(*ast.SelectorExpr); ok {
+				ast.Inspect(sel.X, walk)
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, walk)
+}

@@ -1,0 +1,293 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader turns source into type-checked Packages for the in-process
+// execution modes (the standalone driver and the analysistest harness; the
+// `go vet -vettool` mode gets its inputs from the vet config instead — see
+// cmd/svgiclint). Module packages and testdata fixtures are type-checked
+// from source in dependency order, so facts for a dependency are always
+// computed before its dependents run. Standard-library imports are resolved
+// through compiled export data located with `go list -export` — the analyzers
+// never need std ASTs, only std types.
+
+// Package is one type-checked package plus its syntax.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the slice of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Standard   bool
+}
+
+// Loader loads and type-checks packages, accumulating Facts as it goes.
+type Loader struct {
+	Fset  *token.FileSet
+	Facts *Facts
+
+	fixtureRoot string // testdata "src" root; "" outside the test harness
+	modulePkgs  map[string]*listPkg
+	stdExport   map[string]string
+	loaded      map[string]*Package
+	loading     map[string]bool
+	gc          types.ImporterFrom
+	goVersion   string
+}
+
+func newLoader() *Loader {
+	l := &Loader{
+		Fset:       token.NewFileSet(),
+		Facts:      NewFacts(),
+		modulePkgs: make(map[string]*listPkg),
+		stdExport:  make(map[string]string),
+		loaded:     make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+	l.gc = importer.ForCompiler(l.Fset, "gc", l.lookupExport).(types.ImporterFrom)
+	return l
+}
+
+// NewFixtureLoader returns a loader that resolves import paths against
+// root/<path> directories first (the analysistest testdata/src layout) and
+// the standard library second.
+func NewFixtureLoader(root string) *Loader {
+	l := newLoader()
+	l.fixtureRoot = root
+	return l
+}
+
+// LoadModule loads every package of the module rooted at dir (the `./...`
+// universe, test files excluded), in dependency order.
+func LoadModule(dir string) ([]*Package, *Loader, error) {
+	l := newLoader()
+	if v, err := moduleGoVersion(dir); err == nil {
+		l.goVersion = v
+	}
+	out, err := goList(dir, "-deps", "-export", "./...")
+	if err != nil {
+		return nil, nil, err
+	}
+	var roots []string
+	for _, p := range out {
+		if p.Standard {
+			if p.Export != "" {
+				l.stdExport[p.ImportPath] = p.Export
+			}
+			continue
+		}
+		l.modulePkgs[p.ImportPath] = p
+		roots = append(roots, p.ImportPath)
+	}
+	sort.Strings(roots)
+	var pkgs []*Package
+	for _, path := range roots {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	// Dependency order for the caller: a package sorts after its imports.
+	sort.SliceStable(pkgs, func(i, j int) bool {
+		return depends(l.modulePkgs, pkgs[j].Path, pkgs[i].Path) &&
+			!depends(l.modulePkgs, pkgs[i].Path, pkgs[j].Path)
+	})
+	return pkgs, l, nil
+}
+
+func depends(pkgs map[string]*listPkg, from, on string) bool {
+	seen := make(map[string]bool)
+	var walk func(p string) bool
+	walk = func(p string) bool {
+		if p == on {
+			return true
+		}
+		if seen[p] {
+			return false
+		}
+		seen[p] = true
+		lp := pkgs[p]
+		if lp == nil {
+			return false
+		}
+		for _, imp := range lp.Imports {
+			if walk(imp) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+// Load type-checks one package (and, recursively, its source dependencies),
+// computing its Facts exactly once.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	var files []string
+	switch {
+	case l.fixtureRoot != "" && dirExists(filepath.Join(l.fixtureRoot, path)):
+		dir := filepath.Join(l.fixtureRoot, path)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				files = append(files, filepath.Join(dir, e.Name()))
+			}
+		}
+	case l.modulePkgs[path] != nil:
+		lp := l.modulePkgs[path]
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+	default:
+		return nil, fmt.Errorf("analysis: %q is neither a fixture nor a module package", path)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: package %q has no Go files", path)
+	}
+	sort.Strings(files)
+
+	var syntax []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(l.Fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: l, GoVersion: l.goVersion}
+	tpkg, err := conf.Check(path, l.Fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Fset: l.Fset, Files: syntax, Types: tpkg, Info: info}
+	l.loaded[path] = pkg
+	ComputePackageFacts(syntax, info, l.Facts)
+	return pkg, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: source packages (fixtures and
+// module packages) are loaded recursively, everything else through compiled
+// export data.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if (l.fixtureRoot != "" && dirExists(filepath.Join(l.fixtureRoot, path))) || l.modulePkgs[path] != nil {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.gc.ImportFrom(path, dir, mode)
+}
+
+// lookupExport feeds the gc importer: import path → export-data file,
+// resolved with `go list -export` on first need.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	file, ok := l.stdExport[path]
+	if !ok {
+		out, err := goList(".", "-deps", "-export", path)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: locating export data for %q: %w", path, err)
+		}
+		for _, p := range out {
+			if p.Export != "" {
+				l.stdExport[p.ImportPath] = p.Export
+			}
+		}
+		file = l.stdExport[path]
+	}
+	if file == "" {
+		return nil, fmt.Errorf("analysis: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+func goList(dir string, args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json=ImportPath,Dir,GoFiles,Imports,Export,Standard"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+	var out []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func moduleGoVersion(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if v, ok := strings.CutPrefix(strings.TrimSpace(line), "go "); ok {
+			return "go" + strings.TrimSpace(v), nil
+		}
+	}
+	return "", fmt.Errorf("no go directive in %s/go.mod", dir)
+}
+
+func dirExists(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}

@@ -1,0 +1,12 @@
+package locksolve_test
+
+import (
+	"testing"
+
+	"github.com/svgic/svgic/internal/analysis/analysistest"
+	"github.com/svgic/svgic/internal/analysis/locksolve"
+)
+
+func TestLockSolve(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), locksolve.Analyzer, "locksolve")
+}

@@ -1,0 +1,17 @@
+// Package enginelib is a fixture dependency: its facts (SolveBest reaches a
+// solver) must travel across the package boundary for the transitive cases in
+// the main fixture to fire.
+package enginelib
+
+// Engine is a stand-in solver.
+type Engine struct{}
+
+// Solve is the solver entry point.
+func (e *Engine) Solve(x int) int { return x + 1 }
+
+// Compute reaches Solve without carrying a Solve* name: only the fact
+// machinery can tell callers it is solvy.
+func Compute(e *Engine, x int) int { return e.Solve(x) }
+
+// Describe is lock-safe: it never reaches a solver.
+func Describe(e *Engine) string { return "engine" }

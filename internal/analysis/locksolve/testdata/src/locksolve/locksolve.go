@@ -1,0 +1,129 @@
+// Package locksolve is the fixture for the solve-outside-the-lock analyzer.
+package locksolve
+
+import (
+	"sync"
+
+	"locksolve/enginelib"
+)
+
+// Persister mirrors the durability hooks of the real session.Persister.
+type Persister interface {
+	EventsApplied(id string, n int) error
+	SessionEnded(id string) error
+}
+
+// Session mirrors the real session shape: mu guards state, outMu is a
+// coordination lock exempt from the rule.
+type Session struct {
+	mu    sync.Mutex
+	outMu sync.Mutex
+	eng   *enginelib.Engine
+	p     Persister
+	val   int
+}
+
+// BadDirect solves under the state lock.
+func (s *Session) BadDirect(x int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Solve(x) // want `solver call Solve while s\.mu is held`
+}
+
+// BadTransitiveLocal reaches the solver through an unexported same-package
+// helper.
+func (s *Session) BadTransitiveLocal(x int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recompute(x) // want `call to recompute reaches a solver while s\.mu is held`
+}
+
+func (s *Session) recompute(x int) int { return s.eng.Solve(x) }
+
+// BadTransitiveImported reaches the solver through another package; the
+// knowledge arrives as a fact.
+func (s *Session) BadTransitiveImported(x int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return enginelib.Compute(s.eng, x) // want `call to Compute reaches a solver while s\.mu is held`
+}
+
+// BadPersist enqueues durability work under the state lock.
+func (s *Session) BadPersist(n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.p.EventsApplied("s1", n) // want `persistence call EventsApplied while s\.mu is held`
+}
+
+// GoodSnapshot is the sanctioned pattern: snapshot under the lock, solve
+// after releasing it.
+func (s *Session) GoodSnapshot(x int) int {
+	s.mu.Lock()
+	v := s.val
+	s.mu.Unlock()
+	out := s.eng.Solve(v + x)
+	s.mu.Lock()
+	s.val = out
+	s.mu.Unlock()
+	return out
+}
+
+// GoodCoordinationLock solves under outMu: descriptive coordination locks
+// are exempt by design.
+func (s *Session) GoodCoordinationLock(x int) int {
+	s.outMu.Lock()
+	defer s.outMu.Unlock()
+	return s.eng.Solve(x)
+}
+
+// GoodAsync spawns the solve on its own goroutine, which does not hold mu.
+func (s *Session) GoodAsync(x int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		_ = s.eng.Solve(x)
+	}()
+}
+
+// GoodBranchRelease releases inside the early-return branch; the solve after
+// the branch runs unlocked on that path and re-locks properly otherwise.
+func (s *Session) GoodBranchRelease(x int) int {
+	s.mu.Lock()
+	if x < 0 {
+		s.mu.Unlock()
+		return 0
+	}
+	s.mu.Unlock()
+	return s.eng.Solve(x)
+}
+
+// GoodIIFELockScope mirrors the repair path: an immediately-invoked literal
+// holds mu with a defer, which releases at the literal's return — the solve
+// and persist after it run unlocked.
+func (s *Session) GoodIIFELockScope(x int) error {
+	func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.val = x
+	}()
+	s.val = s.eng.Solve(s.val)
+	return s.p.SessionEnded("s1")
+}
+
+// BadIIFEInherited still fires: the literal runs while the caller holds mu.
+func (s *Session) BadIIFEInherited(x int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := 0
+	func() {
+		out = s.eng.Solve(x) // want `solver call Solve while s\.mu is held`
+	}()
+	return out
+}
+
+// GoodSafeCall calls a non-solvy dependency under the lock.
+func (s *Session) GoodSafeCall() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return enginelib.Describe(s.eng)
+}

@@ -1,0 +1,96 @@
+// Package nodeprecated is the project-aware deprecation check. It flags every
+// call to a function or method carrying a "Deprecated:" doc paragraph, with
+// one carve-out: the repo keeps a short sanctioned list of legacy call sites
+// (the compatibility wrappers' own tests) that may suppress the finding with
+// a justified //lint:ignore directive. A //lint:ignore on any OTHER deprecated
+// call is itself a finding — the suppression budget is closed, new code
+// migrates instead.
+//
+// The analyzer interprets the directives itself (NoAutoSuppress) and honors
+// the staticcheck name SA1019 as an alias, so the pre-existing sanctioned
+// sites keep their single directive and satisfy both tools.
+package nodeprecated
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/svgic/svgic/internal/analysis"
+)
+
+// Sanctioned lists the call-site keys (suffix-matched FuncKeys of the callee)
+// where a justified //lint:ignore SA1019 / nodeprecated directive is accepted.
+// Everything else must migrate off the deprecated API.
+var Sanctioned = []string{
+	"svgic.SolveAVG",
+	"svgic.SolveAVGD",
+	"session.Manager.Create",
+}
+
+// Analyzer is the nodeprecated check.
+var Analyzer = &analysis.Analyzer{
+	Name:    "nodeprecated",
+	Aliases: []string{"SA1019"},
+	Doc: "report calls to Deprecated functions; only the sanctioned legacy sites (Manager.Create / SolveAVG / SolveAVGD " +
+		"compatibility tests) may carry a justified //lint:ignore, new suppressions are rejected",
+	NoAutoSuppress: true,
+	Run:            run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		dirs := analysis.DirectivesFor(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// A deprecated wrapper may call other deprecated APIs: it is
+			// itself scheduled for removal, flagging its body helps no one.
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok && pass.Facts.Of(fn).Deprecated != "" {
+				continue
+			}
+			checkBody(pass, fd.Body, dirs)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, dirs map[int]analysis.Directive) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		fact := pass.Facts.Of(fn)
+		if fact.Deprecated == "" {
+			return true
+		}
+		key := analysis.FuncKey(fn)
+		line := pass.Fset.Position(call.Pos()).Line
+		suppressed := analysis.SanctionedAt(dirs, line, "nodeprecated", "SA1019")
+		switch {
+		case !suppressed:
+			pass.Reportf(call.Pos(), "call to deprecated %s (Deprecated: %s)", fn.Name(), fact.Deprecated)
+		case !sanctionedKey(key):
+			pass.Reportf(call.Pos(),
+				"suppressed call to deprecated %s is not a sanctioned legacy site (allowed: %s); migrate instead",
+				fn.Name(), strings.Join(Sanctioned, ", "))
+		}
+		return true
+	})
+}
+
+func sanctionedKey(key string) bool {
+	for _, s := range Sanctioned {
+		if analysis.KeyMatches(key, s) {
+			return true
+		}
+	}
+	return false
+}

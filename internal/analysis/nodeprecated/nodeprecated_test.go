@@ -1,0 +1,12 @@
+package nodeprecated_test
+
+import (
+	"testing"
+
+	"github.com/svgic/svgic/internal/analysis/analysistest"
+	"github.com/svgic/svgic/internal/analysis/nodeprecated"
+)
+
+func TestNoDeprecated(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nodeprecated.Analyzer, "nodeprecated/client")
+}

@@ -1,0 +1,37 @@
+// Package client exercises every nodeprecated outcome: bare deprecated
+// calls, a sanctioned justified suppression, an unjustified directive, and a
+// directive on a non-sanctioned symbol.
+package client
+
+import "nodeprecated/svgic"
+
+// Bare calls are flagged regardless of the callee's package.
+func bare() int {
+	return svgic.SolveAVG(4) + // want `call to deprecated SolveAVG \(Deprecated: use SolveAVGWith and pass explicit factors\.\)`
+		svgic.OldHelper() // want `call to deprecated OldHelper`
+}
+
+// sanctioned is the one legal shape: a justified directive on a listed site.
+func sanctioned() int {
+	//lint:ignore SA1019 compatibility coverage for the deprecated wrapper
+	return svgic.SolveAVG(4)
+}
+
+// unjustified directives suppress nothing: the policy demands the why.
+func unjustified() int {
+	//lint:ignore SA1019
+	return svgic.SolveAVG(4) // want `call to deprecated SolveAVG`
+}
+
+// unsanctioned symbols cannot buy a suppression at all.
+func unsanctioned() int {
+	//lint:ignore SA1019 trying to grandfather a helper that has no sanctioned sites
+	return svgic.OldHelper() // want `suppressed call to deprecated OldHelper is not a sanctioned legacy site`
+}
+
+// modern code uses the replacement.
+func modern() int {
+	return svgic.SolveAVGWith(4, 2)
+}
+
+var _ = []func() int{bare, sanctioned, unjustified, unsanctioned, modern}

@@ -1,0 +1,17 @@
+// Package svgic is the nodeprecated fixture's deprecated-API surface; its
+// import path ends in /svgic so the sanctioned-site suffixes match the real
+// module's root package.
+package svgic
+
+// SolveAVG solves with default factors.
+//
+// Deprecated: use SolveAVGWith and pass explicit factors.
+func SolveAVG(x int) int { return SolveAVGWith(x, 1) }
+
+// SolveAVGWith is the replacement API.
+func SolveAVGWith(x, f int) int { return x * f }
+
+// OldHelper has no sanctioned call sites at all.
+//
+// Deprecated: superseded, delete on sight.
+func OldHelper() int { return 0 }

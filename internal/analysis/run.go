@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/token"
+)
+
+// Run executes the analyzers over one type-checked package and returns the
+// surviving diagnostics: findings covered by a justified //lint:ignore
+// directive (naming the analyzer or one of its aliases) are filtered out
+// here, except for analyzers that opted out with NoAutoSuppress and police
+// the directives themselves.
+func Run(pkg *Package, facts *Facts, analyzers []*Analyzer) ([]Diagnostic, error) {
+	// Directive maps are per file; index them by file name once.
+	dirs := make(map[string]map[int]Directive)
+	for _, f := range pkg.Files {
+		if tf := pkg.Fset.File(f.Pos()); tf != nil {
+			dirs[tf.Name()] = DirectivesFor(pkg.Fset, f)
+		}
+	}
+	var out []Diagnostic
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Facts:     facts,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+		names := append([]string{a.Name}, a.Aliases...)
+		for _, d := range diags {
+			if !a.NoAutoSuppress && suppressed(dirs, pkg.Fset, d.Pos, names) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	SortDiagnostics(pkg.Fset, out)
+	return out, nil
+}
+
+func suppressed(dirs map[string]map[int]Directive, fset *token.FileSet, pos token.Pos, names []string) bool {
+	p := fset.Position(pos)
+	return SanctionedAt(dirs[p.Filename], p.Line, names...)
+}

@@ -1,0 +1,112 @@
+// Package seedrand enforces deterministic randomness in workload generators
+// and stateful serving code: inside cmd/ binaries and the session/store
+// packages, randomness must flow from an explicitly seeded source (a -seed
+// flag, an Options field, an injected *rand.Rand) — never from the global
+// math/rand source and never from an ad-hoc time-of-day seed. Global and
+// time-seeded draws make benchmark workloads and session IDs unreproducible,
+// which is exactly what the repo's seeded-workload fixes were about.
+package seedrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/svgic/svgic/internal/analysis"
+)
+
+// Analyzer is the seedrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedrand",
+	Doc: "in cmd/ and session/store packages: forbid global math/rand draws and time-based seeding; " +
+		"randomness must come from an explicitly seeded source so runs are reproducible",
+	Run: run,
+}
+
+// constructors are the math/rand and math/rand/v2 source builders: allowed in
+// themselves (building a seeded source is the sanctioned pattern), but their
+// seed arguments must not be derived from the clock.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || pass.InTestFile(call.Pos()) {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // a method on an explicitly built source/Rand is the sanctioned pattern
+			}
+			if constructors[fn.Name()] {
+				for _, arg := range call.Args {
+					if tc := timeDerived(pass.TypesInfo, arg); tc != nil {
+						pass.Reportf(tc.Pos(),
+							"time-based seed for %s.%s; derive the seed from a -seed flag or injected source so runs are reproducible",
+							path, fn.Name())
+					}
+				}
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s.%s draws from the process-wide source; use a *rand.Rand built from an explicit seed",
+				path, fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// timeDerived returns the first time.Now() call contained in the expression —
+// the `rand.NewSource(time.Now().UnixNano())` shape and friends — or nil.
+func timeDerived(info *types.Info, expr ast.Expr) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Now" {
+				found = call
+				return false
+			}
+		case "math/rand", "math/rand/v2":
+			// A nested rand constructor reports its own seed; don't blame the
+			// outer call for it too.
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func inScope(path string) bool {
+	return analysis.PkgPathHasSuffix(path, "session", "store") ||
+		strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/")
+}

@@ -1,0 +1,12 @@
+package seedrand_test
+
+import (
+	"testing"
+
+	"github.com/svgic/svgic/internal/analysis/analysistest"
+	"github.com/svgic/svgic/internal/analysis/seedrand"
+)
+
+func TestSeedRand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), seedrand.Analyzer, "seedrand/cmd/workload")
+}

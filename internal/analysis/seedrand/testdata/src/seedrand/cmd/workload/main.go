@@ -1,0 +1,30 @@
+// Command workload is the seedrand fixture: a workload generator whose
+// import path sits under cmd/, putting it in the analyzer's scope.
+package main
+
+import (
+	"flag"
+	"math/rand"
+	"time"
+)
+
+var seed = flag.Int64("seed", 1, "workload seed")
+
+func main() {
+	flag.Parse()
+
+	_ = rand.Intn(10)  // want `math/rand\.Intn draws from the process-wide source`
+	_ = rand.Float64() // want `math/rand\.Float64 draws from the process-wide source`
+
+	bad := rand.New(rand.NewSource(time.Now().UnixNano())) // want `time-based seed for math/rand\.NewSource`
+	_ = bad.Intn(10)
+
+	good := rand.New(rand.NewSource(*seed))
+	_ = good.Intn(10)
+
+	sizes := make([]int, 8)
+	for i := range sizes {
+		sizes[i] = 1 + good.Intn(4)
+	}
+	_ = sizes
+}
