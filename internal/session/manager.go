@@ -2,6 +2,8 @@ package session
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -71,6 +73,11 @@ type Options struct {
 	// disables periodic cuts (the creation snapshot still happens). Ignored
 	// without a Persister.
 	SnapshotEvery int
+	// Seed seeds the random tail of generated session ids, making id
+	// sequences reproducible for tests and seeded workloads. Zero draws a
+	// one-off seed from crypto/rand — unguessable ids, explicitly not
+	// derived from the clock or the global math/rand source.
+	Seed uint64
 }
 
 // Stats is a snapshot of the manager's counters, aggregated over all
@@ -123,6 +130,12 @@ type Manager struct {
 	idc      atomic.Uint64
 	rejected atomic.Uint64 // rejections have no session id, hence no shard
 
+	// idRand supplies the random tail of session ids from an explicit seed
+	// (Options.Seed, or one drawn once from crypto/rand). idMu guards it:
+	// *rand.Rand is not concurrency-safe and id minting is cross-shard.
+	idMu   sync.Mutex
+	idRand *rand.Rand
+
 	// repairSem bounds in-flight repair solves manager-wide; per-shard
 	// cycles share it (see repairShard).
 	repairSem chan struct{}
@@ -172,6 +185,15 @@ func NewManager(opts Options) (*Manager, error) {
 	if m.repairTimeout <= 0 {
 		m.repairTimeout = DefaultRepairTimeout
 	}
+	seed := opts.Seed
+	if seed == 0 {
+		var buf [8]byte
+		if _, err := crand.Read(buf[:]); err != nil {
+			return nil, fmt.Errorf("session: seeding id source: %w", err)
+		}
+		seed = binary.LittleEndian.Uint64(buf[:])
+	}
+	m.idRand = rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
 	nshards := opts.Shards
 	if nshards <= 0 {
 		nshards = runtime.GOMAXPROCS(0)
@@ -244,9 +266,14 @@ func (m *Manager) Close() {
 
 // newID mints a session id: a monotone sequence number plus random tail, so
 // ids are unguessable enough not to collide across restarts yet still sort
-// by creation order within one process.
+// by creation order within one process. The tail comes from the manager's
+// seeded source, never the global one, so a fixed Options.Seed reproduces
+// the exact id sequence.
 func (m *Manager) newID() string {
-	return fmt.Sprintf("s%06d-%08x", m.idc.Add(1), rand.Uint32())
+	m.idMu.Lock()
+	tail := m.idRand.Uint32()
+	m.idMu.Unlock()
+	return fmt.Sprintf("s%06d-%08x", m.idc.Add(1), tail)
 }
 
 // solveWith routes a full solve through the engine: the session's own solver
