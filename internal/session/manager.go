@@ -211,6 +211,7 @@ func NewManager(opts Options) (*Manager, error) {
 		m.shards[i] = sh
 	}
 	m.repairSem = make(chan struct{}, repairConcurrency)
+	//lint:ignore ctxthread manager-lifecycle root context, canceled by Close; serving calls thread their own ctx and repair solves derive from this one so Close cancels them
 	m.ctx, m.cancel = context.WithCancel(context.Background())
 	m.wg.Add(nshards)
 	for _, sh := range m.shards {
