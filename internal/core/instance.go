@@ -37,6 +37,7 @@ func NewInstance(g *graph.Graph, numItems, k int, lambda float64) *Instance {
 		pref[u] = make([]float64, numItems)
 	}
 	return &Instance{
+		//lint:ignore cloneescape documented contract: the graph is referenced, not copied — callers share immutable graphs across instances and Clone() deep-copies when mutation is coming
 		G:        g,
 		NumItems: numItems,
 		K:        k,

@@ -47,7 +47,8 @@ type Solution struct {
 // (Rounding, Nodes, ...) afterwards.
 func NewSolution(algorithm string, in *Instance, conf *Configuration, start time.Time) *Solution {
 	return &Solution{
-		Algorithm:  algorithm,
+		Algorithm: algorithm,
+		//lint:ignore cloneescape ownership transfer: solvers hand their freshly computed configuration to the envelope and stop using it; consumers that fan out clone via Solution.Clone
 		Config:     conf,
 		Report:     Evaluate(in, conf),
 		Components: 1,

@@ -312,8 +312,12 @@ func (s *Store) EventsApplied(id string, events []session.Event, from, to uint64
 	s.enqueue(op{kind: opAppend, id: id, events: events, from: from, to: to, value: value})
 }
 
-// ConfigAdopted implements session.Persister.
+// ConfigAdopted implements session.Persister. Ownership transfer by
+// contract: the session layer clones the adopted configuration into its
+// outbox before handing it to the persister, so the pointer received here is
+// already private to the durability path.
 func (s *Store) ConfigAdopted(id string, conf *core.Configuration, from, to uint64, value float64) {
+	//lint:ignore cloneescape Persister contract passes ownership of an already-cloned configuration; cloning again would double every adopt's allocations
 	s.enqueue(op{kind: opAppend, id: id, conf: conf, from: from, to: to, value: value})
 }
 
