@@ -1,0 +1,317 @@
+// Package flow is the suite's shared flow-sensitive dataflow engine: a
+// statement/expression walker that threads a set of "held" keys (mutexes for
+// locksolve and lockorder, WaitGroup reservations for goleak) through one
+// function body in evaluation order.
+//
+// The engine owns the control-flow semantics the analyzers previously each
+// re-implemented:
+//
+//   - Branch bodies (if/else, loop bodies, switch and select cases) walk on
+//     COPIES of the held set — a key acquired or released inside a branch
+//     never leaks into the statements after it.
+//   - `defer x.Unlock()` keeps the key held to the end of the enclosing
+//     function (or function literal), where it is released; any other
+//     deferred call is checked like a synchronous call, because it runs
+//     before the function returns.
+//   - An immediately-invoked function literal (IIFE) runs inline on the
+//     caller's path: its body shares the caller's held set, and its deferred
+//     releases apply when it returns — the drainOutbox/repairOne pattern.
+//   - A function literal that is stored rather than invoked is walked
+//     conservatively as if called on the spot, but on a copy of the set: its
+//     traffic must not leak into the enclosing flow.
+//   - A `go` statement's callee runs on its own goroutine, which holds none
+//     of the caller's keys — the spawned body is NOT walked — but receiver
+//     and argument expressions evaluate synchronously and are. The OnGo hook
+//     sees the held set at the spawn point; analyzers that care about the
+//     spawned body (goleak) recurse into it themselves with a fresh set.
+//
+// Analyzers plug in through Hooks: Classify names the calls that mutate the
+// set, OnCall/OnAcquire/OnGo observe the set at the program points they care
+// about.
+package flow
+
+import (
+	"go/ast"
+)
+
+// Op classifies what a call does to the held set.
+type Op int
+
+const (
+	// None: the call does not touch the held set.
+	None Op = iota
+	// Acquire adds the classified key to the held set.
+	Acquire
+	// Release removes the classified key from the held set.
+	Release
+)
+
+// Set is the engine's flow state: the keys currently held on this path.
+// Hooks receive the live set and must not mutate or retain it — copy first.
+type Set map[string]bool
+
+// Copy returns an independent copy of the set.
+func (s Set) Copy() Set {
+	out := make(Set, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// Keys returns the held keys in unspecified order.
+func (s Set) Keys() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Hooks parameterize one walk. Any hook may be nil.
+type Hooks struct {
+	// Classify maps a call to its effect on the held set. A call classified
+	// Acquire or Release is consumed by the engine (OnCall does not fire for
+	// it); its receiver expression is still walked. Nil classifies nothing.
+	Classify func(call *ast.CallExpr) (key string, op Op)
+	// OnAcquire fires for every Acquire-classified call, with the set held
+	// BEFORE the key is added — the acquisition-order edge source.
+	OnAcquire func(call *ast.CallExpr, key string, held Set)
+	// OnCall fires for every unclassified call that executes synchronously on
+	// the walked function's goroutine (deferred calls included).
+	OnCall func(call *ast.CallExpr, held Set)
+	// OnGo fires for every `go` statement, with the set held at the spawn
+	// point. The spawned body is not walked by the engine.
+	OnGo func(g *ast.GoStmt, held Set)
+}
+
+// Walk runs one function body through the engine with an initially empty
+// held set.
+func Walk(body *ast.BlockStmt, h Hooks) {
+	w := &walker{hooks: h}
+	w.funcBody(body, make(Set))
+}
+
+type walker struct {
+	hooks Hooks
+	// deferred collects the deferred Release keys of the function (or
+	// function literal) currently being walked. Within the function the key
+	// stays held — deferred releases run at return — so the keys leave the
+	// held set only when funcBody finishes the walk.
+	deferred map[string]bool
+}
+
+// funcBody walks one function's body: deferred releases keep their keys held
+// for the whole walk, then drop them from the (caller-shared, for IIFEs)
+// held set when the function returns.
+func (w *walker) funcBody(b *ast.BlockStmt, held Set) {
+	prev := w.deferred
+	w.deferred = make(map[string]bool)
+	w.block(b, held)
+	for k := range w.deferred {
+		delete(held, k)
+	}
+	w.deferred = prev
+}
+
+func (w *walker) classify(call *ast.CallExpr) (string, Op) {
+	if w.hooks.Classify == nil {
+		return "", None
+	}
+	return w.hooks.Classify(call)
+}
+
+// block walks statements in source order, threading the held set.
+func (w *walker) block(b *ast.BlockStmt, held Set) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.List {
+		w.stmt(s, held)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, held Set) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.block(s, held)
+	case *ast.ExprStmt:
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred Release runs at function return: funcBody drops the key
+		// then. A deferred Acquire is ignored (locking on the way out is not
+		// a pattern the suite models). Any other deferred call runs before
+		// the function returns, so it is checked like a synchronous call.
+		if key, op := w.classify(s.Call); op != None {
+			if op == Release {
+				w.deferred[key] = true
+			}
+			return
+		}
+		w.expr(s.Call, held)
+	case *ast.GoStmt:
+		// The spawned call runs on its own goroutine, which does not hold the
+		// caller's keys — but the receiver and argument expressions evaluate
+		// synchronously, on the caller's path.
+		if sel, ok := ast.Unparen(s.Call.Fun).(*ast.SelectorExpr); ok {
+			w.expr(sel.X, held)
+		}
+		for _, arg := range s.Call.Args {
+			if _, isLit := ast.Unparen(arg).(*ast.FuncLit); !isLit {
+				w.expr(arg, held)
+			}
+		}
+		if w.hooks.OnGo != nil {
+			w.hooks.OnGo(s, held)
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Cond, held)
+		w.block(s.Body, held.Copy())
+		w.stmt(s.Else, held.Copy())
+	case *ast.ForStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Cond, held)
+		inner := held.Copy()
+		w.block(s.Body, inner)
+		w.stmt(s.Post, inner)
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.block(s.Body, held.Copy())
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Tag, held)
+		w.caseBodies(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, held)
+		w.stmt(s.Assign, held)
+		w.caseBodies(s.Body, held)
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			inner := held.Copy()
+			w.stmt(cc.Comm, inner)
+			for _, bs := range cc.Body {
+				w.stmt(bs, inner)
+			}
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	}
+}
+
+func (w *walker) caseBodies(body *ast.BlockStmt, held Set) {
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				w.expr(e, held)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			stmts = cl.Body
+		}
+		inner := held.Copy()
+		for _, s := range stmts {
+			w.stmt(s, inner)
+		}
+	}
+}
+
+// expr walks an expression in evaluation order, applying classified ops to
+// the held set and firing OnCall for synchronous calls.
+func (w *walker) expr(e ast.Expr, held Set) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		if key, op := w.classify(e); op != None {
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+				w.expr(sel.X, held)
+			}
+			switch op {
+			case Acquire:
+				if w.hooks.OnAcquire != nil {
+					w.hooks.OnAcquire(e, key, held)
+				}
+				held[key] = true
+			case Release:
+				delete(held, key)
+			}
+			return
+		}
+		for _, arg := range e.Args {
+			w.expr(arg, held)
+		}
+		if lit, ok := ast.Unparen(e.Fun).(*ast.FuncLit); ok {
+			// An IIFE runs inline on the caller's path: it shares the held
+			// set, so keys it takes or releases (including its deferred
+			// releases, applied at its return) carry over to the code after it.
+			w.funcBody(lit.Body, held)
+			return
+		}
+		w.expr(e.Fun, held)
+		if w.hooks.OnCall != nil {
+			w.hooks.OnCall(e, held)
+		}
+	case *ast.FuncLit:
+		// A literal that is not invoked on the spot: conservatively walked as
+		// if called here (a stored closure usually is), but on a copy of the
+		// held set — its traffic must not leak into the enclosing flow.
+		w.funcBody(e.Body, held.Copy())
+	case *ast.ParenExpr:
+		w.expr(e.X, held)
+	case *ast.SelectorExpr:
+		w.expr(e.X, held)
+	case *ast.BinaryExpr:
+		w.expr(e.X, held)
+		w.expr(e.Y, held)
+	case *ast.UnaryExpr:
+		w.expr(e.X, held)
+	case *ast.StarExpr:
+		w.expr(e.X, held)
+	case *ast.IndexExpr:
+		w.expr(e.X, held)
+		w.expr(e.Index, held)
+	case *ast.SliceExpr:
+		w.expr(e.X, held)
+		w.expr(e.Low, held)
+		w.expr(e.High, held)
+		w.expr(e.Max, held)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, held)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			w.expr(elt, held)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Value, held)
+	}
+}

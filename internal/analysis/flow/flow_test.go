@@ -1,0 +1,296 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// harness walks the body of function `f` in src with a purely syntactic
+// classifier (X.Lock / X.Unlock by method name — the engine itself is
+// type-agnostic) and records, per observed call or go statement, the held
+// set at that point as "name:key1+key2".
+type harness struct {
+	calls []string // OnCall observations
+	gos   []string // OnGo observations
+	acqs  []string // OnAcquire observations (key acquired : held-before)
+}
+
+func heldString(held Set) string {
+	keys := held.Keys()
+	sort.Strings(keys)
+	return strings.Join(keys, "+")
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "?"
+}
+
+func (h *harness) walk(t *testing.T, src string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "flow_test_src.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parsing test source: %v", err)
+	}
+	var body *ast.BlockStmt
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		t.Fatalf("no func f in test source")
+	}
+	Walk(body, Hooks{
+		Classify: func(call *ast.CallExpr) (string, Op) {
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return "", None
+			}
+			x, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return "", None
+			}
+			switch sel.Sel.Name {
+			case "Lock":
+				return x.Name, Acquire
+			case "Unlock":
+				return x.Name, Release
+			}
+			return "", None
+		},
+		OnAcquire: func(call *ast.CallExpr, key string, held Set) {
+			h.acqs = append(h.acqs, key+":"+heldString(held))
+		},
+		OnCall: func(call *ast.CallExpr, held Set) {
+			h.calls = append(h.calls, callName(call)+":"+heldString(held))
+		},
+		OnGo: func(g *ast.GoStmt, held Set) {
+			h.gos = append(h.gos, "go:"+heldString(held))
+		},
+	})
+}
+
+func expect(t *testing.T, what string, got, want []string) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s:\n got  %v\n want %v", what, got, want)
+	}
+}
+
+func TestSequentialLockUnlock(t *testing.T) {
+	h := &harness{}
+	h.walk(t, `
+func f() {
+	before()
+	a.Lock()
+	during()
+	a.Unlock()
+	after()
+}`)
+	expect(t, "calls", h.calls, []string{"before:", "during:a", "after:"})
+	expect(t, "acquires", h.acqs, []string{"a:"})
+}
+
+func TestDeferredUnlockHoldsToFunctionEnd(t *testing.T) {
+	h := &harness{}
+	h.walk(t, `
+func f() {
+	a.Lock()
+	defer a.Unlock()
+	one()
+	two()
+}`)
+	expect(t, "calls", h.calls, []string{"one:a", "two:a"})
+}
+
+func TestDeferredPlainCallIsSynchronous(t *testing.T) {
+	h := &harness{}
+	h.walk(t, `
+func f() {
+	a.Lock()
+	defer cleanup()
+	a.Unlock()
+}`)
+	// The deferred non-lock call is observed with the set held at the defer
+	// statement — it runs before return, and conservatively counts where it
+	// is written.
+	expect(t, "calls", h.calls, []string{"cleanup:a"})
+}
+
+func TestBranchIsolation(t *testing.T) {
+	h := &harness{}
+	h.walk(t, `
+func f() {
+	if cond {
+		a.Lock()
+		inIf()
+	} else {
+		b.Lock()
+		inElse()
+	}
+	after()
+}`)
+	expect(t, "calls", h.calls, []string{"inIf:a", "inElse:b", "after:"})
+}
+
+func TestBranchReleaseDoesNotLeak(t *testing.T) {
+	h := &harness{}
+	h.walk(t, `
+func f() {
+	a.Lock()
+	if cond {
+		a.Unlock()
+		inIf()
+	}
+	after()
+}`)
+	// The release inside the branch frees the branch's copy only; the
+	// statements after the if conservatively still hold a.
+	expect(t, "calls", h.calls, []string{"inIf:", "after:a"})
+}
+
+func TestLoopBodyIsolation(t *testing.T) {
+	h := &harness{}
+	h.walk(t, `
+func f() {
+	for i := 0; i < n; i++ {
+		a.Lock()
+		inLoop()
+	}
+	after()
+	for range xs {
+		b.Lock()
+		inRange()
+	}
+	done()
+}`)
+	expect(t, "calls", h.calls, []string{"inLoop:a", "after:", "inRange:b", "done:"})
+}
+
+func TestSwitchAndSelectCaseIsolation(t *testing.T) {
+	h := &harness{}
+	h.walk(t, `
+func f() {
+	switch v {
+	case 1:
+		a.Lock()
+		inOne()
+	case 2:
+		inTwo()
+	}
+	select {
+	case <-ch:
+		b.Lock()
+		inRecv()
+	default:
+		inDefault()
+	}
+	after()
+}`)
+	expect(t, "calls", h.calls, []string{"inOne:a", "inTwo:", "inRecv:b", "inDefault:", "after:"})
+}
+
+func TestIIFESharesHeldSet(t *testing.T) {
+	h := &harness{}
+	h.walk(t, `
+func f() {
+	func() {
+		a.Lock()
+		inside()
+	}()
+	after()
+}`)
+	// The IIFE runs inline: the lock it takes (with no deferred release)
+	// carries over to the code after it.
+	expect(t, "calls", h.calls, []string{"inside:a", "after:a"})
+}
+
+func TestIIFEDeferredUnlockReleasesAtItsReturn(t *testing.T) {
+	h := &harness{}
+	h.walk(t, `
+func f() {
+	a.Lock()
+	func() {
+		defer a.Unlock()
+		inside()
+	}()
+	after()
+}`)
+	// The drainOutbox/repairOne shape: the IIFE's deferred unlock applies
+	// when the IIFE returns, so the caller's code after it runs unlocked.
+	expect(t, "calls", h.calls, []string{"inside:a", "after:"})
+}
+
+func TestStoredClosureWalksOnCopy(t *testing.T) {
+	h := &harness{}
+	h.walk(t, `
+func f() {
+	cb := func() {
+		a.Lock()
+		inside()
+	}
+	after()
+	use(cb)
+}`)
+	// The stored literal is conservatively walked as if invoked where it is
+	// built, but on a copy: its lock does not leak into the enclosing flow.
+	expect(t, "calls", h.calls, []string{"inside:a", "after:", "use:"})
+}
+
+func TestGoStatement(t *testing.T) {
+	h := &harness{}
+	h.walk(t, `
+func f() {
+	a.Lock()
+	go func() {
+		inSpawned()
+	}()
+	go m.loop(argCall())
+	after()
+}`)
+	// Spawned literal bodies are not walked (the goroutine holds nothing);
+	// argument expressions evaluate synchronously and are.
+	expect(t, "calls", h.calls, []string{"argCall:a", "after:a"})
+	expect(t, "gos", h.gos, []string{"go:a", "go:a"})
+}
+
+func TestOnAcquireSeesHeldBefore(t *testing.T) {
+	h := &harness{}
+	h.walk(t, `
+func f() {
+	a.Lock()
+	b.Lock()
+	c.Lock()
+}`)
+	expect(t, "acquires", h.acqs, []string{"a:", "b:a", "c:a+b"})
+}
+
+func TestNestedIIFEDeferredScoping(t *testing.T) {
+	h := &harness{}
+	h.walk(t, `
+func f() {
+	a.Lock()
+	defer a.Unlock()
+	func() {
+		b.Lock()
+		defer b.Unlock()
+		inner()
+	}()
+	outer()
+}`)
+	// The IIFE's deferred release drops b at the IIFE's return; the outer
+	// function's deferred release keeps a held throughout.
+	expect(t, "calls", h.calls, []string{"inner:a+b", "outer:a"})
+}

@@ -8,6 +8,10 @@
 // locks with descriptive names (outMu, algoMu, encMu, closeMu) deliberately do
 // not count — draining an outbox under outMu is the designed pattern, solving
 // under s.mu is the deadlock-and-latency bug this analyzer exists to stop.
+//
+// The control-flow semantics (branch copies, deferred-unlock tracking, IIFE
+// lock scoping) live in the shared internal/analysis/flow engine; this
+// analyzer contributes only the lock classifier and the held-call check.
 package locksolve
 
 import (
@@ -17,6 +21,7 @@ import (
 	"strings"
 
 	"github.com/svgic/svgic/internal/analysis"
+	"github.com/svgic/svgic/internal/analysis/flow"
 )
 
 // Analyzer is the locksolve check.
@@ -29,13 +34,17 @@ var Analyzer = &analysis.Analyzer{
 
 func run(pass *analysis.Pass) error {
 	c := &checker{pass: pass}
+	hooks := flow.Hooks{
+		Classify: c.lockOp,
+		OnCall:   c.checkCall,
+	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
 				continue
 			}
-			c.funcBody(fd.Body, make(map[string]bool))
+			flow.Walk(fd.Body, hooks)
 		}
 	}
 	return nil
@@ -43,254 +52,46 @@ func run(pass *analysis.Pass) error {
 
 type checker struct {
 	pass *analysis.Pass
-	// deferred collects the `defer mu.Unlock()` keys of the function (or
-	// function literal) currently being walked. Within the function the lock
-	// stays held — deferred releases run at return — so the keys are removed
-	// from the held set only when funcBody finishes the walk.
-	deferred map[string]bool
 }
 
-// funcBody walks one function's body: deferred unlocks keep their locks held
-// for the whole walk, then release them from the (caller-shared, for IIFEs)
-// held set when the function returns.
-func (c *checker) funcBody(b *ast.BlockStmt, held map[string]bool) {
-	prev := c.deferred
-	c.deferred = make(map[string]bool)
-	c.block(b, held)
-	for k := range c.deferred {
-		delete(held, k)
-	}
-	c.deferred = prev
-}
-
-// block walks statements in source order, threading the set of held locks.
-// Branch bodies get copies of the set: a lock taken or released inside a
-// branch does not leak into the statements after it.
-func (c *checker) block(b *ast.BlockStmt, held map[string]bool) {
-	if b == nil {
-		return
-	}
-	for _, s := range b.List {
-		c.stmt(s, held)
-	}
-}
-
-func (c *checker) stmt(s ast.Stmt, held map[string]bool) {
-	switch s := s.(type) {
-	case nil:
-	case *ast.BlockStmt:
-		c.block(s, held)
-	case *ast.ExprStmt:
-		c.expr(s.X, held)
-	case *ast.DeferStmt:
-		// `defer mu.Unlock()` keeps the lock held to the end of the enclosing
-		// function, where funcBody releases it. Any other deferred call runs
-		// before the function returns, so it is checked like a synchronous
-		// call.
-		if key, op := c.lockOp(s.Call); op != "" {
-			if op == "unlock" {
-				c.deferred[key] = true
-			}
-			return
-		}
-		c.expr(s.Call, held)
-	case *ast.GoStmt:
-		// The spawned call runs on its own goroutine, which does not hold the
-		// caller's locks — but the receiver and argument expressions evaluate
-		// synchronously, on the caller's path.
-		if sel, ok := ast.Unparen(s.Call.Fun).(*ast.SelectorExpr); ok {
-			c.expr(sel.X, held)
-		}
-		for _, arg := range s.Call.Args {
-			if _, isLit := ast.Unparen(arg).(*ast.FuncLit); !isLit {
-				c.expr(arg, held)
-			}
-		}
-	case *ast.IfStmt:
-		c.stmt(s.Init, held)
-		c.expr(s.Cond, held)
-		c.block(s.Body, copyHeld(held))
-		c.stmt(s.Else, copyHeld(held))
-	case *ast.ForStmt:
-		c.stmt(s.Init, held)
-		c.expr(s.Cond, held)
-		inner := copyHeld(held)
-		c.block(s.Body, inner)
-		c.stmt(s.Post, inner)
-	case *ast.RangeStmt:
-		c.expr(s.X, held)
-		c.block(s.Body, copyHeld(held))
-	case *ast.SwitchStmt:
-		c.stmt(s.Init, held)
-		c.expr(s.Tag, held)
-		c.caseBodies(s.Body, held)
-	case *ast.TypeSwitchStmt:
-		c.stmt(s.Init, held)
-		c.stmt(s.Assign, held)
-		c.caseBodies(s.Body, held)
-	case *ast.SelectStmt:
-		for _, clause := range s.Body.List {
-			cc := clause.(*ast.CommClause)
-			inner := copyHeld(held)
-			c.stmt(cc.Comm, inner)
-			for _, bs := range cc.Body {
-				c.stmt(bs, inner)
-			}
-		}
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			c.expr(e, held)
-		}
-		for _, e := range s.Lhs {
-			c.expr(e, held)
-		}
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			c.expr(e, held)
-		}
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, e := range vs.Values {
-						c.expr(e, held)
-					}
-				}
-			}
-		}
-	case *ast.SendStmt:
-		c.expr(s.Chan, held)
-		c.expr(s.Value, held)
-	case *ast.IncDecStmt:
-		c.expr(s.X, held)
-	case *ast.LabeledStmt:
-		c.stmt(s.Stmt, held)
-	}
-}
-
-func (c *checker) caseBodies(body *ast.BlockStmt, held map[string]bool) {
-	for _, clause := range body.List {
-		var stmts []ast.Stmt
-		switch cl := clause.(type) {
-		case *ast.CaseClause:
-			for _, e := range cl.List {
-				c.expr(e, held)
-			}
-			stmts = cl.Body
-		case *ast.CommClause:
-			stmts = cl.Body
-		}
-		inner := copyHeld(held)
-		for _, s := range stmts {
-			c.stmt(s, inner)
-		}
-	}
-}
-
-// expr walks an expression in evaluation order, updating the held set for
-// lock/unlock calls and reporting solve/persist calls made while it is
-// non-empty. Function-literal bodies are walked with the current held set:
-// an immediately-invoked literal runs inline, and a stored closure is
-// conservatively assumed to be called where it is built.
-func (c *checker) expr(e ast.Expr, held map[string]bool) {
-	switch e := e.(type) {
-	case nil:
-	case *ast.CallExpr:
-		if key, op := c.lockOp(e); op != "" {
-			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
-				c.expr(sel.X, held)
-			}
-			if op == "lock" {
-				held[key] = true
-			} else {
-				delete(held, key)
-			}
-			return
-		}
-		for _, arg := range e.Args {
-			c.expr(arg, held)
-		}
-		if lit, ok := ast.Unparen(e.Fun).(*ast.FuncLit); ok {
-			// An IIFE runs inline on the caller's path: it shares the held
-			// set, so locks it takes or releases (including its deferred
-			// unlocks, applied at its return) carry over to the code after it.
-			c.funcBody(lit.Body, held)
-			return
-		}
-		c.expr(e.Fun, held)
-		c.checkCall(e, held)
-	case *ast.FuncLit:
-		// A literal that is not invoked on the spot: conservatively walked as
-		// if called here (a stored closure usually is), but on a copy of the
-		// held set — its lock traffic must not leak into the enclosing flow.
-		c.funcBody(e.Body, copyHeld(held))
-	case *ast.ParenExpr:
-		c.expr(e.X, held)
-	case *ast.SelectorExpr:
-		c.expr(e.X, held)
-	case *ast.BinaryExpr:
-		c.expr(e.X, held)
-		c.expr(e.Y, held)
-	case *ast.UnaryExpr:
-		c.expr(e.X, held)
-	case *ast.StarExpr:
-		c.expr(e.X, held)
-	case *ast.IndexExpr:
-		c.expr(e.X, held)
-		c.expr(e.Index, held)
-	case *ast.SliceExpr:
-		c.expr(e.X, held)
-		c.expr(e.Low, held)
-		c.expr(e.High, held)
-		c.expr(e.Max, held)
-	case *ast.TypeAssertExpr:
-		c.expr(e.X, held)
-	case *ast.CompositeLit:
-		for _, elt := range e.Elts {
-			c.expr(elt, held)
-		}
-	case *ast.KeyValueExpr:
-		c.expr(e.Value, held)
-	}
-}
-
-// lockOp classifies a call as a state-lock operation: ("s.mu", "lock") for
-// s.mu.Lock()/s.mu.RLock(), ("s.mu", "unlock") for the releases, ("", "")
-// otherwise. Only sync package lock methods on a `mu`-named field or variable
-// count.
-func (c *checker) lockOp(call *ast.CallExpr) (key, op string) {
+// lockOp classifies a call as a state-lock operation: ("s.mu", flow.Acquire)
+// for s.mu.Lock()/s.mu.RLock(), ("s.mu", flow.Release) for the releases,
+// ("", flow.None) otherwise. Only sync package lock methods on a `mu`-named
+// field or variable count.
+func (c *checker) lockOp(call *ast.CallExpr) (string, flow.Op) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
-		return "", ""
+		return "", flow.None
 	}
+	var op flow.Op
 	switch sel.Sel.Name {
 	case "Lock", "RLock":
-		op = "lock"
+		op = flow.Acquire
 	case "Unlock", "RUnlock":
-		op = "unlock"
+		op = flow.Release
 	default:
-		return "", ""
+		return "", flow.None
 	}
 	fn := analysis.Callee(c.pass.TypesInfo, call)
 	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", ""
+		return "", flow.None
 	}
 	switch x := ast.Unparen(sel.X).(type) {
 	case *ast.Ident:
 		if x.Name != "mu" {
-			return "", ""
+			return "", flow.None
 		}
 	case *ast.SelectorExpr:
 		if x.Sel.Name != "mu" {
-			return "", ""
+			return "", flow.None
 		}
 	default:
-		return "", ""
+		return "", flow.None
 	}
 	return types.ExprString(sel.X), op
 }
 
-func (c *checker) checkCall(call *ast.CallExpr, held map[string]bool) {
+func (c *checker) checkCall(call *ast.CallExpr, held flow.Set) {
 	if len(held) == 0 {
 		return
 	}
@@ -308,19 +109,8 @@ func (c *checker) checkCall(call *ast.CallExpr, held map[string]bool) {
 	}
 }
 
-func copyHeld(held map[string]bool) map[string]bool {
-	out := make(map[string]bool, len(held))
-	for k := range held {
-		out[k] = true
-	}
-	return out
-}
-
-func heldDesc(held map[string]bool) string {
-	keys := make([]string, 0, len(held))
-	for k := range held {
-		keys = append(keys, k)
-	}
+func heldDesc(held flow.Set) string {
+	keys := held.Keys()
 	sort.Strings(keys)
 	return strings.Join(keys, ", ")
 }
