@@ -104,7 +104,7 @@ func unitcheck(cfgFile string, suite []*analysis.Analyzer) int {
 		return fail(fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err))
 	}
 
-	analysis.ComputePackageFacts(files, info, facts)
+	analysis.ComputePackageFacts(fset, files, info, facts)
 	if code := writeFacts(cfg.VetxOutput, facts); code != 0 {
 		return code
 	}

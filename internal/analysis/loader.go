@@ -206,7 +206,7 @@ func (l *Loader) Load(path string) (*Package, error) {
 	}
 	pkg := &Package{Path: path, Fset: l.Fset, Files: syntax, Types: tpkg, Info: info}
 	l.loaded[path] = pkg
-	ComputePackageFacts(syntax, info, l.Facts)
+	ComputePackageFacts(l.Fset, syntax, info, l.Facts)
 	return pkg, nil
 }
 

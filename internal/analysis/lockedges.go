@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"github.com/svgic/svgic/internal/analysis/flow"
+)
+
+// This file derives lock-acquisition-order edges: "lock class To is acquired
+// at Pos while lock class From is held". The edges from every package,
+// carried program-wide through the facts table, form the acquisition-order
+// graph whose cycles the lockorder analyzer reports as potential deadlocks.
+
+// LockEdgeAt is one held→acquired observation in the package under analysis,
+// anchored to the acquisition (or the call that transitively acquires).
+type LockEdgeAt struct {
+	From, To string
+	Pos      token.Pos
+}
+
+// CollectLockEdges flow-walks every function declaration in files and
+// returns all lock-order edges: direct acquisitions made while another class
+// is held, plus — for every call made under held locks — one edge per class
+// the callee's fact says it synchronously acquires. The facts table must
+// already hold final Locks for every resolvable callee, including the
+// current package's own functions. `go`-spawned literal bodies contribute
+// edges too (a goroutine orders its own acquisitions) but start from a fresh
+// held set: the spawner's locks are not held on the new goroutine.
+func CollectLockEdges(info *types.Info, files []*ast.File, facts *Facts) []LockEdgeAt {
+	c := &edgeCollector{info: info, facts: facts, class: make(map[string]string)}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				flow.Walk(fd.Body, c.hooks())
+			}
+		}
+	}
+	return c.edges
+}
+
+type edgeCollector struct {
+	info  *types.Info
+	facts *Facts
+	class map[string]string // flow key (receiver expression) → lock class
+	edges []LockEdgeAt
+}
+
+func (c *edgeCollector) hooks() flow.Hooks {
+	return flow.Hooks{
+		Classify: func(call *ast.CallExpr) (string, flow.Op) {
+			key, class, op := MutexOp(c.info, call)
+			if op != flow.None {
+				c.class[key] = class
+			}
+			return key, op
+		},
+		OnAcquire: func(call *ast.CallExpr, key string, held flow.Set) {
+			to := c.class[key]
+			for _, from := range c.heldClasses(held) {
+				c.edges = append(c.edges, LockEdgeAt{From: from, To: to, Pos: call.Pos()})
+			}
+		},
+		OnCall: func(call *ast.CallExpr, held flow.Set) {
+			if len(held) == 0 {
+				return
+			}
+			fact := c.facts.Of(Callee(c.info, call))
+			if len(fact.Locks) == 0 {
+				return
+			}
+			froms := c.heldClasses(held)
+			for _, to := range fact.Locks {
+				for _, from := range froms {
+					c.edges = append(c.edges, LockEdgeAt{From: from, To: to, Pos: call.Pos()})
+				}
+			}
+		},
+		OnGo: func(g *ast.GoStmt, _ flow.Set) {
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				flow.Walk(lit.Body, c.hooks())
+			}
+		},
+	}
+}
+
+// heldClasses maps the held flow keys to their distinct lock classes, sorted.
+func (c *edgeCollector) heldClasses(held flow.Set) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, k := range held.Keys() {
+		if class := c.class[k]; class != "" && !seen[class] {
+			seen[class] = true
+			out = append(out, class)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PosLabel renders a position as "file.go:line" — the compact per-edge
+// anchor carried in lock-order facts and printed in diagnostic chains.
+func PosLabel(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
+}
