@@ -76,6 +76,10 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string // filled by the runner
+	// Chain is the step-by-step evidence for findings that are paths rather
+	// than points — lockorder fills it with the acquisition chain, one
+	// "from -> to (file.go:line)" entry per edge. Carried into -json output.
+	Chain []string
 }
 
 // Reportf reports a finding at pos.
@@ -84,6 +88,18 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 		Pos:      pos,
 		Message:  fmt.Sprintf(format, args...),
 		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// ReportChain reports a finding whose evidence is a chain of steps. The
+// message should already summarize the chain — plain-text output prints only
+// the message; the structured chain additionally travels in -json mode.
+func (p *Pass) ReportChain(pos token.Pos, chain []string, message string) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  message,
+		Analyzer: p.Analyzer.Name,
+		Chain:    chain,
 	})
 }
 

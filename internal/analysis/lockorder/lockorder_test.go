@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"github.com/svgic/svgic/internal/analysis/analysistest"
+	"github.com/svgic/svgic/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "lockcycle", "lockcross")
+}

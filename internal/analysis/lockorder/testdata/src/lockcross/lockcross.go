@@ -1,0 +1,47 @@
+// Package lockcross closes a lock-order cycle across a package boundary:
+// fill holds the cache lock while calling into reglib (whose fact says Bump
+// acquires Registry.Mu), and evict pins the registry's exported lock before
+// taking the cache lock. Neither package sees both edges in its own source —
+// only the program-wide graph assembled from facts does.
+package lockcross
+
+import (
+	"sync"
+
+	"lockcross/reglib"
+)
+
+// Cache fronts a shared registry.
+type Cache struct {
+	mu  sync.Mutex
+	reg *reglib.Registry
+	hot int
+}
+
+// fill refreshes under the cache lock; the cross-package call acquires the
+// registry lock transitively. The cycle is anchored here because this edge
+// is the first (in class order) that this package contributes to it.
+func (c *Cache) fill() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reg.Bump() // want `lock-order cycle \(potential deadlock\): lockcross\.Cache\.mu -> reglib\.Registry\.Mu \(lockcross\.go:\d+\) -> lockcross\.Cache\.mu \(lockcross\.go:\d+\); acquire these lock classes in one fixed order`
+	c.hot++
+}
+
+// evict pins the registry first, then takes the cache lock: the reverse
+// order.
+func (c *Cache) evict() {
+	c.reg.Mu.Lock()
+	defer c.reg.Mu.Unlock()
+	c.mu.Lock()
+	c.hot = 0
+	c.mu.Unlock()
+}
+
+// stats reads the registry under the cache lock through a non-locking
+// callee: no edge, no finding.
+func (c *Cache) stats() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reg.Len()
+}

@@ -1,0 +1,24 @@
+// Package reglib is a fixture dependency: its lock facts (Bump acquires
+// Registry.Mu) must travel across the package boundary for the cross-package
+// cycle in the main fixture to close.
+package reglib
+
+import "sync"
+
+// Registry exposes its lock so callers can pin the registry across a
+// multi-step update — the exported-mutex API shape that makes cross-package
+// lock ordering the caller's problem.
+type Registry struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Bump locks the registry internally.
+func (r *Registry) Bump() {
+	r.Mu.Lock()
+	r.n++
+	r.Mu.Unlock()
+}
+
+// Len never locks: calling it under any lock adds no edge.
+func (r *Registry) Len() int { return r.n }

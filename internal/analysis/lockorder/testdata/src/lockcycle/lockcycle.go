@@ -1,0 +1,77 @@
+// Package lockcycle reproduces the shard-sweep-vs-session-lock ordering bug:
+// the sweeper walks the shard table under shard.mu and locks each session,
+// while the touch path locks the session first and then reaches back to its
+// shard. Two goroutines interleaving those paths deadlock.
+package lockcycle
+
+import "sync"
+
+// Session mirrors the real session shape: mu guards state, outMu is the
+// outbox coordination lock.
+type Session struct {
+	mu    sync.Mutex
+	outMu sync.Mutex
+	sh    *shard
+	dirty bool
+	out   []int
+}
+
+type shard struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// sweep walks the shard under shard.mu, locking each session through a
+// helper — the shard.mu -> Session.mu edge arrives transitively, via the
+// helper's Locks fact.
+func (sh *shard) sweep() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, s := range sh.sessions {
+		s.markClean()
+	}
+}
+
+func (s *Session) markClean() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dirty = false
+}
+
+// touch takes the same two locks in the opposite order: Session.mu first,
+// then the owning shard's. Together with sweep this closes the cycle, and
+// the diagnostic carries the full acquisition chain.
+func (s *Session) touch() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sh.mu.Lock() // want `lock-order cycle \(potential deadlock\): lockcycle\.Session\.mu -> lockcycle\.shard\.mu \(lockcycle\.go:\d+\) -> lockcycle\.Session\.mu \(lockcycle\.go:\d+\); acquire these lock classes in one fixed order`
+	s.sh.mu.Unlock()
+}
+
+// evictSnapshot is the sanctioned sweep shape: snapshot the sessions under
+// shard.mu, release it, then lock sessions one at a time. No nesting, no
+// edge, no finding.
+func (sh *shard) evictSnapshot() {
+	sh.mu.Lock()
+	snapshot := make([]*Session, 0, len(sh.sessions))
+	for _, s := range sh.sessions {
+		snapshot = append(snapshot, s)
+	}
+	sh.mu.Unlock()
+	for _, s := range snapshot {
+		s.markClean()
+	}
+}
+
+// drain holds the coordination lock while taking the state lock — a one-way
+// outMu -> mu edge with no reverse path, so it stays acyclic and silent.
+func (s *Session) drain() {
+	s.outMu.Lock()
+	defer s.outMu.Unlock()
+	for range s.out {
+		s.mu.Lock()
+		s.dirty = true
+		s.mu.Unlock()
+	}
+	s.out = s.out[:0]
+}
