@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"github.com/svgic/svgic/internal/analysis/analysistest"
+	"github.com/svgic/svgic/internal/analysis/goleak"
+)
+
+func TestGoLeak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), goleak.Analyzer, "goleak/engine")
+}

@@ -1,0 +1,183 @@
+// Package engine is the goleak fixture: the repair-fan-out goroutine shapes
+// from the tree's history, good and bad. The package path ends in /engine so
+// the analyzer's serving-package scope applies.
+package engine
+
+import (
+	"context"
+	"sync"
+)
+
+// Owner is the canonical lifecycle owner: a WaitGroup its Close waits on and
+// a done channel its Close closes.
+type Owner struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	tick chan int
+	n    int
+}
+
+// Start spawns the two owner-tracked loops: Add on the owner's path, Done
+// inside the spawned function (directly, or through the finish helper whose
+// WGDone fact carries the knowledge), Wait in Close.
+func (o *Owner) Start() {
+	o.wg.Add(2)
+	go o.loop()
+	go o.flush()
+}
+
+func (o *Owner) loop() {
+	defer o.wg.Done()
+	for {
+		select {
+		case <-o.done:
+			return
+		case v := <-o.tick:
+			o.n += v
+		}
+	}
+}
+
+func (o *Owner) flush() {
+	defer o.finish()
+	o.n++
+}
+
+func (o *Owner) finish() { o.wg.Done() }
+
+// StartWatcher spawns a goroutine bound by termination instead of tracking:
+// watch selects on the done channel Close closes.
+func (o *Owner) StartWatcher() {
+	go o.watch()
+}
+
+func (o *Owner) watch() {
+	for {
+		select {
+		case <-o.done:
+			return
+		case <-o.tick:
+		}
+	}
+}
+
+// WatchCtx is context-bound: the literal selects on ctx.Done().
+func (o *Owner) WatchCtx(ctx context.Context) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-o.tick:
+		}
+	}()
+}
+
+// Close is the join point: release the loops, then wait for the tracked ones.
+func (o *Owner) Close() {
+	close(o.done)
+	o.wg.Wait()
+}
+
+func (o *Owner) poke() { o.n++ }
+
+// Leak is the plain untracked spawn: no Add, no Done, no termination.
+func (o *Owner) Leak() {
+	go func() { // want `untracked goroutine: not WaitGroup-tracked and not lifecycle-terminated`
+		o.poke()
+	}()
+}
+
+// LeakNamed spawns a named method that neither Dones a WaitGroup nor
+// terminates.
+func (o *Owner) LeakNamed() {
+	go o.poke() // want `untracked goroutine poke: not WaitGroup-tracked and not lifecycle-terminated`
+}
+
+// Submit spawns an arbitrary function value: nothing provable about it.
+func (o *Owner) Submit(fn func()) {
+	go fn() // want `untracked goroutine: the spawned function value cannot be resolved statically`
+}
+
+// AddForgotten reserves on the owner's path but the goroutine never pays it
+// back — not tracked (and Close would hang, the dual bug).
+func (o *Owner) AddForgotten() {
+	o.wg.Add(1)
+	go func() { // want `untracked goroutine: not WaitGroup-tracked and not lifecycle-terminated`
+		o.poke()
+	}()
+}
+
+// AddInside is the Add-after-Wait race: the goroutine registers itself after
+// the spawn, so Close's Wait can observe zero and return first.
+func (o *Owner) AddInside() {
+	go func() { // want `untracked goroutine: not WaitGroup-tracked and not lifecycle-terminated`
+		o.wg.Add(1) // want `sync\.WaitGroup\.Add inside the spawned goroutine races with the owner's Wait`
+		defer o.wg.Done()
+		<-o.done
+	}()
+}
+
+// StartNested: the outer literal is tracked, but the goroutine it spawns in
+// turn is bound to nothing.
+func (o *Owner) StartNested() {
+	o.wg.Add(1)
+	go func() {
+		defer o.wg.Done()
+		go o.poke() // want `untracked goroutine poke: not WaitGroup-tracked and not lifecycle-terminated`
+		<-o.done
+	}()
+}
+
+// Fire has a WaitGroup nobody waits on: Add/Done bookkeeping without a join
+// is not lifecycle tracking.
+type Fire struct {
+	wg sync.WaitGroup
+	n  int
+}
+
+func (f *Fire) Launch() {
+	f.wg.Add(1)
+	go func() { // want `untracked goroutine: not WaitGroup-tracked and not lifecycle-terminated`
+		defer f.wg.Done()
+		f.n++
+	}()
+}
+
+// Pool drains with a range loop over a channel its Close closes — the store
+// shard-writer shape.
+type Pool struct {
+	ch  chan int
+	sum int
+}
+
+func (p *Pool) Start() {
+	go p.drain()
+}
+
+func (p *Pool) drain() {
+	for v := range p.ch {
+		p.sum += v
+	}
+}
+
+func (p *Pool) Close() { close(p.ch) }
+
+// FanOut is the scoped fan-out join: a local WaitGroup, Add before each
+// spawn, Done inside, Wait before returning. The goroutine-local WaitGroup
+// it builds internally (inner) is its own business, not a race.
+func FanOut(jobs []int) []int {
+	var wg sync.WaitGroup
+	out := make([]int, len(jobs))
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i, j int) {
+			defer wg.Done()
+			var inner sync.WaitGroup
+			inner.Add(1)
+			inner.Done()
+			inner.Wait()
+			out[i] = j * 2
+		}(i, j)
+	}
+	wg.Wait()
+	return out
+}
