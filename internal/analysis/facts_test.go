@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// The concurrency facts are computed by ComputePackageFacts as a side effect
+// of loading; the analyzer fixtures double as inputs here, so the shapes
+// under test are exactly the ones the analyzers' own self-tests exercise.
+
+func TestLockFactsFromFixture(t *testing.T) {
+	l := NewFixtureLoader("lockorder/testdata/src")
+	if _, err := l.Load("lockcycle"); err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+
+	// markClean's lock acquisition must be recorded as a fact, and sweep —
+	// which only locks Session.mu through markClean — must inherit it.
+	for fn, want := range map[string][]string{
+		"lockcycle.Session.markClean": {"lockcycle.Session.mu"},
+		"lockcycle.shard.sweep":       {"lockcycle.Session.mu", "lockcycle.shard.mu"},
+		"lockcycle.Session.touch":     {"lockcycle.Session.mu", "lockcycle.shard.mu"},
+	} {
+		got := l.Facts.m[fn].Locks
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Errorf("%s Locks = %v, want %v", fn, got, want)
+		}
+	}
+
+	// The acquisition-order graph must contain the cycle's two edges and the
+	// one-way coordination edge, each anchored to a real line.
+	edges := make(map[string]string)
+	for _, e := range l.Facts.LockEdges() {
+		edges[e.From+" -> "+e.To] = e.Pos
+	}
+	for _, want := range []string{
+		"lockcycle.shard.mu -> lockcycle.Session.mu",
+		"lockcycle.Session.mu -> lockcycle.shard.mu",
+		"lockcycle.Session.outMu -> lockcycle.Session.mu",
+	} {
+		pos, ok := edges[want]
+		if !ok {
+			t.Errorf("edge %q missing from graph %v", want, edges)
+			continue
+		}
+		if !strings.HasPrefix(pos, "lockcycle.go:") {
+			t.Errorf("edge %q anchored at %q, want lockcycle.go:<line>", want, pos)
+		}
+	}
+	if got := len(edges); got != 3 {
+		t.Errorf("graph has %d edges, want 3: %v", got, edges)
+	}
+}
+
+func TestLifecycleFactsFromFixture(t *testing.T) {
+	l := NewFixtureLoader("goleak/testdata/src")
+	if _, err := l.Load("goleak/engine"); err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+
+	// loop Dones the owner WaitGroup and selects on the closed done channel;
+	// flush only reaches Done through the finish helper — the WGDone fact
+	// must propagate through the intra-package fixpoint.
+	for fn, wantWG := range map[string][]string{
+		"goleak/engine.Owner.loop":   {"engine.Owner.wg"},
+		"goleak/engine.Owner.finish": {"engine.Owner.wg"},
+		"goleak/engine.Owner.flush":  {"engine.Owner.wg"},
+	} {
+		got := l.Facts.m[fn].WGDone
+		if strings.Join(got, ",") != strings.Join(wantWG, ",") {
+			t.Errorf("%s WGDone = %v, want %v", fn, got, wantWG)
+		}
+	}
+	for fn, want := range map[string]bool{
+		"goleak/engine.Owner.loop":  true,  // selects on Owner.done, closed by Close
+		"goleak/engine.Owner.watch": true,  // likewise
+		"goleak/engine.Pool.drain":  true,  // ranges over Pool.ch, closed by Close
+		"goleak/engine.Owner.poke":  false, // plain increment
+	} {
+		if got := l.Facts.m[fn].Terminates; got != want {
+			t.Errorf("%s Terminates = %v, want %v", fn, got, want)
+		}
+	}
+}
