@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+
+	"github.com/svgic/svgic/internal/analysis"
+)
+
+// jsonDiag is the machine-readable diagnostic emitted by `svgiclint -json`:
+// one object per finding, position resolved to file/line/col, with the
+// structured evidence chain (lockorder's acquisition chain) that the
+// plain-text format can only inline into the message. CI uploads the array
+// as a build artifact; editors map it straight to markers.
+type jsonDiag struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Chain    []string `json:"chain,omitempty"`
+}
+
+func newJSONDiag(fset *token.FileSet, d analysis.Diagnostic) jsonDiag {
+	pos := fset.Position(d.Pos)
+	return jsonDiag{
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+		Chain:    d.Chain,
+	}
+}
+
+// writeJSONDiags emits the findings as one indented JSON array. An empty run
+// prints [] rather than null so consumers always see an array.
+func writeJSONDiags(w io.Writer, diags []jsonDiag) error {
+	if diags == nil {
+		diags = []jsonDiag{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}
+
+// parseJSONDiags is the inverse of writeJSONDiags, used by the round-trip
+// test (and available to any Go-side consumer of the artifact).
+func parseJSONDiags(r io.Reader) ([]jsonDiag, error) {
+	var out []jsonDiag
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

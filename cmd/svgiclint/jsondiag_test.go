@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"go/token"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/svgic/svgic/internal/analysis"
+)
+
+// TestJSONDiagRoundTrip: encode a batch of diagnostics (chain and no-chain),
+// decode it, and require the exact same values back.
+func TestJSONDiagRoundTrip(t *testing.T) {
+	fset := token.NewFileSet()
+	f := fset.AddFile("internal/session/shard.go", -1, 1000)
+	f.SetLines([]int{0, 40, 90, 150})
+
+	diags := []analysis.Diagnostic{
+		{
+			Pos:      f.Pos(95),
+			Analyzer: "lockorder",
+			Message:  "lock-order cycle (potential deadlock): session.Session.mu -> session.shard.mu (shard.go:2) -> session.Session.mu (session.go:7); acquire these lock classes in one fixed order",
+			Chain: []string{
+				"session.Session.mu -> session.shard.mu (shard.go:2)",
+				"session.shard.mu -> session.Session.mu (session.go:7)",
+			},
+		},
+		{
+			Pos:      f.Pos(41),
+			Analyzer: "goleak",
+			Message:  "untracked goroutine: not WaitGroup-tracked and not lifecycle-terminated",
+		},
+	}
+
+	var want []jsonDiag
+	for _, d := range diags {
+		want = append(want, newJSONDiag(fset, d))
+	}
+	if want[0].File != "internal/session/shard.go" || want[0].Line != 3 {
+		t.Fatalf("position resolution off: %+v", want[0])
+	}
+
+	var buf bytes.Buffer
+	if err := writeJSONDiags(&buf, want); err != nil {
+		t.Fatalf("encoding: %v", err)
+	}
+	got, err := parseJSONDiags(&buf)
+	if err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// TestJSONDiagEmpty: a clean run must emit a JSON array, not null.
+func TestJSONDiagEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSONDiags(&buf, nil); err != nil {
+		t.Fatalf("encoding: %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty encoding = %q, want []", got)
+	}
+	diags, err := parseJSONDiags(&buf)
+	if err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("decoded %d diags from empty array", len(diags))
+	}
+}
