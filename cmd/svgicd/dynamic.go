@@ -9,6 +9,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	svgic "github.com/svgic/svgic"
@@ -84,9 +85,12 @@ func runDynamicLoadgen(cfg config) error {
 	client := &http.Client{Timeout: 2 * cfg.maxTimeout}
 	results := make(chan []dynamicShot, len(plans))
 	start := time.Now()
+	var wg sync.WaitGroup
 	for i := range plans {
 		plan := plans[i]
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
 			shots, err := driveSession(client, base, cfg.eventBatch, settle, plan)
 			if err != nil {
 				shots = append(shots, dynamicShot{err: err})
@@ -98,6 +102,7 @@ func runDynamicLoadgen(cfg config) error {
 	for range plans {
 		shots = append(shots, <-results...)
 	}
+	wg.Wait()
 	wall := time.Since(start)
 
 	// Report.
