@@ -112,6 +112,12 @@ func runCrashLoadgen(cfg config) error {
 		}(progress[i])
 	}
 	done := make(chan struct{})
+	// The joiner converts wg.Wait into a selectable signal so the kill loop
+	// below can poll progress while waiting. Contract: every tracked worker
+	// returns once `killed` closes (driveUntilKilled selects on it), so Wait
+	// is bounded and the `<-done` at the end of this function joins the
+	// joiner itself before returning.
+	//lint:ignore goleak wait-to-channel adapter joined via <-done below; workers exit when killed closes
 	go func() { wg.Wait(); close(done) }()
 
 	killTick := time.NewTicker(5 * time.Millisecond)

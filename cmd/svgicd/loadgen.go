@@ -199,6 +199,10 @@ func targetOrInProcess(cfg config) (string, func(), error) {
 		return "", nil, err
 	}
 	httpSrv := &http.Server{Handler: a.srv}
+	// Contract: Serve returns as soon as the returned cleanup calls
+	// httpSrv.Close (net/http's own lifecycle, invisible to the WaitGroup /
+	// done-channel model); the loadgen process then exits with it joined.
+	//lint:ignore goleak acceptor terminated by httpSrv.Close in the cleanup func below
 	go func() { _ = httpSrv.Serve(ln) }()
 	base := "http://" + ln.Addr().String()
 	fmt.Fprintf(os.Stderr, "loadgen: in-process server on %s\n", base)

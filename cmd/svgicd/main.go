@@ -339,6 +339,11 @@ func serve(cfg config) error {
 	defer stop()
 
 	errCh := make(chan error, 1)
+	// Contract: ListenAndServe returns when the graceful-shutdown path below
+	// calls httpSrv.Shutdown (or Close on timeout) — net/http's lifecycle,
+	// invisible to the WaitGroup / done-channel model; errCh is buffered so
+	// the send never blocks the exit.
+	//lint:ignore goleak acceptor terminated by httpSrv.Shutdown/Close in the drain path below
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "svgicd: serving on %s (workers=%d cache=%d algo=%s max-inflight=%d max-sessions=%d session-shards=%d repair=%s)\n",
 		cfg.addr, a.eng.Stats().Workers, cfg.cache, cfg.algo, a.srv.StatsSnapshot().Server.MaxInFlight,
