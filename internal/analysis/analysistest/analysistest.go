@@ -11,6 +11,7 @@
 package analysistest
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"path/filepath"
@@ -51,7 +52,13 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, path, err)
 		}
-		check(t, pkg, diags)
+		failures, err := Check(pkg, diags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range failures {
+			t.Error(f)
+		}
 	}
 }
 
@@ -62,28 +69,42 @@ type expectation struct {
 	matched bool
 }
 
-func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
-	t.Helper()
+// Check compares the diagnostics against the fixture's want comments and
+// returns one failure per mismatch, in both directions — diagnostics no want
+// matched AND wants no diagnostic matched. The symmetry is load-bearing: an
+// analyzer that silently stops reporting must fail its fixtures, not pass
+// them by default. The error return is reserved for malformed fixtures (bad
+// want syntax or regexps); Run turns each failure into a t.Error.
+func Check(pkg *analysis.Package, diags []analysis.Diagnostic) ([]string, error) {
 	type key struct {
 		file string
 		line int
 	}
 	wants := make(map[key][]*expectation)
+	var order []key // failure output follows source order, not map order
 	for _, file := range pkg.Files {
 		fname := pkg.Fset.File(file.Pos()).Name()
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
-				for _, raw := range parseWants(t, fname, pkg.Fset, c) {
+				raws, err := parseWants(fname, pkg.Fset, c)
+				if err != nil {
+					return nil, err
+				}
+				for _, raw := range raws {
 					rx, err := regexp.Compile(raw.pattern)
 					if err != nil {
-						t.Fatalf("%s:%d: bad want regexp %q: %v", fname, raw.line, raw.pattern, err)
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", fname, raw.line, raw.pattern, err)
 					}
 					k := key{fname, raw.line}
+					if len(wants[k]) == 0 {
+						order = append(order, k)
+					}
 					wants[k] = append(wants[k], &expectation{rx: rx, raw: raw.pattern})
 				}
 			}
 		}
 	}
+	var failures []string
 	for _, d := range diags {
 		pos := pkg.Fset.Position(d.Pos)
 		k := key{pos.Filename, pos.Line}
@@ -96,16 +117,17 @@ func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
 			}
 		}
 		if !found {
-			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+			failures = append(failures, fmt.Sprintf("%s:%d: unexpected diagnostic: [%s] %s", pos.Filename, pos.Line, d.Analyzer, d.Message))
 		}
 	}
-	for k, exps := range wants {
-		for _, exp := range exps {
+	for _, k := range order {
+		for _, exp := range wants[k] {
 			if !exp.matched {
-				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, exp.raw)
+				failures = append(failures, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, exp.raw))
 			}
 		}
 	}
+	return failures, nil
 }
 
 type rawWant struct {
@@ -115,12 +137,11 @@ type rawWant struct {
 
 // parseWants extracts the quoted patterns of a `// want "..."` comment. The
 // expectations anchor to the comment's own line.
-func parseWants(t *testing.T, fname string, fset *token.FileSet, c *ast.Comment) []rawWant {
-	t.Helper()
+func parseWants(fname string, fset *token.FileSet, c *ast.Comment) ([]rawWant, error) {
 	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
 	rest, ok := strings.CutPrefix(text, "want ")
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	line := fset.Position(c.Pos()).Line
 	var out []rawWant
@@ -131,28 +152,28 @@ func parseWants(t *testing.T, fname string, fset *token.FileSet, c *ast.Comment)
 		case '"':
 			end := matchInterpreted(rest)
 			if end < 0 {
-				t.Fatalf("%s:%d: unterminated want string: %s", fname, line, rest)
+				return nil, fmt.Errorf("%s:%d: unterminated want string: %s", fname, line, rest)
 			}
 			lit = rest[:end]
 			rest = rest[end:]
 		case '`':
 			end := strings.IndexByte(rest[1:], '`')
 			if end < 0 {
-				t.Fatalf("%s:%d: unterminated want raw string: %s", fname, line, rest)
+				return nil, fmt.Errorf("%s:%d: unterminated want raw string: %s", fname, line, rest)
 			}
 			lit = rest[:end+2]
 			rest = rest[end+2:]
 		default:
-			t.Fatalf("%s:%d: want expects quoted regexps, got: %s", fname, line, rest)
+			return nil, fmt.Errorf("%s:%d: want expects quoted regexps, got: %s", fname, line, rest)
 		}
 		pattern, err := strconv.Unquote(lit)
 		if err != nil {
-			t.Fatalf("%s:%d: bad want literal %s: %v", fname, line, lit, err)
+			return nil, fmt.Errorf("%s:%d: bad want literal %s: %v", fname, line, lit, err)
 		}
 		out = append(out, rawWant{line: line, pattern: pattern})
 		rest = strings.TrimSpace(rest)
 	}
-	return out
+	return out, nil
 }
 
 // matchInterpreted returns the index just past the closing quote of the

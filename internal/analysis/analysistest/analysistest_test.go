@@ -1,0 +1,94 @@
+package analysistest_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"github.com/svgic/svgic/internal/analysis"
+	"github.com/svgic/svgic/internal/analysis/analysistest"
+)
+
+// marktest is a minimal analyzer used only to exercise the harness: it
+// reports "mark call" at every call to a function literally named mark, and
+// "mark arg" at each argument, so a single fixture line can carry several
+// diagnostics.
+var marktest = &analysis.Analyzer{
+	Name: "marktest",
+	Doc:  "harness self-test: reports mark calls and their arguments",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" {
+					pass.Reportf(call.Pos(), "mark call")
+					for _, arg := range call.Args {
+						pass.Reportf(arg.Pos(), "mark arg")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestMultipleWantsPerLine proves that several quoted patterns on one want
+// comment each consume a distinct diagnostic from that line.
+func TestMultipleWantsPerLine(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), marktest, "harness")
+}
+
+// TestCheckReportsBothDirections runs Check directly against a fixture that
+// is wrong in both ways — a diagnostic with no want and a want with no
+// diagnostic — and asserts each produces its own failure. Run cannot be used
+// here: it would (correctly) fail the test.
+func TestCheckReportsBothDirections(t *testing.T) {
+	loader := analysis.NewFixtureLoader(analysistest.TestData() + "/src")
+	pkg, err := loader.Load("harnessmismatch")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.Run(pkg, loader.Facts, []*analysis.Analyzer{marktest})
+	if err != nil {
+		t.Fatalf("running marktest: %v", err)
+	}
+
+	failures, err := analysistest.Check(pkg, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 2 {
+		t.Fatalf("Check returned %d failures, want 2:\n%s", len(failures), strings.Join(failures, "\n"))
+	}
+	if !strings.Contains(failures[0], "unexpected diagnostic: [marktest] mark call") {
+		t.Errorf("first failure should flag the unmatched diagnostic, got %q", failures[0])
+	}
+	if !strings.Contains(failures[1], `expected diagnostic matching "never reported", got none`) {
+		t.Errorf("second failure should flag the unmatched want, got %q", failures[1])
+	}
+}
+
+// TestCheckCleanFixture pins the zero-failure path: matched wants produce no
+// failures and no error.
+func TestCheckCleanFixture(t *testing.T) {
+	loader := analysis.NewFixtureLoader(analysistest.TestData() + "/src")
+	pkg, err := loader.Load("harness")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.Run(pkg, loader.Facts, []*analysis.Analyzer{marktest})
+	if err != nil {
+		t.Fatalf("running marktest: %v", err)
+	}
+	failures, err := analysistest.Check(pkg, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Errorf("Check on a clean fixture returned failures:\n%s", strings.Join(failures, "\n"))
+	}
+}

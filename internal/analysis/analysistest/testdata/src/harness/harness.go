@@ -1,0 +1,24 @@
+// Package harness is a self-test fixture for the analysistest harness itself.
+// The marktest analyzer (defined in analysistest_test.go) reports "mark call"
+// at every call to mark and "mark arg" at every argument, so one source line
+// can carry several diagnostics — exercising the harness's multi-pattern
+// matching rather than any real analyzer.
+package harness
+
+func mark(args ...int) {}
+
+func one() {
+	mark() // want "mark call"
+}
+
+func twoOnOneLine() {
+	mark(1) // want "mark call" "mark arg"
+}
+
+func threeOnOneLine() {
+	mark(1, 2) // want "mark call" "mark arg" `mark arg`
+}
+
+func none() {
+	_ = 1
+}

@@ -1,0 +1,15 @@
+// Package harnessmismatch is a deliberately failing fixture: it carries one
+// diagnostic with no want and one want with no diagnostic. The harness's own
+// tests feed it through Check directly and assert that BOTH directions are
+// reported — it must never be run through analysistest.Run.
+package harnessmismatch
+
+func mark(args ...int) {}
+
+func unmatchedDiagnostic() {
+	mark()
+}
+
+func unmatchedWant() {
+	_ = 1 // want "never reported"
+}
