@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-sessions fmt fmt-check vet lint lint-internal check serve-smoke session-smoke crash-smoke
+.PHONY: build test test-short bench bench-sessions fmt fmt-check vet lint lint-internal lint-fixtures check serve-smoke session-smoke crash-smoke
 
 build:
 	$(GO) build ./...
@@ -57,13 +57,24 @@ lint: lint-internal
 
 # Project invariants — svgiclint (see docs/STATIC_ANALYSIS.md): solve outside
 # session/shard locks, Clone before storing cloneable inputs, ctx threaded
-# through serving paths, seeded randomness, no new deprecated-API call sites.
+# through serving paths, seeded randomness, no new deprecated-API call sites,
+# no lock-order cycles, no untracked goroutines in serving packages.
 # Driven through `go vet -vettool` so test compilation units (where the
 # sanctioned deprecated-wrapper sites live) are analyzed too. Zero deps:
-# the driver builds from this module alone.
-lint-internal:
+# the driver builds from this module alone. The binary rebuilds only when an
+# analyzer source file (fixtures excluded) or go.mod changes.
+ANALYSIS_SRCS := $(shell find internal/analysis cmd/svgiclint -name '*.go' -not -path '*/testdata/*')
+
+bin/svgiclint: $(ANALYSIS_SRCS) go.mod
 	$(GO) build -o bin/svgiclint ./cmd/svgiclint
+
+lint-internal: bin/svgiclint
 	$(GO) vet -vettool=$$(pwd)/bin/svgiclint ./...
+
+# Analyzer self-tests: every checker against its own deadlock/leak fixtures,
+# plus the flow-engine and harness unit tests, under the race detector.
+lint-fixtures:
+	$(GO) test -race ./internal/analysis/...
 
 # Serving smoke: build svgicd and fire a few hundred mixed-duplicate requests
 # at an in-process server. The loadgen exits non-zero on any response status
