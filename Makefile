@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-sessions fmt fmt-check vet lint lint-internal lint-fixtures check serve-smoke session-smoke crash-smoke
+.PHONY: build test test-short bench bench-sessions bench-dynamic fmt fmt-check vet lint lint-internal lint-fixtures check serve-smoke session-smoke crash-smoke
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,16 @@ bench:
 bench-sessions:
 	$(GO) test ./internal/session -run='^$$' -bench='BenchmarkManagerSharded' -benchtime=500ms \
 		| $(GO) run ./cmd/benchjson -o BENCH_sessions.json
+
+# Dynamic hot-path benchmarks, written to BENCH_dynamic.json: per-event cost
+# of the incremental value accumulator vs a full Evaluate rescan at 1k/10k
+# users (core), and one drift-repair cycle with dirty-component delta solving
+# + warm starts vs a cold whole-instance re-solve (session). Two packages'
+# tables feed one artifact; benchjson attributes each result to its package.
+bench-dynamic:
+	( $(GO) test ./internal/core -run='^$$' -bench='BenchmarkDynamicEvent' -benchtime=500ms ; \
+	  $(GO) test ./internal/session -run='^$$' -bench='BenchmarkRepairCycle' -benchtime=500ms ) \
+		| $(GO) run ./cmd/benchjson -o BENCH_dynamic.json
 
 # -s (simplify) included: composite-literal and range simplifications are
 # enforced, not just layout.

@@ -21,15 +21,21 @@ import (
 )
 
 // Result is one parsed benchmark line: name, iteration count and the
-// value-per-iteration metrics (ns/op, B/op, allocs/op, custom units).
+// value-per-iteration metrics (ns/op, B/op, allocs/op, custom units). Pkg is
+// set only when the input spans more than one package, so single-package
+// artifacts stay byte-identical to what earlier versions produced.
 type Result struct {
 	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
 // Document is the whole artifact: the run context go test prints before the
-// benchmark table, plus every parsed result in input order.
+// benchmark table, plus every parsed result in input order. With
+// single-package input Pkg names it once at the top; when several packages'
+// tables are concatenated (e.g. `( go test ./a -bench … ; go test ./b -bench
+// … ) | benchjson`), Pkg is left empty and each Result carries its own.
 type Document struct {
 	GoOS       string   `json:"goos,omitempty"`
 	GoArch     string   `json:"goarch,omitempty"`
@@ -70,6 +76,8 @@ func main() {
 
 func parse(sc *bufio.Scanner) (*Document, error) {
 	doc := &Document{}
+	pkg := ""      // package of the table currently being read
+	multi := false // input spans more than one package
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Fprintln(os.Stderr, line) // tee: keep the table human-readable
@@ -79,7 +87,12 @@ func parse(sc *bufio.Scanner) (*Document, error) {
 		case strings.HasPrefix(line, "goarch: "):
 			doc.GoArch = strings.TrimPrefix(line, "goarch: ")
 		case strings.HasPrefix(line, "pkg: "):
-			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			if doc.Pkg == "" {
+				doc.Pkg = pkg
+			} else if doc.Pkg != pkg {
+				multi = true
+			}
 		case strings.HasPrefix(line, "cpu: "):
 			doc.CPU = strings.TrimPrefix(line, "cpu: ")
 		case strings.HasPrefix(line, "Benchmark"):
@@ -87,7 +100,16 @@ func parse(sc *bufio.Scanner) (*Document, error) {
 			if err != nil {
 				return nil, err
 			}
+			res.Pkg = pkg
 			doc.Benchmarks = append(doc.Benchmarks, *res)
+		}
+	}
+	if multi {
+		// Per-result attribution replaces the single header field.
+		doc.Pkg = ""
+	} else {
+		for i := range doc.Benchmarks {
+			doc.Benchmarks[i].Pkg = ""
 		}
 	}
 	return doc, sc.Err()

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// TestParseSinglePackage pins the original artifact shape: one pkg header,
+// no per-result Pkg fields — existing BENCH_*.json files must not change
+// format just because multi-package input is now supported.
+func TestParseSinglePackage(t *testing.T) {
+	const input = `goos: linux
+goarch: amd64
+pkg: example.com/mod/internal/session
+cpu: Fake CPU @ 1.00GHz
+BenchmarkThing/shards=1-8   	     100	    12345 ns/op	     678 B/op	       9 allocs/op
+BenchmarkThing/shards=4-8   	     200	     6000 ns/op
+PASS
+ok  	example.com/mod/internal/session	1.234s
+`
+	doc, err := parse(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Pkg != "example.com/mod/internal/session" {
+		t.Fatalf("doc.Pkg = %q", doc.Pkg)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	for _, r := range doc.Benchmarks {
+		if r.Pkg != "" {
+			t.Fatalf("single-package input set per-result Pkg %q on %s", r.Pkg, r.Name)
+		}
+	}
+	first := doc.Benchmarks[0]
+	if first.Name != "BenchmarkThing/shards=1-8" || first.Iterations != 100 {
+		t.Fatalf("first result = %+v", first)
+	}
+	if first.Metrics["ns/op"] != 12345 || first.Metrics["B/op"] != 678 || first.Metrics["allocs/op"] != 9 {
+		t.Fatalf("first metrics = %v", first.Metrics)
+	}
+}
+
+// TestParseMultiPackage covers concatenated tables from several `go test`
+// runs: the header Pkg is dropped and every result carries its own package.
+func TestParseMultiPackage(t *testing.T) {
+	const input = `goos: linux
+goarch: amd64
+pkg: example.com/mod/internal/core
+cpu: Fake CPU @ 1.00GHz
+BenchmarkAlpha-8   	     100	    1000 ns/op
+PASS
+ok  	example.com/mod/internal/core	0.5s
+goos: linux
+goarch: amd64
+pkg: example.com/mod/internal/session
+cpu: Fake CPU @ 1.00GHz
+BenchmarkBeta-8    	      50	    2000 ns/op
+PASS
+ok  	example.com/mod/internal/session	0.5s
+`
+	doc, err := parse(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Pkg != "" {
+		t.Fatalf("multi-package input kept header Pkg %q", doc.Pkg)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	if doc.Benchmarks[0].Pkg != "example.com/mod/internal/core" {
+		t.Fatalf("first result pkg = %q", doc.Benchmarks[0].Pkg)
+	}
+	if doc.Benchmarks[1].Pkg != "example.com/mod/internal/session" {
+		t.Fatalf("second result pkg = %q", doc.Benchmarks[1].Pkg)
+	}
+}
+
+// TestParseMalformedLine keeps the strict-parse contract: a benchmark line
+// that cannot be parsed fails the whole conversion rather than being dropped.
+func TestParseMalformedLine(t *testing.T) {
+	const input = `pkg: example.com/mod
+BenchmarkBroken-8 not-a-number 1 ns/op
+`
+	if _, err := parse(bufio.NewScanner(strings.NewReader(input))); err == nil {
+		t.Fatal("malformed line parsed without error")
+	}
+}

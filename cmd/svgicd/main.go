@@ -85,6 +85,8 @@ type config struct {
 	sessionTTL     time.Duration
 	repairInterval time.Duration
 	repairMargin   float64
+	noDeltaRepair  bool
+	noWarmStart    bool
 
 	dataDir       string
 	fsync         string
@@ -130,6 +132,10 @@ func run() error {
 		"drift repair: periodically re-solve each live session through the engine and swap in the result when it beats the incremental configuration (0 = off)")
 	flag.Float64Var(&cfg.repairMargin, "repair-margin", session.DefaultRepairMargin,
 		"drift repair: relative improvement a re-solve must show to be swapped in (0 = the 0.01 default; negative = swap on any strict improvement)")
+	flag.BoolVar(&cfg.noDeltaRepair, "no-delta-repair", false,
+		"drift repair: disable the dirty-component delta re-solve; every repair cycle re-solves the whole instance (escape hatch / baseline)")
+	flag.BoolVar(&cfg.noWarmStart, "no-warm-start", false,
+		"drift repair: disable warm-starting repair solves from the session's incumbent configuration (escape hatch / baseline)")
 
 	flag.StringVar(&cfg.dataDir, "data-dir", "",
 		"durable session store directory: live sessions get a write-ahead log + snapshots there and are recovered on restart (empty = in-memory only)")
@@ -237,6 +243,8 @@ func newApp(cfg config) (*app, error) {
 		TTL:            cfg.sessionTTL,
 		RepairInterval: cfg.repairInterval,
 		RepairMargin:   cfg.repairMargin,
+		NoDeltaRepair:  cfg.noDeltaRepair,
+		NoWarmStart:    cfg.noWarmStart,
 		Persister:      persisterOrNil(st),
 		SnapshotEvery:  cfg.snapshotEvery,
 	})

@@ -111,6 +111,16 @@ func MaxAssignment(gain [][]float64) ([]int, float64) {
 // destroy neighbours' incoming utility). cap > 0 blocks (item, slot) units
 // whose subgroup is already full without u.
 func BestResponse(in *Instance, conf *Configuration, u int, cap int) float64 {
+	return bestResponse(in, conf, u, cap, nil)
+}
+
+// bestResponse is BestResponse with an optional maintained occupancy slice
+// (counts[it*k+s] over ALL rows, ghosts included — the countsFor layout).
+// With counts, the capped per-slot sizes are O(1) lookups instead of an
+// O(n·k) rescan per slot, and an applied move updates counts in place so the
+// caller's incremental bookkeeping stays exact. counts == nil falls back to
+// scanning; cap == 0 ignores counts entirely.
+func bestResponse(in *Instance, conf *Configuration, u int, cap int, counts []int) float64 {
 	k, m := in.K, in.NumItems
 	rowGain := func(c, s int) float64 {
 		g := (1 - in.Lambda) * in.Pref[u][c]
@@ -131,7 +141,7 @@ func BestResponse(in *Instance, conf *Configuration, u int, cap int) float64 {
 	for s := 0; s < k; s++ {
 		gain[s] = make([]float64, m)
 		var size map[int]int
-		if cap > 0 {
+		if cap > 0 && counts == nil {
 			size = make(map[int]int)
 			for v := 0; v < in.NumUsers(); v++ {
 				if v != u && conf.Assign[v][s] != Unassigned {
@@ -140,9 +150,20 @@ func BestResponse(in *Instance, conf *Configuration, u int, cap int) float64 {
 			}
 		}
 		for c := 0; c < m; c++ {
-			if cap > 0 && size[c] >= cap && conf.Assign[u][s] != c {
-				gain[s][c] = capBlocked
-				continue
+			if cap > 0 {
+				occ := 0
+				if counts != nil {
+					occ = counts[c*k+s]
+					if conf.Assign[u][s] == c {
+						occ-- // counts include u's own row; the cap excludes it
+					}
+				} else {
+					occ = size[c]
+				}
+				if occ >= cap && conf.Assign[u][s] != c {
+					gain[s][c] = capBlocked
+					continue
+				}
 			}
 			gain[s][c] = rowGain(c, s)
 		}
@@ -158,6 +179,16 @@ func BestResponse(in *Instance, conf *Configuration, u int, cap int) float64 {
 	}
 	if after <= before+1e-12 {
 		return 0 // keep the incumbent on ties and numerical noise
+	}
+	if cap > 0 && counts != nil {
+		for s, c := range conf.Assign[u] {
+			if c != Unassigned {
+				counts[c*k+s]--
+			}
+		}
+		for s, c := range assign {
+			counts[c*k+s]++
+		}
 	}
 	copy(conf.Assign[u], assign)
 	return after - before

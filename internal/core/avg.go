@@ -38,6 +38,11 @@ type AVGOptions struct {
 	SizeCap       int // SVGIC-ST subgroup size bound M; 0 disables the cap
 	MaxIterations int // rounding iteration guard; 0 = automatic
 	Repeats       int // run the rounding this many times, keep the best (Corollary 4.1); 0/1 = once
+	// Warm, when non-nil, is an incumbent configuration to warm-start from:
+	// the LP ascent seeds at its indicator point and the result never scores
+	// below it (see WarmStarter). Incumbents that fail validation against the
+	// instance (or the size cap) are ignored.
+	Warm *Configuration
 }
 
 // RoundingStats reports what the rounding phase did.
@@ -72,14 +77,26 @@ func solveAVG(ctx context.Context, in *Instance, opts AVGOptions) (*Configuratio
 	if in.Lambda == 0 && opts.SizeCap == 0 {
 		return PersonalizedConfig(in), RoundingStats{}, nil
 	}
-	f, err := SolveRelaxation(in, opts.LPMode, opts.LP)
+	warm := validWarm(in, opts.Warm, opts.SizeCap)
+	lpOpts := opts.LP
+	if warm != nil {
+		lpOpts.Warm = warmIndicator(in, warm)
+	}
+	f, err := SolveRelaxation(in, opts.LPMode, lpOpts)
 	if err != nil {
 		return nil, RoundingStats{}, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, RoundingStats{}, err
 	}
-	return roundAVG(ctx, in, f, opts)
+	conf, st, err := roundAVG(ctx, in, f, opts)
+	if err != nil {
+		return nil, RoundingStats{}, err
+	}
+	if warm != nil {
+		conf = betterOf(in, conf, warm)
+	}
+	return conf, st, nil
 }
 
 // RoundAVG rounds a given fractional solution into an SAVG k-Configuration

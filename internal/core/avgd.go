@@ -41,6 +41,11 @@ type AVGDOptions struct {
 	// The result is bit-identical to the serial run: entries are pure
 	// functions of the shared state and each worker has its own scratch.
 	Parallel bool
+	// Warm, when non-nil, is an incumbent configuration to warm-start from:
+	// the LP ascent seeds at its indicator point and the result never scores
+	// below it (see WarmStarter). Incumbents that fail validation against the
+	// instance (or the size cap) are ignored.
+	Warm *Configuration
 }
 
 // TraceStep records one AVG-D iteration: item c was co-displayed at slot s
@@ -94,13 +99,19 @@ func solveAVGD(ctx context.Context, in *Instance, opts AVGDOptions) (*Configurat
 	// The SVGIC-ST subgroup size cap binds across components: users from
 	// different components shown the same item at the same slot share one
 	// subgroup, so capped instances must be solved whole.
+	warm := validWarm(in, opts.Warm, opts.SizeCap)
 	if opts.SizeCap == 0 {
 		if subs, origs := ComponentDecompose(in); len(subs) > 1 {
+			opts.Warm = warm // screened once; sub-solves slice it per component
 			conf, st, err := solveAVGDComponents(ctx, in, subs, origs, opts)
 			return conf, st, len(subs), err
 		}
 	}
-	f, err := SolveRelaxation(in, opts.LPMode, opts.LP)
+	lpOpts := opts.LP
+	if warm != nil {
+		lpOpts.Warm = warmIndicator(in, warm)
+	}
+	f, err := SolveRelaxation(in, opts.LPMode, lpOpts)
 	if err != nil {
 		return nil, RoundingStats{}, 0, err
 	}
@@ -108,6 +119,9 @@ func solveAVGD(ctx context.Context, in *Instance, opts AVGDOptions) (*Configurat
 		return nil, RoundingStats{}, 0, err
 	}
 	conf, st := RoundAVGD(in, f, opts)
+	if warm != nil {
+		conf = betterOf(in, conf, warm)
+	}
 	return conf, st, 1, nil
 }
 
@@ -126,11 +140,20 @@ func solveAVGDComponents(ctx context.Context, in *Instance, subs []*Instance, or
 		if opts.Trace != nil {
 			subOpts.Trace = &trace
 		}
-		f, err := SolveRelaxation(sub, subOpts.LPMode, subOpts.LP)
+		subLP := subOpts.LP
+		var subWarm *Configuration
+		if opts.Warm != nil {
+			subWarm = warmRows(opts.Warm, origs[i], in.K)
+			subLP.Warm = warmIndicator(sub, subWarm)
+		}
+		f, err := SolveRelaxation(sub, subOpts.LPMode, subLP)
 		if err != nil {
 			return nil, RoundingStats{}, err
 		}
 		conf, st := RoundAVGD(sub, f, subOpts)
+		if subWarm != nil {
+			conf = betterOf(sub, conf, subWarm)
+		}
 		parts[i] = conf
 		total.Iterations += st.Iterations
 		total.Rejections += st.Rejections

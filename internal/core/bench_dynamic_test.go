@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/svgic/svgic/internal/graph"
+	"github.com/svgic/svgic/internal/stats"
+)
+
+// benchDynamicSession builds an n-user dynamic session on a sparse
+// small-world graph (degree ≈ 8) with a greedy top-k starting configuration
+// — large enough that the difference between the O(1) accumulator and a full
+// Evaluate rescan dominates, cheap enough to set up without a solver run.
+func benchDynamicSession(tb testing.TB, n, m, k int) *DynamicSession {
+	tb.Helper()
+	r := stats.NewRand(uint64(n))
+	g := graph.WattsStrogatz(n, 8, 0.1, r)
+	in := NewInstance(g, m, k, 0.5)
+	for u := 0; u < n; u++ {
+		for c := 0; c < m; c++ {
+			in.SetPref(u, c, r.Float64())
+		}
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Out(u) {
+			for c := 0; c < m; c++ {
+				if r.Float64() < 0.3 {
+					must(in.SetTau(u, v, c, 0.6*r.Float64()))
+				}
+			}
+		}
+	}
+	conf := NewConfiguration(n, k)
+	for u := 0; u < n; u++ {
+		taken := make([]bool, m)
+		for s := 0; s < k; s++ {
+			best, bestVal := -1, -1.0
+			for c := 0; c < m; c++ {
+				if !taken[c] && in.Pref[u][c] > bestVal {
+					best, bestVal = c, in.Pref[u][c]
+				}
+			}
+			taken[best] = true
+			conf.Assign[u][s] = best
+		}
+	}
+	ds, err := NewDynamicSession(in, conf, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ds
+}
+
+var benchValueSink float64
+
+// BenchmarkDynamicEvent measures per-event cost on the dynamic hot path:
+// apply one updatePreference event, then read the session value. The
+// incremental variant reads the maintained accumulator (what the serving
+// path does); the fullEvaluate variant recomputes the objective with a full
+// Evaluate rescan after every event (what the serving path did before the
+// accumulator existed). The gap between the two is the win the incremental
+// bookkeeping buys at each session size.
+func BenchmarkDynamicEvent(b *testing.B) {
+	const m, k = 50, 3
+	for _, n := range []int{1000, 10000} {
+		ds := benchDynamicSession(b, n, m, k)
+		r := stats.NewRand(uint64(n) + 1)
+		prefs := make([][]float64, 16)
+		for i := range prefs {
+			prefs[i] = make([]float64, m)
+			for c := range prefs[i] {
+				prefs[i][c] = r.Float64()
+			}
+		}
+		b.Run(fmt.Sprintf("incremental/users=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ds.UpdatePreference(i%n, prefs[i%len(prefs)]); err != nil {
+					b.Fatal(err)
+				}
+				benchValueSink = ds.Value()
+			}
+		})
+		b.Run(fmt.Sprintf("fullEvaluate/users=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ds.UpdatePreference(i%n, prefs[i%len(prefs)]); err != nil {
+					b.Fatal(err)
+				}
+				benchValueSink = Evaluate(ds.Instance(), ds.Config()).Weighted()
+			}
+		})
+	}
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"github.com/svgic/svgic/internal/graph"
 )
@@ -33,6 +35,13 @@ type FriendTies map[int]FriendTie
 // sharing the caller's instance would silently corrupt it — and any engine
 // cache entry fingerprinted from it.
 //
+// The weighted objective is maintained incrementally: every event folds its
+// own O(affected-neighbourhood) delta into val, so Value is O(1) instead of
+// a full Evaluate rescan. Resync recomputes from scratch and reports the
+// accumulated drift — the checked fallback. Under a size cap the per-unit
+// occupancy counts are maintained the same way instead of being rebuilt per
+// event.
+//
 // A DynamicSession is not safe for concurrent use; callers that serve one
 // session from many goroutines (internal/session's manager) serialize event
 // application themselves.
@@ -42,6 +51,11 @@ type DynamicSession struct {
 	cap  int // SVGIC-ST subgroup size bound; 0 = none
 
 	active []bool
+
+	val    float64 // incrementally maintained Evaluate(in, conf).Weighted()
+	counts []int   // incrementally maintained countsFor(); nil when cap == 0
+	dirty  []bool  // users whose neighbourhood changed since the last repair
+	comp   []int   // union-find parents over user rows (ghosts included)
 }
 
 // NewDynamicSession starts a session from a solved configuration. Both the
@@ -55,7 +69,9 @@ func NewDynamicSession(in *Instance, conf *Configuration, cap int) (*DynamicSess
 	for i := range active {
 		active[i] = true
 	}
-	return &DynamicSession{in: in.Clone(), conf: conf.Clone(), cap: cap, active: active}, nil
+	ds := &DynamicSession{in: in.Clone(), conf: conf.Clone(), cap: cap, active: active}
+	ds.resetIncremental(false)
+	return ds, nil
 }
 
 // RestoreDynamicSession rebuilds a session from persisted state: the
@@ -65,7 +81,9 @@ func NewDynamicSession(in *Instance, conf *Configuration, cap int) (*DynamicSess
 // departed user's row stays in the instance (zeroed) after Leave. The
 // durable session store uses it to reload snapshots; WAL-tail replay through
 // the ordinary event path then brings the session back to its pre-crash
-// state. Both the instance and the configuration are deep-cloned.
+// state. Both the instance and the configuration are deep-cloned. The
+// restored session starts fully dirty: the repair loop owes it one complete
+// pass before delta re-solves may narrow to changed components.
 func RestoreDynamicSession(in *Instance, conf *Configuration, cap int, activeIDs []int) (*DynamicSession, error) {
 	if err := conf.Validate(in); err != nil {
 		return nil, err
@@ -80,7 +98,50 @@ func RestoreDynamicSession(in *Instance, conf *Configuration, cap int, activeIDs
 		}
 		active[u] = true
 	}
-	return &DynamicSession{in: in.Clone(), conf: conf.Clone(), cap: cap, active: active}, nil
+	ds := &DynamicSession{in: in.Clone(), conf: conf.Clone(), cap: cap, active: active}
+	ds.resetIncremental(true)
+	return ds, nil
+}
+
+// resetIncremental rebuilds all incrementally maintained state from the
+// instance and configuration as they stand: the value accumulator, the
+// occupancy counts, the component partition, and the dirty flags.
+func (ds *DynamicSession) resetIncremental(markDirty bool) {
+	ds.val = Evaluate(ds.in, ds.conf).Weighted()
+	ds.counts = ds.countsFor()
+	n := ds.in.NumUsers()
+	ds.comp = make([]int, n)
+	for i := range ds.comp {
+		ds.comp[i] = i
+	}
+	for _, p := range ds.in.G.Pairs() {
+		ds.union(p[0], p[1])
+	}
+	ds.dirty = make([]bool, n)
+	if markDirty {
+		for i := range ds.dirty {
+			ds.dirty[i] = true
+		}
+	}
+}
+
+// find returns the union-find root of user u, compressing the path.
+func (ds *DynamicSession) find(u int) int {
+	r := u
+	for ds.comp[r] != r {
+		r = ds.comp[r]
+	}
+	for ds.comp[u] != r {
+		ds.comp[u], u = r, ds.comp[u]
+	}
+	return r
+}
+
+func (ds *DynamicSession) union(a, b int) {
+	ra, rb := ds.find(a), ds.find(b)
+	if ra != rb {
+		ds.comp[ra] = rb
+	}
 }
 
 // Instance returns the session's current instance (live view, do not modify).
@@ -163,10 +224,43 @@ func (ds *DynamicSession) validateFriendTies(friends FriendTies) error {
 	return nil
 }
 
+// contribution returns user u's additive share of the weighted objective:
+// (1−λ)·preference over u's assigned units plus λ·PairSocial for every
+// co-display with a neighbour. Each social pair involving u is counted once
+// (PairSocial folds both τ directions), so adding or removing u's entire
+// row changes the global objective by exactly this amount.
+func (ds *DynamicSession) contribution(u int) float64 {
+	lam := ds.in.Lambda
+	var c float64
+	for s, it := range ds.conf.Assign[u] {
+		if it == Unassigned {
+			continue
+		}
+		c += (1 - lam) * ds.in.Pref[u][it]
+		for _, v := range ds.in.G.Neighbors(u) {
+			if v != u && ds.conf.Assign[v][s] == it {
+				c += lam * ds.in.PairSocial(u, v, it)
+			}
+		}
+	}
+	return c
+}
+
+// respond takes user u's exact best response and folds its global objective
+// delta into the value accumulator (and, under a cap, the occupancy counts).
+func (ds *DynamicSession) respond(u int) float64 {
+	gain := bestResponse(ds.in, ds.conf, u, ds.cap, ds.counts)
+	ds.val += gain
+	return gain
+}
+
 // Join adds a user with the given preferences and friend ties and admits
 // them with an exact best response, returning the new user's id. All inputs
 // are validated (and copied) before any session state changes, so a failed
-// Join leaves the session exactly as it was.
+// Join leaves the session exactly as it was. Friends are processed in sorted
+// id order so the rebuilt adjacency — and with it every downstream float
+// summation — is identical between a live session and a WAL replay of the
+// same events.
 func (ds *DynamicSession) Join(pref []float64, friends FriendTies) (int, error) {
 	if err := ds.validatePrefVector("joining user's preferences", pref); err != nil {
 		return 0, err
@@ -174,6 +268,11 @@ func (ds *DynamicSession) Join(pref []float64, friends FriendTies) (int, error) 
 	if err := ds.validateFriendTies(friends); err != nil {
 		return 0, err
 	}
+	fids := make([]int, 0, len(friends))
+	for f := range friends {
+		fids = append(fids, f)
+	}
+	sort.Ints(fids)
 	old := ds.in
 	oldN := old.NumUsers()
 	g := graph.New(oldN + 1)
@@ -183,7 +282,7 @@ func (ds *DynamicSession) Join(pref []float64, friends FriendTies) (int, error) 
 		}
 	}
 	nu := oldN
-	for f := range friends {
+	for _, f := range fids {
 		g.AddMutualEdge(nu, f)
 	}
 	in := NewInstance(g, old.NumItems, old.K, old.Lambda)
@@ -198,7 +297,8 @@ func (ds *DynamicSession) Join(pref []float64, friends FriendTies) (int, error) 
 		}
 	}
 	copy(in.Pref[nu], pref)
-	for f, tie := range friends {
+	for _, f := range fids {
+		tie := friends[f]
 		for c := 0; c < in.NumItems; c++ {
 			if tie.Out != nil && tie.Out[c] != 0 {
 				must(in.SetTau(nu, f, c, tie.Out[c]))
@@ -215,14 +315,23 @@ func (ds *DynamicSession) Join(pref []float64, friends FriendTies) (int, error) 
 	ds.in = in
 	ds.conf = conf
 	ds.active = append(ds.active, true)
+	// The rebuild leaves every standing row and utility untouched, so val
+	// carries over; only the component partition grows.
+	ds.comp = append(ds.comp, nu)
+	ds.dirty = append(ds.dirty, true)
+	for _, f := range fids {
+		ds.union(nu, f)
+		ds.dirty[f] = true
+	}
 	// Admit: fill the newcomer's slots greedily, then take the exact best
-	// response, then let the direct friends react once.
+	// response, then let the direct friends react once. The newcomer's filled
+	// row is their whole contribution — everyone else's row is unchanged.
 	aP, aS := in.PrefCoef(nil), in.PairCoef(nil)
-	counts := ds.countsFor()
-	completeGreedy(in, conf, aP, aS, ds.cap, counts)
-	BestResponse(in, conf, nu, ds.cap)
-	for f := range friends {
-		BestResponse(in, conf, f, ds.cap)
+	completeGreedy(in, conf, aP, aS, ds.cap, ds.counts)
+	ds.val += ds.contribution(nu)
+	ds.respond(nu)
+	for _, f := range fids {
+		ds.respond(f)
 	}
 	return nu, nil
 }
@@ -230,12 +339,17 @@ func (ds *DynamicSession) Join(pref []float64, friends FriendTies) (int, error) 
 // Leave removes a user from the session: their row keeps its items (they are
 // gone from the store, so it no longer matters) but they stop contributing
 // utility, and their former friends rebalance with one best-response pass.
+// The frozen row stays in the occupancy counts — it still blocks capped
+// units, exactly as countsFor would rebuild it.
 func (ds *DynamicSession) Leave(u int) error {
 	if u < 0 || u >= len(ds.active) || !ds.active[u] {
 		return fmt.Errorf("core: user %d is not active", u)
 	}
 	ds.active[u] = false
 	friends := append([]int(nil), ds.in.G.Neighbors(u)...)
+	// The departed user's entire share of the objective vanishes with their
+	// utilities; fold it out before zeroing them.
+	ds.val -= ds.contribution(u)
 	// Zero the departed user's utilities so evaluation and best responses
 	// ignore them.
 	for c := 0; c < ds.in.NumItems; c++ {
@@ -251,9 +365,11 @@ func (ds *DynamicSession) Leave(u int) error {
 			}
 		}
 	}
+	ds.dirty[u] = true
 	for _, v := range friends {
+		ds.dirty[v] = true
 		if ds.active[v] {
-			BestResponse(ds.in, ds.conf, v, ds.cap)
+			ds.respond(v)
 		}
 	}
 	return nil
@@ -271,11 +387,21 @@ func (ds *DynamicSession) UpdatePreference(u int, pref []float64) (float64, erro
 	if err := ds.validatePrefVector(fmt.Sprintf("user %d's preferences", u), pref); err != nil {
 		return 0, err
 	}
+	// Only u's preference terms move; the social terms are untouched.
+	var d float64
+	for _, it := range ds.conf.Assign[u] {
+		if it != Unassigned {
+			d += pref[it] - ds.in.Pref[u][it]
+		}
+	}
+	ds.val += (1 - ds.in.Lambda) * d
 	copy(ds.in.Pref[u], pref)
-	gain := BestResponse(ds.in, ds.conf, u, ds.cap)
+	ds.dirty[u] = true
+	gain := ds.respond(u)
 	for _, v := range ds.in.G.Neighbors(u) {
 		if ds.active[v] {
-			gain += BestResponse(ds.in, ds.conf, v, ds.cap)
+			ds.dirty[v] = true
+			gain += ds.respond(v)
 		}
 	}
 	return gain, nil
@@ -283,14 +409,16 @@ func (ds *DynamicSession) UpdatePreference(u int, pref []float64) (float64, erro
 
 // Rebalance runs best-response passes over all active users until no user
 // improves or maxPasses is reached, returning the total improvement. This is
-// the local-search step of Extension F.
+// the local-search step of Extension F. Rebalance does not mark users dirty:
+// it only moves the configuration along the same best-response dynamics the
+// repair solver would, without changing the instance.
 func (ds *DynamicSession) Rebalance(maxPasses int) float64 {
 	var total float64
 	for pass := 0; pass < maxPasses; pass++ {
 		var improved float64
 		for u, a := range ds.active {
 			if a {
-				improved += BestResponse(ds.in, ds.conf, u, ds.cap)
+				improved += ds.respond(u)
 			}
 		}
 		total += improved
@@ -305,18 +433,104 @@ func (ds *DynamicSession) Rebalance(maxPasses int) float64 {
 // re-solve's result — the drift-repair swap: a background solver beat the
 // incrementally maintained configuration, so the session jumps to the better
 // one without replaying events. The configuration is validated against the
-// session's current instance and deep-cloned.
+// session's current instance and deep-cloned. The accumulator and counts are
+// rebuilt from scratch (the new configuration shares nothing with the old),
+// and every user is marked dirty: an out-of-band configuration change is
+// exactly the event the repair loop must not skip.
 func (ds *DynamicSession) Adopt(conf *Configuration) error {
 	if err := conf.Validate(ds.in); err != nil {
 		return fmt.Errorf("core: adopting configuration: %w", err)
 	}
 	ds.conf = conf.Clone()
+	ds.val = Evaluate(ds.in, ds.conf).Weighted()
+	ds.counts = ds.countsFor()
+	for i := range ds.dirty {
+		ds.dirty[i] = true
+	}
 	return nil
 }
 
-// Value returns the current weighted SVGIC objective over active users.
+// Value returns the current weighted SVGIC objective over active users. It
+// reads the incrementally maintained accumulator — O(1), not a rescan; the
+// differential fuzz suite pins it to Evaluate within 1e-9, and Resync is the
+// checked full recompute.
 func (ds *DynamicSession) Value() float64 {
-	return Evaluate(ds.in, ds.conf).Weighted()
+	return ds.val
+}
+
+// SeedValue overwrites the value accumulator with an externally persisted
+// value — the exact weighted objective a live session served before it was
+// snapshotted. Recovery needs bit-identical values (the incremental
+// accumulator and a cold Evaluate can differ in final ulps), so the durable
+// layers seed the logged value instead of recomputing. The seed is sanity-
+// checked against a full Evaluate to catch corrupt or mismatched state.
+func (ds *DynamicSession) SeedValue(v float64) error {
+	full := Evaluate(ds.in, ds.conf).Weighted()
+	tol := 1e-6 * math.Max(1, math.Abs(full))
+	if !isFinite(v) || math.Abs(v-full) > tol {
+		return fmt.Errorf("core: seeded value %g disagrees with evaluated %g", v, full)
+	}
+	ds.val = v
+	return nil
+}
+
+// Resync recomputes the value accumulator and occupancy counts from scratch
+// and returns the absolute drift the incremental bookkeeping had accumulated
+// — the checked fallback for callers that want to bound floating-point creep
+// on very long event streams.
+func (ds *DynamicSession) Resync() float64 {
+	full := Evaluate(ds.in, ds.conf).Weighted()
+	drift := math.Abs(ds.val - full)
+	ds.val = full
+	ds.counts = ds.countsFor()
+	return drift
+}
+
+// DirtyComponents returns the active membership of every connected component
+// touched by an event since the last ClearDirty, each sorted ascending and
+// the groups ordered by smallest member. The partition is maintained as a
+// grow-only union-find over the social graph: Join unions the newcomer with
+// their friends; Leave keeps the coarser partition (a conservative
+// over-approximation — a component a departure actually split re-solves as
+// one until the next full repair). An empty result means no event changed
+// the instance since the last repair.
+func (ds *DynamicSession) DirtyComponents() [][]int {
+	dirtyRoots := make(map[int]bool)
+	for u, d := range ds.dirty {
+		if d {
+			dirtyRoots[ds.find(u)] = true
+		}
+	}
+	if len(dirtyRoots) == 0 {
+		return nil
+	}
+	groups := make(map[int][]int)
+	var order []int
+	for u, a := range ds.active {
+		if !a {
+			continue
+		}
+		r := ds.find(u)
+		if !dirtyRoots[r] {
+			continue
+		}
+		if _, ok := groups[r]; !ok {
+			order = append(order, r) // first member is smallest: u ascends
+		}
+		groups[r] = append(groups[r], u)
+	}
+	out := make([][]int, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// ClearDirty resets the dirty flags after a completed repair pass.
+func (ds *DynamicSession) ClearDirty() {
+	for i := range ds.dirty {
+		ds.dirty[i] = false
+	}
 }
 
 func (ds *DynamicSession) countsFor() []int {

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/svgic/svgic/internal/graph"
+	"github.com/svgic/svgic/internal/stats"
+)
+
+// clusteredInstance builds a deterministic instance of `blocks` disconnected
+// cliques of blockN users each — the shape whose connected components the
+// dirty-component tests reason about.
+func clusteredInstance(blocks, blockN, m, k int, lambda float64) *Instance {
+	n := blocks * blockN
+	r := stats.NewRand(uint64(n*1000 + m))
+	g := graph.New(n)
+	for b := 0; b < blocks; b++ {
+		for i := b * blockN; i < (b+1)*blockN; i++ {
+			for j := i + 1; j < (b+1)*blockN; j++ {
+				g.AddMutualEdge(i, j)
+			}
+		}
+	}
+	in := NewInstance(g, m, k, lambda)
+	for u := 0; u < n; u++ {
+		for c := 0; c < m; c++ {
+			in.SetPref(u, c, r.Float64())
+		}
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Out(u) {
+			for c := 0; c < m; c++ {
+				must(in.SetTau(u, v, c, 0.5*r.Float64()))
+			}
+		}
+	}
+	return in
+}
+
+// TestDynamicDifferentialFuzz drives seeded random event streams — join,
+// leave, updatePreference, rebalance — through dynamic sessions and asserts
+// after EVERY event that the incrementally maintained accumulator agrees
+// with a from-scratch Evaluate, and (under a size cap) that the maintained
+// occupancy counts agree with a from-scratch rebuild. This is the safety net
+// under the O(1) Value fast path: the accumulator and the full rescan sum
+// the same terms in different orders, so they may differ in final ulps but
+// never beyond.
+func TestDynamicDifferentialFuzz(t *testing.T) {
+	const (
+		events = 60
+		n0     = 10 // starting users
+		m      = 8  // items
+		k      = 2  // slots
+	)
+	for _, tc := range []struct {
+		seed uint64
+		cap  int
+	}{
+		{seed: 1, cap: 0},
+		{seed: 2, cap: 0},
+		{seed: 3, cap: 4},
+		{seed: 4, cap: 6},
+	} {
+		_, ds := solvedSession(t, tc.seed, n0, m, k, tc.cap)
+		r := stats.NewRand(tc.seed * 7919)
+		check := func(step int, what string) {
+			t.Helper()
+			full := Evaluate(ds.Instance(), ds.Config()).Weighted()
+			tol := 1e-9 * math.Max(1, math.Abs(full))
+			if d := math.Abs(ds.Value() - full); d > tol {
+				t.Fatalf("seed %d cap %d step %d (%s): incremental value %v, full evaluate %v (drift %g)",
+					tc.seed, tc.cap, step, what, ds.Value(), full, d)
+			}
+			if tc.cap > 0 {
+				want := ds.countsFor()
+				for i := range want {
+					if ds.counts[i] != want[i] {
+						t.Fatalf("seed %d cap %d step %d (%s): counts[%d]=%d, countsFor says %d",
+							tc.seed, tc.cap, step, what, i, ds.counts[i], want[i])
+					}
+				}
+			}
+		}
+		check(-1, "initial")
+		for step := 0; step < events; step++ {
+			active := ds.ActiveUsers()
+			what := ""
+			switch op := r.IntN(10); {
+			case op < 3 || len(active) == 0: // join
+				what = "join"
+				pref := make([]float64, m)
+				for c := range pref {
+					pref[c] = r.Float64()
+				}
+				friends := FriendTies{}
+				for _, f := range active {
+					if r.Float64() < 0.3 {
+						tie := FriendTie{}
+						if r.Float64() < 0.8 {
+							tie.Out = make([]float64, m)
+							for c := range tie.Out {
+								tie.Out[c] = 0.6 * r.Float64()
+							}
+						}
+						if r.Float64() < 0.8 {
+							tie.In = make([]float64, m)
+							for c := range tie.In {
+								tie.In[c] = 0.6 * r.Float64()
+							}
+						}
+						friends[f] = tie
+					}
+				}
+				if _, err := ds.Join(pref, friends); err != nil {
+					t.Fatalf("seed %d step %d: join: %v", tc.seed, step, err)
+				}
+			case op < 5: // leave
+				what = "leave"
+				if err := ds.Leave(active[r.IntN(len(active))]); err != nil {
+					t.Fatalf("seed %d step %d: leave: %v", tc.seed, step, err)
+				}
+			case op < 8: // updatePreference
+				what = "updatePreference"
+				pref := make([]float64, m)
+				for c := range pref {
+					pref[c] = r.Float64()
+				}
+				if _, err := ds.UpdatePreference(active[r.IntN(len(active))], pref); err != nil {
+					t.Fatalf("seed %d step %d: update: %v", tc.seed, step, err)
+				}
+			default: // rebalance
+				what = "rebalance"
+				ds.Rebalance(1 + r.IntN(2))
+			}
+			check(step, what)
+		}
+		// The checked fallback reports the same (tiny) drift the assertions
+		// above bounded, and clears it.
+		full := Evaluate(ds.Instance(), ds.Config()).Weighted()
+		if drift := ds.Resync(); drift > 1e-9*math.Max(1, math.Abs(full)) {
+			t.Fatalf("seed %d cap %d: Resync reported drift %g", tc.seed, tc.cap, drift)
+		}
+		if ds.Value() != full {
+			t.Fatalf("seed %d cap %d: Resync did not land on the full evaluate", tc.seed, tc.cap)
+		}
+	}
+}
+
+// TestDynamicDirtyComponents pins the dirty-component contract the session
+// layer's delta repair builds on: a fresh session reports nothing dirty,
+// events mark exactly the touched components, Adopt marks everything, and
+// ClearDirty resets.
+func TestDynamicDirtyComponents(t *testing.T) {
+	// Two disconnected 4-cliques: users 0-3 and 4-7.
+	in := clusteredInstance(2, 4, 6, 2, 0.5)
+	conf, _, err := SolveAVGD(in, AVGDOptions{R: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDynamicSession(in, conf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.DirtyComponents(); got != nil {
+		t.Fatalf("fresh session reports dirty components %v", got)
+	}
+
+	// Touch one user in the first clique: exactly that component is dirty.
+	pref := make([]float64, in.NumItems)
+	pref[0] = 1
+	if _, err := ds.UpdatePreference(1, pref); err != nil {
+		t.Fatal(err)
+	}
+	dirty := ds.DirtyComponents()
+	if len(dirty) != 1 || len(dirty[0]) != 4 || dirty[0][0] != 0 {
+		t.Fatalf("after update of user 1: dirty = %v, want the 0-3 component", dirty)
+	}
+
+	// Rebalance alone does not dirty anything new.
+	ds.ClearDirty()
+	ds.Rebalance(2)
+	if got := ds.DirtyComponents(); got != nil {
+		t.Fatalf("rebalance marked components dirty: %v", got)
+	}
+
+	// A leave dirties the departed user's component; the departed user
+	// itself is excluded from the active membership.
+	if err := ds.Leave(6); err != nil {
+		t.Fatal(err)
+	}
+	dirty = ds.DirtyComponents()
+	if len(dirty) != 1 || len(dirty[0]) != 3 || dirty[0][0] != 4 {
+		t.Fatalf("after leave of user 6: dirty = %v, want [4 5 7]", dirty)
+	}
+
+	// A join that befriends both cliques unions them: one merged component.
+	ds.ClearDirty()
+	ties := FriendTies{0: {}, 4: {}}
+	nu, err := ds.Join(pref, ties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty = ds.DirtyComponents()
+	if len(dirty) != 1 || len(dirty[0]) != 8 {
+		t.Fatalf("after bridging join: dirty = %v, want one 8-user component", dirty)
+	}
+	if dirty[0][len(dirty[0])-1] != nu {
+		t.Fatalf("newcomer %d missing from dirty component %v", nu, dirty[0])
+	}
+
+	// Adopt marks every component dirty: an out-of-band configuration change
+	// is exactly what the repair loop must not skip.
+	ds.ClearDirty()
+	if err := ds.Adopt(ds.Config().Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.DirtyComponents(); len(got) != 1 || len(got[0]) != 8 {
+		t.Fatalf("after adopt: dirty = %v, want the whole active set", got)
+	}
+}

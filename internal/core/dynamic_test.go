@@ -326,8 +326,21 @@ func TestRestoreDynamicSession(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, want := restored.Value(), ds.Value(); got != want {
+	// A cold restore recomputes the accumulator with a full Evaluate, which
+	// can differ from the live session's incremental chain in final ulps;
+	// the durable layers then seed the exact served value via SeedValue.
+	if got, want := restored.Value(), ds.Value(); math.Abs(got-want) > 1e-9 {
 		t.Fatalf("restored value %v, want %v", got, want)
+	}
+	if err := restored.SeedValue(ds.Value()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Value(), ds.Value(); got != want {
+		t.Fatalf("seeded restored value %v, want %v", got, want)
+	}
+	// A seed that disagrees with the state beyond tolerance is corrupt.
+	if err := restored.SeedValue(ds.Value() + 1); err == nil {
+		t.Fatal("SeedValue accepted a value that disagrees with the state")
 	}
 	if got, want := restored.ActiveUsers(), ds.ActiveUsers(); len(got) != len(want) {
 		t.Fatalf("restored %d active users, want %d", len(got), len(want))

@@ -38,3 +38,19 @@ func MergeConfigurations(n, k int, parts []*Configuration, origs [][]int) *Confi
 	}
 	return out
 }
+
+// OverlayConfiguration embeds per-subset configurations onto a clone of an
+// existing full configuration: rows outside every subset keep their base
+// assignment. The dirty-component delta repair uses it to merge re-solved
+// components back into a live session's configuration without disturbing
+// untouched components (or departed users' frozen rows, which
+// MergeConfigurations would reset to Unassigned).
+func OverlayConfiguration(base *Configuration, parts []*Configuration, origs [][]int) *Configuration {
+	out := base.Clone()
+	for pi, part := range parts {
+		for i, row := range part.Assign {
+			copy(out.Assign[origs[pi][i]], row)
+		}
+	}
+	return out
+}

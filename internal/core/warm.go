@@ -1,0 +1,90 @@
+package core
+
+// Warm-start support for the AVG / AVG-D pipelines: drift repair re-solves a
+// live session whose incumbent configuration is already near-optimal, so the
+// solvers accept an incumbent to (a) seed the LP relaxation's ascent from the
+// incumbent's indicator point instead of cold random restarts and (b) lower-
+// bound the result — the rounded configuration is swapped for the incumbent
+// when the incumbent still scores higher, so a warm-started solve never
+// returns something worse than what the session already has.
+
+// WarmStarter is optionally implemented by solvers that can seed a solve
+// from an incumbent configuration. WarmStart returns a NEW solver biased by
+// the incumbent (the receiver is never mutated — solvers are shared across
+// worker pools), or nil when the solver cannot use the incumbent (wrong
+// shape for its parameters, unsupported mode). Warm-started solvers are
+// deliberately not CacheKeyers: their results depend on the incumbent, so
+// they must never be served from or stored into keyed result caches.
+type WarmStarter interface {
+	WarmStart(conf *Configuration) Solver
+}
+
+// WarmStart implements WarmStarter: the returned AVG solver seeds its LP
+// ascent from conf and keeps conf as the floor of the rounding result.
+func (s *AVGSolver) WarmStart(conf *Configuration) Solver {
+	opts := s.Opts
+	opts.Warm = conf.Clone()
+	return &AVGSolver{Opts: opts}
+}
+
+// WarmStart implements WarmStarter (see AVGSolver.WarmStart).
+func (s *AVGDSolver) WarmStart(conf *Configuration) Solver {
+	opts := s.Opts
+	opts.Warm = conf.Clone()
+	return &AVGDSolver{Opts: opts}
+}
+
+// validWarm screens an incumbent at the solve boundary: nil unless it is a
+// complete, valid configuration of THIS instance that also respects the size
+// cap. Options travel through registries and serialization layers, so a
+// stale or mis-dimensioned incumbent is silently ignored rather than failing
+// the solve — a warm start is an optimization, never a correctness input.
+func validWarm(in *Instance, warm *Configuration, cap int) *Configuration {
+	if warm == nil || warm.Validate(in) != nil {
+		return nil
+	}
+	if cap > 0 && warm.MaxSubgroupSize() > cap {
+		return nil
+	}
+	return warm
+}
+
+// warmIndicator lifts a configuration to its fractional indicator point:
+// x[u][c] = 1 iff u holds item c. Rows of a complete configuration sum to
+// exactly K (items are unique per user), so the point is LP-feasible as-is.
+func warmIndicator(in *Instance, conf *Configuration) [][]float64 {
+	X := make([][]float64, in.NumUsers())
+	for u := range X {
+		row := make([]float64, in.NumItems)
+		for _, it := range conf.Assign[u] {
+			if it != Unassigned {
+				row[it] = 1
+			}
+		}
+		X[u] = row
+	}
+	return X
+}
+
+// warmRows restricts a whole-instance incumbent to a sub-instance's users:
+// row i of the result is the incumbent row of original user orig[i]. The
+// component decomposition inside solveAVGD uses it so each sub-solve warms
+// from its own slice of the incumbent.
+func warmRows(conf *Configuration, orig []int, k int) *Configuration {
+	sub := NewConfiguration(len(orig), k)
+	for i, ou := range orig {
+		copy(sub.Assign[i], conf.Assign[ou])
+	}
+	return sub
+}
+
+// betterOf returns the incumbent (cloned) when it still beats the freshly
+// rounded configuration under the weighted objective, else the rounded one —
+// the "best-known bound" half of warm-starting: a repair solve seeded with
+// the session's incumbent can only move forward.
+func betterOf(in *Instance, rounded, warm *Configuration) *Configuration {
+	if Evaluate(in, warm).Weighted() > Evaluate(in, rounded).Weighted() {
+		return warm.Clone()
+	}
+	return rounded
+}

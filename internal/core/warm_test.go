@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWarmStartFloorsAtIncumbent: a warm-started AVG / AVG-D solve never
+// returns a configuration scoring below the incumbent it was seeded with —
+// the incumbent is the floor of the rounding result — and seeding with the
+// solver's own cold result reproduces at least its value.
+func TestWarmStartFloorsAtIncumbent(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		in := randomInstance(seed, 9, 8, 2, 0.5)
+		cold, _, err := SolveAVGD(in, AVGDOptions{R: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldVal := Evaluate(in, cold).Weighted()
+
+		warm, _, err := SolveAVGD(in, AVGDOptions{R: 1, Warm: cold})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Evaluate(in, warm).Weighted(); got < coldVal-1e-9 {
+			t.Fatalf("seed %d: warm AVG-D fell below its incumbent: %v -> %v", seed, coldVal, got)
+		}
+		if err := warm.Validate(in); err != nil {
+			t.Fatalf("seed %d: warm AVG-D solution invalid: %v", seed, err)
+		}
+
+		avgWarm, _, err := SolveAVG(in, AVGOptions{Seed: seed + 78, Warm: cold})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Evaluate(in, avgWarm).Weighted(); got < coldVal-1e-9 {
+			t.Fatalf("seed %d: warm AVG fell below its incumbent: %v -> %v", seed, coldVal, got)
+		}
+		if err := avgWarm.Validate(in); err != nil {
+			t.Fatalf("seed %d: warm AVG solution invalid: %v", seed, err)
+		}
+	}
+}
+
+// TestWarmStartIgnoresInvalidIncumbents: a warm configuration that does not
+// validate against the instance (wrong shape) or violates the size cap is
+// silently ignored — a warm start is an optimization, never a correctness
+// input — and the solve still succeeds.
+func TestWarmStartIgnoresInvalidIncumbents(t *testing.T) {
+	in := randomInstance(5, 8, 6, 2, 0.5)
+	wrongShape := NewConfiguration(3, 2) // too few users
+	if _, _, err := SolveAVGD(in, AVGDOptions{R: 1, Warm: wrongShape}); err != nil {
+		t.Fatalf("mis-shaped warm config failed the solve: %v", err)
+	}
+
+	// A valid-but-capped-out incumbent: everyone on the same items overflows
+	// any cap below n, so a capped solve must ignore it.
+	crowd := NewConfiguration(in.NumUsers(), in.K)
+	for u := range crowd.Assign {
+		for s := range crowd.Assign[u] {
+			crowd.Assign[u][s] = s
+		}
+	}
+	conf, _, err := SolveAVGD(in, AVGDOptions{R: 1, SizeCap: 2, Warm: crowd})
+	if err != nil {
+		t.Fatalf("capped solve with overflowing warm config: %v", err)
+	}
+	if got := conf.MaxSubgroupSize(); got > 2 {
+		t.Fatalf("capped warm solve violated the cap: max subgroup %d", got)
+	}
+}
+
+// TestWarmStartSolverIdentity: WarmStart returns a NEW solver biased by a
+// CLONE of the incumbent — the receiver is unchanged (solvers are shared
+// across worker pools) and later mutation of the caller's configuration does
+// not reach the warm solver. Warm solvers are deliberately not CacheKeyers:
+// their results depend on the incumbent, so they must never be served from a
+// keyed result cache.
+func TestWarmStartSolverIdentity(t *testing.T) {
+	in := randomInstance(6, 6, 5, 2, 0.5)
+	cold, _, err := SolveAVGD(in, AVGDOptions{R: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &AVGDSolver{Opts: AVGDOptions{R: 1}}
+	ws := base.WarmStart(cold)
+	if ws == nil {
+		t.Fatal("AVG-D WarmStart returned nil")
+	}
+	if base.Opts.Warm != nil {
+		t.Fatal("WarmStart mutated the shared receiver")
+	}
+	warmed, ok := ws.(*AVGDSolver)
+	if !ok {
+		t.Fatalf("warm solver is %T, want *AVGDSolver", ws)
+	}
+	if warmed.Opts.Warm == cold {
+		t.Fatal("warm solver aliases the caller's configuration")
+	}
+	if _, isKeyed := ws.(CacheKeyer); isKeyed {
+		t.Fatal("warm solver is a CacheKeyer; warm results must not enter keyed caches")
+	}
+	// Mutating the caller's copy after WarmStart must not reach the solver.
+	first := cold.Assign[0][0]
+	cold.Assign[0][0] = cold.Assign[0][1]
+	if warmed.Opts.Warm.Assign[0][0] != first {
+		t.Fatal("caller mutation leaked into the warm solver's incumbent")
+	}
+}
+
+// TestBetterOfPrefersHigherValue pins the floor helper itself.
+func TestBetterOfPrefersHigherValue(t *testing.T) {
+	in := randomInstance(7, 6, 5, 2, 0.5)
+	good, _, err := SolveAVGD(in, AVGDOptions{R: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := NewConfiguration(in.NumUsers(), in.K)
+	for u := range bad.Assign {
+		for s := range bad.Assign[u] {
+			bad.Assign[u][s] = s
+		}
+	}
+	if math.Abs(Evaluate(in, good).Weighted()-Evaluate(in, bad).Weighted()) < 1e-12 {
+		t.Skip("degenerate instance: good and bad configurations tie")
+	}
+	if got := betterOf(in, bad, good); Evaluate(in, got).Weighted() != Evaluate(in, good).Weighted() {
+		t.Fatal("betterOf kept the worse rounded configuration over the incumbent")
+	}
+	if got := betterOf(in, good, bad); Evaluate(in, got).Weighted() != Evaluate(in, good).Weighted() {
+		t.Fatal("betterOf replaced the better rounded configuration with the incumbent")
+	}
+}

@@ -165,6 +165,25 @@ func decomposeSafe(s core.Solver) bool {
 	return false
 }
 
+// Uncached strips a solver down to the bare Solver interface: no CacheKeyer,
+// no ComponentSafe. The engine then solves the instance whole and bypasses
+// the result cache and the coalescer. Warm-started repair solvers ride
+// through here — their results depend on a session's incumbent configuration
+// (not just the instance fingerprint), so serving them from a keyed cache
+// would alias distinct incumbents, and the caller has already decomposed to
+// the component it wants solved.
+type Uncached struct {
+	S core.Solver
+}
+
+// Name implements core.Solver.
+func (u Uncached) Name() string { return u.S.Name() }
+
+// Solve implements core.Solver.
+func (u Uncached) Solve(ctx context.Context, in *core.Instance) (*core.Solution, error) {
+	return u.S.Solve(ctx, in)
+}
+
 // Engine is a concurrent batch solver. Create with New, release with Close.
 // All methods are safe for concurrent use; Solve and SolveBatch may be called
 // from any number of goroutines and share the worker pool fairly at component
@@ -343,6 +362,14 @@ func (e *Engine) record(algo string, o outcome, latency time.Duration) {
 // Solve answers one instance with the engine's default solver. See SolveWith.
 func (e *Engine) Solve(ctx context.Context, in *core.Instance) (*core.Solution, error) {
 	return e.solve(ctx, in, nil)
+}
+
+// DefaultSolver returns the engine's default solver instance — what Solve
+// runs when no per-request solver is supplied. Callers that derive variants
+// of the default (e.g. warm-started repair solvers via core.WarmStarter)
+// start from here. The returned solver is shared and must not be mutated.
+func (e *Engine) DefaultSolver() core.Solver {
+	return e.defaultSolver
 }
 
 // SolveWith answers one instance with the given solver (any core.Solver —

@@ -387,3 +387,64 @@ func TestMethodsAgreeOnEasyInstance(t *testing.T) {
 		t.Error("Method.String misbehaves")
 	}
 }
+
+// TestStructuredSolverWarmStart: a warm point seeds the ascent instead of
+// the cold restarts — solving from the cold optimum itself must reproduce
+// (at least) its objective; mis-dimensioned or out-of-range warm input is
+// sanitized or ignored rather than breaking feasibility.
+func TestStructuredSolverWarmStart(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		rx := randomRelaxation(seed, 5, 6, 2, 6)
+		coldX, coldObj := rx.Solve(RelaxOptions{Seed: seed})
+
+		warmX, warmObj := rx.Solve(RelaxOptions{Seed: seed + 99, Warm: coldX})
+		if warmObj < coldObj-1e-9 {
+			t.Fatalf("seed %d: warm solve from the cold optimum regressed: %v -> %v", seed, coldObj, warmObj)
+		}
+		for u, row := range warmX {
+			var sum float64
+			for _, x := range row {
+				if x < -1e-12 || x > 1+1e-12 {
+					t.Fatalf("seed %d: warm solution out of box: x[%d]=%v", seed, u, row)
+				}
+				sum += x
+			}
+			if math.Abs(sum-float64(rx.K)) > 1e-9 {
+				t.Fatalf("seed %d: warm solution row %d sums to %v, want %d", seed, u, sum, rx.K)
+			}
+		}
+		// The caller keeps ownership: the warm input must not be mutated.
+		reObj := rx.Objective(coldX)
+		if math.Abs(reObj-coldObj) > 1e-9 {
+			t.Fatalf("seed %d: Solve mutated the caller's warm point: objective %v -> %v", seed, coldObj, reObj)
+		}
+
+		// Garbage warm inputs: wrong shape is ignored (cold path), values
+		// outside [0,1] and NaN are clamped and projected back to feasibility.
+		if _, obj := rx.Solve(RelaxOptions{Seed: seed, Warm: coldX[:len(coldX)-1]}); math.Abs(obj-coldObj) > 1e-9 {
+			t.Fatalf("seed %d: mis-dimensioned warm input changed the cold result: %v vs %v", seed, obj, coldObj)
+		}
+		dirty := make([][]float64, rx.NumUsers)
+		for u := range dirty {
+			dirty[u] = make([]float64, rx.NumItems)
+			for c := range dirty[u] {
+				dirty[u][c] = 5
+			}
+			dirty[u][0] = math.NaN()
+			dirty[u][1] = -3
+		}
+		dX, _ := rx.Solve(RelaxOptions{Seed: seed, Warm: dirty})
+		for u, row := range dX {
+			var sum float64
+			for _, x := range row {
+				if math.IsNaN(x) || x < -1e-12 || x > 1+1e-12 {
+					t.Fatalf("seed %d: dirty warm input leaked into solution row %d: %v", seed, u, row)
+				}
+				sum += x
+			}
+			if math.Abs(sum-float64(rx.K)) > 1e-9 {
+				t.Fatalf("seed %d: dirty warm solution row %d sums to %v, want %d", seed, u, sum, rx.K)
+			}
+		}
+	}
+}

@@ -76,6 +76,15 @@ type RelaxOptions struct {
 	Seed        uint64  // RNG seed for sweep order and restarts
 	Restarts    int     // extra random restarts (default 1 extra start)
 	Method      Method  // MethodBlockCoordinate (default) or MethodSmoothed
+
+	// Warm, when non-nil and dimensioned [NumUsers][NumItems], seeds the
+	// block-coordinate ascent from this point (projected onto the capped
+	// simplex) INSTEAD of the cold random restarts — the warm-start path for
+	// drift repair, where the incumbent configuration's indicator point is
+	// already near a good optimum and cold restarts would re-pay full
+	// convergence cost. Ignored by MethodSmoothed and by mis-dimensioned
+	// input. The caller keeps ownership; Solve copies before mutating.
+	Warm [][]float64
 }
 
 func (o *RelaxOptions) fill() {
@@ -116,13 +125,22 @@ func (rx *Relaxation) Solve(opts RelaxOptions) ([][]float64, float64) {
 
 	bestObj := math.Inf(-1)
 	var bestX [][]float64
-	for restart := 0; restart < opts.Restarts+1; restart++ {
-		X := rx.initialPoint(restart)
-		rx.blockCoordinateAscent(X, opts, r)
-		obj := rx.Objective(X)
-		if obj > bestObj {
-			bestObj = obj
-			bestX = X
+	if warm := rx.warmPoint(opts.Warm); warm != nil {
+		// Warm start: ascend from the supplied point only. A near-optimal
+		// seed converges in a couple of sweeps; running the cold restarts
+		// too would throw the saving away.
+		rx.blockCoordinateAscent(warm, opts, r)
+		bestX = warm
+		bestObj = rx.Objective(warm)
+	} else {
+		for restart := 0; restart < opts.Restarts+1; restart++ {
+			X := rx.initialPoint(restart)
+			rx.blockCoordinateAscent(X, opts, r)
+			obj := rx.Objective(X)
+			if obj > bestObj {
+				bestObj = obj
+				bestX = X
+			}
 		}
 	}
 	if opts.PolishIters > 0 {
@@ -132,6 +150,32 @@ func (rx *Relaxation) Solve(opts RelaxOptions) ([][]float64, float64) {
 		}
 	}
 	return bestX, bestObj
+}
+
+// warmPoint validates and feasibility-projects a caller-supplied warm-start
+// point: nil unless warm is exactly [NumUsers][NumItems]; otherwise a clamped
+// copy with every row projected onto the capped simplex Σ_c x = K, 0 ≤ x ≤ 1.
+func (rx *Relaxation) warmPoint(warm [][]float64) [][]float64 {
+	if len(warm) != rx.NumUsers {
+		return nil
+	}
+	for _, row := range warm {
+		if len(row) != rx.NumItems {
+			return nil
+		}
+	}
+	X := cloneMatrix(warm)
+	for _, row := range X {
+		for c, x := range row {
+			if math.IsNaN(x) || x < 0 {
+				row[c] = 0
+			} else if x > 1 {
+				row[c] = 1
+			}
+		}
+		ProjectCappedSimplex(row, float64(rx.K))
+	}
+	return X
 }
 
 // initialPoint builds a feasible start: restart 0 spreads the budget

@@ -439,3 +439,15 @@ func (k *keyed) DecomposeSafe() bool {
 	}
 	return false
 }
+
+// WarmStart implements core.WarmStarter by delegating to the inner solver,
+// returning nil when it does not support warm starts. The warm variant is
+// returned UNWRAPPED — deliberately without the registry cache key — because
+// its results depend on the incumbent configuration, not just the instance,
+// and must never enter a keyed result cache.
+func (k *keyed) WarmStart(conf *core.Configuration) core.Solver {
+	if ws, ok := k.Solver.(core.WarmStarter); ok {
+		return ws.WarmStart(conf)
+	}
+	return nil
+}

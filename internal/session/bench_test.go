@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"github.com/svgic/svgic/internal/datasets"
 	"github.com/svgic/svgic/internal/engine"
 )
 
@@ -58,5 +59,57 @@ func BenchmarkManagerSharded(b *testing.B) {
 				})
 			})
 		}
+	}
+}
+
+// BenchmarkRepairCycle measures one drift-repair cycle on a 1000-user
+// session of 40 independent 25-user subgroups after a single preference
+// event. The delta mode is the default pipeline: re-solve only the one dirty
+// component and overlay it, warm-started from the incumbent. The full mode
+// disables both (NoDeltaRepair + NoWarmStart), re-solving the whole
+// 1000-user instance cold every cycle — the pre-incremental behavior. The
+// engine cache is disabled so each cycle pays for its solves; RepairMargin
+// -1 makes every cycle a swap, keeping the two modes on the same code path
+// every iteration instead of diverging into keeps.
+func BenchmarkRepairCycle(b *testing.B) {
+	in := datasets.MultiGroup(7, 40, 25, 30, 2, 0.5)
+	prefs := make([][]float64, 2)
+	for i := range prefs {
+		prefs[i] = make([]float64, in.NumItems)
+		for c := range prefs[i] {
+			prefs[i][c] = float64((i+c)%7) / 7
+		}
+	}
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{
+		{name: "delta", opts: Options{RepairMargin: -1}},
+		{name: "full", opts: Options{RepairMargin: -1, NoDeltaRepair: true, NoWarmStart: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := engine.New(engine.Options{Workers: 2, CacheSize: -1})
+			defer eng.Close()
+			opts := mode.opts
+			opts.Engine = eng
+			m, err := NewManager(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			ctx := context.Background()
+			snap, _, err := m.CreateWith(ctx, in, CreateSpec{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := Event{Type: EventUpdatePreference, User: i % 25, Pref: prefs[i%2]}
+				if _, err := m.Apply(snap.ID, []Event{ev}); err != nil {
+					b.Fatal(err)
+				}
+				m.RepairAll(ctx)
+			}
+		})
 	}
 }

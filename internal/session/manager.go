@@ -78,6 +78,14 @@ type Options struct {
 	// one-off seed from crypto/rand — unguessable ids, explicitly not
 	// derived from the clock or the global math/rand source.
 	Seed uint64
+	// NoDeltaRepair disables the dirty-component delta re-solve: every
+	// repair cycle clones and re-solves the whole instance, as before the
+	// incremental path existed. For benchmarking the delta win and for
+	// tests that need whole-solve semantics.
+	NoDeltaRepair bool
+	// NoWarmStart disables warm-starting repair solves from the session's
+	// incumbent configuration, forcing every repair solve cold.
+	NoWarmStart bool
 }
 
 // Stats is a snapshot of the manager's counters, aggregated over all
@@ -104,6 +112,9 @@ type Stats struct {
 	RepairKeeps  uint64 `json:"repairKeeps"`  // incremental configuration held
 	RepairStale  uint64 `json:"repairStale"`  // discarded: events raced the re-solve
 	RepairErrors uint64 `json:"repairErrors"` // re-solve failed or timed out
+	RepairSkips  uint64 `json:"repairSkips"`  // cycles skipped: session unchanged since its last repair
+	RepairWarm   uint64 `json:"repairWarm"`   // repair solves seeded from the incumbent configuration
+	RepairCold   uint64 `json:"repairCold"`   // repair solves run cold
 }
 
 // Manager is the concurrency-safe registry of live sessions: a thin router
@@ -115,6 +126,8 @@ type Manager struct {
 	ttl           time.Duration
 	repairMargin  float64
 	repairTimeout time.Duration
+	noDeltaRepair bool
+	noWarmStart   bool
 	persister     Persister
 	snapshotEvery int
 
@@ -168,6 +181,8 @@ func NewManager(opts Options) (*Manager, error) {
 		ttl:           opts.TTL,
 		repairMargin:  opts.RepairMargin,
 		repairTimeout: opts.RepairTimeout,
+		noDeltaRepair: opts.NoDeltaRepair,
+		noWarmStart:   opts.NoWarmStart,
 		persister:     opts.Persister,
 		snapshotEvery: opts.SnapshotEvery,
 		now:           time.Now,
@@ -367,6 +382,7 @@ func (m *Manager) CreateWith(ctx context.Context, in *core.Instance, spec Create
 		value:         ds.Value(),
 		created:       now,
 		lastTouch:     now,
+		lastRepair:    noRepairYet,
 	}
 	// Mint an id free of collisions. Minted ids carry a random tail and a
 	// monotone sequence (so two racing creates can never mint the same one);
@@ -518,14 +534,200 @@ func (m *Manager) RepairAll(ctx context.Context) {
 	wg.Wait()
 }
 
-// repairOne re-solves one session's current instance through the engine and
-// swaps the result in when it beats the incremental configuration by the
-// margin, attributing the outcome to the session's owning shard. The
-// snapshot is taken under the session lock but the solve runs outside it, so
-// event application never blocks on a re-solve; if events advanced the
-// session meanwhile, the (now stale) solution is discarded rather than
-// clobbering state it never saw.
+// repairOne runs one drift-repair cycle for one session, attributing the
+// outcome to the session's owning shard. A session whose version has not
+// moved since its last completed cycle is skipped outright — no clone, no
+// solve. Otherwise the cycle routes to the dirty-component delta path
+// (uncapped sessions whose solver decomposes safely) or falls back to the
+// whole-instance re-solve.
 func (m *Manager) repairOne(ctx context.Context, sh *shard, s *Session) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.lastRepair == s.version {
+		s.repairSkips++
+		sh.repSkips.Add(1)
+		s.mu.Unlock()
+		return
+	}
+	base := s.solver
+	if base == nil {
+		base = m.eng.DefaultSolver()
+	}
+	// The delta path re-solves dirty components in isolation and overlays the
+	// results, which is only sound when per-component optima compose: never
+	// under a size cap (the cap couples components through shared units — the
+	// session's contract since capped sessions solve whole) and never for a
+	// solver that declares itself component-unsafe.
+	deltaOK := !m.noDeltaRepair && s.ds.SizeCap() == 0
+	if deltaOK {
+		cs, ok := base.(core.ComponentSafe)
+		deltaOK = ok && cs.DecomposeSafe()
+	}
+	s.mu.Unlock()
+	if deltaOK && m.repairDelta(ctx, sh, s, base) {
+		return
+	}
+	m.repairWhole(ctx, sh, s, base)
+}
+
+// repairDelta is the dirty-component repair path: it re-solves only the
+// connected components events have touched since the session's last completed
+// repair, warm-started from the incumbent rows, and overlays the re-solved
+// rows onto the live configuration. Reports true when it completed the cycle
+// (including skips and errors); false means the caller should fall back to a
+// whole-instance repair.
+func (m *Manager) repairDelta(ctx context.Context, sh *shard, s *Session, base core.Solver) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return true
+	}
+	dirty := s.ds.DirtyComponents()
+	if len(dirty) == 0 {
+		// Events advanced the version without touching any component's
+		// utilities (pure rebalance sweeps move the configuration along the
+		// same best-response dynamics a repair would): complete the cycle as
+		// a skip so the next one is free too.
+		s.lastRepair = s.version
+		s.repairSkips++
+		sh.repSkips.Add(1)
+		s.mu.Unlock()
+		return true
+	}
+	in := s.ds.Instance()
+	conf := s.ds.Config()
+	version, current := s.version, s.value
+	ins := make([]*core.Instance, len(dirty))
+	origs := make([][]int, len(dirty))
+	incs := make([]float64, len(dirty))
+	solvers := make([]core.Solver, len(dirty))
+	warmed := 0
+	for i, members := range dirty {
+		// SubInstance deep-copies preferences, edges and τ, so the sub-solves
+		// below run outside the session lock against immutable inputs.
+		sub, orig, err := core.SubInstance(in, members)
+		if err != nil {
+			// Cannot happen for active user ids; fall back to the whole-
+			// instance path rather than fail the cycle on one component.
+			s.mu.Unlock()
+			return false
+		}
+		subConf := core.NewConfiguration(len(orig), in.K)
+		for j, o := range orig {
+			copy(subConf.Assign[j], conf.Assign[o])
+		}
+		ins[i] = sub
+		origs[i] = orig
+		incs[i] = core.Evaluate(sub, subConf).Weighted()
+		sv := base
+		if !m.noWarmStart {
+			if ws, ok := base.(core.WarmStarter); ok {
+				if w := ws.WarmStart(subConf); w != nil {
+					sv = w
+					warmed++
+				}
+			}
+		}
+		// Warm solvers depend on this session's incumbent and sub-instances
+		// are single components already: run them uncached and undecomposed
+		// so the engine's cache and coalescer never see them.
+		solvers[i] = engine.Uncached{S: sv}
+	}
+	s.mu.Unlock()
+
+	sh.repRuns.Add(1)
+	sh.repWarm.Add(uint64(warmed))
+	sh.repCold.Add(uint64(len(dirty) - warmed))
+	sctx, cancel := context.WithTimeout(ctx, m.repairTimeout)
+	sols, err := m.eng.SolveBatchEach(sctx, ins, solvers)
+	cancel()
+	if err != nil {
+		sh.repErrors.Add(1)
+		return true
+	}
+	// The merged objective moves by exactly the per-component improvements:
+	// components are utility-independent (no edges cross them), so swapping a
+	// component's rows changes the global objective by (re-solved − incumbent)
+	// on that component alone.
+	merged := current
+	confs := make([]*core.Configuration, len(sols))
+	for i, sol := range sols {
+		merged += sol.Report.Weighted() - incs[i]
+		confs[i] = sol.Config
+	}
+	threshold := current * (1 + m.repairMargin)
+	if m.repairMargin < 0 {
+		threshold = current
+	}
+
+	s.mu.Lock()
+	swapped := false
+	func() {
+		defer s.mu.Unlock()
+		if s.closed {
+			return
+		}
+		if s.version != version {
+			s.repairStale++
+			sh.repStale.Add(1)
+			return
+		}
+		if merged > threshold {
+			overlay := core.OverlayConfiguration(s.ds.Config(), confs, origs)
+			if err := s.ds.Adopt(overlay); err != nil {
+				// Cannot happen for rows solved on sub-instances of this very
+				// instance; account it rather than crash the loop.
+				sh.repErrors.Add(1)
+				return
+			}
+			s.ds.ClearDirty()
+			s.value = s.ds.Value()
+			s.version++
+			s.lastRepair = s.version
+			s.repairSwaps++
+			sh.repSwaps.Add(1)
+			swapped = true
+			if s.persist != nil {
+				// The swap is a state transition like any event batch: log the
+				// overlaid configuration (Adopt deep-cloned it, so this is the
+				// only live reference) so WAL replay lands on the exact served
+				// configuration, not just the same value.
+				s.outbox = append(s.outbox, persistOp{
+					kind:  opAdopt,
+					conf:  overlay,
+					from:  version,
+					to:    s.version,
+					value: s.value,
+				})
+				s.sinceSnapshot++
+				s.maybeSnapshotLocked()
+			}
+			return
+		}
+		s.ds.ClearDirty()
+		s.lastRepair = s.version
+		s.repairKeeps++
+		sh.repKeeps.Add(1)
+	}()
+	if swapped {
+		s.drainOutbox()
+	}
+	return true
+}
+
+// repairWhole re-solves one session's current instance through the engine and
+// swaps the result in when it beats the incremental configuration by the
+// margin. The snapshot is taken under the session lock but the solve runs
+// outside it, so event application never blocks on a re-solve; if events
+// advanced the session meanwhile, the (now stale) solution is discarded
+// rather than clobbering state it never saw. When the session's solver can
+// warm-start, the re-solve is seeded from the incumbent configuration and run
+// uncached (a warm result depends on the incumbent, so it must never enter
+// the engine's keyed cache).
+func (m *Manager) repairWhole(ctx context.Context, sh *shard, s *Session, base core.Solver) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -534,9 +736,23 @@ func (m *Manager) repairOne(ctx context.Context, sh *shard, s *Session) {
 	snap := s.ds.Instance().Clone()
 	version, current := s.version, s.value
 	solver := s.solver
+	warm := false
+	if !m.noWarmStart {
+		if ws, ok := base.(core.WarmStarter); ok {
+			if w := ws.WarmStart(s.ds.Config()); w != nil {
+				solver = engine.Uncached{S: w}
+				warm = true
+			}
+		}
+	}
 	s.mu.Unlock()
 
 	sh.repRuns.Add(1)
+	if warm {
+		sh.repWarm.Add(1)
+	} else {
+		sh.repCold.Add(1)
+	}
 	sctx, cancel := context.WithTimeout(ctx, m.repairTimeout)
 	sol, err := m.solveWith(sctx, snap, solver)
 	cancel()
@@ -568,6 +784,8 @@ func (m *Manager) repairOne(ctx context.Context, sh *shard, s *Session) {
 		// cap-incapable solvers at create; this holds the invariant for
 		// library-constructed sessions too.)
 		if cap := s.ds.SizeCap(); cap > 0 && sol.Config.MaxSubgroupSize() > cap {
+			s.ds.ClearDirty()
+			s.lastRepair = s.version
 			s.repairKeeps++
 			sh.repKeeps.Add(1)
 			return
@@ -579,8 +797,10 @@ func (m *Manager) repairOne(ctx context.Context, sh *shard, s *Session) {
 				sh.repErrors.Add(1)
 				return
 			}
+			s.ds.ClearDirty()
 			s.value = s.ds.Value()
 			s.version++
+			s.lastRepair = s.version
 			s.repairSwaps++
 			sh.repSwaps.Add(1)
 			swapped = true
@@ -601,6 +821,8 @@ func (m *Manager) repairOne(ctx context.Context, sh *shard, s *Session) {
 			}
 			return
 		}
+		s.ds.ClearDirty()
+		s.lastRepair = s.version
 		s.repairKeeps++
 		sh.repKeeps.Add(1)
 	}()
@@ -631,6 +853,9 @@ func (m *Manager) Stats() Stats {
 		st.RepairKeeps += sh.repKeeps.Load()
 		st.RepairStale += sh.repStale.Load()
 		st.RepairErrors += sh.repErrors.Load()
+		st.RepairSkips += sh.repSkips.Load()
+		st.RepairWarm += sh.repWarm.Load()
+		st.RepairCold += sh.repCold.Load()
 	}
 	return st
 }

@@ -216,6 +216,13 @@ func (m *Manager) Restore(st *State, solver core.Solver, sinceSnapshot int) (Sna
 	if err != nil {
 		return Snapshot{}, fmt.Errorf("session: restore %s: %w", st.ID, err)
 	}
+	// Seed the restored accumulator with the persisted value: the live
+	// session's incremental chain and a cold Evaluate can differ in final
+	// ulps, and recovery promises the exact (version, value, configuration)
+	// served before the crash — including the values later events build on.
+	if err := ds.SeedValue(st.Value); err != nil {
+		return Snapshot{}, fmt.Errorf("session: restore %s: %w", st.ID, err)
+	}
 	now := m.now()
 	s := &Session{
 		id:            st.ID,
@@ -232,6 +239,7 @@ func (m *Manager) Restore(st *State, solver core.Solver, sinceSnapshot int) (Sna
 		value:         st.Value,
 		created:       st.Created,
 		lastTouch:     now,
+		lastRepair:    noRepairYet,
 		joins:         st.Metrics.Joins,
 		leaves:        st.Metrics.Leaves,
 		updates:       st.Metrics.Updates,
@@ -240,6 +248,7 @@ func (m *Manager) Restore(st *State, solver core.Solver, sinceSnapshot int) (Sna
 		repairSwaps:   st.Metrics.RepairSwaps,
 		repairKeeps:   st.Metrics.RepairKeeps,
 		repairStale:   st.Metrics.RepairStale,
+		repairSkips:   st.Metrics.RepairSkips,
 	}
 	sh := m.shardOf(st.ID)
 	sh.mu.Lock()

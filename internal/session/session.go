@@ -67,11 +67,21 @@ type Session struct {
 	sinceSnapshot int
 	outMu         sync.Mutex
 
+	// lastRepair is the session version as of the last COMPLETED repair
+	// cycle (swap or keep). A repair cycle that finds the version unchanged
+	// skips the clone + solve entirely. The sentinel noRepairYet marks a
+	// session no repair has examined (version 0 is a real, repairable state).
+	lastRepair uint64
+
 	joins, leaves, updates, rebalances uint64
 	rebalanceGain                      float64
 	repairSwaps, repairKeeps           uint64
-	repairStale                        uint64
+	repairStale, repairSkips           uint64
 }
+
+// noRepairYet is the lastRepair sentinel of a session that has never
+// completed a repair cycle.
+const noRepairYet = ^uint64(0)
 
 // ID returns the session's identifier.
 func (s *Session) ID() string { return s.id }
@@ -153,6 +163,7 @@ type Metrics struct {
 	RepairSwaps   uint64  `json:"repairSwaps"`
 	RepairKeeps   uint64  `json:"repairKeeps"`
 	RepairStale   uint64  `json:"repairStale"`
+	RepairSkips   uint64  `json:"repairSkips"`
 }
 
 // Snapshot is a point-in-time copy of a session's serving state: the current
@@ -212,6 +223,7 @@ func (s *Session) metricsLocked() Metrics {
 		RepairSwaps:   s.repairSwaps,
 		RepairKeeps:   s.repairKeeps,
 		RepairStale:   s.repairStale,
+		RepairSkips:   s.repairSkips,
 	}
 }
 

@@ -225,7 +225,9 @@ func TestManagerTTLEviction(t *testing.T) {
 // bump, swap counter); a session already at the re-solved value keeps its
 // configuration.
 func TestDriftRepairSwapsAndKeeps(t *testing.T) {
-	m, _ := newTestManager(t, Options{RepairMargin: -1}) // swap on any strict improvement
+	// Whole-instance, cold re-solves: the delta path and warm starts have
+	// their own tests; this one pins the classic swap/keep state machine.
+	m, _ := newTestManager(t, Options{RepairMargin: -1, NoDeltaRepair: true, NoWarmStart: true}) // swap on any strict improvement
 	ctx := context.Background()
 	in := testInstance(6)
 	snap, sol, err := m.CreateWith(ctx, in, CreateSpec{})
@@ -272,6 +274,13 @@ func TestDriftRepairSwapsAndKeeps(t *testing.T) {
 		t.Fatalf("swap did not bump version: %d -> %d", snap.Version, repaired.Version)
 	}
 
+	// A repair cycle on an untouched session is skipped outright; advance the
+	// version with a rebalance so the second cycle actually re-solves.
+	res, err := m.Apply(snap.ID, []Event{{Type: EventRebalance, MaxPasses: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	// Second cycle: the configuration now IS the full re-solve — keep.
 	m.RepairAll(ctx)
 	kept, err := m.Snapshot(snap.ID)
@@ -281,12 +290,21 @@ func TestDriftRepairSwapsAndKeeps(t *testing.T) {
 	if kept.Metrics.RepairKeeps != 1 || kept.Metrics.RepairSwaps != 1 {
 		t.Fatalf("second cycle: swaps=%d keeps=%d, want 1/1", kept.Metrics.RepairSwaps, kept.Metrics.RepairKeeps)
 	}
-	if kept.Version != repaired.Version {
-		t.Fatalf("keep bumped version: %d -> %d", repaired.Version, kept.Version)
+	if kept.Version != res.Version {
+		t.Fatalf("keep bumped version: %d -> %d", res.Version, kept.Version)
 	}
 	st := m.Stats()
 	if st.RepairRuns != 2 || st.RepairSwaps != 1 || st.RepairKeeps != 1 || st.RepairErrors != 0 {
 		t.Fatalf("manager repair stats = %+v", st)
+	}
+	if st.RepairCold != 2 || st.RepairWarm != 0 {
+		t.Fatalf("NoWarmStart manager ran warm solves: %+v", st)
+	}
+
+	// Third cycle: nothing moved since the keep — skipped without a solve.
+	m.RepairAll(ctx)
+	if st := m.Stats(); st.RepairRuns != 2 || st.RepairSkips != 1 {
+		t.Fatalf("third cycle: runs=%d skips=%d, want 2/1", st.RepairRuns, st.RepairSkips)
 	}
 }
 
@@ -532,5 +550,137 @@ func TestSeededIDsReproducible(t *testing.T) {
 	c := mint(Options{Seed: 8})
 	if a[0] == c[0] {
 		t.Fatalf("different seeds minted the same id tail: %q", a[0])
+	}
+}
+
+// TestDriftRepairDelta: when only one connected component's utilities have
+// changed since the last repair, the repair re-solves exactly that component
+// (warm-started from the incumbent rows) and overlays the result — the rows
+// of untouched components come through the swap byte-identical.
+func TestDriftRepairDelta(t *testing.T) {
+	m, _ := newTestManager(t, Options{RepairMargin: -1})
+	ctx := context.Background()
+	in := testInstance(6) // two 4-user components: users 0-3 and 4-7
+	snap, _, err := m.CreateWith(ctx, in, CreateSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Degrade the whole configuration out-of-band, then clear the dirty
+	// flags: from the repair loop's point of view, only what the next event
+	// touches has changed.
+	s, err := m.get(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	bad := core.NewConfiguration(in.NumUsers(), in.K)
+	for u := range bad.Assign {
+		for sl := range bad.Assign[u] {
+			bad.Assign[u][sl] = sl
+		}
+	}
+	if err := s.ds.Adopt(bad); err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	s.ds.ClearDirty()
+	s.value = s.ds.Value()
+	s.mu.Unlock()
+
+	// Touch user 0: only the 0-3 component becomes dirty.
+	pref := make([]float64, in.NumItems)
+	pref[in.NumItems-1] = 5
+	res, err := m.Apply(snap.ID, []Event{{Type: EventUpdatePreference, User: 0, Pref: pref}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := m.Snapshot(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m.RepairAll(ctx)
+	rep, err := m.Snapshot(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics.RepairSwaps != 1 {
+		t.Fatalf("delta repair swaps = %d, want 1 (value %v -> %v)", rep.Metrics.RepairSwaps, before.Value, rep.Value)
+	}
+	if rep.Value <= before.Value {
+		t.Fatalf("delta repair did not improve value: %v -> %v", before.Value, rep.Value)
+	}
+	if rep.Version != res.Version+1 {
+		t.Fatalf("swap did not bump version: %d -> %d", res.Version, rep.Version)
+	}
+	// The untouched component's rows came through the overlay unchanged.
+	for u := 4; u < 8; u++ {
+		for sl, it := range rep.Assignment[u] {
+			if it != before.Assignment[u][sl] {
+				t.Fatalf("delta repair rewrote untouched user %d: %v -> %v", u, before.Assignment[u], rep.Assignment[u])
+			}
+		}
+	}
+	st := m.Stats()
+	if st.RepairRuns != 1 {
+		t.Fatalf("repair runs = %d, want 1 (one dirty component, one batch)", st.RepairRuns)
+	}
+	if st.RepairWarm != 1 || st.RepairCold != 0 {
+		t.Fatalf("warm/cold = %d/%d, want 1/0 (AVG-D warm-starts)", st.RepairWarm, st.RepairCold)
+	}
+
+	// Nothing changed since the swap: the next cycle is a free skip.
+	m.RepairAll(ctx)
+	if st := m.Stats(); st.RepairRuns != 1 || st.RepairSkips != 1 {
+		t.Fatalf("post-swap cycle: runs=%d skips=%d, want 1/1", st.RepairRuns, st.RepairSkips)
+	}
+}
+
+// TestDriftRepairWholeWarm: a repair forced onto the whole-instance path
+// still warm-starts when the solver supports it, and a warm-started repair
+// never lands below the incumbent value (the incumbent is the floor of the
+// warm solve).
+func TestDriftRepairWholeWarm(t *testing.T) {
+	m, _ := newTestManager(t, Options{RepairMargin: -1, NoDeltaRepair: true})
+	ctx := context.Background()
+	in := testInstance(6)
+	snap, _, err := m.CreateWith(ctx, in, CreateSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.get(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	bad := core.NewConfiguration(in.NumUsers(), in.K)
+	for u := range bad.Assign {
+		for sl := range bad.Assign[u] {
+			bad.Assign[u][sl] = sl
+		}
+	}
+	if err := s.ds.Adopt(bad); err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	s.value = s.ds.Value()
+	degraded := s.value
+	s.mu.Unlock()
+
+	m.RepairAll(ctx)
+	rep, err := m.Snapshot(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics.RepairSwaps != 1 {
+		t.Fatalf("warm whole repair swaps = %d, want 1", rep.Metrics.RepairSwaps)
+	}
+	if rep.Value < degraded {
+		t.Fatalf("warm repair lost value: %v -> %v", degraded, rep.Value)
+	}
+	st := m.Stats()
+	if st.RepairRuns != 1 || st.RepairWarm != 1 || st.RepairCold != 0 {
+		t.Fatalf("runs/warm/cold = %d/%d/%d, want 1/1/0", st.RepairRuns, st.RepairWarm, st.RepairCold)
 	}
 }

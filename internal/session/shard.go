@@ -47,6 +47,9 @@ type ShardStats struct {
 	EventsApplied uint64 `json:"eventsApplied"`
 	RepairRuns    uint64 `json:"repairRuns"`
 	RepairSwaps   uint64 `json:"repairSwaps"`
+	RepairSkips   uint64 `json:"repairSkips"`
+	RepairWarm    uint64 `json:"repairWarm"`
+	RepairCold    uint64 `json:"repairCold"`
 }
 
 // shard is one lock domain: a slice of the session map plus the counters
@@ -83,6 +86,9 @@ type shard struct {
 	repKeeps  atomic.Uint64
 	repStale  atomic.Uint64
 	repErrors atomic.Uint64
+	repSkips  atomic.Uint64
+	repWarm   atomic.Uint64
+	repCold   atomic.Uint64
 }
 
 // get looks a session up in this shard. ErrClosed once the manager's close
@@ -153,6 +159,9 @@ func (sh *shard) stats() ShardStats {
 		EventsApplied: sh.events.Load(),
 		RepairRuns:    sh.repRuns.Load(),
 		RepairSwaps:   sh.repSwaps.Load(),
+		RepairSkips:   sh.repSkips.Load(),
+		RepairWarm:    sh.repWarm.Load(),
+		RepairCold:    sh.repCold.Load(),
 	}
 }
 

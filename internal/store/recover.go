@@ -105,6 +105,14 @@ func (s *Store) recoverOne(id string) (*Recovered, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: session %s: %w", id, err)
 	}
+	// Seed the value accumulator with the snapshotted value before replaying
+	// the tail: the live session maintained its value incrementally, and a
+	// cold Evaluate on restore can differ in final ulps. Replay then continues
+	// the exact floating-point chain the live path ran, which is what lets the
+	// recovery assertion below demand bit equality.
+	if err := ds.SeedValue(snap.Value); err != nil {
+		return nil, fmt.Errorf("store: session %s: %w", id, err)
+	}
 
 	// Metrics continue through the replayed tail, so a recovered session's
 	// counters line up with what its clients observed, not with the last
