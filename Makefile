@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-sessions bench-dynamic fmt fmt-check vet lint lint-internal lint-fixtures check serve-smoke session-smoke crash-smoke
+.PHONY: build test test-short bench bench-sessions bench-dynamic fmt fmt-check vet lint lint-internal lint-fixtures check serve-smoke session-smoke crash-smoke slo-smoke
 
 build:
 	$(GO) build ./...
@@ -105,6 +105,19 @@ session-smoke:
 	./bin/datagen -dataset timik -n 12 -m 30 -k 3 -seed 5 -event-seed 6 -events 40 -o bin/session-trace.json
 	./bin/svgicd -loadgen -dynamic -trace bin/session-trace.json -sessions 2 -workers 2 -repair-interval 50ms
 	./bin/svgicd -loadgen -dynamic -sessions 4 -requests 200 -workers 2 -repair-interval 50ms -seed 9
+
+# SLO smoke: the adaptive-admission acceptance test against real load. An
+# in-process svgicd serves an unattainable objective (p99 solve < 1ms) while
+# the loadgen storms it with the expensive exact solver; the SLO controller
+# must observe the burn and reroute ip requests to avgd ("degraded":true),
+# and -assert-slo-degrade fails the run unless /v1/stats shows degraded
+# requests AND a bounded number of ladder transitions (degrading without
+# flapping). Asserted via counters, not timing, so the lane is loadable on
+# slow CI runners.
+slo-smoke:
+	$(GO) build -o bin/svgicd ./cmd/svgicd
+	./bin/svgicd -loadgen -algo ip -requests 400 -conc 16 -dup-frac 0.2 -workers 2 \
+		-slo "p99 solve < 1ms over 2s" -assert-slo-degrade
 
 # Crash smoke: the durability acceptance test against a REAL process. The
 # loadgen spawns a child svgicd serving on a data directory, streams

@@ -185,7 +185,7 @@ waitKill:
 			p.id, got.Version, p.acked, got.Version)
 	}
 
-	if err := printServerStats(client, base); err != nil {
+	if _, err := printServerStats(client, base); err != nil {
 		fmt.Fprintf(os.Stderr, "crash: stats fetch failed: %v\n", err)
 	}
 	fmt.Printf("crash: verified=%d lost=%d failed=%d (fsync=%s, %d/%d events acked before SIGKILL)\n",

@@ -7,7 +7,6 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -139,11 +138,11 @@ func runDynamicLoadgen(cfg config) error {
 		if len(ls) == 0 {
 			continue
 		}
-		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		p50, p90, p99, max := pctiles(ls)
 		fmt.Printf("%-7s latency: n=%d p50=%v p90=%v p99=%v max=%v\n",
-			kind, len(ls), pct(ls, 50), pct(ls, 90), pct(ls, 99), ls[len(ls)-1].Round(10*time.Microsecond))
+			kind, len(ls), p50, p90, p99, max)
 	}
-	if err := printServerStats(client, base); err != nil {
+	if _, err := printServerStats(client, base); err != nil {
 		fmt.Fprintf(os.Stderr, "dynamic loadgen: stats fetch failed: %v\n", err)
 		bad++
 	}

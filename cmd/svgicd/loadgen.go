@@ -17,6 +17,7 @@ import (
 	"github.com/svgic/svgic/internal/core"
 	"github.com/svgic/svgic/internal/datasets"
 	"github.com/svgic/svgic/internal/server"
+	"github.com/svgic/svgic/internal/telemetry"
 )
 
 // The load generator drives /v1/solve with a mix of one "hot" instance
@@ -163,11 +164,11 @@ func runLoadgen(cfg config) error {
 	}
 	fmt.Println()
 	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
-			pct(lats, 50), pct(lats, 90), pct(lats, 99), lats[len(lats)-1].Round(10*time.Microsecond))
+		p50, p90, p99, max := pctiles(lats)
+		fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n", p50, p90, p99, max)
 	}
-	if err := printServerStats(client, base); err != nil {
+	st, err := printServerStats(client, base)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: stats fetch failed: %v\n", err)
 		bad++
 	}
@@ -177,6 +178,9 @@ func runLoadgen(cfg config) error {
 	}
 	if bad > 0 {
 		return fmt.Errorf("%d requests failed with a status other than 200/429", bad)
+	}
+	if cfg.assertSLODegrade {
+		return assertSLODegrade(st)
 	}
 	return nil
 }
@@ -293,17 +297,18 @@ func probeOnce(client *http.Client, base string, rawHot, hot, other []byte) erro
 	return nil
 }
 
-// printServerStats fetches /v1/stats and summarizes the serving-path
-// counters the loadgen exists to demonstrate.
-func printServerStats(client *http.Client, base string) error {
+// printServerStats fetches /v1/stats, summarizes the serving-path counters
+// the loadgen exists to demonstrate, and returns the decoded payload so
+// callers can assert on it (-assert-slo-degrade).
+func printServerStats(client *http.Client, base string) (*server.StatsResponse, error) {
 	resp, err := client.Get(base + "/v1/stats")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	var st server.StatsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return err
+		return nil, err
 	}
 	e := st.Engine
 	lookups := e.CacheHits + e.CacheMisses
@@ -367,15 +372,58 @@ func printServerStats(client *http.Client, base string) error {
 				ss.Shards, strings.Join(parts, " "), imbalance)
 		}
 	}
+	if slo := st.SLO; slo != nil {
+		fmt.Printf("slo: adaptive=%v level=%s effectiveMaxInFlight=%d transitions=%d adaptiveShed=%d degraded=%d\n",
+			slo.AdaptiveAdmission, slo.Level, slo.EffectiveMaxInFlight, slo.Transitions, slo.AdaptiveShed, slo.DegradedTotal)
+		for _, o := range slo.Objectives {
+			fmt.Printf("slo[%s]: state=%s fastBurn=%.2f slowBurn=%.2f observed=%.2fms samples=%d\n",
+				o.Name, o.State, o.FastBurn, o.SlowBurn, o.ObservedMS, o.Samples)
+		}
+	}
+	return &st, nil
+}
+
+// maxSLOTransitions bounds the ladder movement -assert-slo-degrade
+// tolerates: an overload run should climb and come back down, not flap.
+// Normal→degrade→shed→degrade→normal is 4; double it for headroom.
+const maxSLOTransitions = 8
+
+// assertSLODegrade checks that the run actually exercised the adaptive
+// admission path: the server must expose an SLO controller, it must have
+// degraded at least one request, and the ladder must not have flapped.
+func assertSLODegrade(st *server.StatsResponse) error {
+	if st == nil || st.SLO == nil {
+		return fmt.Errorf("-assert-slo-degrade: server reports no SLO controller (serve it with -slo)")
+	}
+	slo := st.SLO
+	if !slo.AdaptiveAdmission {
+		return fmt.Errorf("-assert-slo-degrade: adaptive admission is disabled on the server")
+	}
+	if slo.DegradedTotal == 0 {
+		return fmt.Errorf("-assert-slo-degrade: no request was degraded (transitions=%d level=%s); the objective never burned hard enough",
+			slo.Transitions, slo.Level)
+	}
+	if slo.Transitions > maxSLOTransitions {
+		return fmt.Errorf("-assert-slo-degrade: %d ladder transitions exceed the flap bound %d",
+			slo.Transitions, maxSLOTransitions)
+	}
+	fmt.Printf("slo-assert: ok (degraded=%d transitions=%d level=%s)\n",
+		slo.DegradedTotal, slo.Transitions, slo.Level)
 	return nil
 }
 
-func pct(sorted []time.Duration, p int) time.Duration {
-	if len(sorted) == 0 {
-		return 0
+// pctiles summarizes one latency population through the same merging
+// t-digest the server's telemetry windows use, replacing the hand-rolled
+// nearest-rank percentile code the solve and dynamic loadgens each carried.
+func pctiles(lats []time.Duration) (p50, p90, p99, max time.Duration) {
+	d := telemetry.NewDigest(0)
+	for _, l := range lats {
+		d.Add(l.Seconds())
 	}
-	idx := (len(sorted)-1)*p + 50
-	return sorted[idx/100].Round(10 * time.Microsecond)
+	round := func(s float64) time.Duration {
+		return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond)
+	}
+	return round(d.Quantile(0.5)), round(d.Quantile(0.9)), round(d.Quantile(0.99)), round(d.Max())
 }
 
 func sortedKeys(m map[int]int) []int {

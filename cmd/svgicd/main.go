@@ -16,6 +16,16 @@
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/metrics        # Prometheus text format
 //
+// With -slo, the daemon tracks declarative latency objectives over sliding
+// t-digest windows and (unless -no-adaptive-admission) walks a
+// degrade-then-shed ladder while an objective burns: expensive algorithms
+// (ip, sdp) are rerouted to -slo-degrade-algo with "degraded":true in the
+// response, and under sustained burn the effective in-flight cap tightens.
+// See docs/OBSERVABILITY.md for the grammar and the burn-rate model:
+//
+//	svgicd -slo "p99 solve < 250ms over 5m" -slo-degrade-algo avgd
+//	svgicd -slo "p99 solve < 250ms over 5m, p50 repair < 50ms over 1m"
+//
 // With -data-dir, live sessions are durable: each gets a write-ahead event
 // log plus periodic snapshots (-snapshot-every bounds the recovery tail,
 // -fsync picks always|interval|off), and a restart recovers every session
@@ -58,6 +68,7 @@ import (
 	"github.com/svgic/svgic/internal/server"
 	"github.com/svgic/svgic/internal/session"
 	"github.com/svgic/svgic/internal/store"
+	"github.com/svgic/svgic/internal/telemetry"
 )
 
 func main() {
@@ -80,6 +91,10 @@ type config struct {
 	maxBatch    int
 	noCoalesce  bool
 
+	slo                 string
+	sloDegradeAlgo      string
+	noAdaptiveAdmission bool
+
 	maxSessions    int
 	sessionShards  int
 	sessionTTL     time.Duration
@@ -93,12 +108,13 @@ type config struct {
 	fsyncInterval time.Duration
 	snapshotEvery int
 
-	loadgen  bool
-	target   string
-	requests int
-	rps      int
-	dupFrac  float64
-	conc     int
+	loadgen          bool
+	target           string
+	requests         int
+	rps              int
+	dupFrac          float64
+	conc             int
+	assertSLODegrade bool
 
 	dynamic    bool
 	sessions   int
@@ -121,6 +137,13 @@ func run() error {
 	flag.IntVar(&cfg.maxInFlight, "max-inflight", 0, "admission limit (0 = 4×workers); excess load is shed with 429")
 	flag.IntVar(&cfg.maxBatch, "max-batch", server.DefaultMaxBatch, "max instances per batch request")
 	flag.BoolVar(&cfg.noCoalesce, "no-coalesce", false, "disable request coalescing")
+
+	flag.StringVar(&cfg.slo, "slo", "",
+		`latency objectives, comma-separated "p<pct> <series> < <duration> over <duration>" (e.g. "p99 solve < 250ms over 5m"); series are routes (solve, batch, evaluate, session_create, session_events, session_get), per-algorithm solves (algo:<NAME>) or drift repair (repair). Empty = measure only, no objectives`)
+	flag.StringVar(&cfg.sloDegradeAlgo, "slo-degrade-algo", "avgd",
+		"cheap fallback algorithm expensive requests (ip, sdp) are rerouted to while an objective is burning")
+	flag.BoolVar(&cfg.noAdaptiveAdmission, "no-adaptive-admission", false,
+		"report SLO burn rates in /v1/stats and /metrics but never degrade or shed on them")
 
 	flag.IntVar(&cfg.maxSessions, "max-sessions", session.DefaultMaxSessions,
 		"live-session admission bound; creates beyond it are shed with 429")
@@ -152,6 +175,8 @@ func run() error {
 	flag.IntVar(&cfg.rps, "rps", 0, "loadgen: request rate (0 = unthrottled)")
 	flag.Float64Var(&cfg.dupFrac, "dup-frac", 0.5, "loadgen: fraction of requests that repeat the hot instance")
 	flag.IntVar(&cfg.conc, "conc", 8, "loadgen: concurrent clients")
+	flag.BoolVar(&cfg.assertSLODegrade, "assert-slo-degrade", false,
+		"loadgen: fail unless the run drove the server's SLO controller to degrade at least one request without flapping (what `make slo-smoke` asserts)")
 
 	flag.BoolVar(&cfg.dynamic, "dynamic", false, "loadgen: drive live-session churn against /v1/sessions instead of /v1/solve")
 	flag.IntVar(&cfg.sessions, "sessions", 4, "dynamic loadgen: concurrent live sessions")
@@ -205,10 +230,22 @@ func newApp(cfg config) (*app, error) {
 	if err != nil {
 		return nil, err
 	}
+	slos, err := telemetry.ParseObjectives(cfg.slo)
+	if err != nil {
+		return nil, err
+	}
+	// One tracker is shared by every layer: the server records per-route
+	// request latency, the engine per-algorithm solve wall time and the
+	// session manager drift-repair cycles — so -slo objectives can target
+	// any of them by series name.
+	tel := telemetry.NewTracker(telemetry.TrackerOptions{})
 	eng := svgic.NewEngine(svgic.EngineOptions{
 		Workers:   cfg.workers,
 		CacheSize: cfg.cache,
 		NewSolver: newSolver,
+		SolveObserver: func(algo string, wall time.Duration) {
+			tel.Record("algo:"+algo, wall)
+		},
 	})
 	var st *store.Store
 	if cfg.dataDir != "" {
@@ -247,6 +284,7 @@ func newApp(cfg config) (*app, error) {
 		NoWarmStart:    cfg.noWarmStart,
 		Persister:      persisterOrNil(st),
 		SnapshotEvery:  cfg.snapshotEvery,
+		RepairObserver: func(d time.Duration) { tel.Record("repair", d) },
 	})
 	if err != nil {
 		if st != nil {
@@ -269,6 +307,11 @@ func newApp(cfg config) (*app, error) {
 		NoCoalesce:     cfg.noCoalesce,
 		Sessions:       mgr,
 		Store:          st,
+
+		Telemetry:           tel,
+		SLOs:                slos,
+		DegradeAlgo:         cfg.sloDegradeAlgo,
+		NoAdaptiveAdmission: cfg.noAdaptiveAdmission,
 	})
 	if err != nil {
 		mgr.Close()
@@ -356,6 +399,10 @@ func serve(cfg config) error {
 	fmt.Fprintf(os.Stderr, "svgicd: serving on %s (workers=%d cache=%d algo=%s max-inflight=%d max-sessions=%d session-shards=%d repair=%s)\n",
 		cfg.addr, a.eng.Stats().Workers, cfg.cache, cfg.algo, a.srv.StatsSnapshot().Server.MaxInFlight,
 		cfg.maxSessions, a.mgr.Shards(), cfg.repairInterval)
+	if cfg.slo != "" {
+		fmt.Fprintf(os.Stderr, "svgicd: latency objectives %q (degrade-algo=%s adaptive-admission=%v)\n",
+			cfg.slo, cfg.sloDegradeAlgo, !cfg.noAdaptiveAdmission)
+	}
 	if a.st != nil {
 		st := a.st.Stats()
 		fmt.Fprintf(os.Stderr, "svgicd: durable store at %s (fsync=%s snapshot-every=%d): recovered %d session(s), replayed %d WAL record(s)/%d event(s), torn tails=%d, errors=%d\n",

@@ -1,5 +1,5 @@
 // Package ctxthread enforces context threading on the serving path. In the
-// serving packages (engine, registry, session, server):
+// serving packages (engine, registry, session, server, telemetry):
 //
 //  1. every exported function or method that synchronously reaches a solver
 //     must accept a context.Context, so cancellation and deadlines propagate
@@ -18,12 +18,12 @@ import (
 )
 
 // scope is the set of serving-package path suffixes the check applies to.
-var scope = []string{"engine", "registry", "session", "server"}
+var scope = []string{"engine", "registry", "session", "server", "telemetry"}
 
 // Analyzer is the ctxthread check.
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxthread",
-	Doc: "in serving packages (engine/registry/session/server): exported functions that transitively call Solve " +
+	Doc: "in serving packages (engine/registry/session/server/telemetry): exported functions that transitively call Solve " +
 		"must take a context.Context, and context.Background()/context.TODO() are forbidden — thread the caller's ctx",
 	Run: run,
 }

@@ -44,7 +44,7 @@ const advice = "track it with an owner-waited WaitGroup (Add before the spawn, D
 	"or terminate it with a lifecycle done channel or context"
 
 func run(pass *analysis.Pass) error {
-	if !analysis.PkgPathHasSuffix(pass.Pkg.Path(), "engine", "session", "server", "store", "svgicd") {
+	if !analysis.PkgPathHasSuffix(pass.Pkg.Path(), "engine", "session", "server", "store", "telemetry", "svgicd") {
 		return nil
 	}
 	var prod []*ast.File

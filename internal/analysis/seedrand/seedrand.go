@@ -1,6 +1,6 @@
 // Package seedrand enforces deterministic randomness in workload generators
-// and stateful serving code: inside cmd/ binaries and the session/store
-// packages, randomness must flow from an explicitly seeded source (a -seed
+// and stateful serving code: inside cmd/ binaries and the session, store and
+// telemetry packages, randomness must flow from an explicitly seeded source (a -seed
 // flag, an Options field, an injected *rand.Rand) — never from the global
 // math/rand source and never from an ad-hoc time-of-day seed. Global and
 // time-seeded draws make benchmark workloads and session IDs unreproducible,
@@ -18,7 +18,7 @@ import (
 // Analyzer is the seedrand check.
 var Analyzer = &analysis.Analyzer{
 	Name: "seedrand",
-	Doc: "in cmd/ and session/store packages: forbid global math/rand draws and time-based seeding; " +
+	Doc: "in cmd/ and session/store/telemetry packages: forbid global math/rand draws and time-based seeding; " +
 		"randomness must come from an explicitly seeded source so runs are reproducible",
 	Run: run,
 }
@@ -107,6 +107,6 @@ func timeDerived(info *types.Info, expr ast.Expr) *ast.CallExpr {
 }
 
 func inScope(path string) bool {
-	return analysis.PkgPathHasSuffix(path, "session", "store") ||
+	return analysis.PkgPathHasSuffix(path, "session", "store", "telemetry") ||
 		strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/")
 }

@@ -53,6 +53,13 @@ type Options struct {
 	// core.ComponentSafe (AVG/AVG-D without a size cap, PER, IP); all other
 	// solvers are solved whole automatically.
 	NoDecompose bool
+	// SolveObserver, when set, receives the display name and wall time of
+	// every solve that ran a solver to completion (cache hits, cancels and
+	// errors are not observed — they carry no solver wall time). Called
+	// synchronously on the solving caller's goroutine, so it must be cheap
+	// and safe for concurrent use; svgicd wires it into the telemetry
+	// tracker's per-algorithm latency series.
+	SolveObserver func(algo string, wall time.Duration)
 }
 
 // AlgoStats is the per-algorithm slice of Stats: every terminated Solve call
@@ -214,6 +221,8 @@ type Engine struct {
 
 	algoMu sync.Mutex
 	algos  map[string]*AlgoStats
+
+	observer func(algo string, wall time.Duration)
 }
 
 // New starts an Engine with its worker pool running.
@@ -239,6 +248,7 @@ func New(opts Options) *Engine {
 		tasks:         make(chan task),
 		done:          make(chan struct{}),
 		algos:         make(map[string]*AlgoStats),
+		observer:      opts.SolveObserver,
 	}
 	switch {
 	case opts.CacheSize == 0:
@@ -357,6 +367,9 @@ func (e *Engine) record(algo string, o outcome, latency time.Duration) {
 		a.Errors++
 	}
 	e.algoMu.Unlock()
+	if e.observer != nil && o == outcomeSolved {
+		e.observer(algo, latency)
+	}
 }
 
 // Solve answers one instance with the engine's default solver. See SolveWith.

@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSolveObserver pins the telemetry contract: the hook fires once per
+// completed solve with the solver's display name, and never for cache hits.
+func TestSolveObserver(t *testing.T) {
+	var mu sync.Mutex
+	var algos []string
+	e := New(Options{Workers: 2, CacheSize: 8, SolveObserver: func(algo string, wall time.Duration) {
+		if wall < 0 {
+			t.Errorf("observed negative wall time %v", wall)
+		}
+		mu.Lock()
+		algos = append(algos, algo)
+		mu.Unlock()
+	}})
+	defer e.Close()
+	ctx := context.Background()
+	in := multiComponentInstance(9, 2, 5, 12, 2, 0.5)
+
+	if _, err := e.Solve(ctx, in); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if len(algos) != 1 || algos[0] != "AVG-D" {
+		t.Fatalf("observed %v after first solve, want [AVG-D]", algos)
+	}
+	mu.Unlock()
+
+	// Cache hit: no observation.
+	if _, err := e.Solve(ctx, in); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(algos) != 1 {
+		t.Fatalf("observed %v after cache hit, want just the first solve", algos)
+	}
+}

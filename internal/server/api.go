@@ -7,6 +7,7 @@ import (
 	"github.com/svgic/svgic/internal/registry"
 	"github.com/svgic/svgic/internal/session"
 	"github.com/svgic/svgic/internal/store"
+	"github.com/svgic/svgic/internal/telemetry"
 )
 
 // Wire types of the svgicd JSON API. Instances travel as core.InstanceJSON
@@ -52,6 +53,10 @@ type SolveResponse struct {
 	Exact     bool    `json:"exact,omitempty"`
 	SolveMS   float64 `json:"solveMs,omitempty"`   // solver wall time (cached: the original solve's)
 	ElapsedMS float64 `json:"elapsedMs,omitempty"` // request wall time
+	// Degraded marks a request whose algorithm selection was rerouted to the
+	// cheap fallback by SLO-driven admission control (Algorithm reports the
+	// solver that actually ran).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // BatchResponse answers POST /v1/solve/batch; Results is positional with the
@@ -121,6 +126,10 @@ type CreateSessionResponse struct {
 	Value     float64 `json:"value"`
 	Users     int     `json:"users"`
 	SizeCap   int     `json:"sizeCap,omitempty"`
+	// Degraded marks a create whose algorithm selection was rerouted to the
+	// cheap fallback by SLO-driven admission control; the session keeps the
+	// fallback as its durable solver identity.
+	Degraded  bool    `json:"degraded,omitempty"`
 	SolveMS   float64 `json:"solveMs,omitempty"`
 	ElapsedMS float64 `json:"elapsedMs,omitempty"`
 }
@@ -239,11 +248,43 @@ type CoalesceStats struct {
 	Joins   uint64 `json:"joins"`
 }
 
+// LatencyStats is one latency series' sliding-window summary in GET
+// /v1/stats: per-route request wall times ("solve", "session_create", ...),
+// per-algorithm solver wall times ("algo:AVG-D", ...) and drift-repair cycle
+// times ("repair").
+type LatencyStats struct {
+	Count uint64  `json:"count"`
+	P50MS float64 `json:"p50Ms"`
+	P90MS float64 `json:"p90Ms"`
+	P99MS float64 `json:"p99Ms"`
+	MaxMS float64 `json:"maxMs"`
+}
+
+// SLOStats is the SLO/adaptive-admission slice of GET /v1/stats: the
+// controller's ladder rung, the anti-flap transition counter, the shed and
+// degrade counters, and every objective's burn-rate state. Absent when the
+// server runs without SLOs.
+type SLOStats struct {
+	// AdaptiveAdmission is false when feedback is disabled
+	// (-no-adaptive-admission): burn rates are still reported but nothing
+	// degrades or sheds.
+	AdaptiveAdmission    bool                        `json:"adaptiveAdmission"`
+	Level                string                      `json:"level"`
+	EffectiveMaxInFlight int                         `json:"effectiveMaxInFlight"`
+	Transitions          uint64                      `json:"transitions"`
+	AdaptiveShed         uint64                      `json:"adaptiveShed"`
+	DegradedTotal        uint64                      `json:"degradedTotal"`
+	DegradedByAlgo       map[string]uint64           `json:"degradedByAlgo,omitempty"`
+	Objectives           []telemetry.ObjectiveStatus `json:"objectives"`
+}
+
 // StatsResponse answers GET /v1/stats.
 type StatsResponse struct {
-	Server   ServerStats   `json:"server"`
-	Engine   EngineStats   `json:"engine"`
-	Coalesce CoalesceStats `json:"coalesce"`
-	Sessions SessionsStats `json:"sessions"`
-	Store    *StoreStats   `json:"store,omitempty"`
+	Server   ServerStats             `json:"server"`
+	Engine   EngineStats             `json:"engine"`
+	Coalesce CoalesceStats           `json:"coalesce"`
+	Sessions SessionsStats           `json:"sessions"`
+	Store    *StoreStats             `json:"store,omitempty"`
+	Latency  map[string]LatencyStats `json:"latency,omitempty"`
+	SLO      *SLOStats               `json:"slo,omitempty"`
 }

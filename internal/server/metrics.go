@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 
 	"github.com/svgic/svgic/internal/session"
@@ -49,6 +50,30 @@ func boolGauge(b bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// ladderNum maps the admission ladder rung to its numeric gauge value.
+func ladderNum(level string) float64 {
+	switch level {
+	case "degrade":
+		return 1
+	case "shed":
+		return 2
+	default:
+		return 0
+	}
+}
+
+// stateNum maps an objective state to its numeric gauge value.
+func stateNum(state string) float64 {
+	switch state {
+	case "recovering":
+		return 1
+	case "breached":
+		return 2
+	default:
+		return 0
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -136,6 +161,85 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			func(k string) float64 { return float64(perShard[k].Created) })
 		p.labeled("svgicd_sessions_shard_events_total", "Applied live-session events per shard.", "counter", "shard", shardKeys,
 			func(k string) float64 { return float64(perShard[k].EventsApplied) })
+	}
+
+	// Latency digests: one histogram family over the per-series sliding
+	// windows (samples expire with the window, so unlike a stock Prometheus
+	// histogram these can decrease between scrapes), plus explicit quantile
+	// gauges so dashboards get p50/p90/p99 without a histogram_quantile over
+	// coarse buckets.
+	if names := s.tel.Names(); len(names) > 0 {
+		bounds := []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+		wrote := false
+		for _, name := range names {
+			w := s.tel.Window(name)
+			if w == nil {
+				continue
+			}
+			snap := w.Snapshot()
+			if snap.Count == 0 {
+				continue
+			}
+			if !wrote {
+				fmt.Fprintf(&p.b, "# HELP svgicd_latency_seconds Windowed latency distribution per series (routes, algo:*, repair).\n# TYPE svgicd_latency_seconds histogram\n")
+				wrote = true
+			}
+			for _, le := range bounds {
+				fmt.Fprintf(&p.b, "svgicd_latency_seconds_bucket{series=%q,le=%q} %g\n",
+					name, strconv.FormatFloat(le, 'g', -1, 64), w.CDFOver(0, le)*float64(snap.Count))
+			}
+			fmt.Fprintf(&p.b, "svgicd_latency_seconds_bucket{series=%q,le=\"+Inf\"} %d\n", name, snap.Count)
+			fmt.Fprintf(&p.b, "svgicd_latency_seconds_sum{series=%q} %g\n", name, snap.Sum)
+			fmt.Fprintf(&p.b, "svgicd_latency_seconds_count{series=%q} %d\n", name, snap.Count)
+		}
+		wrote = false
+		for _, name := range names {
+			w := s.tel.Window(name)
+			if w == nil || w.Count() == 0 {
+				continue
+			}
+			if !wrote {
+				fmt.Fprintf(&p.b, "# HELP svgicd_latency_quantile_seconds Windowed latency quantiles per series.\n# TYPE svgicd_latency_quantile_seconds gauge\n")
+				wrote = true
+			}
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				fmt.Fprintf(&p.b, "svgicd_latency_quantile_seconds{series=%q,quantile=%q} %g\n",
+					name, strconv.FormatFloat(q, 'g', -1, 64), w.Quantile(q))
+			}
+		}
+	}
+
+	// SLO burn rates and adaptive admission (present only with -slo).
+	if st.SLO != nil {
+		slo := st.SLO
+		p.gauge("svgicd_adaptive_admission", "1 when SLO feedback (degrade/shed) is enabled.", boolGauge(slo.AdaptiveAdmission))
+		p.gauge("svgicd_admission_level", "Degradation ladder rung: 0 normal, 1 degrade, 2 shed.", ladderNum(slo.Level))
+		p.gauge("svgicd_effective_max_in_flight", "In-flight cap after adaptive shedding.", float64(slo.EffectiveMaxInFlight))
+		p.counter("svgicd_slo_transitions_total", "Degradation ladder transitions (the anti-flap budget).", slo.Transitions)
+		p.counter("svgicd_adaptive_shed_total", "Requests shed by the tightened adaptive cap.", slo.AdaptiveShed)
+		p.counter("svgicd_degraded_requests_total", "Requests rerouted to the fallback algorithm while degraded.", slo.DegradedTotal)
+		if len(slo.DegradedByAlgo) > 0 {
+			algos := make([]string, 0, len(slo.DegradedByAlgo))
+			for a := range slo.DegradedByAlgo {
+				algos = append(algos, a)
+			}
+			sort.Strings(algos)
+			p.labeled("svgicd_degraded_requests_by_algo_total", "Degraded requests by the algorithm they asked for.", "counter", "algo", algos,
+				func(a string) float64 { return float64(slo.DegradedByAlgo[a]) })
+		}
+		fmt.Fprintf(&p.b, "# HELP svgicd_slo_burn_rate Error-budget burn rate per objective and window (1.0 = burning exactly the budget).\n# TYPE svgicd_slo_burn_rate gauge\n")
+		for _, o := range slo.Objectives {
+			fmt.Fprintf(&p.b, "svgicd_slo_burn_rate{slo=%q,window=\"fast\"} %g\n", o.Name, o.FastBurn)
+			fmt.Fprintf(&p.b, "svgicd_slo_burn_rate{slo=%q,window=\"slow\"} %g\n", o.Name, o.SlowBurn)
+		}
+		fmt.Fprintf(&p.b, "# HELP svgicd_slo_state Objective state: 0 ok, 1 recovering, 2 breached.\n# TYPE svgicd_slo_state gauge\n")
+		for _, o := range slo.Objectives {
+			fmt.Fprintf(&p.b, "svgicd_slo_state{slo=%q} %g\n", o.Name, stateNum(o.State))
+		}
+		fmt.Fprintf(&p.b, "# HELP svgicd_slo_observed_quantile_seconds The objective's quantile observed over its window.\n# TYPE svgicd_slo_observed_quantile_seconds gauge\n")
+		for _, o := range slo.Objectives {
+			fmt.Fprintf(&p.b, "svgicd_slo_observed_quantile_seconds{slo=%q} %g\n", o.Name, o.ObservedMS/1000)
+		}
 	}
 
 	// Durable store (present only with -data-dir).

@@ -63,6 +63,7 @@ import (
 	"github.com/svgic/svgic/internal/registry"
 	"github.com/svgic/svgic/internal/session"
 	"github.com/svgic/svgic/internal/store"
+	"github.com/svgic/svgic/internal/telemetry"
 )
 
 // StatusClientClosedRequest is the non-standard 499 status (nginx
@@ -126,6 +127,34 @@ type Options struct {
 	// its Persister; New does not do that wiring, because the manager is
 	// built first).
 	Store *store.Store
+	// Telemetry is the latency tracker behind the per-route series, the
+	// /v1/stats latency section, the /metrics digest families and the SLO
+	// controller. Nil builds one on the system clock. svgicd shares one
+	// tracker between the server and the engine/session observer hooks, so
+	// route, per-algorithm and repair series live side by side.
+	Telemetry *telemetry.Tracker
+	// SLOs are the latency objectives the adaptive admission controller
+	// enforces (see telemetry.ParseObjectives for the grammar). Empty means
+	// no controller: nothing degrades, nothing sheds adaptively, and
+	// /v1/stats carries no slo section.
+	SLOs []telemetry.Objective
+	// DegradeAlgo is the cheap fallback algorithm degraded requests are
+	// rerouted to. Empty means "avgd".
+	DegradeAlgo string
+	// DegradeFrom lists the algorithms eligible for rerouting while
+	// degraded. Empty means {"ip", "sdp"} — the expensive exact/relaxation
+	// solvers. Requests that don't name an algorithm are never degraded.
+	DegradeFrom []string
+	// NoAdaptiveAdmission keeps the SLO measurement (burn rates in /v1/stats
+	// and /metrics) but disables the feedback: no degrading, no adaptive
+	// shedding.
+	NoAdaptiveAdmission bool
+	// SLOEvalEvery, SLOEscalateAfter, SLOMinDwell and SLOShedFactor tune the
+	// admission controller; zeros mean the telemetry package defaults.
+	SLOEvalEvery     time.Duration
+	SLOEscalateAfter time.Duration
+	SLOMinDwell      time.Duration
+	SLOShedFactor    float64
 }
 
 // Server is the svgicd HTTP handler. Create with New, stop with Shutdown.
@@ -137,17 +166,26 @@ type Server struct {
 	opts   Options
 	mux    *http.ServeMux
 
+	// tel records per-route latency; ctrl (nil without Options.SLOs) walks
+	// the degradation ladder over it. degradeFrom is the lowered DegradeFrom
+	// set.
+	tel         *telemetry.Tracker
+	ctrl        *telemetry.Controller
+	degradeFrom map[string]bool
+
 	// sem holds one token per admitted request; Shutdown drains the server
 	// by acquiring every token after flipping draining, so "all tokens held
 	// by Shutdown" == "no request in flight".
 	sem      chan struct{}
 	draining atomic.Bool
 
-	admitted     atomic.Uint64
-	shed         atomic.Uint64
-	badRequests  atomic.Uint64
-	timeouts     atomic.Uint64
-	clientClosed atomic.Uint64
+	admitted      atomic.Uint64
+	shed          atomic.Uint64
+	adaptiveShed  atomic.Uint64
+	degradedTotal atomic.Uint64
+	badRequests   atomic.Uint64
+	timeouts      atomic.Uint64
+	clientClosed  atomic.Uint64
 }
 
 // New builds a Server over an engine.
@@ -180,10 +218,42 @@ func New(opts Options) (*Server, error) {
 	if opts.RetryAfter <= 0 {
 		opts.RetryAfter = DefaultRetryAfter
 	}
+	if opts.Telemetry == nil {
+		opts.Telemetry = telemetry.NewTracker(telemetry.TrackerOptions{})
+	}
+	opts.DegradeAlgo = strings.ToLower(opts.DegradeAlgo)
+	if opts.DegradeAlgo == "" {
+		opts.DegradeAlgo = "avgd"
+	}
+	if _, err := registry.New(opts.DegradeAlgo, nil); err != nil {
+		return nil, fmt.Errorf("server: degrade algorithm: %w", err)
+	}
+	if len(opts.DegradeFrom) == 0 {
+		opts.DegradeFrom = []string{"ip", "sdp"}
+	}
 	s := &Server{
-		eng:  opts.Engine,
-		opts: opts,
-		sem:  make(chan struct{}, opts.MaxInFlight),
+		eng:         opts.Engine,
+		opts:        opts,
+		sem:         make(chan struct{}, opts.MaxInFlight),
+		tel:         opts.Telemetry,
+		degradeFrom: make(map[string]bool, len(opts.DegradeFrom)),
+	}
+	for _, algo := range opts.DegradeFrom {
+		s.degradeFrom[strings.ToLower(algo)] = true
+	}
+	if len(opts.SLOs) > 0 {
+		ctrl, err := telemetry.NewController(telemetry.ControllerOptions{
+			Tracker:       opts.Telemetry,
+			Objectives:    opts.SLOs,
+			EvalEvery:     opts.SLOEvalEvery,
+			EscalateAfter: opts.SLOEscalateAfter,
+			MinDwell:      opts.SLOMinDwell,
+			ShedFactor:    opts.SLOShedFactor,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: slo controller: %w", err)
+		}
+		s.ctrl = ctrl
 	}
 	if !opts.NoCoalesce {
 		s.coal = engine.NewCoalescer(opts.Engine)
@@ -263,9 +333,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // admit reserves an in-flight slot, writing the refusal response itself when
-// the server is draining (503) or saturated (429). The caller must release()
-// iff admit returns true.
-func (s *Server) admit(w http.ResponseWriter) bool {
+// the server is draining (503) or saturated (429). The Retry-After hint on a
+// 429 derives from the route's observed p50 (see retryAfterSeconds). The
+// caller must release() iff admit returns true.
+func (s *Server) admit(w http.ResponseWriter, route string) bool {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return false
@@ -274,7 +345,7 @@ func (s *Server) admit(w http.ResponseWriter) bool {
 	case s.sem <- struct{}{}:
 	default:
 		s.shed.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(route)))
 		writeError(w, http.StatusTooManyRequests, "server at max in-flight capacity")
 		return false
 	}
@@ -284,6 +355,16 @@ func (s *Server) admit(w http.ResponseWriter) bool {
 	if s.draining.Load() {
 		<-s.sem
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return false
+	}
+	// Adaptive shed: while the controller sheds, the effective cap sits
+	// below the semaphore's; a token beyond it is handed straight back.
+	if eff := s.effectiveMaxInFlight(); len(s.sem) > eff {
+		<-s.sem
+		s.shed.Add(1)
+		s.adaptiveShed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(route)))
+		writeError(w, http.StatusTooManyRequests, "shedding load to protect latency objectives")
 		return false
 	}
 	s.admitted.Add(1)
@@ -374,10 +455,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	if !s.admit(w) {
+	if !s.admit(w, routeSolve) {
 		return
 	}
 	defer s.release()
+	defer s.observe(routeSolve)()
 	timeout, err := s.requestTimeout(r)
 	if err != nil {
 		s.badRequests.Add(1)
@@ -401,6 +483,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	degraded := false
+	if s.shouldDegrade(sr.Algo) {
+		if fallback, ferr := s.resolveSolver(s.opts.DegradeAlgo, nil); ferr == nil {
+			solver = fallback
+			degraded = true
+			s.noteDegraded(sr.Algo)
+		}
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	start := time.Now()
@@ -409,7 +499,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeSolveError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, solveResponse(sol, time.Since(start)))
+	resp := solveResponse(sol, time.Since(start))
+	resp.Degraded = degraded
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -417,10 +509,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	if !s.admit(w) {
+	if !s.admit(w, routeBatch) {
 		return
 	}
 	defer s.release()
+	defer s.observe(routeBatch)()
 	timeout, err := s.requestTimeout(r)
 	if err != nil {
 		s.badRequests.Add(1)
@@ -445,6 +538,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ins := make([]*core.Instance, len(srs))
 	solvers := make([]core.Solver, len(srs))
+	degraded := make([]bool, len(srs))
 	for i := range srs {
 		in, err := core.InstanceFromJSON(&srs[i].InstanceJSON)
 		if err != nil {
@@ -458,6 +552,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.badRequests.Add(1)
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("instance %d: %v", i, err))
 			return
+		}
+		if s.shouldDegrade(srs[i].Algo) {
+			if fallback, ferr := s.resolveSolver(s.opts.DegradeAlgo, nil); ferr == nil {
+				solver = fallback
+				degraded[i] = true
+				s.noteDegraded(srs[i].Algo)
+			}
 		}
 		solvers[i] = solver
 	}
@@ -487,6 +588,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	resp := BatchResponse{Results: make([]SolveResponse, len(sols)), ElapsedMS: ms(elapsed)}
 	for i, sol := range sols {
 		resp.Results[i] = solveResponse(sol, 0)
+		resp.Results[i].Degraded = degraded[i]
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -496,10 +598,11 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	if !s.admit(w) {
+	if !s.admit(w, routeEvaluate) {
 		return
 	}
 	defer s.release()
+	defer s.observe(routeEvaluate)()
 	var req EvaluateRequest
 	if err := core.DecodeStrict(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes), &req); err != nil {
 		s.writeDecodeError(w, "decoding evaluate request", err)
@@ -629,6 +732,31 @@ func (s *Server) StatsSnapshot() StatsResponse {
 	}
 	if s.opts.Store != nil {
 		resp.Store = &StoreStats{Enabled: true, Stats: s.opts.Store.Stats()}
+	}
+	if lat := s.tel.Snapshot(); len(lat) > 0 {
+		resp.Latency = make(map[string]LatencyStats, len(lat))
+		for name, sn := range lat {
+			resp.Latency[name] = LatencyStats{
+				Count: sn.Count,
+				P50MS: ms(sn.P50),
+				P90MS: ms(sn.P90),
+				P99MS: ms(sn.P99),
+				MaxMS: ms(sn.Max),
+			}
+		}
+	}
+	if s.ctrl != nil {
+		cs := s.ctrl.Snapshot()
+		resp.SLO = &SLOStats{
+			AdaptiveAdmission:    !s.opts.NoAdaptiveAdmission,
+			Level:                cs.Level,
+			EffectiveMaxInFlight: s.effectiveMaxInFlight(),
+			Transitions:          cs.Transitions,
+			AdaptiveShed:         s.adaptiveShed.Load(),
+			DegradedTotal:        s.degradedTotal.Load(),
+			DegradedByAlgo:       cs.Degraded,
+			Objectives:           cs.Objectives,
+		}
 	}
 	return resp
 }

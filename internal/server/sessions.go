@@ -114,7 +114,9 @@ func (s *Server) writeSessionError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusNotFound, "no such session")
 	case errors.Is(err, session.ErrLimit):
 		s.shed.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
+		// ErrLimit only arises on create; the hint derives from that route's
+		// observed latency like the admission 429 does.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(routeSessionCreate)))
 		writeError(w, http.StatusTooManyRequests, "session limit reached")
 	case errors.Is(err, session.ErrClosed), errors.Is(err, engine.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "sessions are shut down")
@@ -127,10 +129,11 @@ func (s *Server) writeSessionError(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
-	if !s.admit(w) {
+	if !s.admit(w, routeSessionCreate) {
 		return
 	}
 	defer s.release()
+	defer s.observe(routeSessionCreate)()
 	timeout, err := s.requestTimeout(r)
 	if err != nil {
 		s.badRequests.Add(1)
@@ -159,17 +162,30 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// A degraded create swaps the whole solver identity, params and Ref
+	// included: the session outlives the request, and its drift repair must
+	// keep solving with the (cap-injected) fallback it was created on, not
+	// the expensive solver the latency objective is protecting against.
+	algoName, algoParams, degraded := req.Algo, req.Params, false
+	if s.shouldDegrade(req.Algo) {
+		if fallback, ferr := s.resolveSessionSolver(s.opts.DegradeAlgo, nil, req.SizeCap); ferr == nil {
+			solver = fallback
+			algoName, algoParams = s.opts.DegradeAlgo, nil
+			degraded = true
+			s.noteDegraded(req.Algo)
+		}
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	start := time.Now()
 	snap, sol, err := s.mgr.CreateWith(ctx, in, session.CreateSpec{
 		Solver:  solver,
 		SizeCap: req.SizeCap,
-		// The request's own algorithm selection is the session's durable
-		// solver identity: recovery re-resolves it through the same
-		// resolveSessionSolver path, so a restarted session repairs with the
-		// same (cap-injected) solver it was created with.
-		Ref: session.SolverRef{Name: strings.ToLower(req.Algo), Params: req.Params},
+		// The request's algorithm selection (after any degradation) is the
+		// session's durable solver identity: recovery re-resolves it through
+		// the same resolveSessionSolver path, so a restarted session repairs
+		// with the same (cap-injected) solver it was created with.
+		Ref: session.SolverRef{Name: strings.ToLower(algoName), Params: algoParams},
 	})
 	if err != nil {
 		s.writeSessionError(w, err)
@@ -182,16 +198,18 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		Value:     snap.Value,
 		Users:     snap.Users,
 		SizeCap:   snap.SizeCap,
+		Degraded:  degraded,
 		SolveMS:   ms(sol.Wall),
 		ElapsedMS: ms(time.Since(start)),
 	})
 }
 
 func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
-	if !s.admit(w) {
+	if !s.admit(w, routeSessionEvents) {
 		return
 	}
 	defer s.release()
+	defer s.observe(routeSessionEvents)()
 	var req SessionEventsRequest
 	if err := core.DecodeStrict(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes), &req); err != nil {
 		s.writeDecodeError(w, "decoding events", err)
@@ -227,10 +245,11 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
-	if !s.admit(w) {
+	if !s.admit(w, routeSessionGet) {
 		return
 	}
 	defer s.release()
+	defer s.observe(routeSessionGet)()
 	snap, err := s.mgr.Snapshot(r.PathValue("id"))
 	if err != nil {
 		s.writeSessionError(w, err)
@@ -254,7 +273,7 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.admit(w) {
+	if !s.admit(w, routeSessionGet) {
 		return
 	}
 	defer s.release()

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"strings"
+	"time"
+
+	"github.com/svgic/svgic/internal/telemetry"
+)
+
+// The SLO feedback loop: every admitted request records its wall time into a
+// per-route telemetry series; when Options.SLOs are set, a
+// telemetry.Controller watches those series' burn rates and the server reacts
+// by walking the degradation ladder —
+//
+//   - LevelDegrade: requests selecting an expensive algorithm (DegradeFrom,
+//     default ip and sdp) are silently rerouted to the cheap fallback
+//     (DegradeAlgo, default avgd) and marked "degraded": true in the
+//     response, trading optimality for latency before trading availability;
+//   - LevelShed: on top of degrading, the effective in-flight cap tightens
+//     to ShedFactor × MaxInFlight, so excess load is refused with 429 while
+//     the latency objective recovers.
+//
+// The controller is built (and burn rates reported in /v1/stats and
+// /metrics) whenever SLOs are configured; NoAdaptiveAdmission keeps the
+// measurement but disables both feedback rungs.
+
+// Route series names: one latency window per endpoint family. The engine
+// hook adds "algo:<Display>" series and the session hook adds "repair".
+const (
+	routeSolve         = "solve"
+	routeBatch         = "batch"
+	routeEvaluate      = "evaluate"
+	routeSessionCreate = "session_create"
+	routeSessionEvents = "session_events"
+	routeSessionGet    = "session_get"
+)
+
+// observe starts timing one admitted request; the returned func records the
+// elapsed wall time into the route's series. Time comes from the tracker's
+// clock, so tests on a ManualClock control the samples.
+func (s *Server) observe(route string) func() {
+	start := s.tel.Now()
+	return func() { s.tel.Record(route, s.tel.Now().Sub(start)) }
+}
+
+// effectiveMaxInFlight is the in-flight cap after adaptive shedding: the
+// configured cap, tightened by the controller while it sheds.
+func (s *Server) effectiveMaxInFlight() int {
+	if s.ctrl == nil || s.opts.NoAdaptiveAdmission {
+		return cap(s.sem)
+	}
+	return s.ctrl.EffectiveCap(cap(s.sem))
+}
+
+// retryAfterSeconds derives the 429 hint from the observed p50 of the
+// route's latency window: a client backing off for one typical request's
+// duration retries right about when a slot frees up. The derived hint is
+// floored at 1s (sub-second hints round to zero wait) and capped at the
+// configured Options.RetryAfter; a route that never recorded falls back to
+// the configured value outright.
+func (s *Server) retryAfterSeconds(route string) int {
+	hint := s.opts.RetryAfter
+	if p50 := s.tel.Quantile(route, 0.5); p50 > 0 {
+		switch {
+		case p50 < time.Second:
+			hint = time.Second
+		case p50 < hint:
+			hint = p50
+		}
+	}
+	return int((hint + time.Second - 1) / time.Second)
+}
+
+// shouldDegrade reports whether a request selecting the named algorithm is
+// rerouted to the fallback right now: the controller exists, feedback is on,
+// the algorithm is on the degrade list, and the ladder sits at LevelDegrade
+// or above.
+func (s *Server) shouldDegrade(algo string) bool {
+	if s.ctrl == nil || s.opts.NoAdaptiveAdmission {
+		return false
+	}
+	algo = strings.ToLower(algo)
+	if algo == "" || algo == s.opts.DegradeAlgo || !s.degradeFrom[algo] {
+		return false
+	}
+	return s.ctrl.Level() >= telemetry.LevelDegrade
+}
+
+// noteDegraded counts one request rerouted away from the named algorithm.
+func (s *Server) noteDegraded(algo string) {
+	s.degradedTotal.Add(1)
+	s.ctrl.NoteDegraded(strings.ToLower(algo))
+}

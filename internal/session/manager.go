@@ -86,6 +86,12 @@ type Options struct {
 	// NoWarmStart disables warm-starting repair solves from the session's
 	// incumbent configuration, forcing every repair solve cold.
 	NoWarmStart bool
+	// RepairObserver, when set, receives the wall time of every drift-repair
+	// cycle that got past the version check and did repair work (delta or
+	// whole; version-unchanged skips are not observed). Called synchronously
+	// on the repair goroutine, so it must be cheap and safe for concurrent
+	// use; svgicd wires it into the telemetry tracker's "repair" series.
+	RepairObserver func(d time.Duration)
 }
 
 // Stats is a snapshot of the manager's counters, aggregated over all
@@ -121,15 +127,16 @@ type Stats struct {
 // over hash-partitioned shards (see shard.go). Create with NewManager,
 // release with Close. All methods are safe for concurrent use.
 type Manager struct {
-	eng           *engine.Engine
-	maxSessions   int
-	ttl           time.Duration
-	repairMargin  float64
-	repairTimeout time.Duration
-	noDeltaRepair bool
-	noWarmStart   bool
-	persister     Persister
-	snapshotEvery int
+	eng            *engine.Engine
+	maxSessions    int
+	ttl            time.Duration
+	repairMargin   float64
+	repairTimeout  time.Duration
+	noDeltaRepair  bool
+	noWarmStart    bool
+	persister      Persister
+	snapshotEvery  int
+	repairObserver func(d time.Duration)
 
 	now func() time.Time // test seam; time.Now in production
 
@@ -176,17 +183,18 @@ func NewManager(opts Options) (*Manager, error) {
 		return nil, errors.New("session: Options.Engine is required")
 	}
 	m := &Manager{
-		eng:           opts.Engine,
-		maxSessions:   opts.MaxSessions,
-		ttl:           opts.TTL,
-		repairMargin:  opts.RepairMargin,
-		repairTimeout: opts.RepairTimeout,
-		noDeltaRepair: opts.NoDeltaRepair,
-		noWarmStart:   opts.NoWarmStart,
-		persister:     opts.Persister,
-		snapshotEvery: opts.SnapshotEvery,
-		now:           time.Now,
-		done:          make(chan struct{}),
+		eng:            opts.Engine,
+		maxSessions:    opts.MaxSessions,
+		ttl:            opts.TTL,
+		repairMargin:   opts.RepairMargin,
+		repairTimeout:  opts.RepairTimeout,
+		noDeltaRepair:  opts.NoDeltaRepair,
+		noWarmStart:    opts.NoWarmStart,
+		persister:      opts.Persister,
+		snapshotEvery:  opts.SnapshotEvery,
+		repairObserver: opts.RepairObserver,
+		now:            time.Now,
+		done:           make(chan struct{}),
 	}
 	if m.snapshotEvery == 0 {
 		m.snapshotEvery = DefaultSnapshotEvery
@@ -567,10 +575,21 @@ func (m *Manager) repairOne(ctx context.Context, sh *shard, s *Session) {
 		deltaOK = ok && cs.DecomposeSafe()
 	}
 	s.mu.Unlock()
+	start := m.now()
 	if deltaOK && m.repairDelta(ctx, sh, s, base) {
+		m.observeRepair(start)
 		return
 	}
 	m.repairWhole(ctx, sh, s, base)
+	m.observeRepair(start)
+}
+
+// observeRepair reports one completed repair cycle's wall time to the
+// telemetry hook, when one is installed.
+func (m *Manager) observeRepair(start time.Time) {
+	if m.repairObserver != nil {
+		m.repairObserver(m.now().Sub(start))
+	}
 }
 
 // repairDelta is the dirty-component repair path: it re-solves only the

@@ -1,0 +1,49 @@
+package session
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRepairObserver pins the telemetry contract: the hook fires once per
+// repair cycle that got past the version check (swap or keep alike), and
+// never for the version-unchanged skip path.
+func TestRepairObserver(t *testing.T) {
+	var calls atomic.Int64
+	m, _ := newTestManager(t, Options{
+		RepairObserver: func(d time.Duration) {
+			if d < 0 {
+				t.Errorf("observed negative repair duration %v", d)
+			}
+			calls.Add(1)
+		},
+	})
+	ctx := context.Background()
+	snap, _, err := m.CreateWith(ctx, testInstance(5), CreateSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First cycle re-solves (never repaired before): observed.
+	m.RepairAll(ctx)
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("observer calls after first cycle = %d, want 1", got)
+	}
+
+	// Nothing moved: the skip path must not be observed.
+	m.RepairAll(ctx)
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("observer calls after skipped cycle = %d, want 1", got)
+	}
+
+	// Advance the version so the next cycle actually runs.
+	if _, err := m.Apply(snap.ID, []Event{{Type: EventRebalance, MaxPasses: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	m.RepairAll(ctx)
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("observer calls after third cycle = %d, want 2", got)
+	}
+}

@@ -1,0 +1,70 @@
+// Package telemetry is svgicd's in-server measurement layer: t-digest
+// quantile sketches over sliding time windows (per route and per algorithm),
+// declarative latency SLOs with a multi-window burn-rate checker, and an
+// admission controller that feeds SLO state back into serving — degrade
+// (route expensive solvers to a cheap fallback) before shedding (tighten the
+// effective in-flight cap), relaxing both as the burn recovers.
+//
+// Everything in the package reads time through the Clock interface, never
+// time.Now directly, so every window rotation and burn-rate computation is
+// deterministically testable on a ManualClock with zero sleeps. The package
+// holds no goroutines and no timers: windows rotate lazily on access and the
+// Controller re-evaluates lazily when its clock passes the evaluation
+// cadence, so an idle server pays nothing and a test controls every step.
+//
+// See docs/OBSERVABILITY.md for the metric families, the SLO grammar and the
+// degradation ladder.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for every telemetry computation. Production code uses
+// SystemClock; tests use ManualClock and advance it explicitly.
+type Clock interface {
+	Now() time.Time
+}
+
+// SystemClock is the production Clock: time.Now.
+type SystemClock struct{}
+
+// Now implements Clock.
+func (SystemClock) Now() time.Time { return time.Now() }
+
+// ManualClock is a Clock that only moves when told to. It is safe for
+// concurrent use, so a test can advance it while the code under test reads
+// it from other goroutines.
+type ManualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewManualClock returns a ManualClock frozen at start.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d (d may be negative to simulate a
+// backwards jump) and returns the new time.
+func (c *ManualClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+// Set jumps the clock to t.
+func (c *ManualClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = t
+}
